@@ -1,0 +1,64 @@
+//! Greedy bipartite matching — a fast approximation used for ablations.
+
+use crate::{Assignment, Matrix};
+
+/// Greedily match the highest-weight remaining cell until no positive cell
+/// is left. Runs in O(R·C·log(R·C)). Greedy is a ½-approximation of the
+/// optimum; [`crate::hungarian_max_matching`] is exact.
+pub fn greedy_max_matching(weights: &Matrix) -> Vec<Assignment> {
+    let mut cells: Vec<Assignment> = (0..weights.rows())
+        .flat_map(|r| {
+            (0..weights.cols()).filter_map(move |c| {
+                let w = weights[(r, c)];
+                (w > 0.0).then_some(Assignment { row: r, col: c, weight: w })
+            })
+        })
+        .collect();
+    cells.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    let mut row_used = vec![false; weights.rows()];
+    let mut col_used = vec![false; weights.cols()];
+    let mut out = Vec::new();
+    for cell in cells {
+        if !row_used[cell.row] && !col_used[cell.col] {
+            row_used[cell.row] = true;
+            col_used[cell.col] = true;
+            out.push(cell);
+        }
+    }
+    out.sort_by_key(|a| a.row);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hungarian_max_matching, total_weight};
+
+    #[test]
+    fn picks_best_cell_first() {
+        let w = Matrix::from_rows(&[&[0.9, 0.8], &[0.8, 0.1]]);
+        let m = greedy_max_matching(&w);
+        // Greedy total = 0.9 + 0.1 = 1.0 < optimum 1.6.
+        assert!((total_weight(&m) - 1.0).abs() < 1e-12);
+        assert!(total_weight(&m) <= total_weight(&hungarian_max_matching(&w)));
+    }
+
+    #[test]
+    fn greedy_is_at_least_half_of_optimum() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let w = Matrix::from_fn(4, 4, |_, _| rng.random::<f64>());
+            let g = total_weight(&greedy_max_matching(&w));
+            let h = total_weight(&hungarian_max_matching(&w));
+            assert!(g >= 0.5 * h - 1e-9, "g={g} h={h}");
+            assert!(g <= h + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ignores_non_positive_cells() {
+        let w = Matrix::from_rows(&[&[0.0, -1.0], &[0.0, 0.0]]);
+        assert!(greedy_max_matching(&w).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Exact maximum-weight bipartite matching via the Hungarian algorithm.
+//!
+//! The implementation is the classic O(n³) shortest-augmenting-path variant
+//! with row/column potentials, solving the *minimum-cost* assignment on the
+//! negated weight matrix. Rectangular inputs are padded with zero-weight
+//! cells; padded matches and matches of non-positive weight are omitted from
+//! the result, so the returned assignment only pairs rows and columns that
+//! genuinely help the objective.
+
+use crate::{Assignment, Matrix};
+
+/// Compute a maximum-weight matching of `weights`.
+///
+/// Returns at most `min(rows, cols)` assignments, each with strictly
+/// positive weight, such that no row or column is used twice and the total
+/// weight is maximal among all matchings.
+///
+/// ```
+/// use pse_assignment::{hungarian_max_matching, Matrix};
+/// let w = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.7]]);
+/// let m = hungarian_max_matching(&w);
+/// // Choosing (0,0)+(1,1) = 1.6 beats (1,0)+(0,1) = 0.9.
+/// assert_eq!(m.len(), 2);
+/// assert!((pse_assignment::total_weight(&m) - 1.6).abs() < 1e-12);
+/// ```
+pub fn hungarian_max_matching(weights: &Matrix) -> Vec<Assignment> {
+    let rows = weights.rows();
+    let cols = weights.cols();
+    if rows == 0 || cols == 0 {
+        return Vec::new();
+    }
+    let n = rows.max(cols);
+
+    // cost[i][j] = -weight for real cells, 0 for padding; 1-based internally
+    // per the standard potentials formulation.
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            -weights[(i, j)]
+        } else {
+            0.0
+        }
+    };
+
+    const INF: f64 = f64::INFINITY;
+    // Potentials u (rows) and v (cols); way[j] = previous column on the
+    // augmenting path; p[j] = row matched to column j (0 = none; 1-based).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (r, c) = (i - 1, j - 1);
+        if r < rows && c < cols {
+            let w = weights[(r, c)];
+            if w > 0.0 {
+                out.push(Assignment { row: r, col: c, weight: w });
+            }
+        }
+    }
+    out.sort_by_key(|a| a.row);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_weight;
+
+    /// Brute-force optimum over all row→col injections (for small inputs).
+    fn brute_force(weights: &Matrix) -> f64 {
+        fn rec(weights: &Matrix, row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == weights.rows() {
+                return 0.0;
+            }
+            // Option: leave this row unmatched.
+            let mut best = rec(weights, row + 1, used);
+            for c in 0..weights.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    let w = weights[(row, c)].max(0.0);
+                    best = best.max(w + rec(weights, row + 1, used));
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        rec(weights, 0, &mut vec![false; weights.cols()])
+    }
+
+    #[test]
+    fn simple_square() {
+        let w = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.7]]);
+        let m = hungarian_max_matching(&w);
+        assert_eq!(m.len(), 2);
+        assert!((total_weight(&m) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_wide_and_tall() {
+        let wide = Matrix::from_rows(&[&[0.2, 0.9, 0.3]]);
+        let m = hungarian_max_matching(&wide);
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].row, m[0].col), (0, 1));
+
+        let tall = Matrix::from_rows(&[&[0.2], &[0.9], &[0.3]]);
+        let m = hungarian_max_matching(&tall);
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].row, m[0].col), (1, 0));
+    }
+
+    #[test]
+    fn zero_weights_are_not_matched() {
+        let w = Matrix::zeros(3, 3);
+        assert!(hungarian_max_matching(&w).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian_max_matching(&Matrix::zeros(0, 5)).is_empty());
+        assert!(hungarian_max_matching(&Matrix::zeros(5, 0)).is_empty());
+    }
+
+    #[test]
+    fn greedy_trap() {
+        // Greedy picks (0,0)=0.9 then (1,1)=0.1 for 1.0 total;
+        // the optimum is (0,1)+(1,0) = 0.8 + 0.8 = 1.6.
+        let w = Matrix::from_rows(&[&[0.9, 0.8], &[0.8, 0.1]]);
+        let m = hungarian_max_matching(&w);
+        assert!((total_weight(&m) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let rows = rng.random_range(1..=5);
+            let cols = rng.random_range(1..=5);
+            let w = Matrix::from_fn(rows, cols, |_, _| {
+                // Mix of positives and zeros.
+                if rng.random_bool(0.3) { 0.0 } else { rng.random::<f64>() }
+            });
+            let m = hungarian_max_matching(&w);
+            let opt = brute_force(&w);
+            assert!(
+                (total_weight(&m) - opt).abs() < 1e-9,
+                "hungarian={} brute={} matrix={w:?}",
+                total_weight(&m),
+                opt
+            );
+            // No row/col reuse.
+            let mut rs: Vec<_> = m.iter().map(|a| a.row).collect();
+            let mut cs: Vec<_> = m.iter().map(|a| a.col).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            cs.sort_unstable();
+            cs.dedup();
+            assert_eq!(rs.len(), m.len());
+            assert_eq!(cs.len(), m.len());
+        }
+    }
+}

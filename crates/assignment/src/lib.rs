@@ -1,0 +1,30 @@
+//! Bipartite assignment solvers.
+//!
+//! DUMAS (Bilke & Naumann, ICDE 2005) turns its averaged field-similarity
+//! matrix into attribute correspondences by solving a *maximum-weight
+//! bipartite matching* problem. This crate provides an exact O(n³)
+//! Hungarian (Kuhn–Munkres) solver plus a greedy solver used for ablations.
+
+pub mod greedy;
+pub mod hungarian;
+pub mod matrix;
+
+pub use greedy::greedy_max_matching;
+pub use hungarian::hungarian_max_matching;
+pub use matrix::Matrix;
+
+/// One matched pair `(row, column)` with its weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Row index in the weight matrix.
+    pub row: usize,
+    /// Column index in the weight matrix.
+    pub col: usize,
+    /// Weight of the matched cell.
+    pub weight: f64,
+}
+
+/// Total weight of a set of assignments.
+pub fn total_weight(assignments: &[Assignment]) -> f64 {
+    assignments.iter().map(|a| a.weight).sum()
+}

@@ -1,0 +1,77 @@
+//! Property-based tests: the Hungarian solver is exact (matches brute
+//! force), produces valid matchings, and dominates greedy.
+
+use proptest::prelude::*;
+use pse_assignment::{greedy_max_matching, hungarian_max_matching, total_weight, Matrix};
+
+fn brute_force(weights: &Matrix) -> f64 {
+    fn rec(w: &Matrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == w.rows() {
+            return 0.0;
+        }
+        let mut best = rec(w, row + 1, used);
+        for c in 0..w.cols() {
+            if !used[c] && w[(row, c)] > 0.0 {
+                used[c] = true;
+                best = best.max(w[(row, c)] + rec(w, row + 1, used));
+                used[c] = false;
+            }
+        }
+        best
+    }
+    rec(weights, 0, &mut vec![false; weights.cols()])
+}
+
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
+        prop::collection::vec(0.0f64..1.0, r * c).prop_map(move |data| {
+            let mut m = Matrix::zeros(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    // Zero out ~30% of cells to exercise sparse cases.
+                    let v = data[i * c + j];
+                    m[(i, j)] = if v < 0.3 { 0.0 } else { v };
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force(m in arb_matrix()) {
+        let h = total_weight(&hungarian_max_matching(&m));
+        let b = brute_force(&m);
+        prop_assert!((h - b).abs() < 1e-9, "hungarian={h} brute={b}");
+    }
+
+    #[test]
+    fn matchings_are_valid(m in arb_matrix()) {
+        for solve in [hungarian_max_matching, greedy_max_matching] {
+            let sol = solve(&m);
+            let mut rows: Vec<_> = sol.iter().map(|a| a.row).collect();
+            let mut cols: Vec<_> = sol.iter().map(|a| a.col).collect();
+            rows.sort_unstable();
+            cols.sort_unstable();
+            let rl = rows.len();
+            let cl = cols.len();
+            rows.dedup();
+            cols.dedup();
+            prop_assert_eq!(rows.len(), rl, "duplicate row");
+            prop_assert_eq!(cols.len(), cl, "duplicate col");
+            for a in &sol {
+                prop_assert!(a.weight > 0.0);
+                prop_assert!((a.weight - m[(a.row, a.col)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_bounded_by_hungarian(m in arb_matrix()) {
+        let g = total_weight(&greedy_max_matching(&m));
+        let h = total_weight(&hungarian_max_matching(&m));
+        prop_assert!(g <= h + 1e-9);
+        prop_assert!(g >= 0.5 * h - 1e-9, "greedy is a 1/2-approximation");
+    }
+}

@@ -1,0 +1,270 @@
+//! COMA++-style matchers (Do & Rahm, VLDB 2002; Engmann & Maßmann, BTW
+//! 2007): a library of name and instance matchers with combination and the
+//! `δ` (maxDelta) candidate-selection strategy — the configurations the
+//! paper compares against in Figures 8 and 9.
+//!
+//! * **Name matchers**: normalized edit-distance similarity and trigram
+//!   (Dice) similarity over attribute names, averaged.
+//! * **Instance matcher**: TF-IDF cosine between the token bags of the
+//!   catalog attribute's values (over all products of the category) and the
+//!   merchant attribute's values (over all offers of the merchant in the
+//!   category). COMA++ has no notion of historical instance matches.
+//! * **Combined**: the average of name and instance scores.
+//! * **δ selection**: for every merchant attribute, keep the candidates
+//!   whose score is within `δ` of that attribute's best candidate
+//!   (`δ = 0.01` is COMA++'s default; `δ = ∞` keeps every pair, Figure 9).
+
+use std::collections::HashMap;
+
+use pse_core::{Catalog, CategoryId, MerchantId, Offer};
+use pse_synthesis::{ScoredCandidate, SpecProvider};
+use pse_text::normalize::normalize_attribute_name;
+use pse_text::strsim::{levenshtein_similarity, trigram_dice};
+use pse_text::tfidf::TfIdfCorpus;
+use pse_text::BagOfWords;
+
+/// Which matcher combination to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComaStrategy {
+    /// Name matchers only (edit distance + trigram, averaged).
+    Name,
+    /// Instance matcher only (TF-IDF cosine of value bags).
+    Instance,
+    /// Average of name and instance scores.
+    Combined,
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ComaConfig {
+    /// The matcher combination.
+    pub strategy: ComaStrategy,
+    /// maxDelta selection: keep candidates within `delta` of the best
+    /// candidate per merchant attribute. `f64::INFINITY` keeps all pairs.
+    pub delta: f64,
+}
+
+impl ComaConfig {
+    /// COMA++'s default δ = 0.01.
+    pub fn new(strategy: ComaStrategy) -> Self {
+        Self { strategy, delta: 0.01 }
+    }
+
+    /// Keep every candidate pair (δ = ∞), ranked by score.
+    pub fn with_unbounded_delta(strategy: ComaStrategy) -> Self {
+        Self { strategy, delta: f64::INFINITY }
+    }
+}
+
+/// The COMA++-style matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct ComaMatcher {
+    config: ComaConfig,
+}
+
+impl ComaMatcher {
+    /// A matcher with the given configuration.
+    pub fn new(config: ComaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Score candidates for all (merchant, category) pairs present in
+    /// `offers`.
+    pub fn score_candidates<P: SpecProvider>(
+        &self,
+        catalog: &Catalog,
+        offers: &[Offer],
+        provider: &P,
+    ) -> Vec<ScoredCandidate> {
+        // Offer value bags per (merchant, category, attr).
+        let mut offer_bags: HashMap<(MerchantId, CategoryId), HashMap<String, BagOfWords>> =
+            HashMap::new();
+        for offer in offers {
+            let Some(category) = offer.category else { continue };
+            let spec = provider.spec(offer);
+            let slot = offer_bags.entry((offer.merchant, category)).or_default();
+            for p in spec.iter() {
+                let n = normalize_attribute_name(&p.name);
+                if !n.is_empty() {
+                    slot.entry(n).or_default().add_value(&p.value);
+                }
+            }
+        }
+
+        // Catalog value bags per category (built lazily).
+        let mut catalog_bags: HashMap<CategoryId, HashMap<String, BagOfWords>> = HashMap::new();
+
+        let mut keys: Vec<_> = offer_bags.keys().copied().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for (merchant, category) in keys {
+            let cat_bags = catalog_bags.entry(category).or_insert_with(|| {
+                let mut bags: HashMap<String, BagOfWords> = HashMap::new();
+                for product in catalog.products_in(category) {
+                    for pair in product.spec.iter() {
+                        bags.entry(normalize_attribute_name(&pair.name))
+                            .or_default()
+                            .add_value(&pair.value);
+                    }
+                }
+                bags
+            });
+            let schema = catalog.taxonomy().schema(category);
+            let merchant_attrs = &offer_bags[&(merchant, category)];
+            let mut sorted_aos: Vec<&String> = merchant_attrs.keys().collect();
+            sorted_aos.sort();
+
+            // TF-IDF corpus: one document per attribute value corpus.
+            let mut corpus = TfIdfCorpus::new();
+            for bag in cat_bags.values() {
+                corpus.add_document(bag);
+            }
+            for bag in merchant_attrs.values() {
+                corpus.add_document(bag);
+            }
+
+            for ao in sorted_aos {
+                let mut candidates: Vec<ScoredCandidate> = Vec::new();
+                for ap in schema.iter() {
+                    let ap_norm = ap.normalized_name();
+                    let name_score = 0.5 * levenshtein_similarity(&ap_norm, ao)
+                        + 0.5 * trigram_dice(&ap_norm, ao);
+                    let instance_score = match cat_bags.get(&ap_norm) {
+                        Some(pb) => corpus.cosine(pb, &merchant_attrs[ao]),
+                        None => 0.0,
+                    };
+                    let score = match self.config.strategy {
+                        ComaStrategy::Name => name_score,
+                        ComaStrategy::Instance => instance_score,
+                        ComaStrategy::Combined => 0.5 * (name_score + instance_score),
+                    };
+                    candidates.push(ScoredCandidate {
+                        catalog_attribute: ap.name.clone(),
+                        merchant_attribute: ao.clone(),
+                        merchant,
+                        category,
+                        score,
+                        is_name_identity: ap_norm == *ao,
+                    });
+                }
+                // δ selection per merchant attribute.
+                let best = candidates
+                    .iter()
+                    .map(|c| c.score)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                out.extend(
+                    candidates
+                        .into_iter()
+                        .filter(|c| c.score > 0.0 && best - c.score <= self.config.delta),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::{AttributeDef, AttributeKind, CategorySchema, OfferId, Spec, Taxonomy};
+    use pse_synthesis::FnProvider;
+
+    fn scenario() -> (Catalog, Vec<Offer>) {
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("Computing");
+        let cat = tax.add_leaf(
+            top,
+            "Hard Drives",
+            CategorySchema::from_attributes([
+                AttributeDef::new("Interface Type", AttributeKind::Text),
+                AttributeDef::new("Speed", AttributeKind::Numeric),
+            ]),
+        );
+        let mut catalog = Catalog::new(tax);
+        for (iface, speed) in [("SATA 300", "7200"), ("IDE 133", "5400"), ("SCSI 320", "10000")] {
+            catalog.add_product(
+                cat,
+                "p",
+                Spec::from_pairs([("Interface Type", iface), ("Speed", speed)]),
+            );
+        }
+        let offers = vec![Offer {
+            id: OfferId(0),
+            merchant: MerchantId(0),
+            price_cents: 1,
+            image_url: None,
+            category: Some(cat),
+            url: String::new(),
+            title: String::new(),
+            spec: Spec::from_pairs([("Int. Type", "SATA 300"), ("RPM", "7200")]),
+        }];
+        (catalog, offers)
+    }
+
+    fn run(cfg: ComaConfig) -> Vec<ScoredCandidate> {
+        let (catalog, offers) = scenario();
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        ComaMatcher::new(cfg).score_candidates(&catalog, &offers, &provider)
+    }
+
+    #[test]
+    fn name_matcher_favors_similar_names() {
+        let scored = run(ComaConfig::with_unbounded_delta(ComaStrategy::Name));
+        let get = |ap: &str, ao: &str| {
+            scored
+                .iter()
+                .find(|c| c.catalog_attribute == ap && c.merchant_attribute == ao)
+                .map(|c| c.score)
+                .unwrap_or(0.0)
+        };
+        assert!(get("Interface Type", "int type") > get("Speed", "int type"));
+    }
+
+    #[test]
+    fn instance_matcher_favors_shared_values() {
+        let scored = run(ComaConfig::with_unbounded_delta(ComaStrategy::Instance));
+        let get = |ap: &str, ao: &str| {
+            scored
+                .iter()
+                .find(|c| c.catalog_attribute == ap && c.merchant_attribute == ao)
+                .map(|c| c.score)
+                .unwrap_or(0.0)
+        };
+        assert!(get("Speed", "rpm") > get("Interface Type", "rpm"));
+        assert!(get("Interface Type", "int type") > get("Speed", "int type"));
+    }
+
+    #[test]
+    fn default_delta_keeps_fewer_candidates_than_unbounded() {
+        let tight = run(ComaConfig::new(ComaStrategy::Combined));
+        let loose = run(ComaConfig::with_unbounded_delta(ComaStrategy::Combined));
+        assert!(tight.len() <= loose.len());
+        assert!(!tight.is_empty());
+    }
+
+    #[test]
+    fn combined_is_average_of_parts() {
+        let name = run(ComaConfig::with_unbounded_delta(ComaStrategy::Name));
+        let inst = run(ComaConfig::with_unbounded_delta(ComaStrategy::Instance));
+        let comb = run(ComaConfig::with_unbounded_delta(ComaStrategy::Combined));
+        for c in &comb {
+            let n = name
+                .iter()
+                .find(|x| {
+                    x.catalog_attribute == c.catalog_attribute
+                        && x.merchant_attribute == c.merchant_attribute
+                })
+                .map(|x| x.score)
+                .unwrap_or(0.0);
+            let i = inst
+                .iter()
+                .find(|x| {
+                    x.catalog_attribute == c.catalog_attribute
+                        && x.merchant_attribute == c.merchant_attribute
+                })
+                .map(|x| x.score)
+                .unwrap_or(0.0);
+            assert!((c.score - 0.5 * (n + i)).abs() < 1e-9);
+        }
+    }
+}

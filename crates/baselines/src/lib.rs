@@ -1,0 +1,27 @@
+//! Baseline schema matchers used in the paper's comparison (Section 5.2,
+//! Figures 6–9).
+//!
+//! * [`single_feature`] — score candidates with one distributional feature
+//!   (JS-MC or Jaccard-MC) instead of the classifier combination (Fig. 6);
+//! * [`dumas`] — DUMAS (Bilke & Naumann): SoftTFIDF similarity matrices
+//!   over known duplicates, averaged, solved as bipartite matching (Fig. 8,
+//!   implementation per the paper's Appendix C);
+//! * [`naive_bayes`] — the LSD-style instance-based Naive Bayes matcher
+//!   (Fig. 8, per Appendix C);
+//! * [`coma`] — COMA++-style matcher library: name matchers (edit distance,
+//!   trigram), instance matcher (TF-IDF cosine), combinations, and the δ
+//!   candidate-selection knob (Figs. 8 and 9, per Do & Rahm and
+//!   Engmann & Maßmann).
+//!
+//! Every matcher emits [`pse_synthesis::ScoredCandidate`]s so the same
+//! precision-at-coverage evaluation applies uniformly.
+
+pub mod coma;
+pub mod dumas;
+pub mod naive_bayes;
+pub mod single_feature;
+
+pub use coma::{ComaConfig, ComaMatcher, ComaStrategy};
+pub use dumas::DumasMatcher;
+pub use naive_bayes::NaiveBayesMatcher;
+pub use single_feature::{SingleFeature, SingleFeatureScorer};

@@ -1,0 +1,199 @@
+//! Criterion micro/meso benchmarks for every pipeline component, organized
+//! by the table/figure whose regeneration they support (quality numbers
+//! come from the `experiments` binary; these benches track the *cost* of
+//! each stage).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pse_bench::{build_world, computing_offers, html_provider, Scale};
+use pse_core::Offer;
+use pse_datagen::World;
+use pse_synthesis::{OfflineLearner, RuntimePipeline, SpecProvider};
+use pse_text::{jaccard_bags, jensen_shannon, BagOfWords};
+
+fn bench_world() -> World {
+    let mut scale = Scale::smoke();
+    scale.offers = 2_000;
+    build_world(&scale)
+}
+
+/// Substrate costs: tokenization, divergences, string similarity.
+fn bench_text(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text");
+    let a = BagOfWords::from_values(["Serial ATA 300", "IDE 133", "SCSI Ultra 320", "SATA 150"]);
+    let b = BagOfWords::from_values(["SATA-300 mb/s", "IDE-133 mb/s", "SCSI 320 mb/s"]);
+    g.bench_function("jensen_shannon", |bench| {
+        bench.iter(|| jensen_shannon(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("jaccard", |bench| {
+        bench.iter(|| jaccard_bags(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("tokenize_title", |bench| {
+        bench.iter(|| pse_text::tokens(black_box("Hitachi HDT725050VLA360 500GB SATA-300 7200rpm Hard Drive")))
+    });
+    g.bench_function("soft_tfidf", |bench| {
+        let mut corpus = pse_text::tfidf::TfIdfCorpus::new();
+        corpus.add_document(&a);
+        corpus.add_document(&b);
+        let soft = pse_text::SoftTfIdf::new(corpus);
+        bench.iter(|| soft.similarity(black_box("Seagate Barracuda 7200.10"), black_box("Segate Baracuda 7200")))
+    });
+    g.finish();
+}
+
+/// Landing-page parsing and attribute extraction (the run-time pipeline's
+/// first stage; feeds every table and figure).
+fn bench_extraction(c: &mut Criterion) {
+    let world = bench_world();
+    let page = world.landing_page(world.offers[0].id);
+    let mut g = c.benchmark_group("extraction");
+    g.bench_function("parse_landing_page", |bench| {
+        bench.iter(|| pse_html::parse(black_box(&page)))
+    });
+    g.bench_function("extract_pairs", |bench| {
+        bench.iter(|| pse_extract::extract_pairs(black_box(&page)))
+    });
+    g.bench_function("render_landing_page", |bench| {
+        bench.iter(|| world.landing_page(black_box(world.offers[0].id)))
+    });
+    g.finish();
+}
+
+/// Hungarian matching (DUMAS substrate, Figure 8).
+fn bench_assignment(c: &mut Criterion) {
+    use pse_assignment::{hungarian_max_matching, Matrix};
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let m = Matrix::from_fn(12, 12, |_, _| rng.random::<f64>());
+    c.bench_function("hungarian_12x12", |bench| {
+        bench.iter(|| hungarian_max_matching(black_box(&m)))
+    });
+}
+
+/// Value fusion (Table 2's last stage).
+fn bench_fusion(c: &mut Criterion) {
+    let values = vec![
+        "Microsoft Windows Vista",
+        "Windows Vista",
+        "Microsoft Vista",
+        "Windows Vista Home",
+        "Microsoft Windows Vista",
+    ];
+    c.bench_function("fuse_values_5", |bench| {
+        bench.iter(|| pse_synthesis::runtime::fuse_values(black_box(&values)))
+    });
+}
+
+/// Offline learning end to end at smoke scale (Tables 2–4, Figures 6–9).
+fn bench_offline(c: &mut Criterion) {
+    let world = bench_world();
+    let mut g = c.benchmark_group("offline");
+    g.sample_size(10);
+    g.bench_function("learn_smoke_world", |bench| {
+        bench.iter_batched(
+            || (),
+            |_| {
+                let provider = html_provider(&world);
+                OfflineLearner::new().learn(
+                    &world.catalog,
+                    &world.offers,
+                    &world.historical,
+                    &provider,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Run-time pipeline throughput (Table 2).
+fn bench_runtime(c: &mut Criterion) {
+    let world = bench_world();
+    let provider = html_provider(&world);
+    let outcome = OfflineLearner::new().learn(
+        &world.catalog,
+        &world.offers,
+        &world.historical,
+        &provider,
+    );
+    let pipeline = RuntimePipeline::new(outcome.correspondences);
+    let unmatched: Vec<Offer> = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .cloned()
+        .collect();
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    g.bench_function("process_unmatched_offers", |bench| {
+        bench.iter(|| pipeline.process(&world.catalog, black_box(&unmatched), &provider))
+    });
+    g.finish();
+}
+
+/// Baseline matcher costs (Figures 8 and 9).
+fn bench_baselines(c: &mut Criterion) {
+    use pse_baselines::{ComaConfig, ComaMatcher, ComaStrategy, DumasMatcher, NaiveBayesMatcher};
+    let world = bench_world();
+    let offers = computing_offers(&world);
+    let provider = html_provider(&world);
+    // Pre-extract specs once; matcher cost dominates with a cached provider.
+    let specs: Vec<pse_core::Spec> = world.offers.iter().map(|o| provider.spec(o)).collect();
+    let cached = pse_synthesis::FnProvider(move |o: &Offer| specs[o.id.index()].clone());
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    g.bench_function("dumas", |bench| {
+        bench.iter(|| {
+            DumasMatcher::new().score_candidates(
+                &world.catalog,
+                black_box(&offers),
+                &world.historical,
+                &cached,
+            )
+        })
+    });
+    g.bench_function("naive_bayes", |bench| {
+        bench.iter(|| {
+            NaiveBayesMatcher::new().score_candidates(&world.catalog, black_box(&offers), &cached)
+        })
+    });
+    g.bench_function("coma_combined", |bench| {
+        bench.iter(|| {
+            ComaMatcher::new(ComaConfig::new(ComaStrategy::Combined)).score_candidates(
+                &world.catalog,
+                black_box(&offers),
+                &cached,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// World generation itself (the substitute for the Bing Shopping corpus).
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    g.bench_function("generate_smoke_world", |bench| {
+        bench.iter(|| {
+            let mut scale = Scale::smoke();
+            scale.offers = 2_000;
+            build_world(black_box(&scale))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_extraction,
+    bench_assignment,
+    bench_fusion,
+    bench_offline,
+    bench_runtime,
+    bench_baselines,
+    bench_datagen,
+);
+criterion_main!(benches);

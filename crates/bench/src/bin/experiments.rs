@@ -1,0 +1,189 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <subcommand> [--offers N] [--merchants N] [--seed S]
+//!             [--leaves a,b,c,d] [--products-per-category N]
+//!             [--match-error-rate R] [--smoke] [--out DIR]
+//!
+//! Subcommands:
+//!   table2    end-to-end quality (Table 2)
+//!   table3    per-top-level-category breakdown (Table 3)
+//!   table4    precision/recall by offer-set size (Table 4)
+//!   fig6      classifier vs single-feature baselines (Figure 6)
+//!   fig7      with vs without historical matches (Figure 7)
+//!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
+//!   fig9      COMA++ delta ablation (Figure 9)
+//!   ablation           extraction-noise ablation (beyond the paper)
+//!   ablation-features  feature-grouping ablation (drop MC / C / M)
+//!   ablation-fusion    value-fusion strategy ablation
+//!   ablation-keys      clustering-key ablation (MPN / UPC / both)
+//!   ablation-history   historical-match noise sweep
+//!   extension-names    paper future work: name-similarity features
+//!   all                tables + figures, sharing one world build
+//!   all-ablations      every ablation + the extension
+//! ```
+//!
+//! Text renderings go to stdout; CSV series are written under `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pse_bench::{
+    ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise,
+    ablation_keys, ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
+    render_curves, run_end_to_end, table2, table3, table4, EndToEnd, Scale,
+};
+use pse_datagen::World;
+use pse_eval::correspondence::LabeledCurve;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let scale = match Scale::from_args(rest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = out_dir(rest);
+
+    eprintln!(
+        "# world: {} offers, {} merchants, {} leaf categories (seed {})",
+        scale.offers,
+        scale.merchants,
+        scale.total_leaves(),
+        scale.seed
+    );
+    let t0 = std::time::Instant::now();
+    let world = build_world(&scale);
+    eprintln!("# world built in {:.1?}; {} products", t0.elapsed(), world.catalog.len());
+
+    let run = |name: &str, world: &World| -> bool {
+        let t = std::time::Instant::now();
+        let ok = dispatch(name, world, &out_dir);
+        eprintln!("# {name} finished in {:.1?}", t.elapsed());
+        ok
+    };
+
+    let ok = match cmd.as_str() {
+        "all" => ["table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "ablation"]
+            .iter()
+            .all(|c| run(c, &world)),
+        "all-ablations" => {
+            ["ablation", "ablation-features", "ablation-fusion", "ablation-keys", "ablation-measures", "extension-names"]
+                .iter()
+                .all(|c| run(c, &world))
+                && {
+                    let t = std::time::Instant::now();
+                    println!("{}", ablation_history_noise(&scale));
+                    eprintln!("# ablation-history finished in {:.1?}", t.elapsed());
+                    true
+                }
+        }
+        "ablation-history" => {
+            println!("{}", ablation_history_noise(&scale));
+            true
+        }
+        name => run(name, &world),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// End-to-end results are shared across table2/3/4 within one process run.
+fn e2e_cached(world: &World) -> &'static EndToEnd {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<EndToEnd> = OnceLock::new();
+    CACHE.get_or_init(|| run_end_to_end(world))
+}
+
+fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
+    match cmd {
+        "table2" => {
+            println!("{}", table2(world, e2e_cached(world)));
+            true
+        }
+        "table3" => {
+            println!("{}", table3(world, e2e_cached(world)));
+            true
+        }
+        "table4" => {
+            println!("{}", table4(world, e2e_cached(world), 10));
+            true
+        }
+        "fig6" => figure(out_dir, "fig6", "Figure 6: classifier vs single-feature baselines (all categories)", fig6(world)),
+        "fig7" => figure(out_dir, "fig7", "Figure 7: with vs without historical instance matches (Computing)", fig7(world)),
+        "fig8" => figure(out_dir, "fig8", "Figure 8: comparison with existing schema matchers (Computing)", fig8(world)),
+        "fig9" => figure(out_dir, "fig9", "Figure 9: COMA++ delta configurations (Computing)", fig9(world)),
+        "ablation" => figure(
+            out_dir,
+            "ablation_extraction",
+            "Ablation: HTML extraction noise vs oracle specifications",
+            ablation_extraction(world),
+        ),
+        "ablation-features" => figure(
+            out_dir,
+            "ablation_features",
+            "Ablation: feature groupings (Computing)",
+            ablation_features(world),
+        ),
+        "ablation-fusion" => {
+            println!("{}", ablation_fusion(world));
+            true
+        }
+        "ablation-keys" => {
+            println!("{}", ablation_keys(world));
+            true
+        }
+        "ablation-measures" => figure(
+            out_dir,
+            "ablation_measures",
+            "Ablation: distributional-measure choice, Lee '99 (Computing)",
+            ablation_measures(world),
+        ),
+        "extension-names" => figure(
+            out_dir,
+            "extension_names",
+            "Extension (paper future work): instance vs instance+name features (Computing)",
+            extension_name_features(world),
+        ),
+        other => {
+            eprintln!("unknown subcommand {other}");
+            false
+        }
+    }
+}
+
+fn figure(out_dir: &PathBuf, stem: &str, title: &str, curves: Vec<LabeledCurve>) -> bool {
+    println!("{}", render_curves(title, &curves));
+    let path = out_dir.join(format!("{stem}.csv"));
+    if let Err(e) = std::fs::create_dir_all(out_dir)
+        .and_then(|_| std::fs::write(&path, curves_csv(&curves)))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("# series written to {}", path.display());
+    }
+    true
+}
+
+fn out_dir(args: &[String]) -> PathBuf {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            if let Some(v) = it.next() {
+                return PathBuf::from(v);
+            }
+        }
+    }
+    PathBuf::from("results")
+}

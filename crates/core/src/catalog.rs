@@ -1,0 +1,132 @@
+//! The product catalog: taxonomy plus product instances.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::ids::{CategoryId, ProductId};
+use crate::product::Product;
+use crate::spec::Spec;
+use crate::taxonomy::Taxonomy;
+
+/// The catalog of a Product Search Engine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    taxonomy: Taxonomy,
+    products: Vec<Product>,
+    by_category: HashMap<CategoryId, Vec<ProductId>>,
+}
+
+impl Catalog {
+    /// A catalog over the given taxonomy, initially with no products.
+    pub fn new(taxonomy: Taxonomy) -> Self {
+        Self { taxonomy, products: Vec::new(), by_category: HashMap::new() }
+    }
+
+    /// The taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Add a product instance; the id is assigned densely.
+    pub fn add_product(
+        &mut self,
+        category: CategoryId,
+        title: impl Into<String>,
+        spec: Spec,
+    ) -> ProductId {
+        let id = ProductId::from_index(self.products.len());
+        self.products.push(Product { id, category, title: title.into(), spec });
+        self.by_category.entry(category).or_default().push(id);
+        id
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Whether the catalog holds no products.
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Product by id.
+    pub fn product(&self, id: ProductId) -> &Product {
+        &self.products[id.index()]
+    }
+
+    /// All products.
+    pub fn products(&self) -> std::slice::Iter<'_, Product> {
+        self.products.iter()
+    }
+
+    /// Products of one category.
+    pub fn products_in(&self, category: CategoryId) -> impl Iterator<Item = &Product> {
+        self.by_category
+            .get(&category)
+            .into_iter()
+            .flatten()
+            .map(|id| self.product(*id))
+    }
+
+    /// Check that every product's attributes belong to its category schema.
+    /// Returns the offending `(product, attribute)` pairs.
+    pub fn validate(&self) -> Vec<(ProductId, String)> {
+        let mut bad = Vec::new();
+        for p in &self.products {
+            let schema = self.taxonomy.schema(p.category);
+            for pair in p.spec.iter() {
+                if !schema.contains(&pair.name) {
+                    bad.push((p.id, pair.name.clone()));
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, AttributeKind, CategorySchema};
+
+    fn catalog() -> (Catalog, CategoryId) {
+        let mut t = Taxonomy::new();
+        let top = t.add_top_level("Computing");
+        let hd = t.add_leaf(
+            top,
+            "Hard Drives",
+            CategorySchema::from_attributes([
+                AttributeDef::new("Brand", AttributeKind::Text),
+                AttributeDef::new("Capacity", AttributeKind::Numeric),
+            ]),
+        );
+        (Catalog::new(t), hd)
+    }
+
+    #[test]
+    fn add_and_query_products() {
+        let (mut c, hd) = catalog();
+        let p1 = c.add_product(hd, "Seagate Barracuda", Spec::from_pairs([("Brand", "Seagate")]));
+        let p2 = c.add_product(hd, "Hitachi Deskstar", Spec::from_pairs([("Brand", "Hitachi")]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.product(p1).title, "Seagate Barracuda");
+        assert_eq!(c.products_in(hd).count(), 2);
+        assert_eq!(c.product(p2).id, p2);
+        assert!(c.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_flags_non_schema_attributes() {
+        let (mut c, hd) = catalog();
+        let p = c.add_product(hd, "X", Spec::from_pairs([("RPM", "7200")]));
+        let bad = c.validate();
+        assert_eq!(bad, vec![(p, "RPM".to_string())]);
+    }
+
+    #[test]
+    fn products_in_unknown_category_is_empty() {
+        let (c, _) = catalog();
+        assert_eq!(c.products_in(CategoryId(99)).count(), 0);
+    }
+}

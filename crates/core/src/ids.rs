@@ -1,0 +1,86 @@
+//! Strongly-typed identifiers for the entities of the data model.
+//!
+//! All identifiers are dense indices assigned by the owning collection
+//! ([`crate::Taxonomy`], [`crate::Catalog`], offer stores), which keeps
+//! lookups O(1) without hashing and makes the identifiers safe to use as
+//! `Vec` indices.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(i as $repr)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a category in the taxonomy.
+    CategoryId(u32)
+);
+id_type!(
+    /// Identifier of a merchant.
+    MerchantId(u32)
+);
+id_type!(
+    /// Identifier of a catalog product.
+    ProductId(u64)
+);
+id_type!(
+    /// Identifier of a merchant offer.
+    OfferId(u64)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let c = CategoryId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c, CategoryId(7));
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProductId(3) < ProductId(10));
+        assert!(OfferId::from_index(0) < OfferId::from_index(1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(MerchantId(4).to_string(), "MerchantId(4)");
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(CategoryId(1), "laptops");
+        assert_eq!(m[&CategoryId(1)], "laptops");
+    }
+}

@@ -1,0 +1,35 @@
+//! Core data model for the product-synthesis pipeline.
+//!
+//! This crate defines the entities of Section 2 of Nguyen et al. (VLDB 2011):
+//!
+//! * a [`taxonomy::Taxonomy`] of categories, each leaf carrying a
+//!   [`schema::CategorySchema`];
+//! * catalog [`product::Product`]s —
+//!   `p = (C, {⟨A1, v1⟩, …, ⟨An, vn⟩})`;
+//! * [`offer::Merchant`]s and their [`offer::Offer`]s —
+//!   `o = (M, price, image, C, URL, title, {⟨Ai, vi⟩})`;
+//! * [`correspondence::AttributeCorrespondence`]s —
+//!   `⟨Ap, Ao, M, C⟩` tuples produced by schema reconciliation;
+//! * the [`catalog::Catalog`] tying products to the taxonomy, and
+//!   [`matches::HistoricalMatches`] recording known
+//!   offer-to-product associations.
+
+pub mod catalog;
+pub mod correspondence;
+pub mod ids;
+pub mod matches;
+pub mod offer;
+pub mod product;
+pub mod schema;
+pub mod spec;
+pub mod taxonomy;
+
+pub use catalog::Catalog;
+pub use correspondence::{AttributeCorrespondence, CorrespondenceSet};
+pub use ids::{CategoryId, MerchantId, OfferId, ProductId};
+pub use matches::HistoricalMatches;
+pub use offer::{Merchant, Offer};
+pub use product::Product;
+pub use schema::{AttributeDef, AttributeKind, CategorySchema};
+pub use spec::{AttributeValue, Spec};
+pub use taxonomy::{Category, Taxonomy};

@@ -1,0 +1,108 @@
+//! Historical offer-to-product matches.
+//!
+//! The business model of a Product Search Engine produces a wealth of known
+//! associations between merchant offers and catalog products (via universal
+//! identifiers, manual curation, or title matchers). Section 3.1 of the
+//! paper builds its distributional-similarity features exclusively from
+//! these associations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::ids::{OfferId, ProductId};
+
+/// A bidirectional map of known offer → product associations.
+///
+/// Each offer matches at most one product; a product may match many offers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoricalMatches {
+    offer_to_product: HashMap<OfferId, ProductId>,
+    product_to_offers: HashMap<ProductId, Vec<OfferId>>,
+}
+
+impl HistoricalMatches {
+    /// An empty set of matches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `offer` is known to sell `product`. Re-inserting an offer
+    /// replaces its previous association.
+    pub fn insert(&mut self, offer: OfferId, product: ProductId) {
+        if let Some(old) = self.offer_to_product.insert(offer, product) {
+            if old != product {
+                if let Some(v) = self.product_to_offers.get_mut(&old) {
+                    v.retain(|o| *o != offer);
+                }
+            } else {
+                return;
+            }
+        }
+        self.product_to_offers.entry(product).or_default().push(offer);
+    }
+
+    /// The product a given offer matches, if known.
+    pub fn product_of(&self, offer: OfferId) -> Option<ProductId> {
+        self.offer_to_product.get(&offer).copied()
+    }
+
+    /// The offers known to match a given product.
+    pub fn offers_of(&self, product: ProductId) -> &[OfferId] {
+        self.product_to_offers
+            .get(&product)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of matched offers.
+    pub fn len(&self) -> usize {
+        self.offer_to_product.len()
+    }
+
+    /// Whether no matches are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.offer_to_product.is_empty()
+    }
+
+    /// Iterate over all `(offer, product)` associations in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (OfferId, ProductId)> + '_ {
+        self.offer_to_product.iter().map(|(o, p)| (*o, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut m = HistoricalMatches::new();
+        m.insert(OfferId(1), ProductId(10));
+        m.insert(OfferId(2), ProductId(10));
+        m.insert(OfferId(3), ProductId(11));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.product_of(OfferId(1)), Some(ProductId(10)));
+        assert_eq!(m.product_of(OfferId(9)), None);
+        assert_eq!(m.offers_of(ProductId(10)), [OfferId(1), OfferId(2)]);
+        assert_eq!(m.offers_of(ProductId(99)), []);
+    }
+
+    #[test]
+    fn reinsert_replaces_association() {
+        let mut m = HistoricalMatches::new();
+        m.insert(OfferId(1), ProductId(10));
+        m.insert(OfferId(1), ProductId(11));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.product_of(OfferId(1)), Some(ProductId(11)));
+        assert!(m.offers_of(ProductId(10)).is_empty());
+        assert_eq!(m.offers_of(ProductId(11)), [OfferId(1)]);
+    }
+
+    #[test]
+    fn reinsert_same_is_idempotent() {
+        let mut m = HistoricalMatches::new();
+        m.insert(OfferId(1), ProductId(10));
+        m.insert(OfferId(1), ProductId(10));
+        assert_eq!(m.offers_of(ProductId(10)), [OfferId(1)]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Merchants and their offers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CategoryId, MerchantId, OfferId};
+use crate::spec::Spec;
+
+/// A merchant feeding offers to the Product Search Engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Merchant {
+    /// Identifier (dense index).
+    pub id: MerchantId,
+    /// Display name, e.g. `"Microwarehouse"`.
+    pub name: String,
+}
+
+/// A merchant offer
+/// `o = (M, price, image, C, URL, title, {⟨A1, v1⟩, …, ⟨An, vn⟩})`.
+///
+/// The `spec` field holds the *offer specification*: attribute–value pairs
+/// either provided in the feed or extracted from the landing page. Most
+/// feeds carry little structured data (paper Figure 3), so the run-time
+/// pipeline typically fills `spec` via web-page attribute extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Offer {
+    /// Identifier (dense index).
+    pub id: OfferId,
+    /// The merchant selling the product.
+    pub merchant: MerchantId,
+    /// Price in cents (avoids float money).
+    pub price_cents: u64,
+    /// URL of the product image, when provided.
+    pub image_url: Option<String>,
+    /// Category under the *catalog* taxonomy, when known. Offers lacking a
+    /// category are classified from the title (Section 2 of the paper).
+    pub category: Option<CategoryId>,
+    /// URL of the merchant landing page where the product can be bought.
+    pub url: String,
+    /// Short free-text title, e.g. `"HP 400GB 10K 3.5 DP NSAS HDD"`.
+    pub title: String,
+    /// The offer specification (possibly empty until extraction runs).
+    pub spec: Spec,
+}
+
+impl Offer {
+    /// Price in currency units as a float (for display only).
+    pub fn price(&self) -> f64 {
+        self.price_cents as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_conversion() {
+        let o = Offer {
+            id: OfferId(0),
+            merchant: MerchantId(0),
+            price_cents: 6750,
+            image_url: None,
+            category: None,
+            url: "https://example.com/p/1".into(),
+            title: "Gear Head DVD".into(),
+            spec: Spec::new(),
+        };
+        assert!((o.price() - 67.5).abs() < 1e-12);
+    }
+}

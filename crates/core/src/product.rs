@@ -1,0 +1,46 @@
+//! Catalog product instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CategoryId, ProductId};
+use crate::spec::Spec;
+
+/// A product instance `p = (C, {⟨A1, v1⟩, …, ⟨An, vn⟩})`.
+///
+/// Attribute names in the specification are expected to belong to the schema
+/// of `category`; [`crate::Catalog::validate`] checks this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Product {
+    /// Identifier (dense index into the catalog).
+    pub id: ProductId,
+    /// The product's (leaf) category.
+    pub category: CategoryId,
+    /// Human-readable title, e.g. `"Hitachi Deskstar T7K500 500GB"`.
+    pub title: String,
+    /// The structured specification.
+    pub spec: Spec,
+}
+
+impl Product {
+    /// Value of the given catalog attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.spec.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_lookup() {
+        let p = Product {
+            id: ProductId(1),
+            category: CategoryId(0),
+            title: "Hitachi Deskstar".into(),
+            spec: Spec::from_pairs([("Capacity", "500 GB"), ("Speed", "7200")]),
+        };
+        assert_eq!(p.attribute("capacity"), Some("500 GB"));
+        assert_eq!(p.attribute("Buffer Size"), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Category schemas: the structured vocabulary of the catalog.
+//!
+//! Every leaf category has a schema — the set of attributes a product of
+//! that category may carry. The paper's clustering step relies on *key
+//! attributes* (Model Part Number and universal identifiers such as UPC),
+//! which the schema marks explicitly.
+
+use serde::{Deserialize, Serialize};
+
+use pse_text::normalize::normalize_attribute_name;
+
+/// Broad kind of an attribute's values; drives synthetic value generation
+/// and value normalization decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// Numeric magnitude, possibly rendered with a unit (`"500 GB"`).
+    Numeric,
+    /// Free or categorical text (`"Serial ATA 300"`).
+    Text,
+    /// Product identifier with high cardinality (`MPN`, `UPC`, `EAN`).
+    Identifier,
+}
+
+/// Definition of one catalog attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Canonical catalog name, e.g. `"Capacity"`.
+    pub name: String,
+    /// Value kind.
+    pub kind: AttributeKind,
+    /// Whether this attribute identifies the product (used as clustering
+    /// key): Model Part Number, UPC, EAN, GTIN.
+    pub is_key: bool,
+}
+
+impl AttributeDef {
+    /// A non-key attribute.
+    pub fn new(name: impl Into<String>, kind: AttributeKind) -> Self {
+        Self { name: name.into(), kind, is_key: false }
+    }
+
+    /// A key (identifying) attribute.
+    pub fn key(name: impl Into<String>, kind: AttributeKind) -> Self {
+        Self { name: name.into(), kind, is_key: true }
+    }
+
+    /// Normalized form of the attribute name.
+    pub fn normalized_name(&self) -> String {
+        normalize_attribute_name(&self.name)
+    }
+}
+
+/// The schema of a leaf category: an ordered set of attribute definitions
+/// with unique normalized names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategorySchema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl CategorySchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema from attribute definitions. Definitions whose
+    /// normalized name repeats an earlier one are dropped.
+    pub fn from_attributes<I: IntoIterator<Item = AttributeDef>>(attrs: I) -> Self {
+        let mut s = Self::new();
+        for a in attrs {
+            s.add(a);
+        }
+        s
+    }
+
+    /// Add a definition; returns `false` (and drops it) when the normalized
+    /// name is already present.
+    pub fn add(&mut self, attr: AttributeDef) -> bool {
+        let n = attr.normalized_name();
+        if self.attributes.iter().any(|a| a.normalized_name() == n) {
+            return false;
+        }
+        self.attributes.push(attr);
+        true
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Iterate over the attribute definitions.
+    pub fn iter(&self) -> std::slice::Iter<'_, AttributeDef> {
+        self.attributes.iter()
+    }
+
+    /// Look up an attribute by (normalized) name.
+    pub fn get(&self, name: &str) -> Option<&AttributeDef> {
+        let target = normalize_attribute_name(name);
+        self.attributes.iter().find(|a| a.normalized_name() == target)
+    }
+
+    /// Whether `name` (after normalization) is a schema attribute.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// The key attributes, in schema order.
+    pub fn key_attributes(&self) -> impl Iterator<Item = &AttributeDef> {
+        self.attributes.iter().filter(|a| a.is_key)
+    }
+
+    /// Canonical (surface) names of all attributes, in schema order.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|a| a.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hd_schema() -> CategorySchema {
+        CategorySchema::from_attributes([
+            AttributeDef::key("MPN", AttributeKind::Identifier),
+            AttributeDef::new("Brand", AttributeKind::Text),
+            AttributeDef::new("Capacity", AttributeKind::Numeric),
+            AttributeDef::new("Speed", AttributeKind::Numeric),
+            AttributeDef::new("Interface", AttributeKind::Text),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_keys() {
+        let s = hd_schema();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains("brand"));
+        assert!(s.contains("  CAPACITY "));
+        assert!(!s.contains("rpm"));
+        let keys: Vec<_> = s.key_attributes().map(|a| a.name.as_str()).collect();
+        assert_eq!(keys, ["MPN"]);
+    }
+
+    #[test]
+    fn duplicate_normalized_names_are_rejected() {
+        let mut s = hd_schema();
+        assert!(!s.add(AttributeDef::new("brand", AttributeKind::Text)));
+        assert_eq!(s.len(), 5);
+        assert!(s.add(AttributeDef::new("Buffer Size", AttributeKind::Numeric)));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = CategorySchema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.key_attributes().count(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = hd_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CategorySchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

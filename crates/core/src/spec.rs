@@ -1,0 +1,177 @@
+//! Attribute–value pairs and specifications.
+//!
+//! Both products and offers carry a *specification*: an ordered list of
+//! `⟨attribute, value⟩` pairs. Order is preserved (it mirrors the source
+//! document), but lookup helpers compare attribute names in normalized form.
+
+use serde::{Deserialize, Serialize};
+
+use pse_text::normalize::normalize_attribute_name;
+
+/// One `⟨attribute, value⟩` pair, stored in surface form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeValue {
+    /// Attribute name as it appeared in the source (feed, page, or catalog).
+    pub name: String,
+    /// Attribute value as it appeared in the source.
+    pub value: String,
+}
+
+impl AttributeValue {
+    /// Construct a pair.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { name: name.into(), value: value.into() }
+    }
+
+    /// Normalized form of the attribute name.
+    pub fn normalized_name(&self) -> String {
+        normalize_attribute_name(&self.name)
+    }
+}
+
+/// An ordered specification: the `{⟨A1, v1⟩, …, ⟨An, vn⟩}` of Section 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spec {
+    pairs: Vec<AttributeValue>,
+}
+
+impl Spec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(name, value)` pairs.
+    pub fn from_pairs<I, N, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (N, V)>,
+        N: Into<String>,
+        V: Into<String>,
+    {
+        Self {
+            pairs: pairs
+                .into_iter()
+                .map(|(n, v)| AttributeValue::new(n, v))
+                .collect(),
+        }
+    }
+
+    /// Append a pair.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.pairs.push(AttributeValue::new(name, value));
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the specification has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate over the pairs in source order.
+    pub fn iter(&self) -> std::slice::Iter<'_, AttributeValue> {
+        self.pairs.iter()
+    }
+
+    /// First value whose attribute name normalizes to the same form as
+    /// `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let target = normalize_attribute_name(name);
+        self.pairs
+            .iter()
+            .find(|p| p.normalized_name() == target)
+            .map(|p| p.value.as_str())
+    }
+
+    /// All values for attributes whose names normalize to `name`.
+    pub fn get_all<'a>(&'a self, name: &str) -> Vec<&'a str> {
+        let target = normalize_attribute_name(name);
+        self.pairs
+            .iter()
+            .filter(|p| p.normalized_name() == target)
+            .map(|p| p.value.as_str())
+            .collect()
+    }
+
+    /// The distinct normalized attribute names, in first-appearance order.
+    pub fn attribute_names(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in &self.pairs {
+            let n = p.normalized_name();
+            if seen.insert(n.clone()) {
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<AttributeValue> for Spec {
+    fn from_iter<I: IntoIterator<Item = AttributeValue>>(iter: I) -> Self {
+        Self { pairs: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Spec {
+    type Item = AttributeValue;
+    type IntoIter = std::vec::IntoIter<AttributeValue>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Spec {
+    type Item = &'a AttributeValue;
+    type IntoIter = std::slice::Iter<'a, AttributeValue>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_normalized() {
+        let spec = Spec::from_pairs([("Hard Disk Size", "500"), ("RPM", "7200 rpm")]);
+        assert_eq!(spec.get("hard-disk size"), Some("500"));
+        assert_eq!(spec.get("rpm"), Some("7200 rpm"));
+        assert_eq!(spec.get("capacity"), None);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let spec = Spec::from_pairs([("b", "2"), ("a", "1")]);
+        let names: Vec<_> = spec.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+
+    #[test]
+    fn duplicate_attributes_are_kept() {
+        let spec = Spec::from_pairs([("Interface", "SATA"), ("Interface", "IDE")]);
+        assert_eq!(spec.get("interface"), Some("SATA"));
+        assert_eq!(spec.get_all("Interface"), ["SATA", "IDE"]);
+        assert_eq!(spec.attribute_names(), ["interface"]);
+    }
+
+    #[test]
+    fn empty_spec() {
+        let spec = Spec::new();
+        assert!(spec.is_empty());
+        assert_eq!(spec.len(), 0);
+        assert!(spec.attribute_names().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = Spec::from_pairs([("Brand", "Hitachi")]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: Spec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,176 @@
+//! The product taxonomy: a forest of categories.
+//!
+//! The paper's catalog taxonomy has thousands of categories; each product
+//! belongs to exactly one *leaf* category, and only leaves carry schemas.
+//! Top-level categories (Cameras, Computing, Home Furnishings, Kitchen &
+//! Housewares in the evaluation) group leaves for reporting (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::CategoryId;
+use crate::schema::CategorySchema;
+
+/// One node in the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Category {
+    /// Identifier (dense index into the taxonomy).
+    pub id: CategoryId,
+    /// Human-readable name, e.g. `"Hard Drives"`.
+    pub name: String,
+    /// Parent category; `None` for top-level categories.
+    pub parent: Option<CategoryId>,
+    /// Schema; populated for leaf categories.
+    pub schema: CategorySchema,
+}
+
+/// A forest of categories with dense ids.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Taxonomy {
+    categories: Vec<Category>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a top-level category (no schema).
+    pub fn add_top_level(&mut self, name: impl Into<String>) -> CategoryId {
+        self.push(name.into(), None, CategorySchema::new())
+    }
+
+    /// Add a leaf category with its schema under `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a valid id of this taxonomy.
+    pub fn add_leaf(
+        &mut self,
+        parent: CategoryId,
+        name: impl Into<String>,
+        schema: CategorySchema,
+    ) -> CategoryId {
+        assert!(parent.index() < self.categories.len(), "invalid parent {parent}");
+        self.push(name.into(), Some(parent), schema)
+    }
+
+    fn push(
+        &mut self,
+        name: String,
+        parent: Option<CategoryId>,
+        schema: CategorySchema,
+    ) -> CategoryId {
+        let id = CategoryId::from_index(self.categories.len());
+        self.categories.push(Category { id, name, parent, schema });
+        id
+    }
+
+    /// Number of categories (all levels).
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the taxonomy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Category by id.
+    pub fn category(&self, id: CategoryId) -> &Category {
+        &self.categories[id.index()]
+    }
+
+    /// Schema of a category.
+    pub fn schema(&self, id: CategoryId) -> &CategorySchema {
+        &self.category(id).schema
+    }
+
+    /// All categories.
+    pub fn iter(&self) -> std::slice::Iter<'_, Category> {
+        self.categories.iter()
+    }
+
+    /// Leaf categories (those with a parent and a non-empty schema).
+    pub fn leaves(&self) -> impl Iterator<Item = &Category> {
+        self.categories
+            .iter()
+            .filter(|c| c.parent.is_some() && !c.schema.is_empty())
+    }
+
+    /// Top-level categories.
+    pub fn top_levels(&self) -> impl Iterator<Item = &Category> {
+        self.categories.iter().filter(|c| c.parent.is_none())
+    }
+
+    /// The top-level ancestor of `id` (possibly `id` itself).
+    pub fn top_level_of(&self, id: CategoryId) -> CategoryId {
+        let mut cur = id;
+        while let Some(p) = self.category(cur).parent {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Find a category by exact name (first match).
+    pub fn find_by_name(&self, name: &str) -> Option<&Category> {
+        self.categories.iter().find(|c| c.name == name)
+    }
+
+    /// Leaf categories under the given top-level category.
+    pub fn leaves_under(&self, top: CategoryId) -> impl Iterator<Item = &Category> + '_ {
+        self.leaves().filter(move |c| self.top_level_of(c.id) == top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, AttributeKind};
+
+    fn tiny() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        let computing = t.add_top_level("Computing");
+        let cameras = t.add_top_level("Cameras");
+        let schema = CategorySchema::from_attributes([AttributeDef::new(
+            "Brand",
+            AttributeKind::Text,
+        )]);
+        t.add_leaf(computing, "Hard Drives", schema.clone());
+        t.add_leaf(computing, "Laptops", schema.clone());
+        t.add_leaf(cameras, "Digital Cameras", schema);
+        t
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = tiny();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.top_levels().count(), 2);
+        assert_eq!(t.leaves().count(), 3);
+        let hd = t.find_by_name("Hard Drives").unwrap();
+        assert_eq!(t.category(hd.id).name, "Hard Drives");
+        assert_eq!(t.top_level_of(hd.id), t.find_by_name("Computing").unwrap().id);
+    }
+
+    #[test]
+    fn leaves_under_groups_correctly() {
+        let t = tiny();
+        let computing = t.find_by_name("Computing").unwrap().id;
+        let names: Vec<_> = t.leaves_under(computing).map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["Hard Drives", "Laptops"]);
+    }
+
+    #[test]
+    fn top_level_of_top_level_is_itself() {
+        let t = tiny();
+        let cameras = t.find_by_name("Cameras").unwrap().id;
+        assert_eq!(t.top_level_of(cameras), cameras);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parent")]
+    fn invalid_parent_panics() {
+        let mut t = Taxonomy::new();
+        t.add_leaf(CategoryId(5), "orphan", CategorySchema::new());
+    }
+}

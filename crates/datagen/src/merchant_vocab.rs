@@ -1,0 +1,479 @@
+//! Per-(merchant, category) private vocabularies.
+//!
+//! The heterogeneity the paper must overcome (Figure 2) comes from each
+//! merchant describing products in its own dialect: different attribute
+//! names (`Capacity` vs `Hard Disk Size`), different value formats
+//! (`500 GB` vs `500`), a subset of the catalog attributes, plus
+//! merchant-only attributes (shipping, condition) that mean nothing to the
+//! catalog. A [`MerchantVocab`] captures one such dialect; it is generated
+//! once per (merchant, category) and then applied deterministically to
+//! every offer.
+
+use std::collections::{HashMap, HashSet};
+
+use pse_text::normalize::normalize_attribute_name;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::templates::{junk_attribute_pool, AttrTemplate};
+use crate::value::ValueGen;
+
+/// How a merchant renders numeric units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitMode {
+    /// Keep the canonical `"500 GB"`.
+    Keep,
+    /// Drop the unit: `"500"`.
+    Strip,
+    /// Use an alternative spelling: `"500 gigabytes"`.
+    Alt(usize),
+    /// Join tightly: `"500GB"`.
+    Tight,
+}
+
+/// How a merchant cases textual values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaseMode {
+    /// Leave as-is.
+    AsIs,
+    /// Lowercase.
+    Lower,
+    /// Uppercase.
+    Upper,
+}
+
+/// How a merchant rewrites multi-token textual values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextStyle {
+    /// Leave tokens as they are.
+    AsIs,
+    /// Abbreviate the first token to its initial: `"Western Digital"` →
+    /// `"W Digital"` (a value a human labeler would reject against the
+    /// manufacturer's `"Western Digital"`, like real merchant sloppiness).
+    Abbrev,
+    /// Remove separators: `"Serial ATA 300"` → `"SerialATA300"`.
+    Tight,
+}
+
+/// Qualifier tokens merchants append to values (`"500 GB"` →
+/// `"500 GB Premium"`), a common source of near-duplicate value noise.
+pub const DECOR_POOL: [&str; 6] = ["Premium", "Series", "Class", "Certified", "Plus", "Edition"];
+
+/// Per-attribute value formatting of one merchant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueFormat {
+    /// Unit treatment for numeric values.
+    pub unit: UnitMode,
+    /// Case treatment for textual values.
+    pub case: CaseMode,
+    /// Token-level rewriting for textual values.
+    pub text: TextStyle,
+    /// Index into [`DECOR_POOL`] of a qualifier suffix, when any.
+    pub decor: Option<u8>,
+}
+
+/// The dialect of one merchant within one category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MerchantVocab {
+    /// Normalized catalog attribute → merchant surface name.
+    rename: HashMap<String, String>,
+    /// Normalized catalog attributes the merchant exposes at all.
+    exposed: HashSet<String>,
+    /// Per-attribute (normalized catalog name) value formatting.
+    formats: HashMap<String, ValueFormat>,
+    /// Merchant-only attributes: `(surface name, value menu)`.
+    junk: Vec<(String, Vec<String>)>,
+}
+
+impl MerchantVocab {
+    /// Generate a dialect for the given category schema templates.
+    ///
+    /// * With probability `name_identity_probability` an attribute keeps its
+    ///   catalog name (these power automated training-set creation).
+    /// * Each attribute is exposed with probability `attribute_coverage`
+    ///   (key attributes are always exposed — merchants list part numbers).
+    /// * `junk_count` merchant-only attributes are added.
+    ///
+    /// A merchant uses exactly one name per catalog attribute, and no two
+    /// catalog attributes share a merchant name (the paper's assumptions).
+    pub fn generate<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        templates: &[AttrTemplate],
+        name_identity_probability: f64,
+        attribute_coverage: f64,
+        junk_count: usize,
+    ) -> Self {
+        Self::generate_with_sloppiness(
+            rng,
+            templates,
+            name_identity_probability,
+            attribute_coverage,
+            junk_count,
+            1.0,
+        )
+    }
+
+    /// Like [`Self::generate`], scaled by a per-merchant `sloppiness`
+    /// factor: tidy merchants (≈0.2) keep canonical formats almost
+    /// everywhere; sloppy ones (≈1.8) strip units, abbreviate, and decorate
+    /// aggressively. Real feeds vary this much, and heterogeneous noise is
+    /// one reason fixed similarity measures miscalibrate across merchants.
+    pub fn generate_with_sloppiness<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        templates: &[AttrTemplate],
+        name_identity_probability: f64,
+        attribute_coverage: f64,
+        junk_count: usize,
+        sloppiness: f64,
+    ) -> Self {
+        let mut rename = HashMap::new();
+        let mut exposed = HashSet::new();
+        let mut formats = HashMap::new();
+        let mut used_names: HashSet<String> = HashSet::new();
+
+        for t in templates {
+            let key = normalize_attribute_name(&t.name);
+            let is_key_attr = matches!(t.gen, ValueGen::Mpn | ValueGen::Upc);
+            if !is_key_attr && !rng.random_bool(attribute_coverage) {
+                continue;
+            }
+            exposed.insert(key.clone());
+
+            let surface = if rng.random_bool(name_identity_probability) || t.synonyms.is_empty() {
+                t.name.clone()
+            } else {
+                t.synonyms[rng.random_range(0..t.synonyms.len())].clone()
+            };
+            // Enforce injectivity of the rename map.
+            let surface = if used_names.insert(normalize_attribute_name(&surface)) {
+                surface
+            } else if used_names.insert(key.clone()) {
+                t.name.clone()
+            } else {
+                // Pathological template set; qualify the name.
+                let fallback = format!("{} Spec", t.name);
+                used_names.insert(normalize_attribute_name(&fallback));
+                fallback
+            };
+            rename.insert(key.clone(), surface);
+
+            let p = |base: f64| (base * sloppiness).clamp(0.0, 0.95);
+            let unit = if rng.random_bool(p(0.30)) {
+                UnitMode::Strip
+            } else if rng.random_bool(p(0.25)) {
+                UnitMode::Tight
+            } else if rng.random_bool(p(0.25)) {
+                let alts = match &t.gen {
+                    ValueGen::Numeric { alt_units, .. } => alt_units.len(),
+                    _ => 0,
+                };
+                if alts > 0 {
+                    UnitMode::Alt(rng.random_range(0..alts))
+                } else {
+                    UnitMode::Keep
+                }
+            } else {
+                UnitMode::Keep
+            };
+            let case = if rng.random_bool(p(0.17)) {
+                CaseMode::Lower
+            } else if rng.random_bool(p(0.17)) {
+                CaseMode::Upper
+            } else {
+                CaseMode::AsIs
+            };
+            let text = if rng.random_bool(p(0.15)) {
+                TextStyle::Abbrev
+            } else if rng.random_bool(p(0.25)) {
+                TextStyle::Tight
+            } else {
+                TextStyle::AsIs
+            };
+            let decor = (!is_key_attr && rng.random_bool(p(0.2)))
+                .then(|| rng.random_range(0..DECOR_POOL.len() as u8));
+            formats.insert(key, ValueFormat { unit, case, text, decor });
+        }
+
+        let pool = junk_attribute_pool();
+        let mut junk = Vec::new();
+        let mut picked = HashSet::new();
+        let mut guard = 0;
+        while junk.len() < junk_count.min(pool.len()) && guard < 100 {
+            guard += 1;
+            let i = rng.random_range(0..pool.len());
+            if !picked.insert(i) {
+                continue;
+            }
+            let (name, values) = pool[i];
+            if used_names.contains(&normalize_attribute_name(name)) {
+                continue;
+            }
+            junk.push((name.to_string(), values.iter().map(|s| s.to_string()).collect()));
+        }
+
+        Self { rename, exposed, formats, junk }
+    }
+
+    /// Whether the merchant exposes the given catalog attribute.
+    pub fn exposes(&self, catalog_attr: &str) -> bool {
+        self.exposed.contains(&normalize_attribute_name(catalog_attr))
+    }
+
+    /// The merchant's surface name for a catalog attribute (when exposed).
+    pub fn merchant_name(&self, catalog_attr: &str) -> Option<&str> {
+        self.rename
+            .get(&normalize_attribute_name(catalog_attr))
+            .map(String::as_str)
+    }
+
+    /// Iterate over `(normalized catalog attr, merchant surface name)`.
+    pub fn renames(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.rename.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The merchant-only (junk) attributes: `(surface name, value menu)`.
+    pub fn junk_attributes(&self) -> &[(String, Vec<String>)] {
+        &self.junk
+    }
+
+    /// Render a canonical value the way this merchant writes it.
+    pub fn format_value(
+        &self,
+        catalog_attr: &str,
+        canonical_value: &str,
+        gen: &ValueGen,
+    ) -> String {
+        let fmt = self
+            .formats
+            .get(&normalize_attribute_name(catalog_attr))
+            .copied()
+            .unwrap_or(ValueFormat {
+                unit: UnitMode::Keep,
+                case: CaseMode::AsIs,
+                text: TextStyle::AsIs,
+                decor: None,
+            });
+        // Token-level rewriting applies to textual (non-unit-bearing) values.
+        let restyled: String = match (&fmt.text, gen) {
+            (TextStyle::AsIs, _) | (_, ValueGen::Numeric { .. } | ValueGen::Mpn | ValueGen::Upc) => {
+                canonical_value.to_string()
+            }
+            (TextStyle::Abbrev, _) => abbreviate_first_token(canonical_value),
+            (TextStyle::Tight, _) => {
+                canonical_value.chars().filter(|c| !c.is_whitespace() && *c != '-').collect()
+            }
+        };
+        let canonical_value = restyled.as_str();
+        let with_unit = match (&fmt.unit, gen) {
+            (UnitMode::Keep, _) => canonical_value.to_string(),
+            (_, ValueGen::Numeric { unit, alt_units, .. }) if !unit.is_empty() => {
+                // Split "500 GB" into magnitude and unit.
+                let magnitude = canonical_value
+                    .strip_suffix(unit.as_str())
+                    .map(str::trim_end)
+                    .unwrap_or(canonical_value);
+                match fmt.unit {
+                    UnitMode::Strip => magnitude.to_string(),
+                    UnitMode::Tight => format!("{magnitude}{unit}"),
+                    UnitMode::Alt(i) => {
+                        let alt = alt_units.get(i).map(String::as_str).unwrap_or(unit);
+                        format!("{magnitude} {alt}")
+                    }
+                    UnitMode::Keep => unreachable!("handled above"),
+                }
+            }
+            _ => canonical_value.to_string(),
+        };
+        let cased = match fmt.case {
+            CaseMode::AsIs => with_unit,
+            CaseMode::Lower => with_unit.to_lowercase(),
+            CaseMode::Upper => with_unit.to_uppercase(),
+        };
+        match fmt.decor.and_then(|i| DECOR_POOL.get(i as usize)) {
+            Some(q) if !matches!(gen, ValueGen::Mpn | ValueGen::Upc) => format!("{cased} {q}"),
+            _ => cased,
+        }
+    }
+
+    /// Sample a corrupted value: another draw from the same menu (models a
+    /// merchant listing the wrong spec).
+    pub fn corrupt_value<R: rand::Rng + ?Sized>(
+        &self,
+        gen: &ValueGen,
+        weights: &[f64],
+        rng: &mut R,
+    ) -> String {
+        gen.sample(weights, rng)
+    }
+}
+
+/// Abbreviate the first whitespace-separated token of a multi-token value
+/// to its initial: `"Western Digital"` → `"W Digital"`. Single-token and
+/// digit-leading values pass through unchanged.
+fn abbreviate_first_token(value: &str) -> String {
+    let mut parts = value.splitn(2, ' ');
+    match (parts.next(), parts.next()) {
+        (Some(first), Some(rest))
+            if first.chars().count() > 1
+                && first.chars().next().is_some_and(char::is_alphabetic) =>
+        {
+            let initial = first.chars().next().unwrap();
+            format!("{initial} {rest}")
+        }
+        _ => value.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{attribute_pool, universal_attributes, TopLevel};
+    use rand::SeedableRng;
+
+    fn templates() -> Vec<AttrTemplate> {
+        let mut t = universal_attributes(TopLevel::Computing);
+        t.extend(attribute_pool(TopLevel::Computing));
+        t
+    }
+
+    fn vocab(seed: u64) -> (MerchantVocab, Vec<AttrTemplate>) {
+        let t = templates();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (MerchantVocab::generate(&mut rng, &t, 0.35, 0.85, 2), t)
+    }
+
+    #[test]
+    fn rename_is_injective_and_single_valued() {
+        for seed in 0..20 {
+            let (v, _) = vocab(seed);
+            let names: Vec<_> = v.renames().map(|(_, s)| normalize_attribute_name(s)).collect();
+            let set: HashSet<_> = names.iter().cloned().collect();
+            assert_eq!(names.len(), set.len(), "seed {seed}: duplicate merchant name");
+        }
+    }
+
+    #[test]
+    fn key_attributes_always_exposed() {
+        for seed in 0..20 {
+            let (v, _) = vocab(seed);
+            assert!(v.exposes("MPN"), "seed {seed}");
+            assert!(v.exposes("UPC"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn surface_names_come_from_template_or_canonical() {
+        let (v, t) = vocab(3);
+        for tmpl in &t {
+            if let Some(surface) = v.merchant_name(&tmpl.name) {
+                let ok = surface == tmpl.name || tmpl.synonyms.iter().any(|s| s == surface);
+                assert!(ok, "unexpected surface name {surface} for {}", tmpl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn junk_attributes_present() {
+        let (v, _) = vocab(5);
+        assert_eq!(v.junk_attributes().len(), 2);
+    }
+
+    #[test]
+    fn value_formatting_modes() {
+        let gen = ValueGen::Numeric {
+            values: vec![500.0],
+            unit: "GB".into(),
+            alt_units: vec!["gigabytes".into()],
+        };
+        let mut v = MerchantVocab {
+            rename: HashMap::new(),
+            exposed: HashSet::new(),
+            formats: HashMap::new(),
+            junk: vec![],
+        };
+        for (mode, expected) in [
+            (UnitMode::Keep, "500 GB"),
+            (UnitMode::Strip, "500"),
+            (UnitMode::Tight, "500GB"),
+            (UnitMode::Alt(0), "500 gigabytes"),
+        ] {
+            v.formats.insert(
+                "capacity".to_string(),
+                ValueFormat { unit: mode, case: CaseMode::AsIs, text: TextStyle::AsIs, decor: None },
+            );
+            assert_eq!(v.format_value("Capacity", "500 GB", &gen), expected);
+        }
+        // Case modes apply to text values.
+        v.formats.insert(
+            "interface".to_string(),
+            ValueFormat { unit: UnitMode::Keep, case: CaseMode::Lower, text: TextStyle::AsIs, decor: None },
+        );
+        let text_gen = ValueGen::Enum { choices: vec![] };
+        assert_eq!(v.format_value("Interface", "Serial ATA 300", &text_gen), "serial ata 300");
+    }
+
+    #[test]
+    fn format_value_without_entry_is_identity() {
+        let v = MerchantVocab {
+            rename: HashMap::new(),
+            exposed: HashSet::new(),
+            formats: HashMap::new(),
+            junk: vec![],
+        };
+        let gen = ValueGen::Enum { choices: vec![] };
+        assert_eq!(v.format_value("X", "anything", &gen), "anything");
+    }
+
+    #[test]
+    fn text_styles_rewrite_values() {
+        let mut v = MerchantVocab {
+            rename: HashMap::new(),
+            exposed: HashSet::new(),
+            formats: HashMap::new(),
+            junk: vec![],
+        };
+        let text_gen = ValueGen::Enum { choices: vec![] };
+        v.formats.insert(
+            "interface".to_string(),
+            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Tight, decor: None },
+        );
+        assert_eq!(v.format_value("Interface", "Serial ATA 300", &text_gen), "SerialATA300");
+        v.formats.insert(
+            "brand".to_string(),
+            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Abbrev, decor: None },
+        );
+        assert_eq!(v.format_value("Brand", "Western Digital", &text_gen), "W Digital");
+        assert_eq!(v.format_value("Brand", "Sony", &text_gen), "Sony");
+        // Identifiers are never restyled.
+        v.formats.insert(
+            "mpn".to_string(),
+            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Tight, decor: None },
+        );
+        assert_eq!(v.format_value("MPN", "ABC 123", &ValueGen::Mpn), "ABC 123");
+    }
+
+    #[test]
+    fn abbreviation_edge_cases() {
+        assert_eq!(abbreviate_first_token("Western Digital"), "W Digital");
+        assert_eq!(abbreviate_first_token("Sony"), "Sony");
+        assert_eq!(abbreviate_first_token("3 Piece Set"), "3 Piece Set");
+        assert_eq!(abbreviate_first_token(""), "");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (a, _) = vocab(9);
+        let (b, _) = vocab(9);
+        let ra: Vec<_> = {
+            let mut x: Vec<_> = a.renames().collect();
+            x.sort();
+            x.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        };
+        let rb: Vec<_> = {
+            let mut x: Vec<_> = b.renames().collect();
+            x.sort();
+            x.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        };
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,537 @@
+//! Static template data: top-level categories, leaf-category name pools,
+//! brand pools, attribute templates with merchant synonym pools, and junk
+//! (merchant-only) attributes.
+//!
+//! The four top levels and their character mirror the paper's evaluation
+//! (Table 3): Cameras and Computing have rich schemas; Home Furnishings and
+//! Kitchen & Housewares have sparse ones.
+
+use pse_core::AttributeKind;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::value::ValueGen;
+
+/// The four top-level categories, in Table 3 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopLevel {
+    /// Digital cameras, lenses, camcorders…
+    Cameras,
+    /// Hard drives, laptops, monitors…
+    Computing,
+    /// Bedspreads, lamps, rugs…
+    Furnishings,
+    /// Mixers, dishwashers, cookware…
+    Kitchen,
+}
+
+impl TopLevel {
+    /// All four, in order.
+    pub const ALL: [TopLevel; 4] =
+        [TopLevel::Cameras, TopLevel::Computing, TopLevel::Furnishings, TopLevel::Kitchen];
+
+    /// Display name used in the taxonomy.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopLevel::Cameras => "Cameras",
+            TopLevel::Computing => "Computing",
+            TopLevel::Furnishings => "Home Furnishings",
+            TopLevel::Kitchen => "Kitchen & Housewares",
+        }
+    }
+
+    /// Whether schemas under this top level are attribute-rich.
+    pub fn is_rich(self) -> bool {
+        matches!(self, TopLevel::Cameras | TopLevel::Computing)
+    }
+
+    /// Range (min, max) of non-universal attributes per leaf schema.
+    pub fn schema_width(self) -> (usize, usize) {
+        if self.is_rich() {
+            (4, 8)
+        } else {
+            (2, 3)
+        }
+    }
+}
+
+/// Leaf-category name pool for a top level. When a world needs more leaves
+/// than the pool holds, names are recycled with an index suffix.
+pub fn category_names(top: TopLevel) -> &'static [&'static str] {
+    match top {
+        TopLevel::Cameras => &[
+            "Digital Cameras", "SLR Lenses", "Camcorders", "Camera Flashes", "Tripods",
+            "Camera Bags", "Memory Cards", "Binoculars", "Telescopes", "Photo Printers",
+        ],
+        TopLevel::Computing => &[
+            "Hard Drives", "Laptops", "Monitors", "Desktops", "Printers", "Routers",
+            "Graphics Cards", "Motherboards", "Keyboards", "Mice", "Workstations",
+            "Mobile Devices", "USB Drives", "Sound Cards", "Network Switches", "Webcams",
+        ],
+        TopLevel::Furnishings => &[
+            "Bedspreads", "Home Lighting", "Area Rugs", "Curtains", "Throw Pillows",
+            "Mattresses", "Picture Frames", "Wall Clocks",
+        ],
+        TopLevel::Kitchen => &[
+            "Stand Mixers", "Dishwashers", "Air Conditioners", "Blenders", "Coffee Makers",
+            "Toasters", "Cookware Sets", "Microwave Ovens",
+        ],
+    }
+}
+
+/// Brand pool for a top level.
+pub fn brand_pool(top: TopLevel) -> Vec<String> {
+    let brands: &[&str] = match top {
+        TopLevel::Cameras => &[
+            "Canon", "Nikon", "Sony", "Olympus", "Panasonic", "Fujifilm", "Pentax", "Leica",
+            "Sigma", "Tamron", "Kodak", "Casio",
+        ],
+        TopLevel::Computing => &[
+            "Seagate", "Western Digital", "Hitachi", "Samsung", "Toshiba", "HP", "Dell",
+            "Lenovo", "Asus", "Acer", "Intel", "Kingston", "Corsair", "Logitech", "NetGear",
+        ],
+        TopLevel::Furnishings => &[
+            "Ashley", "Croscill", "Waverly", "Serta", "Simmons", "Laura Ashley", "Nautica",
+            "Tommy Hilfiger",
+        ],
+        TopLevel::Kitchen => &[
+            "KitchenAid", "Cuisinart", "Whirlpool", "GE", "Bosch", "Oster", "Hamilton Beach",
+            "Breville", "Krups", "DeLonghi",
+        ],
+    };
+    brands.iter().map(|s| s.to_string()).collect()
+}
+
+/// One catalog attribute template: canonical name, the synonym pool
+/// merchants draw their private names from, value kind, and value generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrTemplate {
+    /// Canonical catalog name.
+    pub name: String,
+    /// Names merchants may use instead of the canonical one.
+    pub synonyms: Vec<String>,
+    /// Value kind.
+    pub kind: AttributeKind,
+    /// Value generator.
+    pub gen: ValueGen,
+}
+
+impl AttrTemplate {
+    fn new(
+        name: &str,
+        synonyms: &[&str],
+        kind: AttributeKind,
+        gen: ValueGen,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+            kind,
+            gen,
+        }
+    }
+}
+
+fn numeric(values: &[f64], unit: &str, alts: &[&str]) -> ValueGen {
+    ValueGen::Numeric {
+        values: values.to_vec(),
+        unit: unit.to_string(),
+        alt_units: alts.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn choices(items: &[&str]) -> ValueGen {
+    ValueGen::Enum { choices: items.iter().map(|s| s.to_string()).collect() }
+}
+
+/// The universal attributes present in every leaf schema: Brand plus the two
+/// key attributes the clustering component relies on (MPN, UPC).
+pub fn universal_attributes(top: TopLevel) -> Vec<AttrTemplate> {
+    vec![
+        AttrTemplate::new(
+            "Brand",
+            &["Manufacturer", "Brand Name", "Make"],
+            AttributeKind::Text,
+            ValueGen::Brand { pool: brand_pool(top) },
+        ),
+        AttrTemplate::new(
+            "MPN",
+            &["Mfr. Part #", "Model Part Number", "Part Number", "Manufacturers Part Number"],
+            AttributeKind::Identifier,
+            ValueGen::Mpn,
+        ),
+        AttrTemplate::new(
+            "UPC",
+            &["UPC Code", "Universal Product Code", "EAN"],
+            AttributeKind::Identifier,
+            ValueGen::Upc,
+        ),
+    ]
+}
+
+/// Domain attribute pool for a top level. Leaf schemas draw a subset.
+pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
+    use AttributeKind::{Numeric as N, Text as T};
+    match top {
+        TopLevel::Computing => vec![
+            AttrTemplate::new(
+                "Capacity",
+                &["Hard Disk Size", "Storage Capacity", "Disk Capacity", "Hard Drive Capacity"],
+                N,
+                numeric(&[80.0, 160.0, 250.0, 320.0, 400.0, 500.0, 640.0, 750.0, 1000.0, 1500.0], "GB", &["gigabytes", "Gb"]),
+            ),
+            AttrTemplate::new(
+                "Speed",
+                &["RPM", "Rotational Speed", "Spindle Speed"],
+                N,
+                numeric(&[4200.0, 5400.0, 7200.0, 10000.0, 15000.0], "rpm", &["RPM"]),
+            ),
+            AttrTemplate::new(
+                "Interface",
+                &["Int. Type", "Interface Type", "Connection Type", "Bus Type"],
+                T,
+                choices(&["Serial ATA 300", "SATA 150", "IDE ATA 133", "SCSI Ultra 320", "SAS", "USB 2.0", "FireWire 800"]),
+            ),
+            AttrTemplate::new(
+                "Buffer Size",
+                &["Cache", "Cache Size", "Buffer"],
+                N,
+                numeric(&[2.0, 8.0, 16.0, 32.0, 64.0], "MB", &["megabytes"]),
+            ),
+            AttrTemplate::new(
+                "Form Factor",
+                &["Drive Size", "Disk Size"],
+                T,
+                choices(&["3.5 inch", "2.5 inch", "1.8 inch", "5.25 inch"]),
+            ),
+            AttrTemplate::new(
+                "Memory",
+                &["RAM", "Installed Memory", "System Memory"],
+                N,
+                numeric(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0], "GB", &["gigabytes"]),
+            ),
+            AttrTemplate::new(
+                "Processor Speed",
+                &["CPU Speed", "Clock Speed", "Processor Frequency"],
+                N,
+                numeric(&[1.6, 2.0, 2.4, 2.66, 2.8, 3.0, 3.2], "GHz", &["gigahertz"]),
+            ),
+            AttrTemplate::new(
+                "Screen Size",
+                &["Display Size", "Monitor Size", "Diagonal Size"],
+                N,
+                numeric(&[11.6, 13.3, 14.0, 15.6, 17.3, 19.0, 22.0, 24.0], "inch", &["in", "\""]),
+            ),
+            AttrTemplate::new(
+                "Operating System",
+                &["OS", "Platform", "OS Provided"],
+                T,
+                choices(&["Microsoft Windows Vista", "Microsoft Windows XP", "Microsoft Windows 7", "Linux", "Mac OS X", "FreeDOS"]),
+            ),
+            AttrTemplate::new(
+                "Color",
+                &["Colour", "Finish", "Case Color"],
+                T,
+                choices(&["Black", "Silver", "White", "Blue", "Red", "Gray"]),
+            ),
+            AttrTemplate::new(
+                "Data Transfer Rate",
+                &["Transfer Rate", "Max Transfer Rate", "Bandwidth"],
+                N,
+                numeric(&[100.0, 133.0, 150.0, 300.0, 600.0], "MBps", &["MB/s", "mb/s"]),
+            ),
+            AttrTemplate::new(
+                "Warranty Period",
+                &["Warranty", "Manufacturer Warranty"],
+                N,
+                numeric(&[1.0, 2.0, 3.0, 5.0], "years", &["yr", "year"]),
+            ),
+        ],
+        TopLevel::Cameras => vec![
+            AttrTemplate::new(
+                "Resolution",
+                &["Megapixels", "Effective Pixels", "Image Resolution", "Sensor Resolution"],
+                N,
+                numeric(&[6.0, 8.0, 10.0, 12.0, 14.1, 16.2, 18.0, 21.1], "MP", &["megapixel", "megapixels"]),
+            ),
+            AttrTemplate::new(
+                "Optical Zoom",
+                &["Zoom", "Zoom Ratio", "Optical Zoom Ratio"],
+                N,
+                numeric(&[3.0, 4.0, 5.0, 8.0, 10.0, 12.0, 20.0, 30.0], "x", &["X"]),
+            ),
+            AttrTemplate::new(
+                "Screen Size",
+                &["LCD Size", "Display Size", "LCD Screen"],
+                N,
+                numeric(&[2.5, 2.7, 3.0, 3.5], "inch", &["in", "\""]),
+            ),
+            AttrTemplate::new(
+                "Focal Length",
+                &["Lens Focal Length", "Focal Range"],
+                T,
+                choices(&["18-55 mm", "70-300 mm", "24-70 mm", "50 mm", "18-200 mm", "10-22 mm"]),
+            ),
+            AttrTemplate::new(
+                "Aperture",
+                &["Maximum Aperture", "Max Aperture", "Lens Aperture"],
+                T,
+                choices(&["f/1.8", "f/2.8", "f/3.5-5.6", "f/4", "f/4.5-5.6", "f/1.4"]),
+            ),
+            AttrTemplate::new(
+                "Sensor Type",
+                &["Image Sensor", "Sensor"],
+                T,
+                choices(&["CCD", "CMOS", "Live MOS", "Foveon X3"]),
+            ),
+            AttrTemplate::new(
+                "ISO Range",
+                &["ISO", "Sensitivity", "ISO Sensitivity"],
+                T,
+                choices(&["100-1600", "100-3200", "200-6400", "100-12800"]),
+            ),
+            AttrTemplate::new(
+                "Color",
+                &["Colour", "Body Color"],
+                T,
+                choices(&["Black", "Silver", "Red", "Blue", "Pink"]),
+            ),
+            AttrTemplate::new(
+                "Image Stabilization",
+                &["Stabilization", "IS Type", "Anti Shake"],
+                T,
+                choices(&["Optical", "Digital", "Sensor-shift", "None"]),
+            ),
+            AttrTemplate::new(
+                "Battery Type",
+                &["Battery", "Power Source"],
+                T,
+                choices(&["Lithium Ion", "AA", "Proprietary Pack", "NiMH"]),
+            ),
+        ],
+        TopLevel::Furnishings => vec![
+            AttrTemplate::new(
+                "Material",
+                &["Fabric", "Fabric Type", "Fabric Content"],
+                T,
+                choices(&["Cotton", "Polyester", "Microfiber", "Silk", "Wool", "Linen", "Cotton Blend"]),
+            ),
+            AttrTemplate::new(
+                "Color",
+                &["Colour", "Shade", "Color Family"],
+                T,
+                choices(&["White", "Ivory", "Blue", "Red", "Sage", "Brown", "Black", "Gold", "Burgundy"]),
+            ),
+            AttrTemplate::new(
+                "Size",
+                &["Bed Size", "Dimensions", "Item Size"],
+                T,
+                choices(&["Twin", "Full", "Queen", "King", "California King"]),
+            ),
+            AttrTemplate::new(
+                "Style",
+                &["Design", "Theme"],
+                T,
+                choices(&["Traditional", "Contemporary", "Floral", "Striped", "Paisley", "Solid"]),
+            ),
+            AttrTemplate::new(
+                "Care",
+                &["Care Instructions", "Cleaning"],
+                T,
+                choices(&["Machine Washable", "Dry Clean Only", "Spot Clean"]),
+            ),
+        ],
+        TopLevel::Kitchen => vec![
+            AttrTemplate::new(
+                "Capacity",
+                &["Volume", "Bowl Capacity", "Bowl Size"],
+                N,
+                numeric(&[1.5, 2.0, 4.0, 4.5, 5.0, 6.0, 8.0], "quarts", &["qt", "quart"]),
+            ),
+            AttrTemplate::new(
+                "Wattage",
+                &["Power", "Watts", "Motor Power"],
+                N,
+                numeric(&[300.0, 600.0, 700.0, 900.0, 1000.0, 1200.0, 1500.0], "watts", &["W"]),
+            ),
+            AttrTemplate::new(
+                "Finish",
+                &["Color", "Colour", "Exterior Finish"],
+                T,
+                choices(&["Stainless Steel", "Black", "White", "Empire Red", "Silver", "Onyx Black"]),
+            ),
+            AttrTemplate::new(
+                "Material",
+                &["Construction", "Body Material"],
+                T,
+                choices(&["Stainless Steel", "Plastic", "Die-cast Metal", "Glass", "Aluminum"]),
+            ),
+            AttrTemplate::new(
+                "Number of Speeds",
+                &["Speed Settings", "Speeds"],
+                N,
+                numeric(&[1.0, 2.0, 3.0, 5.0, 10.0, 12.0, 16.0], "", &[]),
+            ),
+        ],
+    }
+}
+
+/// Confusable attribute groups: attributes whose values are drawn from the
+/// *same* menu (identical marginal distributions) but independently per
+/// product — physical dimensions, paired speeds. Telling `Width` apart from
+/// `Depth` requires instance-level alignment (the paper's Section 3.1
+/// argument for conditioning on historical matches); marginal statistics
+/// cannot do it.
+pub fn confusable_group(top: TopLevel) -> Vec<AttrTemplate> {
+    let dims: Vec<f64> = (2..=24).map(|i| i as f64 * 2.5).collect();
+    let mk = |name: &str, syns: &[&str], unit: &str| {
+        AttrTemplate::new(
+            name,
+            syns,
+            AttributeKind::Numeric,
+            numeric_vec(dims.clone(), unit, &["in", "\""]),
+        )
+    };
+    let speeds: Vec<f64> = (1..=20).map(|i| i as f64 * 15.0).collect();
+    let paired = |name: &str, syns: &[&str]| {
+        AttrTemplate::new(
+            name,
+            syns,
+            AttributeKind::Numeric,
+            numeric_vec(speeds.clone(), "MBps", &["MB/s", "mb/s"]),
+        )
+    };
+    match top {
+        TopLevel::Computing | TopLevel::Cameras => vec![
+            mk("Width", &["Item Width", "W"], "cm"),
+            mk("Depth", &["Item Depth", "D"], "cm"),
+            mk("Height", &["Item Height", "H"], "cm"),
+            paired("Read Speed", &["Max Read Speed", "Read Rate"]),
+            paired("Write Speed", &["Max Write Speed", "Write Rate"]),
+        ],
+        TopLevel::Furnishings => vec![
+            mk("Width", &["Item Width", "W"], "inches"),
+            mk("Length", &["Item Length", "L"], "inches"),
+        ],
+        TopLevel::Kitchen => vec![
+            mk("Width", &["Item Width", "W"], "inches"),
+            mk("Height", &["Item Height", "H"], "inches"),
+        ],
+    }
+}
+
+fn numeric_vec(values: Vec<f64>, unit: &str, alts: &[&str]) -> ValueGen {
+    ValueGen::Numeric {
+        values,
+        unit: unit.to_string(),
+        alt_units: alts.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Procedurally generate an extra attribute (used when a schema needs more
+/// width than the static pool provides). Deterministic in `(rng)`.
+pub fn procedural_attribute<R: rand::Rng + ?Sized>(rng: &mut R, index: usize) -> AttrTemplate {
+    const SUBJECTS: &[&str] = &[
+        "Performance", "Durability", "Efficiency", "Noise", "Output", "Compatibility",
+        "Response", "Reliability", "Comfort", "Safety",
+    ];
+    const FORMS: &[(&str, &str)] = &[
+        ("{} Rating", "{} Score"),
+        ("{} Level", "Level of {}"),
+        ("Maximum {}", "Max {}"),
+        ("{} Class", "{} Category"),
+        ("{} Index", "{} Idx"),
+    ];
+    let subject = SUBJECTS[rng.random_range(0..SUBJECTS.len())];
+    let (form, syn_form) = FORMS[index % FORMS.len()];
+    let name = form.replace("{}", subject);
+    let synonym = syn_form.replace("{}", subject);
+    let gen = if rng.random_bool(0.5) {
+        ValueGen::Numeric {
+            values: (1..=10).map(|v| v as f64).collect(),
+            unit: String::new(),
+            alt_units: vec![],
+        }
+    } else {
+        ValueGen::Enum {
+            choices: ["Low", "Medium", "High", "Ultra"].iter().map(|s| s.to_string()).collect(),
+        }
+    };
+    let kind = match gen {
+        ValueGen::Numeric { .. } => AttributeKind::Numeric,
+        _ => AttributeKind::Text,
+    };
+    AttrTemplate { name, synonyms: vec![synonym], kind, gen }
+}
+
+/// Merchant-only junk attributes (no catalog counterpart) and their value
+/// menus. These produce negative candidates that reconciliation must reject.
+pub fn junk_attribute_pool() -> &'static [(&'static str, &'static [&'static str])] {
+    &[
+        ("Shipping Weight", &["1 lb", "2 lbs", "3.5 lbs", "5 lbs", "12 lbs"]),
+        ("Condition", &["New", "Refurbished", "Open Box", "Used - Like New"]),
+        ("Availability", &["In Stock", "Out of Stock", "2-3 business days", "Ships in 24 hours"]),
+        ("Customer Rating", &["5 stars", "4.5 stars", "4 stars", "3.5 stars"]),
+        ("Return Policy", &["30-day returns", "14-day returns", "No returns", "60-day returns"]),
+        ("Ships From", &["NJ warehouse", "CA warehouse", "TX warehouse", "Overseas"]),
+        ("SKU", &["SKU-10021", "SKU-39914", "SKU-48811", "SKU-77613", "SKU-90217"]),
+        ("Gift Wrap", &["Available", "Not available"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_top_levels_have_data() {
+        for top in TopLevel::ALL {
+            assert!(!category_names(top).is_empty());
+            assert!(!brand_pool(top).is_empty());
+            assert!(!attribute_pool(top).is_empty());
+            assert_eq!(universal_attributes(top).len(), 3);
+        }
+    }
+
+    #[test]
+    fn rich_schemas_are_wider() {
+        assert!(TopLevel::Computing.is_rich());
+        assert!(!TopLevel::Furnishings.is_rich());
+        let (lo_r, hi_r) = TopLevel::Cameras.schema_width();
+        let (lo_s, hi_s) = TopLevel::Kitchen.schema_width();
+        assert!(lo_r > lo_s && hi_r > hi_s);
+    }
+
+    #[test]
+    fn every_template_has_synonyms() {
+        for top in TopLevel::ALL {
+            for t in attribute_pool(top).iter().chain(universal_attributes(top).iter()) {
+                assert!(!t.synonyms.is_empty(), "{} lacks synonyms", t.name);
+                assert!(
+                    t.synonyms.iter().all(|s| s != &t.name),
+                    "{} lists itself as a synonym",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn procedural_attributes_vary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = procedural_attribute(&mut rng, 0);
+        let b = procedural_attribute(&mut rng, 1);
+        assert!(!a.name.is_empty() && !b.name.is_empty());
+        assert_eq!(a.synonyms.len(), 1);
+    }
+
+    #[test]
+    fn junk_pool_is_nonempty() {
+        assert!(junk_attribute_pool().len() >= 5);
+        for (name, values) in junk_attribute_pool() {
+            assert!(!name.is_empty());
+            assert!(!values.is_empty());
+        }
+    }
+}

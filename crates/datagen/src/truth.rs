@@ -1,0 +1,120 @@
+//! The ground-truth oracle.
+//!
+//! The paper's evaluation labels synthesized specifications by hand against
+//! manufacturer web sites, and attribute correspondences by hand against
+//! domain knowledge. Our generator *knows* the answers, so the oracle
+//! substitutes for the labelers: it records which product every offer came
+//! from and which catalog attribute every merchant attribute means.
+
+use std::collections::{HashMap, HashSet};
+
+use pse_core::{CategoryId, MerchantId, OfferId, ProductId};
+use serde::{Deserialize, Serialize};
+
+/// Ground truth retained by the generator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// `offer_product[offer.index()]` is the product the offer was derived
+    /// from (the *true* association, independent of the possibly-noisy
+    /// historical matches fed to the pipeline).
+    pub offer_product: Vec<ProductId>,
+    /// `(merchant, category, normalized merchant attribute)` → canonical
+    /// catalog attribute; `None` for junk attributes with no counterpart.
+    pub attr_map: HashMap<(MerchantId, CategoryId, String), Option<String>>,
+    /// Offers whose landing page renders specs as a bulleted list (missed
+    /// by the table extractor — relevant to recall analysis).
+    pub bullet_offers: HashSet<OfferId>,
+}
+
+impl GroundTruth {
+    /// The true product behind an offer.
+    pub fn product_of(&self, offer: OfferId) -> ProductId {
+        self.offer_product[offer.index()]
+    }
+
+    /// The catalog meaning of a merchant attribute, if any.
+    ///
+    /// Returns `None` when the attribute is unknown for this merchant and
+    /// category, or `Some(None)` when it is known to be junk.
+    pub fn catalog_attribute(
+        &self,
+        merchant: MerchantId,
+        category: CategoryId,
+        merchant_attr_normalized: &str,
+    ) -> Option<Option<&str>> {
+        self.attr_map
+            .get(&(merchant, category, merchant_attr_normalized.to_string()))
+            .map(|o| o.as_deref())
+    }
+
+    /// Whether a proposed correspondence `⟨Ap, Ao, M, C⟩` is correct.
+    pub fn correspondence_correct(
+        &self,
+        catalog_attr: &str,
+        merchant_attr_normalized: &str,
+        merchant: MerchantId,
+        category: CategoryId,
+    ) -> bool {
+        matches!(
+            self.catalog_attribute(merchant, category, merchant_attr_normalized),
+            Some(Some(truth)) if pse_text::normalize::names_equal(truth, catalog_attr)
+        )
+    }
+
+    /// Whether the offer's landing page uses the bullet-list format.
+    pub fn is_bullet_page(&self, offer: OfferId) -> bool {
+        self.bullet_offers.contains(&offer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        t.offer_product = vec![ProductId(7), ProductId(8)];
+        t.attr_map.insert(
+            (MerchantId(0), CategoryId(1), "rpm".to_string()),
+            Some("Speed".to_string()),
+        );
+        t.attr_map
+            .insert((MerchantId(0), CategoryId(1), "shipping weight".to_string()), None);
+        t.bullet_offers.insert(OfferId(1));
+        t
+    }
+
+    #[test]
+    fn product_lookup() {
+        let t = truth();
+        assert_eq!(t.product_of(OfferId(0)), ProductId(7));
+        assert_eq!(t.product_of(OfferId(1)), ProductId(8));
+    }
+
+    #[test]
+    fn correspondence_oracle() {
+        let t = truth();
+        assert!(t.correspondence_correct("Speed", "rpm", MerchantId(0), CategoryId(1)));
+        assert!(t.correspondence_correct("speed", "rpm", MerchantId(0), CategoryId(1)));
+        assert!(!t.correspondence_correct("Capacity", "rpm", MerchantId(0), CategoryId(1)));
+        assert!(!t.correspondence_correct("Speed", "rpm", MerchantId(1), CategoryId(1)));
+        assert!(!t.correspondence_correct("Speed", "shipping weight", MerchantId(0), CategoryId(1)));
+    }
+
+    #[test]
+    fn junk_vs_unknown() {
+        let t = truth();
+        assert_eq!(
+            t.catalog_attribute(MerchantId(0), CategoryId(1), "shipping weight"),
+            Some(None)
+        );
+        assert_eq!(t.catalog_attribute(MerchantId(0), CategoryId(1), "zzz"), None);
+    }
+
+    #[test]
+    fn bullet_pages() {
+        let t = truth();
+        assert!(t.is_bullet_page(OfferId(1)));
+        assert!(!t.is_bullet_page(OfferId(0)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Canonical attribute-value generation.
+//!
+//! Each catalog attribute carries a [`ValueGen`] describing how product
+//! values for it are drawn. Category instances skew the choice weights
+//! (two hard-drive subcategories prefer different capacities), which gives
+//! every (category, attribute) pair its own value *distribution* — the
+//! signal the paper's matcher learns from.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Generator for the canonical (catalog-side) values of one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueGen {
+    /// A numeric magnitude from a fixed menu, rendered with a unit,
+    /// e.g. `500` + `"GB"` → `"500 GB"`.
+    Numeric {
+        /// The menu of plausible magnitudes.
+        values: Vec<f64>,
+        /// Canonical unit suffix (may be empty).
+        unit: String,
+        /// Alternative unit spellings merchants may use (`"gigabytes"`).
+        alt_units: Vec<String>,
+    },
+    /// A categorical value from a fixed vocabulary.
+    Enum {
+        /// The vocabulary.
+        choices: Vec<String>,
+    },
+    /// A brand name from a pool.
+    Brand {
+        /// The brand pool of the category.
+        pool: Vec<String>,
+    },
+    /// A manufacturer part number: letters + digits, high cardinality.
+    Mpn,
+    /// A 12-digit universal product code.
+    Upc,
+}
+
+impl ValueGen {
+    /// Number of distinct base choices (`u64::MAX` for identifiers).
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            ValueGen::Numeric { values, .. } => values.len() as u64,
+            ValueGen::Enum { choices } => choices.len() as u64,
+            ValueGen::Brand { pool } => pool.len() as u64,
+            ValueGen::Mpn | ValueGen::Upc => u64::MAX,
+        }
+    }
+
+    /// Draw weights skewing this generator's menu for one category.
+    ///
+    /// Returns an empty vector for identifier generators.
+    pub fn category_weights<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let n = match self {
+            ValueGen::Numeric { values, .. } => values.len(),
+            ValueGen::Enum { choices } => choices.len(),
+            ValueGen::Brand { pool } => pool.len(),
+            _ => 0,
+        };
+        // Squared uniforms concentrate mass on a few choices, giving each
+        // category a recognizably skewed distribution.
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                u * u + 0.05
+            })
+            .collect()
+    }
+
+    /// Sample one canonical value using the category `weights` (as produced
+    /// by [`Self::category_weights`]).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, weights: &[f64], rng: &mut R) -> String {
+        match self {
+            ValueGen::Numeric { values, unit, .. } => {
+                let v = values[weighted_index(weights, rng)];
+                if unit.is_empty() {
+                    format_number(v)
+                } else {
+                    format!("{} {}", format_number(v), unit)
+                }
+            }
+            ValueGen::Enum { choices } => choices[weighted_index(weights, rng)].clone(),
+            ValueGen::Brand { pool } => pool[weighted_index(weights, rng)].clone(),
+            ValueGen::Mpn => {
+                let letters: String =
+                    (0..3).map(|_| (b'A' + rng.random_range(0..26u8)) as char).collect();
+                let digits: u32 = rng.random_range(10_000..1_000_000);
+                let tail: String =
+                    (0..2).map(|_| (b'A' + rng.random_range(0..26u8)) as char).collect();
+                format!("{letters}{digits}{tail}")
+            }
+            ValueGen::Upc => {
+                let hi: u64 = rng.random_range(100_000..1_000_000);
+                let lo: u64 = rng.random_range(0..1_000_000);
+                format!("{hi}{lo:06}")
+            }
+        }
+    }
+}
+
+/// Render `v` without a trailing `.0` for integral values.
+pub fn format_number(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Sample an index proportional to `weights`; uniform when `weights` is
+/// empty or sums to zero.
+pub fn weighted_index<R: rand::Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    if weights.is_empty() {
+        return 0;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn numeric_sampling_respects_menu() {
+        let g = ValueGen::Numeric {
+            values: vec![250.0, 500.0, 1000.0],
+            unit: "GB".into(),
+            alt_units: vec![],
+        };
+        let mut r = rng();
+        let w = g.category_weights(&mut r);
+        for _ in 0..50 {
+            let v = g.sample(&w, &mut r);
+            assert!(
+                ["250 GB", "500 GB", "1000 GB"].contains(&v.as_str()),
+                "unexpected value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_skew_distributions() {
+        let g = ValueGen::Enum {
+            choices: vec!["a".into(), "b".into()],
+        };
+        let mut r = rng();
+        let w = vec![100.0, 1.0];
+        let a_count = (0..200).filter(|_| g.sample(&w, &mut r) == "a").count();
+        assert!(a_count > 150, "a_count={a_count}");
+    }
+
+    #[test]
+    fn identifiers_are_high_cardinality() {
+        let g = ValueGen::Mpn;
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(g.sample(&[], &mut r));
+        }
+        assert!(seen.len() > 95);
+        for v in &seen {
+            assert!(v.len() >= 9 && v.len() <= 11, "mpn shape: {v}");
+        }
+    }
+
+    #[test]
+    fn upc_is_twelve_digits() {
+        let g = ValueGen::Upc;
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = g.sample(&[], &mut r);
+            assert_eq!(v.len(), 12, "{v}");
+            assert!(v.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(500.0), "500");
+        assert_eq!(format_number(2.5), "2.5");
+        assert_eq!(format_number(7200.0), "7200");
+    }
+
+    #[test]
+    fn weighted_index_edge_cases() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&[], &mut r), 0);
+        assert_eq!(weighted_index(&[1.0], &mut r), 0);
+        let i = weighted_index(&[0.0, 0.0], &mut r);
+        assert!(i < 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Labeling and precision-at-coverage curves for attribute correspondences.
+//!
+//! Section 5.2's protocol: take a matcher's scored output, exclude
+//! name-identity candidates (they are the training signal, not a test),
+//! label each remaining candidate correct/incorrect, and report precision
+//! as a function of coverage as the score threshold θ sweeps. Appendix B:
+//! at equal precision, higher coverage implies higher relative recall.
+
+use pse_datagen::GroundTruth;
+use pse_ml::metrics::{pr_curve, PrPoint};
+use pse_synthesis::ScoredCandidate;
+use serde::{Deserialize, Serialize};
+
+/// A labeled precision/coverage curve with its provenance counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledCurve {
+    /// Matcher name (for reports).
+    pub name: String,
+    /// Candidates evaluated (after excluding name identities).
+    pub evaluated: usize,
+    /// Of those, how many are correct per the oracle.
+    pub correct: usize,
+    /// The precision-at-coverage curve, decreasing threshold.
+    pub points: Vec<PrPoint>,
+}
+
+/// Label candidates against the oracle. Name-identity candidates are
+/// excluded, mirroring the paper's evaluation-sample construction.
+pub fn label_candidates(
+    candidates: &[ScoredCandidate],
+    truth: &GroundTruth,
+) -> Vec<(f64, bool)> {
+    candidates
+        .iter()
+        .filter(|c| !c.is_name_identity)
+        .map(|c| {
+            let correct = truth.correspondence_correct(
+                &c.catalog_attribute,
+                &c.merchant_attribute,
+                c.merchant,
+                c.category,
+            );
+            (c.score, correct)
+        })
+        .collect()
+}
+
+/// Build a named precision-at-coverage curve from scored candidates.
+pub fn labeled_curve(
+    name: impl Into<String>,
+    candidates: &[ScoredCandidate],
+    truth: &GroundTruth,
+) -> LabeledCurve {
+    let labeled = label_candidates(candidates, truth);
+    let correct = labeled.iter().filter(|(_, c)| *c).count();
+    LabeledCurve {
+        name: name.into(),
+        evaluated: labeled.len(),
+        correct,
+        points: pr_curve(&labeled),
+    }
+}
+
+impl LabeledCurve {
+    /// Precision at (or just past) the given coverage, if the curve reaches
+    /// it.
+    pub fn precision_at(&self, coverage: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.coverage >= coverage).map(|p| p.precision)
+    }
+
+    /// Maximum coverage the matcher achieved.
+    pub fn max_coverage(&self) -> usize {
+        self.points.last().map_or(0, |p| p.coverage)
+    }
+
+    /// Overall precision over everything the matcher output.
+    pub fn overall_precision(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.evaluated as f64
+        }
+    }
+
+    /// Coverage achieved at (or above) a target precision: the largest
+    /// coverage whose prefix precision is ≥ `precision`.
+    pub fn coverage_at_precision(&self, precision: f64) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.precision >= precision)
+            .map(|p| p.coverage)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::{CategoryId, MerchantId};
+
+    fn truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        t.attr_map.insert(
+            (MerchantId(0), CategoryId(0), "rpm".into()),
+            Some("Speed".into()),
+        );
+        t.attr_map.insert(
+            (MerchantId(0), CategoryId(0), "speed".into()),
+            Some("Speed".into()),
+        );
+        t
+    }
+
+    fn candidate(ap: &str, ao: &str, score: f64, identity: bool) -> ScoredCandidate {
+        ScoredCandidate {
+            catalog_attribute: ap.into(),
+            merchant_attribute: ao.into(),
+            merchant: MerchantId(0),
+            category: CategoryId(0),
+            score,
+            is_name_identity: identity,
+        }
+    }
+
+    #[test]
+    fn labels_against_oracle_and_skips_identities() {
+        let candidates = vec![
+            candidate("Speed", "rpm", 0.9, false),    // correct
+            candidate("Capacity", "rpm", 0.8, false), // wrong
+            candidate("Speed", "speed", 1.0, true),   // identity: excluded
+        ];
+        let labeled = label_candidates(&candidates, &truth());
+        assert_eq!(labeled.len(), 2);
+        assert_eq!(labeled[0], (0.9, true));
+        assert_eq!(labeled[1], (0.8, false));
+    }
+
+    #[test]
+    fn curve_statistics() {
+        let candidates = vec![
+            candidate("Speed", "rpm", 0.9, false),
+            candidate("Capacity", "rpm", 0.8, false),
+        ];
+        let curve = labeled_curve("test", &candidates, &truth());
+        assert_eq!(curve.evaluated, 2);
+        assert_eq!(curve.correct, 1);
+        assert_eq!(curve.max_coverage(), 2);
+        assert_eq!(curve.precision_at(1), Some(1.0));
+        assert_eq!(curve.precision_at(2), Some(0.5));
+        assert_eq!(curve.precision_at(3), None);
+        assert!((curve.overall_precision() - 0.5).abs() < 1e-12);
+        assert_eq!(curve.coverage_at_precision(0.9), 1);
+        assert_eq!(curve.coverage_at_precision(0.4), 2);
+        assert_eq!(curve.coverage_at_precision(1.1), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Evaluation harness: the paper's metrics computed against the generator's
+//! ground-truth oracle instead of human labelers.
+//!
+//! * [`correspondence`] — label scored correspondence candidates and build
+//!   the precision-at-coverage curves of Section 5.2 (Figures 6–9);
+//! * [`synthesis_eval`] — attribute precision / strict product precision of
+//!   Tables 2 and 3, overall and per top-level category;
+//! * [`recall`] — the attribute-recall protocol of Table 4 (pool of
+//!   attributes mentioned on the merchant pages vs synthesized attributes,
+//!   split by offer-set size);
+//! * [`report`] — plain-text and CSV rendering of experiment outputs.
+
+pub mod correspondence;
+pub mod recall;
+pub mod report;
+pub mod sampling;
+pub mod synthesis_eval;
+
+pub use correspondence::{label_candidates, labeled_curve, LabeledCurve};
+pub use recall::{recall_report, RecallReport};
+pub use report::{Csv, TextTable};
+pub use sampling::{required_sample_size, sample, ProportionEstimate};
+pub use synthesis_eval::{evaluate_synthesis, per_top_level, SynthesisQuality};

@@ -1,0 +1,170 @@
+//! Plain-text tables and CSV writers for experiment outputs.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = w);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(&mut out, &sep);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        let _ = cols;
+        out
+    }
+}
+
+/// A minimal CSV writer (quotes cells containing separators or quotes).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    buffer: String,
+}
+
+impl Csv {
+    /// An empty CSV buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn record<S: AsRef<str>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buffer.push(',');
+            }
+            first = false;
+            self.push_cell(cell.as_ref());
+        }
+        self.buffer.push('\n');
+        self
+    }
+
+    fn push_cell(&mut self, cell: &str) {
+        if cell.contains([',', '"', '\n']) {
+            self.buffer.push('"');
+            for ch in cell.chars() {
+                if ch == '"' {
+                    self.buffer.push('"');
+                }
+                self.buffer.push(ch);
+            }
+            self.buffer.push('"');
+        } else {
+            self.buffer.push_str(cell);
+        }
+    }
+
+    /// The rendered CSV text.
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Consume into the rendered text.
+    pub fn into_string(self) -> String {
+        self.buffer
+    }
+}
+
+/// Format a float with 2 decimal places (the paper's table style).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Metric", "Value"]);
+        t.row(["Input Offers", "856781"]);
+        t.row(["Attribute Precision", "0.92"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Metric"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("856781"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut csv = Csv::new();
+        csv.record(["a", "b,c", "d\"e"]);
+        csv.record(["1", "2", "3"]);
+        assert_eq!(csv.as_str(), "a,\"b,c\",\"d\"\"e\"\n1,2,3\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(0.916), "0.92");
+        assert_eq!(f3(0.9164), "0.916");
+    }
+}

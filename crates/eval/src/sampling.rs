@@ -1,0 +1,152 @@
+//! Evaluation sampling, per the paper's §5 methodology.
+//!
+//! The paper never labels full outputs; it samples them at a 95% confidence
+//! level using interval estimation (Mendenhall \[14\]): 384 correspondences
+//! per configuration in §5.2, and 400 products / 1,447 attribute pairs in
+//! §5.1. This module provides the same machinery — the sample-size
+//! calculation for estimating a proportion, a seeded sampler, and the
+//! resulting confidence interval — so scaled-up runs can label samples
+//! instead of full outputs, exactly like the paper's labelers did.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sample size needed to estimate a proportion within `margin` at the
+/// given `confidence` (normal approximation, worst-case p = 0.5), capped
+/// by the population size via finite-population correction.
+///
+/// `required_sample_size(usize::MAX as f64, 0.95, 0.05)` ≈ 384 — the
+/// paper's sample size.
+pub fn required_sample_size(population: f64, confidence: f64, margin: f64) -> usize {
+    let z = z_score(confidence);
+    let n0 = (z * z * 0.25) / (margin * margin);
+    if population.is_finite() && population > 0.0 {
+        // Finite-population correction.
+        (n0 / (1.0 + (n0 - 1.0) / population)).ceil() as usize
+    } else {
+        n0.ceil() as usize
+    }
+}
+
+/// Two-sided z-score for common confidence levels (linear interpolation in
+/// between; clamped to [0.5, 0.999]).
+pub fn z_score(confidence: f64) -> f64 {
+    const TABLE: [(f64, f64); 7] = [
+        (0.50, 0.674),
+        (0.80, 1.282),
+        (0.90, 1.645),
+        (0.95, 1.960),
+        (0.98, 2.326),
+        (0.99, 2.576),
+        (0.999, 3.291),
+    ];
+    let c = confidence.clamp(0.50, 0.999);
+    let mut prev = TABLE[0];
+    for &(cc, zz) in &TABLE[1..] {
+        if c <= cc {
+            let t = (c - prev.0) / (cc - prev.0);
+            return prev.1 + t * (zz - prev.1);
+        }
+        prev = (cc, zz);
+    }
+    prev.1
+}
+
+/// Draw a deterministic uniform sample of `k` items (all items when the
+/// population is smaller than `k`).
+pub fn sample<T: Clone>(items: &[T], k: usize, seed: u64) -> Vec<T> {
+    if items.len() <= k {
+        return items.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx[..k].iter().map(|&i| items[i].clone()).collect()
+}
+
+/// A proportion estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionEstimate {
+    /// Point estimate (successes / sample size).
+    pub p: f64,
+    /// Half-width of the interval at the requested confidence.
+    pub margin: f64,
+    /// Sample size the estimate is based on.
+    pub n: usize,
+}
+
+impl ProportionEstimate {
+    /// Estimate a proportion from a labeled sample.
+    pub fn from_sample(successes: usize, n: usize, confidence: f64) -> Self {
+        if n == 0 {
+            return Self { p: 0.0, margin: 1.0, n: 0 };
+        }
+        let p = successes as f64 / n as f64;
+        let z = z_score(confidence);
+        let margin = z * (p * (1.0 - p) / n as f64).sqrt();
+        Self { p, margin, n }
+    }
+
+    /// The interval as `(low, high)`, clamped to [0, 1].
+    pub fn interval(&self) -> (f64, f64) {
+        ((self.p - self.margin).max(0.0), (self.p + self.margin).min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_size_is_384() {
+        assert_eq!(required_sample_size(f64::INFINITY, 0.95, 0.05), 385);
+        // With a large finite population, 384 (the paper's number).
+        let n = required_sample_size(100_000.0, 0.95, 0.05);
+        assert!((383..=385).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn small_populations_are_labeled_fully() {
+        let n = required_sample_size(50.0, 0.95, 0.05);
+        assert!(n <= 50);
+        let items: Vec<u32> = (0..10).collect();
+        assert_eq!(sample(&items, 100, 1).len(), 10);
+    }
+
+    #[test]
+    fn z_scores_are_monotone() {
+        let zs: Vec<f64> = [0.5, 0.8, 0.9, 0.95, 0.99, 0.999]
+            .iter()
+            .map(|c| z_score(*c))
+            .collect();
+        for w in zs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((z_score(0.95) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_uniformish() {
+        let items: Vec<u32> = (0..1000).collect();
+        let a = sample(&items, 100, 7);
+        let b = sample(&items, 100, 7);
+        assert_eq!(a, b);
+        let c = sample(&items, 100, 8);
+        assert_ne!(a, c);
+        // No duplicates.
+        let mut d = a.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), a.len());
+    }
+
+    #[test]
+    fn proportion_intervals() {
+        let e = ProportionEstimate::from_sample(92, 100, 0.95);
+        assert!((e.p - 0.92).abs() < 1e-12);
+        let (lo, hi) = e.interval();
+        assert!(lo > 0.85 && hi < 0.98);
+        let empty = ProportionEstimate::from_sample(0, 0, 0.95);
+        assert_eq!(empty.interval(), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Arena-based DOM tree.
+//!
+//! Nodes live in a flat `Vec`; [`NodeId`] indices link parents and children.
+//! This keeps the tree cache-friendly and avoids `Rc`/`RefCell` churn while
+//! scanning hundreds of thousands of landing pages.
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Payload of a DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeData {
+    /// The synthetic document root.
+    Document,
+    /// An element with its (lowercased) tag name and attributes.
+    Element {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Payload.
+    pub data: NodeData,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed HTML document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// A document containing only the root node.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node { data: NodeData::Document, parent: None, children: Vec::new() }],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Append a new node under `parent` and return its id.
+    pub fn append(&mut self, parent: NodeId, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { data, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Tag name of `id` when it is an element.
+    pub fn tag_name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).data {
+            NodeData::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Value of attribute `name` on element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).data {
+            NodeData::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(a, _)| a.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Depth-first pre-order traversal starting at `start` (inclusive).
+    pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![start] }
+    }
+
+    /// All elements with the given tag name, in document order.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.descendants(self.root())
+            .filter(move |id| self.tag_name(*id) == Some(name))
+    }
+
+    /// Concatenated text of all text-node descendants, whitespace-collapsed.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut pieces = Vec::new();
+        for d in self.descendants(id) {
+            if let NodeData::Text(t) = &self.node(d).data {
+                pieces.push(t.as_str());
+            }
+        }
+        collapse_whitespace(&pieces.join(" "))
+    }
+
+    /// The nearest ancestor (excluding `id` itself) with the given tag name.
+    pub fn ancestor_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            if self.tag_name(p) == Some(name) {
+                return Some(p);
+            }
+            cur = self.node(p).parent;
+        }
+        None
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over a subtree in document order.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = &self.doc.node(id).children;
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+/// Collapse runs of whitespace (incl. `&nbsp;`) into single spaces and trim.
+pub fn collapse_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_space = true; // leading whitespace is dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() || ch == '\u{a0}' {
+            if !in_space {
+                out.push(' ');
+                in_space = true;
+            }
+        } else {
+            out.push(ch);
+            in_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let table = doc.append(
+            root,
+            NodeData::Element { name: "table".into(), attrs: vec![("class".into(), "specs".into())] },
+        );
+        let tr = doc.append(table, NodeData::Element { name: "tr".into(), attrs: vec![] });
+        let td1 = doc.append(tr, NodeData::Element { name: "td".into(), attrs: vec![] });
+        doc.append(td1, NodeData::Text("Brand".into()));
+        let td2 = doc.append(tr, NodeData::Element { name: "td".into(), attrs: vec![] });
+        doc.append(td2, NodeData::Text("  Hitachi \n Global ".into()));
+        doc
+    }
+
+    #[test]
+    fn traversal_and_queries() {
+        let doc = sample();
+        assert_eq!(doc.elements_named("td").count(), 2);
+        assert_eq!(doc.elements_named("table").count(), 1);
+        let table = doc.elements_named("table").next().unwrap();
+        assert_eq!(doc.attr(table, "class"), Some("specs"));
+        assert_eq!(doc.attr(table, "CLASS"), Some("specs"));
+        assert_eq!(doc.attr(table, "id"), None);
+    }
+
+    #[test]
+    fn text_content_collapses_whitespace() {
+        let doc = sample();
+        let table = doc.elements_named("table").next().unwrap();
+        assert_eq!(doc.text_content(table), "Brand Hitachi Global");
+    }
+
+    #[test]
+    fn ancestor_lookup() {
+        let doc = sample();
+        let td = doc.elements_named("td").next().unwrap();
+        assert!(doc.ancestor_named(td, "table").is_some());
+        assert!(doc.ancestor_named(td, "div").is_none());
+        let table = doc.elements_named("table").next().unwrap();
+        assert!(doc.ancestor_named(table, "table").is_none());
+    }
+
+    #[test]
+    fn collapse_whitespace_cases() {
+        assert_eq!(collapse_whitespace("  a  b\u{a0}c \n"), "a b c");
+        assert_eq!(collapse_whitespace(""), "");
+        assert_eq!(collapse_whitespace("   "), "");
+    }
+
+    #[test]
+    fn document_order_traversal() {
+        let doc = sample();
+        let names: Vec<_> = doc
+            .descendants(doc.root())
+            .filter_map(|id| doc.tag_name(id).map(str::to_string))
+            .collect();
+        assert_eq!(names, ["table", "tr", "td", "td"]);
+    }
+}

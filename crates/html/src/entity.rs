@@ -1,0 +1,151 @@
+//! Decoding of HTML character references (entities).
+//!
+//! Supports the named entities that occur in practice on merchant pages plus
+//! decimal (`&#64;`) and hexadecimal (`&#x40;`) numeric references. Unknown
+//! references are left verbatim, which is what browsers do for strings like
+//! `"AT&T"`.
+
+/// Decode all character references in `input`.
+///
+/// ```
+/// use pse_html::entity::decode_entities;
+/// assert_eq!(decode_entities("3.5&quot; &amp; 500&nbsp;GB"), "3.5\" & 500\u{a0}GB");
+/// assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+/// assert_eq!(decode_entities("AT&T"), "AT&T");
+/// ```
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let bytes = input.as_bytes();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find a terminating ';' within a reasonable window.
+        match bytes[i + 1..].iter().take(32).position(|&b| b == b';') {
+            Some(rel) => {
+                let name = &input[i + 1..i + 1 + rel];
+                match decode_reference(name) {
+                    Some(decoded) => {
+                        out.push_str(&decoded);
+                        i += rel + 2;
+                    }
+                    None => {
+                        out.push('&');
+                        i += 1;
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Decode one reference body (without `&` and `;`). `None` when unknown.
+fn decode_reference(name: &str) -> Option<String> {
+    if let Some(rest) = name.strip_prefix('#') {
+        let code = if let Some(hex) = rest.strip_prefix(['x', 'X']) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            rest.parse::<u32>().ok()?
+        };
+        return char::from_u32(code).map(String::from);
+    }
+    let ch = match name {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        "nbsp" => '\u{a0}',
+        "copy" => '©',
+        "reg" => '®',
+        "trade" => '™',
+        "deg" => '°',
+        "plusmn" => '±',
+        "frac12" => '½',
+        "frac14" => '¼',
+        "times" => '×',
+        "divide" => '÷',
+        "mdash" => '—',
+        "ndash" => '–',
+        "lsquo" => '\u{2018}',
+        "rsquo" => '\u{2019}',
+        "ldquo" => '\u{201c}',
+        "rdquo" => '\u{201d}',
+        "hellip" => '…',
+        "bull" => '•',
+        "middot" => '·',
+        "micro" => 'µ',
+        "eacute" => 'é',
+        "egrave" => 'è',
+        "agrave" => 'à',
+        "uuml" => 'ü',
+        "ouml" => 'ö',
+        "auml" => 'ä',
+        "szlig" => 'ß',
+        "euro" => '€',
+        "pound" => '£',
+        "yen" => '¥',
+        "cent" => '¢',
+        _ => return None,
+    };
+    Some(ch.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_entities("&lt;b&gt;"), "<b>");
+        assert_eq!(decode_entities("&amp;amp;"), "&amp;");
+        assert_eq!(decode_entities("100&deg;"), "100°");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_entities("&#8220;hi&#8221;"), "\u{201c}hi\u{201d}");
+        assert_eq!(decode_entities("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn invalid_references_pass_through() {
+        assert_eq!(decode_entities("AT&T and &unknown; stay"), "AT&T and &unknown; stay");
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("trailing &"), "trailing &");
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // out of range
+    }
+
+    #[test]
+    fn no_ampersand_fast_path() {
+        assert_eq!(decode_entities("plain text"), "plain text");
+        assert_eq!(decode_entities(""), "");
+    }
+
+    #[test]
+    fn multibyte_text_is_preserved() {
+        assert_eq!(decode_entities("héllo &amp; wörld"), "héllo & wörld");
+    }
+}

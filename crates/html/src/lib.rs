@@ -1,0 +1,23 @@
+//! A small, tag-soup tolerant HTML parser with a table model.
+//!
+//! The run-time pipeline of Nguyen et al. (VLDB 2011) extracts offer
+//! specifications from merchant *landing pages*: it "parses the DOM tree of
+//! the Web page and returns all tables on the page", then selects two-column
+//! rows as attribute–value pairs (Section 4). Real merchant HTML is messy —
+//! unclosed tags, implied `</tr>`s, entities, inline scripts — so the parser
+//! must be forgiving and must never panic on arbitrary input.
+//!
+//! The crate is organized as a pipeline:
+//! [`tokenizer`] → [`parser`] (builds the arena [`dom::Document`]) →
+//! [`table`] (extracts a logical table model).
+
+pub mod dom;
+pub mod entity;
+pub mod parser;
+pub mod table;
+pub mod tokenizer;
+
+pub use dom::{Document, NodeData, NodeId};
+pub use parser::parse;
+pub use table::{extract_tables, Table, TableCell};
+pub use tokenizer::{Token, Tokenizer};

@@ -1,0 +1,187 @@
+//! Tree construction: token stream → [`Document`].
+//!
+//! Implements a pragmatic subset of the HTML5 tree-building rules — enough
+//! to handle the tag soup found on merchant pages:
+//!
+//! * void elements (`<br>`, `<img>`, …) never nest children;
+//! * implied end tags: a new `<tr>` closes an open `<tr>`, `<td>`/`<th>`
+//!   close open cells, `<li>` closes `<li>`, `<p>` closes `<p>`, `<option>`
+//!   closes `<option>`;
+//! * an unmatched end tag is ignored; an end tag matching a non-top open
+//!   element pops everything above it;
+//! * comments and doctypes are preserved / skipped without error.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that cannot have content.
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Tags implicitly closed when `incoming` opens while `open` is on the stack
+/// top.
+fn implies_end(incoming: &str, open: &str) -> bool {
+    match incoming {
+        "tr" => matches!(open, "tr" | "td" | "th"),
+        "td" | "th" => matches!(open, "td" | "th"),
+        "li" => open == "li",
+        "p" => open == "p",
+        "option" => open == "option",
+        "thead" | "tbody" | "tfoot" => matches!(open, "tr" | "td" | "th" | "thead" | "tbody" | "tfoot"),
+        "table" => matches!(open, "p"),
+        _ => false,
+    }
+}
+
+/// Parse an HTML string into a [`Document`]. Never fails: arbitrary input
+/// produces some tree.
+///
+/// ```
+/// use pse_html::parse;
+/// let doc = parse("<table><tr><td>Brand<td>Hitachi</table>");
+/// assert_eq!(doc.elements_named("td").count(), 2);
+/// ```
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    // Stack of open elements: (node id, tag name).
+    let mut stack: Vec<(NodeId, String)> = vec![(doc.root(), String::new())];
+
+    for token in Tokenizer::new(input) {
+        match token {
+            Token::StartTag { name, attrs, self_closing } => {
+                // Apply implied end tags.
+                while stack.len() > 1 && implies_end(&name, &stack.last().unwrap().1) {
+                    stack.pop();
+                }
+                let parent = stack.last().unwrap().0;
+                let id = doc.append(parent, NodeData::Element { name: name.clone(), attrs });
+                if !self_closing && !is_void(&name) {
+                    stack.push((id, name));
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element (skip the root sentinel).
+                if let Some(pos) = stack[1..].iter().rposition(|(_, n)| *n == name) {
+                    stack.truncate(pos + 1);
+                }
+                // Unmatched end tags are ignored.
+            }
+            Token::Text(text) => {
+                if !text.is_empty() {
+                    let parent = stack.last().unwrap().0;
+                    doc.append(parent, NodeData::Text(text));
+                }
+            }
+            Token::Comment(c) => {
+                let parent = stack.last().unwrap().0;
+                doc.append(parent, NodeData::Comment(c));
+            }
+            Token::Doctype(_) => {}
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_tree() {
+        let doc = parse("<html><body><p>hi</p></body></html>");
+        let p = doc.elements_named("p").next().unwrap();
+        assert_eq!(doc.text_content(p), "hi");
+        assert!(doc.ancestor_named(p, "body").is_some());
+        assert!(doc.ancestor_named(p, "html").is_some());
+    }
+
+    #[test]
+    fn implied_row_and_cell_ends() {
+        // No </td> or </tr> anywhere — the tree must still have 2 rows × 2 cells.
+        let doc = parse("<table><tr><td>A<td>1<tr><td>B<td>2</table>");
+        let table = doc.elements_named("table").next().unwrap();
+        let rows: Vec<_> = doc
+            .descendants(table)
+            .filter(|id| doc.tag_name(*id) == Some("tr"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let cells = doc
+                .node(row)
+                .children
+                .iter()
+                .filter(|c| doc.tag_name(**c) == Some("td"))
+                .count();
+            assert_eq!(cells, 2);
+        }
+    }
+
+    #[test]
+    fn void_elements_do_not_swallow_siblings() {
+        let doc = parse("<p>a<br>b</p>");
+        let p = doc.elements_named("p").next().unwrap();
+        assert_eq!(doc.text_content(p), "a b");
+        let br = doc.elements_named("br").next().unwrap();
+        assert!(doc.node(br).children.is_empty());
+    }
+
+    #[test]
+    fn unmatched_end_tags_are_ignored() {
+        let doc = parse("</div><p>x</p></span>");
+        assert_eq!(doc.elements_named("p").count(), 1);
+    }
+
+    #[test]
+    fn mismatched_nesting_recovers() {
+        let doc = parse("<div><b>bold<i>both</b>italic</i></div>");
+        // </b> pops both <i> and <b>; the trailing text lands in <div>.
+        let div = doc.elements_named("div").next().unwrap();
+        assert_eq!(doc.text_content(div), "bold both italic");
+    }
+
+    #[test]
+    fn li_and_p_imply_ends() {
+        let doc = parse("<ul><li>one<li>two</ul><p>a<p>b");
+        assert_eq!(doc.elements_named("li").count(), 2);
+        let lis: Vec<_> = doc.elements_named("li").collect();
+        assert_eq!(doc.text_content(lis[0]), "one");
+        assert_eq!(doc.text_content(lis[1]), "two");
+        assert_eq!(doc.elements_named("p").count(), 2);
+    }
+
+    #[test]
+    fn script_text_is_not_markup() {
+        let doc = parse("<script>var x = '<table>';</script><div>real</div>");
+        assert_eq!(doc.elements_named("table").count(), 0);
+        assert_eq!(doc.elements_named("div").count(), 1);
+    }
+
+    #[test]
+    fn nested_tables_preserved() {
+        let doc = parse(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>",
+        );
+        assert_eq!(doc.elements_named("table").count(), 2);
+        let tds: Vec<_> = doc.elements_named("td").collect();
+        assert_eq!(tds.len(), 2);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        for s in [
+            "",
+            "<<<>>>",
+            "<table><td></table></td>",
+            "&&& <p <p <p>",
+            "<!doctype html><!--",
+            "<a href=>x",
+        ] {
+            let _ = parse(s);
+        }
+    }
+}

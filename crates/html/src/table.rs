@@ -1,0 +1,190 @@
+//! Logical table extraction from a parsed document.
+//!
+//! Converts each `<table>` element into a [`Table`]: a list of rows, each a
+//! list of [`TableCell`]s with collapsed text. Rows belonging to *nested*
+//! tables are attributed to the inner table only, so a specification table
+//! inside a layout table is extracted cleanly.
+
+use crate::dom::{Document, NodeData, NodeId};
+
+/// One extracted cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableCell {
+    /// Collapsed text content of the cell.
+    pub text: String,
+    /// Whether the cell was a `<th>`.
+    pub is_header: bool,
+    /// The `colspan` attribute (1 when absent or invalid).
+    pub colspan: u32,
+}
+
+/// One extracted table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Rows in document order; each row is its cells in document order.
+    pub rows: Vec<Vec<TableCell>>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether every non-empty row has exactly two cells — the shape the
+    /// attribute extractor looks for.
+    pub fn is_two_column(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(|r| r.len() == 2)
+    }
+}
+
+/// Extract every `<table>` in the document, outermost first.
+pub fn extract_tables(doc: &Document) -> Vec<Table> {
+    doc.elements_named("table")
+        .map(|t| extract_table(doc, t))
+        .collect()
+}
+
+/// Extract one `<table>` element.
+pub fn extract_table(doc: &Document, table: NodeId) -> Table {
+    debug_assert_eq!(doc.tag_name(table), Some("table"));
+    let mut rows = Vec::new();
+    for id in doc.descendants(table) {
+        if doc.tag_name(id) != Some("tr") {
+            continue;
+        }
+        // Skip rows of nested tables: their nearest table ancestor is not us.
+        if doc.ancestor_named(id, "table") != Some(table) {
+            continue;
+        }
+        let mut cells = Vec::new();
+        for &child in &doc.node(id).children {
+            let tag = doc.tag_name(child);
+            let is_header = tag == Some("th");
+            if !(is_header || tag == Some("td")) {
+                continue;
+            }
+            let colspan = doc
+                .attr(child, "colspan")
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&v| v >= 1)
+                .unwrap_or(1);
+            cells.push(TableCell { text: cell_text(doc, child), is_header, colspan });
+        }
+        rows.push(cells);
+    }
+    Table { rows }
+}
+
+/// Text of a cell, *excluding* any nested-table content (a layout cell that
+/// wraps a whole inner table should not report the inner table's text).
+fn cell_text(doc: &Document, cell: NodeId) -> String {
+    let mut pieces = Vec::new();
+    collect_text_excluding_tables(doc, cell, &mut pieces);
+    crate::dom::collapse_whitespace(&pieces.join(" "))
+}
+
+fn collect_text_excluding_tables(doc: &Document, id: NodeId, out: &mut Vec<String>) {
+    for &child in &doc.node(id).children {
+        match &doc.node(child).data {
+            NodeData::Text(t) => out.push(t.clone()),
+            NodeData::Element { name, .. } if name == "table" => {}
+            NodeData::Element { .. } => collect_text_excluding_tables(doc, child, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn extracts_spec_table() {
+        let doc = parse(
+            "<table>\
+             <tr><td>Brand</td><td>Hitachi</td></tr>\
+             <tr><td>Capacity</td><td>500 GB</td></tr>\
+             </table>",
+        );
+        let tables = extract_tables(&doc);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.is_two_column());
+        assert_eq!(t.rows[0][0].text, "Brand");
+        assert_eq!(t.rows[0][1].text, "Hitachi");
+        assert_eq!(t.rows[1][1].text, "500 GB");
+    }
+
+    #[test]
+    fn header_cells_flagged() {
+        let doc = parse("<table><tr><th>Spec</th><th>Value</th></tr></table>");
+        let t = &extract_tables(&doc)[0];
+        assert!(t.rows[0][0].is_header);
+        assert!(t.rows[0][1].is_header);
+    }
+
+    #[test]
+    fn colspan_parsed_with_fallback() {
+        let doc = parse(
+            "<table><tr><td colspan=2>Merged</td></tr><tr><td colspan=zero>x</td><td colspan=\"0\">y</td></tr></table>",
+        );
+        let t = &extract_tables(&doc)[0];
+        assert_eq!(t.rows[0][0].colspan, 2);
+        assert_eq!(t.rows[1][0].colspan, 1);
+        assert_eq!(t.rows[1][1].colspan, 1);
+    }
+
+    #[test]
+    fn nested_table_rows_belong_to_inner() {
+        let doc = parse(
+            "<table><tr><td>\
+               <table><tr><td>Speed</td><td>7200</td></tr></table>\
+             </td></tr></table>",
+        );
+        let tables = extract_tables(&doc);
+        assert_eq!(tables.len(), 2);
+        // Outer table: one row, one cell, whose text excludes the inner table.
+        assert_eq!(tables[0].num_rows(), 1);
+        assert_eq!(tables[0].rows[0][0].text, "");
+        // Inner table has the spec row.
+        assert_eq!(tables[1].rows[0][0].text, "Speed");
+        assert_eq!(tables[1].rows[0][1].text, "7200");
+    }
+
+    #[test]
+    fn rows_without_cells_are_kept_empty() {
+        let doc = parse("<table><tr></tr><tr><td>a</td><td>b</td></tr></table>");
+        let t = &extract_tables(&doc)[0];
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.rows[0].is_empty());
+        assert!(!t.is_two_column());
+    }
+
+    #[test]
+    fn tbody_and_thead_are_transparent() {
+        let doc = parse(
+            "<table><thead><tr><th>A</th><th>V</th></tr></thead>\
+             <tbody><tr><td>Brand</td><td>Sony</td></tr></tbody></table>",
+        );
+        let t = &extract_tables(&doc)[0];
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.is_two_column());
+    }
+
+    #[test]
+    fn markup_inside_cells_contributes_text() {
+        let doc = parse("<table><tr><td><b>Buffer</b> Size</td><td><span>16</span> MB</td></tr></table>");
+        let t = &extract_tables(&doc)[0];
+        assert_eq!(t.rows[0][0].text, "Buffer Size");
+        assert_eq!(t.rows[0][1].text, "16 MB");
+    }
+
+    #[test]
+    fn no_tables_yields_empty() {
+        let doc = parse("<div><p>no tables here</p></div>");
+        assert!(extract_tables(&doc).is_empty());
+    }
+}

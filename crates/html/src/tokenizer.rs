@@ -1,0 +1,345 @@
+//! A forgiving HTML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s from raw HTML. Malformed input never
+//! panics: anything that cannot be interpreted as markup is emitted as text.
+//! `<script>` and `<style>` contents are treated as raw text (no tag parsing
+//! inside) and skipped over in one token.
+
+use crate::entity::decode_entities;
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" …>`; `self_closing` when spelled `<name/>`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order, values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of character data, entity-decoded.
+    Text(String),
+    /// `<!-- … -->` contents.
+    Comment(String),
+    /// `<!DOCTYPE …>` contents.
+    Doctype(String),
+}
+
+/// Streaming tokenizer over an input string.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// When set, everything up to `</{raw_until}>` is raw text.
+    raw_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { input, pos: 0, raw_until: None }
+    }
+
+    /// Collect all tokens (convenience for tests and small inputs).
+    pub fn tokenize(input: &'a str) -> Vec<Token> {
+        Self::new(input).collect()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn next_raw_text(&mut self, end_tag: &str) -> Token {
+        // Scan for `</end_tag` case-insensitively.
+        let rest = self.rest();
+        let needle = format!("</{end_tag}");
+        let lower = rest.to_lowercase();
+        match lower.find(&needle) {
+            Some(idx) => {
+                let text = &rest[..idx];
+                self.bump(idx);
+                self.raw_until = None;
+                // Leave the end tag itself for the normal path.
+                Token::Text(text.to_string())
+            }
+            None => {
+                let text = rest.to_string();
+                self.pos = self.input.len();
+                self.raw_until = None;
+                Token::Text(text)
+            }
+        }
+    }
+
+    fn next_markup(&mut self) -> Option<Token> {
+        let rest = self.rest();
+        debug_assert!(rest.starts_with('<'));
+
+        if let Some(comment) = rest.strip_prefix("<!--") {
+            let (body, consumed) = match comment.find("-->") {
+                Some(end) => (&comment[..end], 4 + end + 3),
+                None => (comment, rest.len()),
+            };
+            let tok = Token::Comment(body.to_string());
+            self.bump(consumed);
+            return Some(tok);
+        }
+        if rest.len() >= 2 && (rest.as_bytes()[1] == b'!' || rest.as_bytes()[1] == b'?') {
+            // Doctype or processing instruction: skip to '>'.
+            let (body, consumed) = match rest.find('>') {
+                Some(end) => (&rest[2..end], end + 1),
+                None => (&rest[2..], rest.len()),
+            };
+            let tok = Token::Doctype(body.trim().to_string());
+            self.bump(consumed);
+            return Some(tok);
+        }
+
+        let is_end = rest.as_bytes().get(1) == Some(&b'/');
+        let name_start = if is_end { 2 } else { 1 };
+        let name_len = rest[name_start..]
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric())
+            .count();
+        if name_len == 0 {
+            // `<` not followed by a tag: literal text.
+            self.bump(1);
+            return Some(Token::Text("<".to_string()));
+        }
+        let name = rest[name_start..name_start + name_len].to_lowercase();
+
+        // Find the closing '>' (not inside a quoted attribute value).
+        let mut i = name_start + name_len;
+        let bytes = rest.as_bytes();
+        let mut quote: Option<u8> = None;
+        while i < bytes.len() {
+            let b = bytes[i];
+            match quote {
+                Some(q) => {
+                    if b == q {
+                        quote = None;
+                    }
+                }
+                None => match b {
+                    b'"' | b'\'' => quote = Some(b),
+                    b'>' => break,
+                    _ => {}
+                },
+            }
+            i += 1;
+        }
+        let attr_src = &rest[name_start + name_len..i.min(rest.len())];
+        let consumed = (i + 1).min(rest.len());
+        self.bump(consumed);
+
+        if is_end {
+            return Some(Token::EndTag { name });
+        }
+
+        let trimmed = attr_src.trim_end();
+        let self_closing = trimmed.ends_with('/');
+        let attr_src = trimmed.strip_suffix('/').unwrap_or(trimmed);
+        let attrs = parse_attributes(attr_src);
+        if matches!(name.as_str(), "script" | "style" | "textarea" | "title") && !self_closing {
+            self.raw_until = Some(name.clone());
+        }
+        Some(Token::StartTag { name, attrs, self_closing })
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if let Some(tag) = self.raw_until.clone() {
+            return Some(self.next_raw_text(&tag));
+        }
+        let rest = self.rest();
+        if rest.starts_with('<') {
+            return self.next_markup();
+        }
+        // Character data until the next '<'.
+        let end = rest.find('<').unwrap_or(rest.len());
+        let text = decode_entities(&rest[..end]);
+        self.bump(end);
+        Some(Token::Text(text))
+    }
+}
+
+/// Parse the attribute portion of a start tag.
+fn parse_attributes(src: &str) -> Vec<(String, String)> {
+    let mut attrs = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Attribute name.
+        let name_start = i;
+        while i < bytes.len()
+            && !bytes[i].is_ascii_whitespace()
+            && bytes[i] != b'='
+            && bytes[i] != b'/'
+        {
+            i += 1;
+        }
+        if i == name_start {
+            i += 1; // Stray character; skip.
+            continue;
+        }
+        let name = src[name_start..i].to_lowercase();
+        // Skip whitespace before '='.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            attrs.push((name, String::new()));
+            continue;
+        }
+        i += 1; // consume '='
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            attrs.push((name, String::new()));
+            break;
+        }
+        let value = match bytes[i] {
+            q @ (b'"' | b'\'') => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != q {
+                    i += 1;
+                }
+                let v = &src[start..i];
+                i = (i + 1).min(bytes.len());
+                v
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                &src[start..i]
+            }
+        };
+        attrs.push((name, decode_entities(value)));
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = Tokenizer::tokenize("<p>Hello <b>world</b></p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("p", &[]),
+                Token::Text("Hello ".into()),
+                start("b", &[]),
+                Token::Text("world".into()),
+                Token::EndTag { name: "b".into() },
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_and_bare() {
+        let toks = Tokenizer::tokenize(r#"<td class="spec" colspan=2 nowrap data-x='a&amp;b'>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "td",
+                &[("class", "spec"), ("colspan", "2"), ("nowrap", ""), ("data-x", "a&b")]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_case_folding() {
+        let toks = Tokenizer::tokenize("<BR/><IMG SRC=x.png />");
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, attrs, .. }
+            if name == "img" && attrs[0] == ("src".to_string(), "x.png".to_string())));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = Tokenizer::tokenize("<!DOCTYPE html><!-- hi --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" hi ".into()));
+    }
+
+    #[test]
+    fn script_contents_are_raw() {
+        let toks = Tokenizer::tokenize("<script>if (a < b) { x(); }</script><p>t</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        assert_eq!(toks[1], Token::Text("if (a < b) { x(); }".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for s in ["<", "<p", "</", "<!--x", "<td class=\"a", "<script>never ends"] {
+            let _ = Tokenizer::tokenize(s);
+        }
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = Tokenizer::tokenize("a < b");
+        let text: String = toks
+            .iter()
+            .map(|t| match t {
+                Token::Text(s) => s.as_str(),
+                _ => "",
+            })
+            .collect();
+        assert_eq!(text, "a < b");
+    }
+
+    #[test]
+    fn entities_decoded_in_text() {
+        let toks = Tokenizer::tokenize("R&amp;D &#64; home");
+        assert_eq!(toks, vec![Token::Text("R&D @ home".into())]);
+    }
+
+    #[test]
+    fn gt_inside_quoted_attribute() {
+        let toks = Tokenizer::tokenize(r#"<a title="x > y">link</a>"#);
+        assert!(matches!(&toks[0], Token::StartTag { name, attrs, .. }
+            if name == "a" && attrs[0].1 == "x > y"));
+        assert_eq!(toks[1], Token::Text("link".into()));
+    }
+}

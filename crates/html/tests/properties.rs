@@ -1,0 +1,77 @@
+//! Property-based tests: the parser and table extractor must be total
+//! (never panic) over arbitrary input, and structural invariants must hold.
+
+use proptest::prelude::*;
+use pse_html::{extract_tables, parse, NodeData, Tokenizer};
+
+proptest! {
+    #[test]
+    fn parser_is_total_on_arbitrary_input(s in ".{0,256}") {
+        let doc = parse(&s);
+        // Traversal covers exactly the arena.
+        prop_assert_eq!(doc.descendants(doc.root()).count(), doc.len());
+    }
+
+    #[test]
+    fn parser_is_total_on_taggy_input(
+        s in r"(<[a-z/!]{0,4}[a-z ='\x22]{0,8}>?|[a-z&;#0-9 ]{0,6}){0,24}"
+    ) {
+        let _ = parse(&s);
+        let _: Vec<_> = Tokenizer::tokenize(&s);
+    }
+
+    #[test]
+    fn tree_is_well_formed(s in ".{0,256}") {
+        let doc = parse(&s);
+        for id in doc.descendants(doc.root()) {
+            for &child in &doc.node(id).children {
+                prop_assert_eq!(doc.node(child).parent, Some(id));
+            }
+        }
+        prop_assert!(doc.node(doc.root()).parent.is_none());
+        prop_assert!(matches!(doc.node(doc.root()).data, NodeData::Document));
+    }
+
+    #[test]
+    fn extraction_is_total(s in ".{0,256}") {
+        let doc = parse(&s);
+        for t in extract_tables(&doc) {
+            for row in &t.rows {
+                for cell in row {
+                    prop_assert!(cell.colspan >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_content_is_whitespace_collapsed(s in ".{0,128}") {
+        let doc = parse(&s);
+        let text = doc.text_content(doc.root());
+        prop_assert!(!text.contains("  "), "double space in {text:?}");
+        prop_assert!(!text.starts_with(' '));
+        prop_assert!(!text.ends_with(' '));
+    }
+
+    #[test]
+    fn spec_tables_round_trip(
+        pairs in prop::collection::vec(("[A-Za-z ]{1,12}", "[A-Za-z0-9 ./]{1,16}"), 1..6)
+    ) {
+        // Build a table, parse it back, and recover every row.
+        let mut html = String::from("<table>");
+        for (k, v) in &pairs {
+            html.push_str(&format!("<tr><td>{k}</td><td>{v}</td></tr>"));
+        }
+        html.push_str("</table>");
+        let doc = parse(&html);
+        let tables = extract_tables(&doc);
+        prop_assert_eq!(tables.len(), 1);
+        prop_assert_eq!(tables[0].rows.len(), pairs.len());
+        for (row, (k, v)) in tables[0].rows.iter().zip(&pairs) {
+            prop_assert_eq!(row.len(), 2);
+            // Cell text is whitespace-collapsed relative to the input.
+            prop_assert_eq!(&row[0].text, &pse_html::dom::collapse_whitespace(k));
+            prop_assert_eq!(&row[1].text, &pse_html::dom::collapse_whitespace(v));
+        }
+    }
+}

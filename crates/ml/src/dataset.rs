@@ -1,0 +1,136 @@
+//! Labeled feature-vector datasets.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense dataset of feature vectors with binary labels.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one example.
+    ///
+    /// # Panics
+    /// Panics when the feature dimension differs from previous examples.
+    pub fn push(&mut self, features: Vec<f64>, label: bool) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature dimension");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Number of positive examples.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|l| **l).count()
+    }
+
+    /// Example accessors.
+    pub fn example(&self, i: usize) -> (&[f64], bool) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// All feature vectors.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Deterministically shuffled index order for SGD epochs.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx
+    }
+
+    /// Split into `(train, test)` with the given test fraction, shuffling
+    /// deterministically by `seed`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let idx = self.shuffled_indices(seed);
+        let n_test = ((self.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for (k, &i) in idx.iter().enumerate() {
+            let (f, l) = self.example(i);
+            if k < n_test {
+                test.push(f.to_vec(), l);
+            } else {
+                train.push(f.to_vec(), l);
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64, 1.0], i % 2 == 0);
+        }
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.positives(), 5);
+        assert_eq!(d.example(1), (&[1.0, 1.0][..], false));
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = sample();
+        let (train, test) = d.split(0.3, 1);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let d = sample();
+        assert_eq!(d.shuffled_indices(9), d.shuffled_indices(9));
+        assert_ne!(d.shuffled_indices(9), d.shuffled_indices(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn dimension_mismatch_panics() {
+        let mut d = sample();
+        d.push(vec![1.0], true);
+    }
+}

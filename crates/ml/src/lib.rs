@@ -1,0 +1,21 @@
+//! Minimal machine-learning toolkit built from scratch for the
+//! product-synthesis pipeline.
+//!
+//! The paper's attribute-correspondence classifier is a logistic regression
+//! over six distributional-similarity features (Section 3.2); the LSD-style
+//! baseline is a multi-class Naive Bayes (Appendix C). The Rust ecosystem
+//! for classifier-based matching is thin, so both learners — along with
+//! feature standardization and the precision/coverage evaluation machinery —
+//! are implemented here on `std` + `rand` only.
+
+pub mod dataset;
+pub mod logistic;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod standardize;
+
+pub use dataset::Dataset;
+pub use logistic::{LogisticRegression, TrainConfig};
+pub use metrics::{pr_curve, precision_at_coverage, PrPoint};
+pub use naive_bayes::MultinomialNaiveBayes;
+pub use standardize::Standardizer;

@@ -1,0 +1,175 @@
+//! Classification metrics, centered on the paper's evaluation protocol.
+//!
+//! Section 5.2 scores every matcher by *precision at coverage*: sort the
+//! output correspondences by score θ, and for each threshold report the
+//! number of correspondences kept (coverage) and the fraction of those that
+//! are correct (precision). Appendix B shows that at equal precision,
+//! higher coverage implies higher *relative recall* — which is what the
+//! figures compare.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a precision/coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Score threshold θ at this point.
+    pub threshold: f64,
+    /// Number of predictions with score ≥ θ.
+    pub coverage: usize,
+    /// Fraction of those predictions that are correct.
+    pub precision: f64,
+}
+
+/// Build the precision-at-coverage curve from `(score, correct)` pairs.
+///
+/// The result is sorted by decreasing threshold (increasing coverage) and
+/// contains one point per distinct score value. Ties share a point, so the
+/// curve is invariant under reordering of tied predictions.
+pub fn pr_curve(scored: &[(f64, bool)]) -> Vec<PrPoint> {
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut out = Vec::new();
+    let mut correct = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        // Consume the whole tie group.
+        while i < sorted.len() && sorted[i].0 == threshold {
+            correct += usize::from(sorted[i].1);
+            i += 1;
+        }
+        out.push(PrPoint { threshold, coverage: i, precision: correct as f64 / i as f64 });
+    }
+    out
+}
+
+/// Precision among the `k` highest-scoring predictions (`None` when there
+/// are fewer than `k` predictions or `k == 0`).
+pub fn precision_at_coverage(scored: &[(f64, bool)], k: usize) -> Option<f64> {
+    if k == 0 || scored.len() < k {
+        return None;
+    }
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let correct = sorted[..k].iter().filter(|(_, c)| *c).count();
+    Some(correct as f64 / k as f64)
+}
+
+/// Downsample a curve to at most `n` evenly spaced points (keeping the
+/// first and last), for plotting / reporting.
+pub fn thin_curve(curve: &[PrPoint], n: usize) -> Vec<PrPoint> {
+    if curve.len() <= n || n < 2 {
+        return curve.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let idx = k * (curve.len() - 1) / (n - 1);
+        out.push(curve[idx]);
+    }
+    out.dedup_by_key(|p| p.coverage);
+    out
+}
+
+/// Classic precision / recall / F1 from confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Prf {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_in_coverage() {
+        let scored = vec![(0.9, true), (0.8, true), (0.7, false), (0.6, true), (0.5, false)];
+        let curve = pr_curve(&scored);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], PrPoint { threshold: 0.9, coverage: 1, precision: 1.0 });
+        assert_eq!(curve[4].coverage, 5);
+        assert!((curve[4].precision - 0.6).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[0].coverage < w[1].coverage);
+            assert!(w[0].threshold > w[1].threshold);
+        }
+    }
+
+    #[test]
+    fn ties_share_a_point() {
+        let scored = vec![(0.5, true), (0.5, false), (0.4, true)];
+        let curve = pr_curve(&scored);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].coverage, 2);
+        assert!((curve[0].precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k() {
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true)];
+        assert_eq!(precision_at_coverage(&scored, 1), Some(1.0));
+        assert_eq!(precision_at_coverage(&scored, 2), Some(0.5));
+        assert_eq!(precision_at_coverage(&scored, 4), None);
+        assert_eq!(precision_at_coverage(&scored, 0), None);
+    }
+
+    #[test]
+    fn thinning_preserves_endpoints() {
+        let scored: Vec<(f64, bool)> =
+            (0..100).map(|i| (1.0 - i as f64 / 100.0, i % 3 == 0)).collect();
+        let curve = pr_curve(&scored);
+        let thin = thin_curve(&curve, 10);
+        assert!(thin.len() <= 10);
+        assert_eq!(thin.first().unwrap().coverage, curve.first().unwrap().coverage);
+        assert_eq!(thin.last().unwrap().coverage, curve.last().unwrap().coverage);
+    }
+
+    #[test]
+    fn prf_basics() {
+        let m = Prf { tp: 8, fp: 2, fn_: 2 };
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.f1() - 0.8).abs() < 1e-12);
+        assert_eq!(Prf::default().f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_curve() {
+        assert!(pr_curve(&[]).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-class multinomial Naive Bayes over token features.
+//!
+//! Two uses in this repository:
+//! * the LSD-style instance matcher of the paper's Appendix C (classes =
+//!   catalog attributes of one category, features = value tokens);
+//! * the offer category classifier of Section 2 (classes = categories,
+//!   features = title tokens).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Multinomial Naive Bayes with Laplace smoothing over string tokens and
+/// `usize` class labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultinomialNaiveBayes {
+    /// Per-class token counts.
+    class_token_counts: Vec<HashMap<String, u64>>,
+    /// Per-class total token counts.
+    class_totals: Vec<u64>,
+    /// Per-class document counts (for the prior).
+    class_docs: Vec<u64>,
+    /// Total number of training documents.
+    total_docs: u64,
+    /// Vocabulary size for Laplace smoothing.
+    vocabulary: std::collections::HashSet<String>,
+    /// Laplace smoothing constant.
+    alpha: f64,
+}
+
+impl MultinomialNaiveBayes {
+    /// A model with `num_classes` classes and Laplace smoothing α = 1.
+    pub fn new(num_classes: usize) -> Self {
+        Self::with_alpha(num_classes, 1.0)
+    }
+
+    /// A model with a custom smoothing constant.
+    pub fn with_alpha(num_classes: usize, alpha: f64) -> Self {
+        Self {
+            class_token_counts: vec![HashMap::new(); num_classes],
+            class_totals: vec![0; num_classes],
+            class_docs: vec![0; num_classes],
+            total_docs: 0,
+            vocabulary: Default::default(),
+            alpha: alpha.max(1e-9),
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_totals.len()
+    }
+
+    /// Train on one document: a bag of tokens labeled with `class`.
+    ///
+    /// # Panics
+    /// Panics when `class` is out of range.
+    pub fn observe<I, S>(&mut self, class: usize, tokens: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        assert!(class < self.num_classes(), "class out of range");
+        self.class_docs[class] += 1;
+        self.total_docs += 1;
+        for t in tokens {
+            let t = t.into();
+            *self.class_token_counts[class].entry(t.clone()).or_insert(0) += 1;
+            self.class_totals[class] += 1;
+            self.vocabulary.insert(t);
+        }
+    }
+
+    /// Log prior `ln P(class)` with Laplace smoothing over classes.
+    pub fn log_prior(&self, class: usize) -> f64 {
+        ((self.class_docs[class] as f64 + self.alpha)
+            / (self.total_docs as f64 + self.alpha * self.num_classes() as f64))
+            .ln()
+    }
+
+    /// Log likelihood `ln P(token | class)` with Laplace smoothing.
+    pub fn log_likelihood(&self, class: usize, token: &str) -> f64 {
+        let count = self.class_token_counts[class].get(token).copied().unwrap_or(0);
+        ((count as f64 + self.alpha)
+            / (self.class_totals[class] as f64 + self.alpha * self.vocabulary.len().max(1) as f64))
+            .ln()
+    }
+
+    /// Unnormalized log joint `ln P(class) + Σ ln P(token | class)`.
+    pub fn log_joint<'a, I>(&self, class: usize, tokens: I) -> f64
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut s = self.log_prior(class);
+        for t in tokens {
+            s += self.log_likelihood(class, t);
+        }
+        s
+    }
+
+    /// Posterior distribution `P(class | tokens)` over all classes.
+    pub fn posterior(&self, tokens: &[&str]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.num_classes())
+            .map(|c| self.log_joint(c, tokens.iter().copied()))
+            .collect();
+        softmax_from_logs(&logs)
+    }
+
+    /// The most probable class for a token bag, with its posterior
+    /// probability. Returns `None` when the model has no classes.
+    pub fn classify(&self, tokens: &[&str]) -> Option<(usize, f64)> {
+        if self.num_classes() == 0 {
+            return None;
+        }
+        let post = self.posterior(tokens);
+        post.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, p)| (c, *p))
+    }
+}
+
+/// Normalize a vector of log-probabilities into probabilities, stably.
+fn softmax_from_logs(logs: &[f64]) -> Vec<f64> {
+    if logs.is_empty() {
+        return Vec::new();
+    }
+    let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logs.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> MultinomialNaiveBayes {
+        let mut nb = MultinomialNaiveBayes::new(2);
+        // Class 0: storage words. Class 1: camera words.
+        nb.observe(0, ["sata", "7200", "rpm", "drive"]);
+        nb.observe(0, ["ide", "5400", "rpm", "drive"]);
+        nb.observe(1, ["zoom", "lens", "megapixel"]);
+        nb.observe(1, ["aperture", "lens", "sensor"]);
+        nb
+    }
+
+    #[test]
+    fn classifies_by_token_evidence() {
+        let nb = trained();
+        let (c, p) = nb.classify(&["rpm", "drive"]).unwrap();
+        assert_eq!(c, 0);
+        assert!(p > 0.8);
+        let (c, _) = nb.classify(&["lens", "zoom"]).unwrap();
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let nb = trained();
+        let p = nb.posterior(&["rpm", "lens"]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_tokens_fall_back_to_prior() {
+        let mut nb = MultinomialNaiveBayes::new(2);
+        nb.observe(0, ["a"]);
+        nb.observe(0, ["a"]);
+        nb.observe(0, ["a"]);
+        nb.observe(1, ["b"]);
+        let (c, _) = nb.classify(&["zzz"]).unwrap();
+        assert_eq!(c, 0, "majority class wins on unseen evidence");
+    }
+
+    #[test]
+    fn empty_token_list_uses_prior_only() {
+        let nb = trained();
+        let p = nb.posterior(&[]);
+        assert!((p[0] - 0.5).abs() < 1e-9, "balanced priors");
+    }
+
+    #[test]
+    fn softmax_is_stable_with_large_logs() {
+        let p = softmax_from_logs(&[-1000.0, -1001.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn out_of_range_class_panics() {
+        let mut nb = MultinomialNaiveBayes::new(1);
+        nb.observe(1, ["x"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the ML toolkit.
+
+use proptest::prelude::*;
+use pse_ml::metrics::{pr_curve, precision_at_coverage};
+use pse_ml::{Dataset, LogisticRegression, MultinomialNaiveBayes, Standardizer, TrainConfig};
+
+proptest! {
+    #[test]
+    fn pr_curve_invariants(scored in prop::collection::vec((0.0f64..1.0, any::<bool>()), 0..64)) {
+        let curve = pr_curve(&scored);
+        // Coverage strictly increases, thresholds strictly decrease.
+        for w in curve.windows(2) {
+            prop_assert!(w[0].coverage < w[1].coverage);
+            prop_assert!(w[0].threshold > w[1].threshold);
+        }
+        // Final point covers everything and matches overall precision.
+        if let Some(last) = curve.last() {
+            prop_assert_eq!(last.coverage, scored.len());
+            let correct = scored.iter().filter(|(_, c)| *c).count();
+            prop_assert!((last.precision - correct as f64 / scored.len() as f64).abs() < 1e-12);
+        }
+        // precision_at_coverage agrees with the curve at exact points.
+        for p in &curve {
+            if let Some(prec) = precision_at_coverage(&scored, p.coverage) {
+                prop_assert!((prec - p.precision).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn standardizer_output_is_centered(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..20)
+    ) {
+        let s = Standardizer::fit(&rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| s.apply(r)).collect();
+        for d in 0..3 {
+            let mean: f64 =
+                transformed.iter().map(|r| r[d]).sum::<f64>() / transformed.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn logistic_probabilities_in_unit_interval(
+        features in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..32),
+        probe in prop::collection::vec(-10.0f64..10.0, 2),
+    ) {
+        let mut d = Dataset::new();
+        for (i, (a, b)) in features.iter().enumerate() {
+            d.push(vec![*a, *b], i % 2 == 0);
+        }
+        let model = LogisticRegression::train(
+            &d,
+            &TrainConfig { epochs: 5, ..TrainConfig::default() },
+        );
+        let p = model.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn naive_bayes_posterior_is_a_distribution(
+        docs in prop::collection::vec((0usize..3, prop::collection::vec("[a-z]{1,5}", 1..5)), 1..16),
+        query in prop::collection::vec("[a-z]{1,5}", 0..5),
+    ) {
+        let mut nb = MultinomialNaiveBayes::new(3);
+        for (class, tokens) in &docs {
+            nb.observe(*class, tokens.iter().cloned());
+        }
+        let refs: Vec<&str> = query.iter().map(String::as_str).collect();
+        let post = nb.posterior(&refs);
+        prop_assert_eq!(post.len(), 3);
+        prop_assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for p in post {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn dataset_split_preserves_examples(n in 1usize..40, frac in 0.0f64..1.0) {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(vec![i as f64], i % 3 == 0);
+        }
+        let (train, test) = d.split(frac, 7);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert_eq!(train.positives() + test.positives(), d.positives());
+    }
+}

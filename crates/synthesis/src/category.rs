@@ -1,0 +1,168 @@
+//! Title-based category classification (Section 2).
+//!
+//! "Merchant feeds may not have category information […] To determine the
+//! category for a given offer, we use a simple classifier, which given the
+//! title of the offer, returns its category C under the catalog taxonomy."
+//! The paper omits the details; we use a multinomial Naive Bayes over title
+//! tokens, trained from offers whose category is known (e.g. historical
+//! offers), which matches the era's standard practice.
+
+use std::collections::HashMap;
+
+use pse_core::{CategoryId, Offer};
+use pse_ml::MultinomialNaiveBayes;
+use pse_text::tokenize::tokens;
+
+/// Naive-Bayes offer-title → category classifier.
+#[derive(Debug, Clone)]
+pub struct TitleClassifier {
+    model: MultinomialNaiveBayes,
+    /// Dense class index ↔ category id mapping.
+    classes: Vec<CategoryId>,
+    class_of: HashMap<CategoryId, usize>,
+}
+
+impl TitleClassifier {
+    /// Train from `(title, category)` pairs.
+    pub fn train<'a, I>(examples: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, CategoryId)> + Clone,
+    {
+        let mut classes = Vec::new();
+        let mut class_of = HashMap::new();
+        for (_, c) in examples.clone() {
+            class_of.entry(c).or_insert_with(|| {
+                classes.push(c);
+                classes.len() - 1
+            });
+        }
+        let mut model = MultinomialNaiveBayes::new(classes.len());
+        for (title, c) in examples {
+            model.observe(class_of[&c], tokens(title));
+        }
+        Self { model, classes, class_of }
+    }
+
+    /// Train from offers that already carry a category.
+    pub fn train_from_offers(offers: &[Offer]) -> Self {
+        let examples: Vec<(&str, CategoryId)> = offers
+            .iter()
+            .filter_map(|o| o.category.map(|c| (o.title.as_str(), c)))
+            .collect();
+        Self::train(examples)
+    }
+
+    /// Number of known categories.
+    pub fn num_categories(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Classify a title; `None` when the classifier saw no training data.
+    pub fn classify(&self, title: &str) -> Option<(CategoryId, f64)> {
+        let toks = tokens(title);
+        let refs: Vec<&str> = toks.iter().map(String::as_str).collect();
+        self.model.classify(&refs).map(|(c, p)| (self.classes[c], p))
+    }
+
+    /// Accuracy over labeled `(title, category)` pairs.
+    pub fn accuracy<'a, I>(&self, examples: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a str, CategoryId)>,
+    {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (title, truth) in examples {
+            total += 1;
+            if self.classify(title).map(|(c, _)| c) == Some(truth) {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Whether `category` was seen at training time.
+    pub fn knows(&self, category: CategoryId) -> bool {
+        self.class_of.contains_key(&category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier() -> TitleClassifier {
+        TitleClassifier::train([
+            ("Seagate Barracuda 500GB SATA Hard Drive", CategoryId(0)),
+            ("Hitachi Deskstar 7200rpm Hard Drive", CategoryId(0)),
+            ("Western Digital 250GB IDE Drive", CategoryId(0)),
+            ("Canon EOS 12MP Digital Camera", CategoryId(1)),
+            ("Nikon Coolpix 10x Zoom Camera", CategoryId(1)),
+            ("Sony Cybershot 14MP Camera Silver", CategoryId(1)),
+        ])
+    }
+
+    #[test]
+    fn classifies_by_domain_tokens() {
+        let c = classifier();
+        assert_eq!(c.classify("Samsung 1TB SATA Drive").unwrap().0, CategoryId(0));
+        assert_eq!(c.classify("Olympus 16MP Camera").unwrap().0, CategoryId(1));
+    }
+
+    #[test]
+    fn accuracy_on_training_data_is_high() {
+        let c = classifier();
+        let acc = c.accuracy([
+            ("Seagate 500GB Hard Drive", CategoryId(0)),
+            ("Canon Digital Camera 12MP", CategoryId(1)),
+        ]);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn knows_trained_categories_only() {
+        let c = classifier();
+        assert!(c.knows(CategoryId(0)));
+        assert!(!c.knows(CategoryId(7)));
+        assert_eq!(c.num_categories(), 2);
+    }
+
+    #[test]
+    fn empty_classifier_returns_none() {
+        let c = TitleClassifier::train(Vec::<(&str, CategoryId)>::new());
+        assert!(c.classify("anything").is_none());
+        assert_eq!(c.accuracy([("x", CategoryId(0))]), 0.0);
+    }
+
+    #[test]
+    fn train_from_offers_skips_uncategorized() {
+        use pse_core::{MerchantId, OfferId, Spec};
+        let offers = vec![
+            Offer {
+                id: OfferId(0),
+                merchant: MerchantId(0),
+                price_cents: 0,
+                image_url: None,
+                category: Some(CategoryId(3)),
+                url: String::new(),
+                title: "Blender 700 watts".into(),
+                spec: Spec::new(),
+            },
+            Offer {
+                id: OfferId(1),
+                merchant: MerchantId(0),
+                price_cents: 0,
+                image_url: None,
+                category: None,
+                url: String::new(),
+                title: "Mystery item".into(),
+                spec: Spec::new(),
+            },
+        ];
+        let c = TitleClassifier::train_from_offers(&offers);
+        assert_eq!(c.num_categories(), 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Offer-to-product title matching.
+//!
+//! Section 3.1: historical associations "can be obtained through various
+//! methods, including the use of universal identifiers (GTIN, UPC, EAN)
+//! when available, manual techniques, or automated matchers that attempt to
+//! match the title of the offers to structured product records." This
+//! module implements such an automated matcher, which lets a deployment
+//! *bootstrap* the historical matches the offline learner needs:
+//!
+//! 1. identifier matching — if the offer specification carries a UPC/EAN
+//!    that a catalog product carries too, the match is certain;
+//! 2. title matching — otherwise, compare the offer title against product
+//!    titles and specifications with TF-IDF cosine, accepting the best
+//!    product when it clears a confidence margin.
+
+use std::collections::HashMap;
+
+use pse_core::{Catalog, CategoryId, HistoricalMatches, Offer, ProductId, Spec};
+use pse_text::normalize::normalize_value;
+use pse_text::tfidf::{cosine_of, TfIdfCorpus};
+use pse_text::BagOfWords;
+
+/// Configuration of the bootstrap matcher.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// Identifier attributes checked for exact matches, in priority order.
+    pub identifier_attributes: Vec<String>,
+    /// Minimum cosine similarity for a title match to be accepted.
+    pub min_similarity: f64,
+    /// Minimum margin between the best and second-best product similarity;
+    /// ambiguous offers stay unmatched (precision over recall, since
+    /// downstream learning conditions on these matches).
+    pub min_margin: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            identifier_attributes: vec!["UPC".to_string(), "MPN".to_string()],
+            min_similarity: 0.4,
+            min_margin: 0.05,
+        }
+    }
+}
+
+/// How a match was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// A shared universal identifier (exact).
+    Identifier,
+    /// Title similarity above threshold and margin.
+    Title,
+}
+
+/// One proposed offer-to-product match.
+#[derive(Debug, Clone)]
+pub struct ProposedMatch {
+    /// The offer.
+    pub offer: pse_core::OfferId,
+    /// The product it matches.
+    pub product: ProductId,
+    /// Cosine similarity (1.0 for identifier matches).
+    pub similarity: f64,
+    /// How the match was found.
+    pub kind: MatchKind,
+}
+
+/// An offer-to-product matcher over one catalog.
+pub struct TitleMatcher<'a> {
+    catalog: &'a Catalog,
+    config: MatcherConfig,
+    /// Per-category TF-IDF corpus and product vectors.
+    per_category: HashMap<CategoryId, CategoryIndex>,
+    /// identifier value (normalized) → product, per category.
+    identifiers: HashMap<(CategoryId, String), ProductId>,
+}
+
+struct CategoryIndex {
+    corpus: TfIdfCorpus,
+    products: Vec<(ProductId, HashMap<String, f64>)>,
+}
+
+impl<'a> TitleMatcher<'a> {
+    /// Build the matcher's indexes from the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self::with_config(catalog, MatcherConfig::default())
+    }
+
+    /// Build with custom configuration.
+    pub fn with_config(catalog: &'a Catalog, config: MatcherConfig) -> Self {
+        let mut per_category: HashMap<CategoryId, CategoryIndex> = HashMap::new();
+        let mut identifiers = HashMap::new();
+
+        let mut bags: HashMap<CategoryId, Vec<(ProductId, BagOfWords)>> = HashMap::new();
+        for product in catalog.products() {
+            let mut bag = BagOfWords::new();
+            bag.add_value(&product.title);
+            for pair in product.spec.iter() {
+                bag.add_value(&pair.value);
+            }
+            bags.entry(product.category).or_default().push((product.id, bag));
+            for id_attr in &config.identifier_attributes {
+                if let Some(v) = product.spec.get(id_attr) {
+                    identifiers
+                        .insert((product.category, normalize_value(v)), product.id);
+                }
+            }
+        }
+        for (category, items) in bags {
+            let mut corpus = TfIdfCorpus::new();
+            for (_, bag) in &items {
+                corpus.add_document(bag);
+            }
+            let products = items
+                .into_iter()
+                .map(|(pid, bag)| {
+                    let v = corpus.weight_vector(&bag);
+                    (pid, v)
+                })
+                .collect();
+            per_category.insert(category, CategoryIndex { corpus, products });
+        }
+        Self { catalog, config, per_category, identifiers }
+    }
+
+    /// Try to match one offer. `spec` is the offer's (extracted)
+    /// specification, used for identifier matching; pass an empty spec to
+    /// match on the title alone.
+    pub fn match_offer(&self, offer: &Offer, spec: &Spec) -> Option<ProposedMatch> {
+        let category = offer.category?;
+
+        // 1. Identifier matching.
+        for id_attr in &self.config.identifier_attributes {
+            for v in spec.get_all(id_attr) {
+                if let Some(&product) =
+                    self.identifiers.get(&(category, normalize_value(v)))
+                {
+                    return Some(ProposedMatch {
+                        offer: offer.id,
+                        product,
+                        similarity: 1.0,
+                        kind: MatchKind::Identifier,
+                    });
+                }
+            }
+        }
+
+        // 2. Title matching.
+        let index = self.per_category.get(&category)?;
+        let mut bag = BagOfWords::new();
+        bag.add_value(&offer.title);
+        for pair in spec.iter() {
+            bag.add_value(&pair.value);
+        }
+        let query = index.corpus.weight_vector(&bag);
+        let mut best: Option<(ProductId, f64)> = None;
+        let mut second = 0.0f64;
+        for (pid, pv) in &index.products {
+            let sim = cosine_of(&query, pv);
+            match best {
+                Some((_, b)) if sim <= b => second = second.max(sim),
+                _ => {
+                    if let Some((_, b)) = best {
+                        second = second.max(b);
+                    }
+                    best = Some((*pid, sim));
+                }
+            }
+        }
+        let (product, similarity) = best?;
+        if similarity >= self.config.min_similarity
+            && similarity - second >= self.config.min_margin
+        {
+            Some(ProposedMatch { offer: offer.id, product, similarity, kind: MatchKind::Title })
+        } else {
+            None
+        }
+    }
+
+    /// Bootstrap a [`HistoricalMatches`] set from a batch of offers.
+    /// `spec_of` supplies each offer's specification (e.g. via extraction).
+    pub fn bootstrap<F>(&self, offers: &[Offer], mut spec_of: F) -> HistoricalMatches
+    where
+        F: FnMut(&Offer) -> Spec,
+    {
+        let mut matches = HistoricalMatches::new();
+        for offer in offers {
+            let spec = spec_of(offer);
+            if let Some(m) = self.match_offer(offer, &spec) {
+                matches.insert(m.offer, m.product);
+            }
+        }
+        matches
+    }
+
+    /// The catalog this matcher indexes.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::{
+        AttributeDef, AttributeKind, CategorySchema, MerchantId, OfferId, Taxonomy,
+    };
+
+    fn setup() -> (Catalog, Vec<ProductId>) {
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("Computing");
+        let cat = tax.add_leaf(
+            top,
+            "Hard Drives",
+            CategorySchema::from_attributes([
+                AttributeDef::key("UPC", AttributeKind::Identifier),
+                AttributeDef::new("Brand", AttributeKind::Text),
+                AttributeDef::new("Capacity", AttributeKind::Numeric),
+            ]),
+        );
+        let mut catalog = Catalog::new(tax);
+        let mut pids = Vec::new();
+        for (title, upc, brand, cap) in [
+            ("Seagate Barracuda 500GB Hard Drive", "111111111111", "Seagate", "500 GB"),
+            ("Hitachi Deskstar 1TB Hard Drive", "222222222222", "Hitachi", "1000 GB"),
+            ("Western Digital Caviar 250GB", "333333333333", "Western Digital", "250 GB"),
+        ] {
+            pids.push(catalog.add_product(
+                cat,
+                title,
+                Spec::from_pairs([("UPC", upc), ("Brand", brand), ("Capacity", cap)]),
+            ));
+        }
+        (catalog, pids)
+    }
+
+    fn offer(title: &str, cat: CategoryId, spec: Spec) -> Offer {
+        Offer {
+            id: OfferId(0),
+            merchant: MerchantId(0),
+            price_cents: 1,
+            image_url: None,
+            category: Some(cat),
+            url: String::new(),
+            title: title.into(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn identifier_match_is_exact() {
+        let (catalog, pids) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let cat = catalog.products().next().unwrap().category;
+        let o = offer(
+            "totally unrelated title",
+            cat,
+            Spec::from_pairs([("UPC", "222222222222")]),
+        );
+        let m = matcher.match_offer(&o, &o.spec).unwrap();
+        assert_eq!(m.product, pids[1]);
+        assert_eq!(m.kind, MatchKind::Identifier);
+        assert_eq!(m.similarity, 1.0);
+    }
+
+    #[test]
+    fn title_match_finds_closest_product() {
+        let (catalog, pids) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let cat = catalog.products().next().unwrap().category;
+        let o = offer("Seagate Barracuda 500 GB SATA", cat, Spec::new());
+        let m = matcher.match_offer(&o, &Spec::new()).unwrap();
+        assert_eq!(m.product, pids[0]);
+        assert_eq!(m.kind, MatchKind::Title);
+        assert!(m.similarity > 0.4);
+    }
+
+    #[test]
+    fn ambiguous_titles_stay_unmatched() {
+        let (catalog, _) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let cat = catalog.products().next().unwrap().category;
+        // Generic words shared by every product: low similarity everywhere.
+        let o = offer("Hard Drive", cat, Spec::new());
+        assert!(matcher.match_offer(&o, &Spec::new()).is_none());
+    }
+
+    #[test]
+    fn uncategorized_offers_are_skipped() {
+        let (catalog, _) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let mut o = offer("Seagate Barracuda 500GB", CategoryId(0), Spec::new());
+        o.category = None;
+        assert!(matcher.match_offer(&o, &Spec::new()).is_none());
+    }
+
+    #[test]
+    fn bootstrap_collects_matches() {
+        let (catalog, pids) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let cat = catalog.products().next().unwrap().category;
+        let offers: Vec<Offer> = [
+            "Seagate Barracuda 500GB drive",
+            "Hitachi Deskstar 1TB",
+            "mystery gadget",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut o = offer(t, cat, Spec::new());
+            o.id = OfferId(i as u64);
+            o
+        })
+        .collect();
+        let matches = matcher.bootstrap(&offers, |o| o.spec.clone());
+        assert_eq!(matches.product_of(OfferId(0)), Some(pids[0]));
+        assert_eq!(matches.product_of(OfferId(1)), Some(pids[1]));
+        assert_eq!(matches.product_of(OfferId(2)), None);
+    }
+}

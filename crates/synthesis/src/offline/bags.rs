@@ -1,0 +1,257 @@
+//! Match-conditioned bags of words — the raw material of the six
+//! distributional-similarity features.
+//!
+//! Section 3.1: "our Attribute Correspondence Creation component obtains
+//! value distributions only from offers and products that match to each
+//! other." For every grouping of Table 1 we collect:
+//!
+//! * offer-side bags: token multisets of the values of each merchant
+//!   attribute, keyed by (merchant, category), category, or merchant;
+//! * product-side *sets*: the catalog products matched by the offers of the
+//!   group (bags over their attribute values are materialized lazily by the
+//!   feature computer, per candidate catalog attribute).
+//!
+//! The unconditioned variant (the "No matching" baseline of Figure 7) uses
+//! all offers and all catalog products of the category instead.
+
+use std::collections::{HashMap, HashSet};
+
+use pse_core::{Catalog, CategoryId, HistoricalMatches, MerchantId, Offer, ProductId};
+use pse_text::normalize::normalize_attribute_name;
+use pse_text::BagOfWords;
+
+use crate::provider::SpecProvider;
+
+/// Offer-side bags and product-side match sets for all three groupings.
+#[derive(Debug, Default)]
+pub struct FeatureIndex {
+    /// (merchant, category) → merchant attribute (normalized) → value bag.
+    pub offer_mc: HashMap<(MerchantId, CategoryId), HashMap<String, BagOfWords>>,
+    /// category → merchant attribute (normalized) → value bag.
+    pub offer_c: HashMap<CategoryId, HashMap<String, BagOfWords>>,
+    /// merchant → merchant attribute (normalized) → value bag.
+    pub offer_m: HashMap<MerchantId, HashMap<String, BagOfWords>>,
+    /// Products matched by the offers of each (merchant, category).
+    pub products_mc: HashMap<(MerchantId, CategoryId), HashSet<ProductId>>,
+    /// Products matched by the offers of each category.
+    pub products_c: HashMap<CategoryId, HashSet<ProductId>>,
+    /// Products matched by the offers of each merchant.
+    pub products_m: HashMap<MerchantId, HashSet<ProductId>>,
+}
+
+impl FeatureIndex {
+    /// Build the index from historical offer-to-product matches: only
+    /// matched offers contribute, and product sets contain only matched
+    /// products (the paper's approach).
+    pub fn build_matched<P: SpecProvider>(
+        offers: &[Offer],
+        historical: &HistoricalMatches,
+        provider: &P,
+    ) -> Self {
+        let mut index = Self::default();
+        for offer in offers {
+            let Some(product) = historical.product_of(offer.id) else { continue };
+            let Some(category) = offer.category else { continue };
+            index.add_offer(offer, category, provider);
+            index.products_mc.entry((offer.merchant, category)).or_default().insert(product);
+            index.products_c.entry(category).or_default().insert(product);
+            index.products_m.entry(offer.merchant).or_default().insert(product);
+        }
+        index
+    }
+
+    /// Build the unconditioned index (Figure 7 baseline): every offer
+    /// contributes, and the product sets are *all* catalog products of the
+    /// relevant categories.
+    pub fn build_unconditioned<P: SpecProvider>(
+        catalog: &Catalog,
+        offers: &[Offer],
+        provider: &P,
+    ) -> Self {
+        let mut index = Self::default();
+        let mut merchant_categories: HashMap<MerchantId, HashSet<CategoryId>> = HashMap::new();
+        let mut categories_seen: HashSet<CategoryId> = HashSet::new();
+        for offer in offers {
+            let Some(category) = offer.category else { continue };
+            index.add_offer(offer, category, provider);
+            merchant_categories.entry(offer.merchant).or_default().insert(category);
+            categories_seen.insert(category);
+        }
+        for &category in &categories_seen {
+            let all: HashSet<ProductId> =
+                catalog.products_in(category).map(|p| p.id).collect();
+            index.products_c.insert(category, all);
+        }
+        for ((merchant, category), _) in index.offer_mc.iter() {
+            index
+                .products_mc
+                .insert((*merchant, *category), index.products_c[category].clone());
+        }
+        for (merchant, cats) in merchant_categories {
+            let mut set = HashSet::new();
+            for c in cats {
+                set.extend(index.products_c[&c].iter().copied());
+            }
+            index.products_m.insert(merchant, set);
+        }
+        index
+    }
+
+    fn add_offer<P: SpecProvider>(&mut self, offer: &Offer, category: CategoryId, provider: &P) {
+        let spec = provider.spec(offer);
+        for pair in spec.iter() {
+            let name = normalize_attribute_name(&pair.name);
+            if name.is_empty() {
+                continue;
+            }
+            self.offer_mc
+                .entry((offer.merchant, category))
+                .or_default()
+                .entry(name.clone())
+                .or_default()
+                .add_value(&pair.value);
+            self.offer_c
+                .entry(category)
+                .or_default()
+                .entry(name.clone())
+                .or_default()
+                .add_value(&pair.value);
+            self.offer_m
+                .entry(offer.merchant)
+                .or_default()
+                .entry(name)
+                .or_default()
+                .add_value(&pair.value);
+        }
+    }
+
+    /// The (merchant, category) groups with at least one offer attribute,
+    /// in deterministic order.
+    pub fn merchant_category_groups(&self) -> Vec<(MerchantId, CategoryId)> {
+        let mut keys: Vec<_> = self.offer_mc.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Merchant attribute names observed for a (merchant, category), in
+    /// deterministic order.
+    pub fn merchant_attributes(
+        &self,
+        merchant: MerchantId,
+        category: CategoryId,
+    ) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .offer_mc
+            .get(&(merchant, category))
+            .map(|m| m.keys().map(String::as_str).collect())
+            .unwrap_or_default();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::FnProvider;
+    use pse_core::{OfferId, Spec};
+
+    fn offer(id: u64, merchant: u32, category: u32, pairs: &[(&str, &str)]) -> Offer {
+        Offer {
+            id: OfferId(id),
+            merchant: MerchantId(merchant),
+            price_cents: 100,
+            image_url: None,
+            category: Some(CategoryId(category)),
+            url: String::new(),
+            title: String::new(),
+            spec: Spec::from_pairs(pairs.iter().copied()),
+        }
+    }
+
+    fn provider() -> FnProvider<impl Fn(&Offer) -> Spec> {
+        FnProvider(|o: &Offer| o.spec.clone())
+    }
+
+    #[test]
+    fn matched_index_only_uses_matched_offers() {
+        let offers = vec![
+            offer(0, 0, 0, &[("RPM", "7200")]),
+            offer(1, 0, 0, &[("RPM", "5400")]),
+            offer(2, 1, 0, &[("Speed", "7200")]),
+        ];
+        let mut hist = HistoricalMatches::new();
+        hist.insert(OfferId(0), ProductId(10));
+        let index = FeatureIndex::build_matched(&offers, &hist, &provider());
+        let bag = &index.offer_mc[&(MerchantId(0), CategoryId(0))]["rpm"];
+        assert_eq!(bag.count("7200"), 1);
+        assert_eq!(bag.count("5400"), 0, "unmatched offer excluded");
+        assert!(!index.offer_mc.contains_key(&(MerchantId(1), CategoryId(0))));
+        assert_eq!(
+            index.products_c[&CategoryId(0)],
+            HashSet::from([ProductId(10)])
+        );
+    }
+
+    #[test]
+    fn groupings_aggregate_correctly() {
+        let offers = vec![
+            offer(0, 0, 0, &[("RPM", "7200")]),
+            offer(1, 1, 0, &[("RPM", "5400")]),
+            offer(2, 0, 1, &[("RPM", "10000")]),
+        ];
+        let mut hist = HistoricalMatches::new();
+        for i in 0..3 {
+            hist.insert(OfferId(i), ProductId(i));
+        }
+        let index = FeatureIndex::build_matched(&offers, &hist, &provider());
+        // Category grouping merges merchants 0 and 1 within category 0.
+        let c_bag = &index.offer_c[&CategoryId(0)]["rpm"];
+        assert_eq!(c_bag.total(), 2);
+        // Merchant grouping merges categories 0 and 1 for merchant 0.
+        let m_bag = &index.offer_m[&MerchantId(0)]["rpm"];
+        assert_eq!(m_bag.total(), 2);
+        assert_eq!(index.products_m[&MerchantId(0)].len(), 2);
+    }
+
+    #[test]
+    fn unconditioned_index_uses_all_offers_and_products() {
+        use pse_core::{AttributeDef, AttributeKind, CategorySchema, Taxonomy};
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("T");
+        let cat = tax.add_leaf(
+            top,
+            "C",
+            CategorySchema::from_attributes([AttributeDef::new("Speed", AttributeKind::Numeric)]),
+        );
+        let mut catalog = Catalog::new(tax);
+        for i in 0..3 {
+            catalog.add_product(cat, format!("p{i}"), Spec::from_pairs([("Speed", "7200")]));
+        }
+        let offers =
+            vec![offer(0, 0, cat.0, &[("RPM", "7200")]), offer(1, 0, cat.0, &[("RPM", "5400")])];
+        let index = FeatureIndex::build_unconditioned(&catalog, &offers, &provider());
+        let bag = &index.offer_mc[&(MerchantId(0), cat)]["rpm"];
+        assert_eq!(bag.total(), 2, "all offers contribute");
+        assert_eq!(index.products_c[&cat].len(), 3, "all products included");
+        assert_eq!(index.products_mc[&(MerchantId(0), cat)].len(), 3);
+    }
+
+    #[test]
+    fn deterministic_enumeration() {
+        let offers = vec![
+            offer(0, 2, 0, &[("B", "1"), ("A", "2")]),
+            offer(1, 1, 3, &[("Z", "1")]),
+        ];
+        let mut hist = HistoricalMatches::new();
+        hist.insert(OfferId(0), ProductId(0));
+        hist.insert(OfferId(1), ProductId(1));
+        let index = FeatureIndex::build_matched(&offers, &hist, &provider());
+        assert_eq!(
+            index.merchant_category_groups(),
+            vec![(MerchantId(1), CategoryId(3)), (MerchantId(2), CategoryId(0))]
+        );
+        assert_eq!(index.merchant_attributes(MerchantId(2), CategoryId(0)), ["a", "b"]);
+        assert!(index.merchant_attributes(MerchantId(9), CategoryId(9)).is_empty());
+    }
+}

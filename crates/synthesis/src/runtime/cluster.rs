@@ -1,0 +1,151 @@
+//! Clustering (Section 4): group reconciled offers by key attribute.
+//!
+//! "The Clustering component first extracts the key attributes (Model Part
+//! Number or universal identifier UPC) for each offer. Then, offers that
+//! have the same key are clustered together, leading to clusters that have
+//! a one-to-one correspondence to a product instance." Schema
+//! reconciliation is what makes keys comparable across merchants: `MPN` and
+//! `Mfr. Part #` both translate to the catalog key attribute first.
+
+use std::collections::HashMap;
+
+use pse_core::CategoryId;
+use pse_text::tokenize::surface_tokens;
+
+use super::reconcile::ReconciledOffer;
+
+/// A cluster of offers sharing one key value — one future product.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The category of all member offers.
+    pub category: CategoryId,
+    /// Which key attribute grouped this cluster (e.g. `"MPN"`).
+    pub key_attribute: String,
+    /// The normalized key value shared by the members.
+    pub key_value: String,
+    /// Member offers.
+    pub members: Vec<ReconciledOffer>,
+}
+
+/// Normalize a key value for comparison: lowercase alphanumeric tokens,
+/// keeping mixed tokens whole so `"HDT725050VLA360"`, `"hdt725050vla360"`
+/// and `"HDT-725050-VLA360"` agree.
+pub fn normalize_key(value: &str) -> String {
+    surface_tokens(value).join("")
+}
+
+/// Cluster reconciled offers by key attribute.
+///
+/// `key_attributes` is an ordered preference list (first present wins, MPN
+/// before UPC by default). Offers without any key value are dropped — with
+/// no identifier there is no safe way to group them (the paper's design).
+pub fn cluster_by_key(offers: Vec<ReconciledOffer>, key_attributes: &[String]) -> Vec<Cluster> {
+    let mut map: HashMap<(CategoryId, String, String), Vec<ReconciledOffer>> = HashMap::new();
+    for offer in offers {
+        let key = key_attributes.iter().find_map(|k| {
+            offer.value_of(k).map(|v| (k.clone(), normalize_key(v)))
+        });
+        let Some((attr, value)) = key else { continue };
+        if value.is_empty() {
+            continue;
+        }
+        map.entry((offer.category, attr, value)).or_default().push(offer);
+    }
+    let mut clusters: Vec<Cluster> = map
+        .into_iter()
+        .map(|((category, key_attribute, key_value), members)| Cluster {
+            category,
+            key_attribute,
+            key_value,
+            members,
+        })
+        .collect();
+    // Deterministic output order.
+    clusters.sort_by(|a, b| {
+        (a.category, &a.key_attribute, &a.key_value).cmp(&(b.category, &b.key_attribute, &b.key_value))
+    });
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::{MerchantId, OfferId};
+
+    fn ro(id: u64, category: u32, pairs: &[(&str, &str)]) -> ReconciledOffer {
+        ReconciledOffer {
+            offer: OfferId(id),
+            merchant: MerchantId(0),
+            category: CategoryId(category),
+            pairs: pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    #[test]
+    fn groups_by_normalized_key() {
+        let offers = vec![
+            ro(0, 0, &[("MPN", "HDT725050VLA360"), ("Speed", "7200")]),
+            ro(1, 0, &[("MPN", "hdt-725050-vla360"), ("Speed", "7200 rpm")]),
+            ro(2, 0, &[("MPN", "OTHER123"), ("Speed", "5400")]),
+        ];
+        let clusters = cluster_by_key(offers, &["MPN".to_string()]);
+        assert_eq!(clusters.len(), 2);
+        let big = clusters.iter().find(|c| c.members.len() == 2).unwrap();
+        assert_eq!(big.key_value, "hdt725050vla360");
+        assert_eq!(big.key_attribute, "MPN");
+    }
+
+    #[test]
+    fn key_preference_order() {
+        // Offer 0 has both keys; offer 1 only UPC. With MPN preferred,
+        // they land in different clusters even though UPC matches.
+        let offers = vec![
+            ro(0, 0, &[("MPN", "ABC123"), ("UPC", "111222333444")]),
+            ro(1, 0, &[("UPC", "111222333444")]),
+        ];
+        let clusters = cluster_by_key(offers, &["MPN".to_string(), "UPC".to_string()]);
+        assert_eq!(clusters.len(), 2);
+        let attrs: Vec<_> = clusters.iter().map(|c| c.key_attribute.as_str()).collect();
+        assert!(attrs.contains(&"MPN") && attrs.contains(&"UPC"));
+    }
+
+    #[test]
+    fn offers_without_keys_are_dropped() {
+        let offers = vec![ro(0, 0, &[("Speed", "7200")])];
+        assert!(cluster_by_key(offers, &["MPN".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn categories_never_mix() {
+        let offers = vec![
+            ro(0, 0, &[("MPN", "SAME")]),
+            ro(1, 1, &[("MPN", "SAME")]),
+        ];
+        let clusters = cluster_by_key(offers, &["MPN".to_string()]);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn normalize_key_variants_agree() {
+        assert_eq!(normalize_key("HDT725050VLA360"), normalize_key("hdt 725050 vla360"));
+        assert_eq!(normalize_key("ABC-123"), "abc123");
+        assert_eq!(normalize_key("  "), "");
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let mk = || {
+            vec![
+                ro(0, 1, &[("MPN", "B2")]),
+                ro(1, 0, &[("MPN", "A1")]),
+                ro(2, 0, &[("MPN", "Z9")]),
+            ]
+        };
+        let a = cluster_by_key(mk(), &["MPN".to_string()]);
+        let b = cluster_by_key(mk(), &["MPN".to_string()]);
+        let keys_a: Vec<_> = a.iter().map(|c| c.key_value.clone()).collect();
+        let keys_b: Vec<_> = b.iter().map(|c| c.key_value.clone()).collect();
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(keys_a, ["a1", "z9", "b2"]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Value Fusion (Section 4 and Appendix A): pick one representative value
+//! per catalog attribute from a cluster of offers.
+//!
+//! Plain majority voting fails on multi-token textual values ("Windows
+//! Vista" vs "Microsoft Windows Vista" vs "Microsoft Vista" — three-way
+//! tie). The paper generalizes voting to the term level: build a term
+//! vector per value, compute the centroid, and choose the value closest to
+//! the centroid in Euclidean distance. In the example, "Microsoft Windows
+//! Vista" wins because it contains the terms shared by the other values.
+
+use std::collections::HashMap;
+
+use pse_text::tokenize::tokens;
+
+/// Which fusion rule the pipeline applies per attribute (the paper uses
+/// [`FusionStrategy::CentroidVote`]; the others are ablation baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionStrategy {
+    /// Appendix A's generalization of majority voting: term-vector
+    /// centroid, pick the member value closest to it.
+    #[default]
+    CentroidVote,
+    /// Plain majority voting over exact (surface) values; ties break
+    /// lexicographically.
+    MajorityExact,
+    /// Pick the longest value (a common heuristic: "most informative").
+    LongestValue,
+    /// Pick the first value encountered (no fusion at all).
+    FirstSeen,
+}
+
+/// Fuse with an explicit strategy. See [`fuse_values`] for the default.
+pub fn fuse_values_with<S: AsRef<str>>(
+    values: &[S],
+    strategy: FusionStrategy,
+) -> Option<FusedValue> {
+    match strategy {
+        FusionStrategy::CentroidVote => fuse_values(values),
+        FusionStrategy::MajorityExact => {
+            if values.is_empty() {
+                return None;
+            }
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for v in values {
+                *counts.entry(v.as_ref()).or_insert(0) += 1;
+            }
+            let (value, _) = counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))?;
+            Some(FusedValue { value: value.to_string(), support: values.len(), distance: 0.0 })
+        }
+        FusionStrategy::LongestValue => {
+            let value = values.iter().map(AsRef::as_ref).max_by(|a, b| {
+                a.len().cmp(&b.len()).then(b.cmp(a))
+            })?;
+            Some(FusedValue { value: value.to_string(), support: values.len(), distance: 0.0 })
+        }
+        FusionStrategy::FirstSeen => values.first().map(|v| FusedValue {
+            value: v.as_ref().to_string(),
+            support: values.len(),
+            distance: 0.0,
+        }),
+    }
+}
+
+/// The outcome of fusing one attribute's values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedValue {
+    /// The representative value (one of the inputs, surface form).
+    pub value: String,
+    /// Number of cluster members that carried this attribute.
+    pub support: usize,
+    /// Euclidean distance of the chosen value to the term centroid (0 when
+    /// all members agree).
+    pub distance: f64,
+}
+
+/// Fuse a multiset of values via term-level generalized majority voting.
+///
+/// Returns `None` for an empty input. Ties on distance break toward the
+/// more frequent value, then lexicographically (for determinism).
+pub fn fuse_values<S: AsRef<str>>(values: &[S]) -> Option<FusedValue> {
+    if values.is_empty() {
+        return None;
+    }
+    // Term universe and per-value term vectors (binary, per Appendix A).
+    let mut term_index: HashMap<String, usize> = HashMap::new();
+    let mut vectors: Vec<Vec<usize>> = Vec::with_capacity(values.len());
+    for v in values {
+        let mut dims = Vec::new();
+        for t in tokens(v.as_ref()) {
+            let next = term_index.len();
+            let idx = *term_index.entry(t).or_insert(next);
+            if !dims.contains(&idx) {
+                dims.push(idx);
+            }
+        }
+        vectors.push(dims);
+    }
+    let dim = term_index.len();
+    // Centroid over all value vectors (values appearing k times contribute
+    // k identical vectors, so frequency weights the centroid naturally).
+    let mut centroid = vec![0.0f64; dim];
+    for dims in &vectors {
+        for &d in dims {
+            centroid[d] += 1.0;
+        }
+    }
+    let n = values.len() as f64;
+    for c in &mut centroid {
+        *c /= n;
+    }
+    // Count duplicates for tie-breaking.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v.as_ref()).or_insert(0) += 1;
+    }
+
+    let mut best: Option<(f64, usize, &str)> = None; // (distance, -count, value)
+    for (v, dims) in values.iter().zip(&vectors) {
+        let v = v.as_ref();
+        let mut dist2 = 0.0;
+        for (d, c) in centroid.iter().enumerate() {
+            let x = if dims.contains(&d) { 1.0 } else { 0.0 };
+            dist2 += (x - c) * (x - c);
+        }
+        let dist = dist2.sqrt();
+        let count = counts[v];
+        let better = match &best {
+            None => true,
+            Some((bd, bc, bv)) => {
+                dist < bd - 1e-12
+                    || ((dist - bd).abs() <= 1e-12
+                        && (count > *bc || (count == *bc && v < *bv)))
+            }
+        };
+        if better {
+            best = Some((dist, count, v));
+        }
+    }
+    best.map(|(distance, _, value)| FusedValue {
+        value: value.to_string(),
+        support: values.len(),
+        distance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_appendix_a_example() {
+        // v1 = "Windows Vista", v2 = "Microsoft Windows Vista",
+        // v3 = "Microsoft Vista" → centroid (2/3, 2/3, 1), v2 closest.
+        let fused =
+            fuse_values(&["Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"])
+                .unwrap();
+        assert_eq!(fused.value, "Microsoft Windows Vista");
+        assert!((fused.distance - 0.47).abs() < 0.01, "distance {}", fused.distance);
+        assert_eq!(fused.support, 3);
+    }
+
+    #[test]
+    fn plain_majority_single_token() {
+        // Four votes for 1024, one for 2048 (the paper's first example).
+        let fused = fuse_values(&["1024", "1024", "1024", "1024", "2048"]).unwrap();
+        assert_eq!(fused.value, "1024");
+    }
+
+    #[test]
+    fn unanimous_values_have_zero_distance() {
+        let fused = fuse_values(&["7200 rpm", "7200 rpm"]).unwrap();
+        assert_eq!(fused.value, "7200 rpm");
+        assert!(fused.distance < 1e-12);
+    }
+
+    #[test]
+    fn single_value_is_returned() {
+        let fused = fuse_values(&["500 GB"]).unwrap();
+        assert_eq!(fused.value, "500 GB");
+        assert_eq!(fused.support, 1);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(fuse_values::<&str>(&[]).is_none());
+    }
+
+    #[test]
+    fn equivalent_tokenizations_vote_together() {
+        // "500GB" and "500 GB" have identical token vectors, so together
+        // they outvote "250 GB".
+        let fused = fuse_values(&["500GB", "500 GB", "250 GB"]).unwrap();
+        assert!(fused.value.contains("500"));
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let a = fuse_values(&["alpha", "beta"]).unwrap();
+        let b = fuse_values(&["beta", "alpha"]).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.value, "alpha", "lexicographic tie-break");
+    }
+
+    #[test]
+    fn frequency_beats_lexicographic_on_ties() {
+        let fused = fuse_values(&["zeta", "zeta", "alpha"]).unwrap();
+        assert_eq!(fused.value, "zeta");
+    }
+
+    #[test]
+    fn strategies_differ_on_multi_token_values() {
+        let values = ["Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"];
+        let centroid = fuse_values_with(&values, FusionStrategy::CentroidVote).unwrap();
+        assert_eq!(centroid.value, "Microsoft Windows Vista");
+        // Exact majority has a 3-way tie; lexicographic pick.
+        let exact = fuse_values_with(&values, FusionStrategy::MajorityExact).unwrap();
+        assert_eq!(exact.value, "Microsoft Vista");
+        let longest = fuse_values_with(&values, FusionStrategy::LongestValue).unwrap();
+        assert_eq!(longest.value, "Microsoft Windows Vista");
+        let first = fuse_values_with(&values, FusionStrategy::FirstSeen).unwrap();
+        assert_eq!(first.value, "Windows Vista");
+    }
+
+    #[test]
+    fn strategies_agree_on_unanimous_values() {
+        for strategy in [
+            FusionStrategy::CentroidVote,
+            FusionStrategy::MajorityExact,
+            FusionStrategy::LongestValue,
+            FusionStrategy::FirstSeen,
+        ] {
+            let fused = fuse_values_with(&["500 GB", "500 GB"], strategy).unwrap();
+            assert_eq!(fused.value, "500 GB", "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_handle_empty_input() {
+        for strategy in [
+            FusionStrategy::CentroidVote,
+            FusionStrategy::MajorityExact,
+            FusionStrategy::LongestValue,
+            FusionStrategy::FirstSeen,
+        ] {
+            assert!(fuse_values_with::<&str>(&[], strategy).is_none());
+        }
+    }
+}

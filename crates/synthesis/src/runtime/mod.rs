@@ -1,0 +1,325 @@
+//! The Run-Time Offer Processing Pipeline (Section 4, Figure 4):
+//! extraction → schema reconciliation → clustering → value fusion.
+
+pub mod cluster;
+pub mod fusion;
+pub mod reconcile;
+
+use pse_core::{Catalog, CategoryId, Offer, OfferId, Spec};
+use serde::{Deserialize, Serialize};
+
+use crate::provider::SpecProvider;
+pub use cluster::{cluster_by_key, normalize_key, Cluster};
+pub use fusion::{fuse_values, fuse_values_with, FusedValue, FusionStrategy};
+pub use reconcile::{reconcile, ReconciledOffer};
+
+/// Configuration of the run-time pipeline.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Key attributes used for clustering, in preference order.
+    pub key_attributes: Vec<String>,
+    /// Minimum cluster size for a product to be synthesized (1 = every
+    /// cluster becomes a product, the paper's setting).
+    pub min_cluster_size: usize,
+    /// Do not emit the key attribute used for clustering as part of the
+    /// fused specification when `false`. The paper keeps keys; so do we.
+    pub include_keys_in_spec: bool,
+    /// Value-fusion rule (the paper's centroid voting by default).
+    pub fusion: FusionStrategy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            key_attributes: vec!["MPN".to_string(), "UPC".to_string()],
+            min_cluster_size: 1,
+            include_keys_in_spec: true,
+            fusion: FusionStrategy::default(),
+        }
+    }
+}
+
+/// One synthesized product instance, compatible with the catalog schema of
+/// its category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthesizedProduct {
+    /// Category of the product.
+    pub category: CategoryId,
+    /// Key attribute that identified the cluster.
+    pub key_attribute: String,
+    /// Normalized key value.
+    pub key_value: String,
+    /// The fused specification (attribute names from the catalog schema).
+    pub spec: Spec,
+    /// The offers fused into this product.
+    pub offers: Vec<OfferId>,
+}
+
+/// Output of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisResult {
+    /// The synthesized products.
+    pub products: Vec<SynthesizedProduct>,
+    /// Offers processed.
+    pub offers_in: usize,
+    /// Offers that survived reconciliation with at least one pair.
+    pub offers_reconciled: usize,
+    /// Offers that carried a usable key and joined a cluster.
+    pub offers_clustered: usize,
+}
+
+impl SynthesisResult {
+    /// Total synthesized attribute–value pairs across all products.
+    pub fn total_attributes(&self) -> usize {
+        self.products.iter().map(|p| p.spec.len()).sum()
+    }
+}
+
+/// The run-time pipeline: applies learned correspondences to incoming
+/// offers and synthesizes new products.
+pub struct RuntimePipeline {
+    correspondences: pse_core::CorrespondenceSet,
+    config: RuntimeConfig,
+}
+
+impl RuntimePipeline {
+    /// Pipeline with default configuration.
+    pub fn new(correspondences: pse_core::CorrespondenceSet) -> Self {
+        Self::with_config(correspondences, RuntimeConfig::default())
+    }
+
+    /// Pipeline with custom configuration.
+    pub fn with_config(
+        correspondences: pse_core::CorrespondenceSet,
+        config: RuntimeConfig,
+    ) -> Self {
+        Self { correspondences, config }
+    }
+
+    /// The correspondence set in use.
+    pub fn correspondences(&self) -> &pse_core::CorrespondenceSet {
+        &self.correspondences
+    }
+
+    /// Process a batch of offers into synthesized products.
+    ///
+    /// Offers without a category are skipped (classify them first with
+    /// [`crate::category::TitleClassifier`]). `catalog` supplies the
+    /// category schemas used to order fused specifications.
+    pub fn process<P: SpecProvider>(
+        &self,
+        catalog: &Catalog,
+        offers: &[Offer],
+        provider: &P,
+    ) -> SynthesisResult {
+        let mut reconciled = Vec::new();
+        let mut offers_reconciled = 0usize;
+        for offer in offers {
+            let Some(category) = offer.category else { continue };
+            let spec = provider.spec(offer);
+            let r = reconcile(offer.id, offer.merchant, category, &spec, &self.correspondences);
+            if !r.pairs.is_empty() {
+                offers_reconciled += 1;
+                reconciled.push(r);
+            }
+        }
+
+        let clusters = cluster_by_key(reconciled, &self.config.key_attributes);
+        let offers_clustered = clusters.iter().map(|c| c.members.len()).sum();
+
+        let mut products = Vec::new();
+        for cluster in clusters {
+            if cluster.members.len() < self.config.min_cluster_size {
+                continue;
+            }
+            products.push(self.fuse_cluster(catalog, cluster));
+        }
+
+        SynthesisResult {
+            products,
+            offers_in: offers.len(),
+            offers_reconciled,
+            offers_clustered,
+        }
+    }
+
+    fn fuse_cluster(&self, catalog: &Catalog, cluster: Cluster) -> SynthesizedProduct {
+        let schema = catalog.taxonomy().schema(cluster.category);
+        let mut spec = Spec::new();
+        // Fuse attribute by attribute in schema order (output is catalog-
+        // compatible by construction).
+        for attr in schema.iter() {
+            if !self.config.include_keys_in_spec && attr.is_key {
+                continue;
+            }
+            let values: Vec<&str> = cluster
+                .members
+                .iter()
+                .filter_map(|m| m.value_of(&attr.name))
+                .collect();
+            if let Some(fused) = fuse_values_with(&values, self.config.fusion) {
+                spec.push(attr.name.clone(), fused.value);
+            }
+        }
+        SynthesizedProduct {
+            category: cluster.category,
+            key_attribute: cluster.key_attribute,
+            key_value: cluster.key_value,
+            spec,
+            offers: cluster.members.iter().map(|m| m.offer).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::FnProvider;
+    use pse_core::{
+        AttributeCorrespondence, AttributeDef, AttributeKind, CategorySchema, CorrespondenceSet,
+        MerchantId, Taxonomy,
+    };
+
+    fn setup() -> (Catalog, CorrespondenceSet, Vec<Offer>) {
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("Computing");
+        let cat = tax.add_leaf(
+            top,
+            "Hard Drives",
+            CategorySchema::from_attributes([
+                AttributeDef::key("MPN", AttributeKind::Identifier),
+                AttributeDef::new("Speed", AttributeKind::Numeric),
+                AttributeDef::new("Capacity", AttributeKind::Numeric),
+            ]),
+        );
+        let catalog = Catalog::new(tax);
+        let set = CorrespondenceSet::from_correspondences([
+            corr("MPN", "mpn", 0, cat),
+            corr("Speed", "rpm", 0, cat),
+            corr("Capacity", "capacity", 0, cat),
+            corr("MPN", "mfr part", 1, cat),
+            corr("Speed", "speed", 1, cat),
+            corr("Capacity", "hard disk size", 1, cat),
+        ]);
+        let offers = vec![
+            mk_offer(0, 0, cat, &[("MPN", "ABC123"), ("RPM", "7200 rpm"), ("Capacity", "500 GB")]),
+            mk_offer(1, 1, cat, &[("Mfr. Part #", "abc-123"), ("Speed", "7200"), ("Hard Disk Size", "500")]),
+            mk_offer(2, 1, cat, &[("Mfr. Part #", "XYZ999"), ("Speed", "5400")]),
+            mk_offer(3, 0, cat, &[("John D.", "nice drive")]), // noise only
+        ];
+        (catalog, set, offers)
+    }
+
+    fn corr(ap: &str, ao: &str, m: u32, c: CategoryId) -> AttributeCorrespondence {
+        AttributeCorrespondence {
+            catalog_attribute: ap.into(),
+            merchant_attribute: ao.into(),
+            merchant: MerchantId(m),
+            category: c,
+            score: 0.9,
+        }
+    }
+
+    fn mk_offer(id: u64, merchant: u32, cat: CategoryId, pairs: &[(&str, &str)]) -> Offer {
+        Offer {
+            id: OfferId(id),
+            merchant: MerchantId(merchant),
+            price_cents: 100,
+            image_url: None,
+            category: Some(cat),
+            url: String::new(),
+            title: String::new(),
+            spec: Spec::from_pairs(pairs.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn end_to_end_synthesis() {
+        let (catalog, set, offers) = setup();
+        let pipeline = RuntimePipeline::new(set);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+
+        assert_eq!(result.offers_in, 4);
+        assert_eq!(result.offers_reconciled, 3, "noise-only offer dropped");
+        assert_eq!(result.offers_clustered, 3);
+        assert_eq!(result.products.len(), 2);
+
+        let abc = result.products.iter().find(|p| p.key_value == "abc123").unwrap();
+        assert_eq!(abc.offers.len(), 2, "merchants 0 and 1 fused");
+        // "7200 rpm" vs "7200" is a centroid tie; the lexicographic
+        // tie-break picks "7200" deterministically.
+        assert_eq!(abc.spec.get("Speed"), Some("7200"));
+        assert!(abc.spec.get("Capacity").is_some());
+        assert!(abc.spec.get("MPN").is_some());
+
+        let xyz = result.products.iter().find(|p| p.key_value == "xyz999").unwrap();
+        assert_eq!(xyz.offers.len(), 1);
+        assert_eq!(xyz.spec.get("Capacity"), None, "missing attribute not invented");
+    }
+
+    #[test]
+    fn synthesized_specs_conform_to_schema() {
+        let (catalog, set, offers) = setup();
+        let pipeline = RuntimePipeline::new(set);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        for p in &result.products {
+            let schema = catalog.taxonomy().schema(p.category);
+            for pair in p.spec.iter() {
+                assert!(schema.contains(&pair.name), "{} not in schema", pair.name);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cluster_size_filters_singletons() {
+        let (catalog, set, offers) = setup();
+        let pipeline = RuntimePipeline::with_config(
+            set,
+            RuntimeConfig { min_cluster_size: 2, ..RuntimeConfig::default() },
+        );
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        assert_eq!(result.products.len(), 1);
+        assert_eq!(result.products[0].offers.len(), 2);
+    }
+
+    #[test]
+    fn keys_can_be_excluded_from_specs() {
+        let (catalog, set, offers) = setup();
+        let pipeline = RuntimePipeline::with_config(
+            set,
+            RuntimeConfig { include_keys_in_spec: false, ..RuntimeConfig::default() },
+        );
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        for p in &result.products {
+            assert_eq!(p.spec.get("MPN"), None);
+        }
+    }
+
+    #[test]
+    fn offers_without_category_are_skipped() {
+        let (catalog, set, mut offers) = setup();
+        for o in &mut offers {
+            o.category = None;
+        }
+        let pipeline = RuntimePipeline::new(set);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        assert!(result.products.is_empty());
+        assert_eq!(result.offers_reconciled, 0);
+    }
+
+    #[test]
+    fn total_attributes_counts_pairs() {
+        let (catalog, set, offers) = setup();
+        let pipeline = RuntimePipeline::new(set);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        let manual: usize = result.products.iter().map(|p| p.spec.len()).sum();
+        assert_eq!(result.total_attributes(), manual);
+        assert!(manual >= 5);
+    }
+}

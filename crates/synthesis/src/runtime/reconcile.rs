@@ -1,0 +1,115 @@
+//! Schema Reconciliation (Section 4).
+//!
+//! "Let `o` be an offer for category `C` and merchant `M`, and `⟨A, v⟩` one
+//! of the attribute–value pairs extracted from the merchant's Web page. If
+//! `⟨B, A, M, C⟩` is an attribute correspondence […], then the Schema
+//! Reconciliation component outputs a pair `⟨B, v⟩`. Otherwise, the pair
+//! `⟨A, v⟩` is discarded." The discarding is what filters extraction noise:
+//! bogus pairs never earn a correspondence during offline learning.
+
+use pse_core::{CategoryId, CorrespondenceSet, MerchantId, OfferId, Spec};
+
+/// An offer whose pairs have been translated into catalog attribute names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconciledOffer {
+    /// The source offer.
+    pub offer: OfferId,
+    /// Its merchant.
+    pub merchant: MerchantId,
+    /// Its category.
+    pub category: CategoryId,
+    /// Pairs in catalog vocabulary: `(catalog attribute, value)`.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// Translate an extracted offer specification into catalog vocabulary,
+/// discarding pairs with no correspondence.
+pub fn reconcile(
+    offer: OfferId,
+    merchant: MerchantId,
+    category: CategoryId,
+    spec: &Spec,
+    correspondences: &CorrespondenceSet,
+) -> ReconciledOffer {
+    let mut pairs = Vec::new();
+    for pair in spec.iter() {
+        if let Some(catalog_attr) = correspondences.translate(merchant, category, &pair.name) {
+            pairs.push((catalog_attr.to_string(), pair.value.clone()));
+        }
+    }
+    ReconciledOffer { offer, merchant, category, pairs }
+}
+
+impl ReconciledOffer {
+    /// First value of a catalog attribute, if present.
+    pub fn value_of(&self, catalog_attr: &str) -> Option<&str> {
+        let target = pse_text::normalize::normalize_attribute_name(catalog_attr);
+        self.pairs
+            .iter()
+            .find(|(a, _)| pse_text::normalize::normalize_attribute_name(a) == target)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::AttributeCorrespondence;
+
+    fn correspondences() -> CorrespondenceSet {
+        CorrespondenceSet::from_correspondences([
+            AttributeCorrespondence {
+                catalog_attribute: "Speed".into(),
+                merchant_attribute: "rpm".into(),
+                merchant: MerchantId(0),
+                category: CategoryId(0),
+                score: 0.9,
+            },
+            AttributeCorrespondence {
+                catalog_attribute: "Capacity".into(),
+                merchant_attribute: "hard disk size".into(),
+                merchant: MerchantId(0),
+                category: CategoryId(0),
+                score: 0.8,
+            },
+        ])
+    }
+
+    #[test]
+    fn translates_known_pairs_and_discards_unknown() {
+        let spec = Spec::from_pairs([
+            ("RPM", "7200 rpm"),
+            ("Hard Disk Size", "500"),
+            ("John D.", "Great drive!"), // extraction noise
+            ("Shipping Weight", "2 lbs"), // junk attribute
+        ]);
+        let r = reconcile(OfferId(1), MerchantId(0), CategoryId(0), &spec, &correspondences());
+        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.value_of("Speed"), Some("7200 rpm"));
+        assert_eq!(r.value_of("Capacity"), Some("500"));
+        assert_eq!(r.value_of("Brand"), None);
+    }
+
+    #[test]
+    fn wrong_merchant_or_category_discards_everything() {
+        let spec = Spec::from_pairs([("RPM", "7200")]);
+        let other_merchant =
+            reconcile(OfferId(1), MerchantId(5), CategoryId(0), &spec, &correspondences());
+        assert!(other_merchant.pairs.is_empty());
+        let other_category =
+            reconcile(OfferId(1), MerchantId(0), CategoryId(7), &spec, &correspondences());
+        assert!(other_category.pairs.is_empty());
+    }
+
+    #[test]
+    fn empty_spec_reconciles_to_empty() {
+        let r = reconcile(
+            OfferId(0),
+            MerchantId(0),
+            CategoryId(0),
+            &Spec::new(),
+            &correspondences(),
+        );
+        assert!(r.pairs.is_empty());
+    }
+}

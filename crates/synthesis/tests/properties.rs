@@ -1,0 +1,136 @@
+//! Property-based tests for the pipeline's core invariants.
+
+use proptest::prelude::*;
+use pse_core::{
+    AttributeCorrespondence, CategoryId, CorrespondenceSet, MerchantId, OfferId, Spec,
+};
+use pse_synthesis::runtime::{cluster_by_key, fuse_values, normalize_key, ReconciledOffer};
+
+proptest! {
+    #[test]
+    fn fusion_returns_a_member_value(values in prop::collection::vec(".{0,24}", 1..8)) {
+        let fused = fuse_values(&values).expect("non-empty input fuses");
+        prop_assert!(values.iter().any(|v| *v == fused.value), "{fused:?} not a member");
+        prop_assert_eq!(fused.support, values.len());
+        prop_assert!(fused.distance >= 0.0);
+    }
+
+    #[test]
+    fn fusion_is_order_insensitive_on_value(mut values in prop::collection::vec("[a-z ]{1,12}", 1..6)) {
+        let a = fuse_values(&values).unwrap();
+        values.reverse();
+        let b = fuse_values(&values).unwrap();
+        prop_assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn unanimous_fusion_is_exact(v in ".{1,16}", n in 1usize..6) {
+        let values: Vec<&str> = std::iter::repeat(v.as_str()).take(n).collect();
+        let fused = fuse_values(&values).unwrap();
+        prop_assert_eq!(fused.value, v);
+        prop_assert!(fused.distance < 1e-9);
+    }
+
+    #[test]
+    fn normalize_key_strips_separators(s in "[A-Za-z0-9 _./-]{0,24}") {
+        let k = normalize_key(&s);
+        prop_assert!(k.chars().all(|c| c.is_alphanumeric()));
+        prop_assert_eq!(normalize_key(&k), k.clone(), "idempotent");
+        // Case and separators never matter.
+        prop_assert_eq!(normalize_key(&s.to_uppercase()), k);
+    }
+
+    #[test]
+    fn clustering_partitions_keyed_offers(
+        keys in prop::collection::vec("[a-z0-9]{1,6}", 0..12),
+    ) {
+        let offers: Vec<ReconciledOffer> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| ReconciledOffer {
+                offer: OfferId(i as u64),
+                merchant: MerchantId(0),
+                category: CategoryId((i % 2) as u32),
+                pairs: vec![("MPN".to_string(), k.clone())],
+            })
+            .collect();
+        let clusters = cluster_by_key(offers, &["MPN".to_string()]);
+        // Every keyed offer lands in exactly one cluster.
+        let total: usize = clusters.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(total, keys.len());
+        // Within a cluster, keys agree after normalization.
+        for c in &clusters {
+            for m in &c.members {
+                prop_assert_eq!(normalize_key(m.value_of("MPN").unwrap()), c.key_value.clone());
+                prop_assert_eq!(m.category, c.category);
+            }
+        }
+    }
+
+    #[test]
+    fn correspondence_set_translation_is_consistent(
+        entries in prop::collection::vec(
+            ("[a-z]{1,6}", "[a-z]{1,6}", 0u32..3, 0u32..3, 0.0f64..1.0),
+            0..16,
+        )
+    ) {
+        let set = CorrespondenceSet::from_correspondences(entries.iter().map(
+            |(ap, ao, m, c, s)| AttributeCorrespondence {
+                catalog_attribute: ap.clone(),
+                merchant_attribute: ao.clone(),
+                merchant: MerchantId(*m),
+                category: CategoryId(*c),
+                score: *s,
+            },
+        ));
+        // Translation returns the highest-scoring catalog attribute for each
+        // (merchant, category, merchant attribute).
+        for (_, ao, m, c, _) in &entries {
+            let best = entries
+                .iter()
+                .filter(|(_, ao2, m2, c2, _)| ao2 == ao && m2 == m && c2 == c)
+                .max_by(|a, b| a.4.total_cmp(&b.4))
+                .map(|(ap, ..)| ap.clone())
+                .unwrap();
+            let got = set.translate(MerchantId(*m), CategoryId(*c), ao).unwrap();
+            // Ties may resolve to either entry; scores must agree.
+            let got_score = entries
+                .iter()
+                .filter(|(ap2, ao2, m2, c2, _)| ap2 == got && ao2 == ao && m2 == m && c2 == c)
+                .map(|(.., s)| *s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let best_score = entries
+                .iter()
+                .filter(|(ap2, ao2, m2, c2, _)| ap2 == &best && ao2 == ao && m2 == m && c2 == c)
+                .map(|(.., s)| *s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((got_score - best_score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reconcile_outputs_only_mapped_attributes(
+        pairs in prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{1,6}"), 0..8),
+    ) {
+        let set = CorrespondenceSet::from_correspondences([AttributeCorrespondence {
+            catalog_attribute: "Speed".into(),
+            merchant_attribute: "rpm".into(),
+            merchant: MerchantId(0),
+            category: CategoryId(0),
+            score: 1.0,
+        }]);
+        let spec = Spec::from_pairs(pairs.iter().map(|(a, b)| (a.clone(), b.clone())));
+        let r = pse_synthesis::runtime::reconcile(
+            OfferId(0),
+            MerchantId(0),
+            CategoryId(0),
+            &spec,
+            &set,
+        );
+        let expected = pairs.iter().filter(|(a, _)| a == "rpm").count();
+        prop_assert_eq!(r.pairs.len(), expected);
+        for (attr, _) in &r.pairs {
+            prop_assert_eq!(attr.as_str(), "Speed");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Text primitives used throughout the product-synthesis pipeline.
+//!
+//! The schema-reconciliation approach of Nguyen et al. (VLDB 2011) reduces
+//! attribute matching to comparing *value distributions*: every attribute is
+//! summarized as a bag of word-level tokens, bags are turned into probability
+//! distributions, and distributions are compared with Jensen–Shannon
+//! divergence and the Jaccard coefficient (Section 3.1 of the paper).
+//!
+//! This crate provides those primitives, plus the classical string-similarity
+//! measures required by the baseline matchers of Section 5 / Appendix C
+//! (edit distance and trigram similarity for COMA++-style name matching,
+//! Jaro–Winkler and SoftTFIDF for DUMAS).
+//!
+//! Everything here is implemented from scratch on `std` only.
+
+pub mod bow;
+pub mod divergence;
+pub mod normalize;
+pub mod softtfidf;
+pub mod strsim;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use bow::BagOfWords;
+pub use divergence::{cosine_bags, jaccard_bags, jaccard_sets, jensen_shannon, kullback_leibler, l1_distance};
+pub use normalize::{normalize_attribute_name, normalize_value};
+pub use softtfidf::SoftTfIdf;
+pub use tokenize::tokens;

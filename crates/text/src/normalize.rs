@@ -1,0 +1,131 @@
+//! Normalization of attribute names and values.
+//!
+//! Attribute names arrive in many surface forms (`"Mfr. Part #"`,
+//! `"MPN:"`, `"  Capacity "`); values likewise (`"500 GB"` vs `"500GB"`).
+//! The pipeline compares names and values through these canonical forms.
+
+use crate::tokenize::tokens;
+
+/// Canonical form of an attribute name: lowercase tokens joined by a single
+/// space, with trailing separators (`:` etc.) removed by tokenization.
+///
+/// ```
+/// use pse_text::normalize::normalize_attribute_name;
+/// assert_eq!(normalize_attribute_name("  Hard Disk Size: "), "hard disk size");
+/// assert_eq!(normalize_attribute_name("MPN"), "mpn");
+/// ```
+pub fn normalize_attribute_name(name: &str) -> String {
+    tokens(name).join(" ")
+}
+
+/// Canonical form of an attribute value: lowercase tokens joined by a single
+/// space. Letter/digit splitting makes `"500GB"` and `"500 gb"` equal.
+///
+/// ```
+/// use pse_text::normalize::normalize_value;
+/// assert_eq!(normalize_value("500GB"), normalize_value("500 Gb"));
+/// ```
+pub fn normalize_value(value: &str) -> String {
+    tokens(value).join(" ")
+}
+
+/// Whether two attribute names are the same after normalization.
+pub fn names_equal(a: &str, b: &str) -> bool {
+    normalize_attribute_name(a) == normalize_attribute_name(b)
+}
+
+/// Whether two values are equal after normalization.
+pub fn values_equal(a: &str, b: &str) -> bool {
+    normalize_value(a) == normalize_value(b)
+}
+
+/// Loose value equivalence used when labeling synthesized specifications
+/// against ground truth: equal normal forms, one token sequence containing
+/// the other (so `"windows vista"` is accepted against
+/// `"microsoft windows vista"`), or equal separator-free concatenations
+/// (so `"SerialATA300"` matches `"Serial ATA 300"`) — mirroring how the
+/// paper's human labelers treated manufacturer specifications.
+pub fn values_equivalent(a: &str, b: &str) -> bool {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return ta == tb;
+    }
+    ta == tb
+        || ta.concat() == tb.concat()
+        || contains_subsequence(&ta, &tb)
+        || contains_subsequence(&tb, &ta)
+        || digit_sequences_equal(&ta, &tb)
+}
+
+/// For values carrying numbers, a labeler checks the magnitudes: `"500
+/// gigabytes"` and `"500 GB"` describe the same capacity even though no
+/// token-level relation holds. True when both token sequences contain at
+/// least one digit token and their digit subsequences are identical.
+fn digit_sequences_equal(ta: &[String], tb: &[String]) -> bool {
+    let da: Vec<&String> =
+        ta.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
+    let db: Vec<&String> =
+        tb.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
+    !da.is_empty() && da == db
+}
+
+/// True when `needle` appears in `haystack` as a contiguous subsequence.
+fn contains_subsequence(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_names_normalize() {
+        assert_eq!(normalize_attribute_name("Mfr. Part #"), "mfr part");
+        assert!(names_equal("Hard-Disk  Size", "hard disk size"));
+        assert!(!names_equal("Speed", "RPM"));
+    }
+
+    #[test]
+    fn values_normalize() {
+        assert!(values_equal("7200 RPM", "7200rpm"));
+        assert!(values_equal("Serial ATA-300", "serial ata 300"));
+        assert!(!values_equal("500", "5000"));
+    }
+
+    #[test]
+    fn equivalence_accepts_containment() {
+        assert!(values_equivalent("Windows Vista", "Microsoft Windows Vista"));
+        assert!(values_equivalent("Microsoft Windows Vista", "Windows Vista"));
+        assert!(!values_equivalent("Microsoft Vista", "Windows Vista"));
+    }
+
+    #[test]
+    fn equivalence_accepts_equal_magnitudes() {
+        assert!(values_equivalent("500 gigabytes", "500 GB"));
+        assert!(values_equivalent("7200", "7200 rpm"));
+        assert!(!values_equivalent("250 GB", "500 GB"));
+        assert!(!values_equivalent("18-55 mm", "70-300 mm"));
+        // No digits on either side: the magnitude rule never fires.
+        assert!(!values_equivalent("W Digital", "Western Digital"));
+    }
+
+    #[test]
+    fn equivalence_on_empties() {
+        assert!(values_equivalent("", "  "));
+        assert!(!values_equivalent("", "x"));
+        assert!(!values_equivalent("x", "--"));
+    }
+
+    #[test]
+    fn subsequence_edges() {
+        let h: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let n: Vec<String> = ["b", "c"].iter().map(|s| s.to_string()).collect();
+        assert!(contains_subsequence(&h, &n));
+        assert!(!contains_subsequence(&n, &h));
+        assert!(!contains_subsequence(&h, &[]));
+    }
+}

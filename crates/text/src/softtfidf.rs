@@ -1,0 +1,133 @@
+//! SoftTFIDF hybrid similarity (Cohen, Ravikumar & Fienberg, 2003).
+//!
+//! DUMAS (Bilke & Naumann, ICDE 2005) compares field values with SoftTFIDF:
+//! a TF-IDF cosine where tokens need not match exactly — two tokens are
+//! considered "close" when their Jaro–Winkler similarity exceeds a threshold
+//! θ (0.9 in the original work), and the contribution of a close pair is
+//! scaled by that similarity.
+
+use std::collections::HashMap;
+
+use crate::bow::BagOfWords;
+use crate::strsim::jaro_winkler;
+use crate::tfidf::TfIdfCorpus;
+use crate::tokenize::tokens;
+
+/// SoftTFIDF similarity with a shared IDF corpus.
+#[derive(Debug, Clone)]
+pub struct SoftTfIdf {
+    corpus: TfIdfCorpus,
+    /// Inner-similarity threshold θ; token pairs below it are ignored.
+    theta: f64,
+}
+
+impl SoftTfIdf {
+    /// Standard configuration: θ = 0.9 as in the original SoftTFIDF paper.
+    pub fn new(corpus: TfIdfCorpus) -> Self {
+        Self::with_theta(corpus, 0.9)
+    }
+
+    /// Custom inner-similarity threshold. `theta` is clamped to `[0, 1]`.
+    pub fn with_theta(corpus: TfIdfCorpus, theta: f64) -> Self {
+        Self { corpus, theta: theta.clamp(0.0, 1.0) }
+    }
+
+    /// Access the underlying IDF corpus.
+    pub fn corpus(&self) -> &TfIdfCorpus {
+        &self.corpus
+    }
+
+    /// SoftTFIDF similarity of two raw strings, in `[0, 1]`.
+    ///
+    /// `CLOSE(θ, S, T)` is the set of tokens in `S` that have some token in
+    /// `T` with inner similarity ≥ θ; each contributes
+    /// `w(t, S) · w(closest, T) · sim(t, closest)`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = tokens(a);
+        let tb = tokens(b);
+        if ta.is_empty() || tb.is_empty() {
+            return if ta.is_empty() && tb.is_empty() { 1.0 } else { 0.0 };
+        }
+        let va = self.normalized_weights(&ta);
+        let vb = self.normalized_weights(&tb);
+        let mut sum = 0.0;
+        for (t, wa) in &va {
+            // Exact matches short-circuit the O(|T|) scan.
+            if let Some(wb) = vb.get(t) {
+                sum += wa * wb;
+                continue;
+            }
+            let mut best = 0.0f64;
+            let mut best_w = 0.0f64;
+            for (u, wb) in &vb {
+                let s = jaro_winkler(t, u);
+                if s >= self.theta && s > best {
+                    best = s;
+                    best_w = *wb;
+                }
+            }
+            if best > 0.0 {
+                sum += wa * best_w * best;
+            }
+        }
+        sum.clamp(0.0, 1.0)
+    }
+
+    fn normalized_weights(&self, toks: &[String]) -> HashMap<String, f64> {
+        let mut bag = BagOfWords::new();
+        for t in toks {
+            bag.add_token(t.clone());
+        }
+        self.corpus.weight_vector(&bag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_of(docs: &[&str]) -> TfIdfCorpus {
+        let mut c = TfIdfCorpus::new();
+        for d in docs {
+            c.add_document(&BagOfWords::from_values([*d]));
+        }
+        c
+    }
+
+    #[test]
+    fn identical_strings_are_fully_similar() {
+        let s = SoftTfIdf::new(corpus_of(&["seagate barracuda", "hitachi deskstar"]));
+        assert!((s.similarity("Seagate Barracuda", "seagate barracuda") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_token_matches_count() {
+        let s = SoftTfIdf::new(corpus_of(&["seagate barracuda", "barracda drive"]));
+        // "barracda" is a typo of "barracuda": JW ≈ 0.98 ≥ 0.9.
+        let soft = s.similarity("seagate barracuda", "seagate barracda");
+        assert!(soft > 0.9, "soft={soft}");
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        let s = SoftTfIdf::new(corpus_of(&["alpha beta", "gamma delta"]));
+        assert_eq!(s.similarity("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = SoftTfIdf::new(corpus_of(&["x"]));
+        assert_eq!(s.similarity("", ""), 1.0);
+        assert_eq!(s.similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn theta_gates_fuzzy_matches() {
+        let strict = SoftTfIdf::with_theta(corpus_of(&["barracuda"]), 1.0);
+        let lax = SoftTfIdf::with_theta(corpus_of(&["barracuda"]), 0.8);
+        let a = "barracuda";
+        let b = "barracda";
+        assert_eq!(strict.similarity(a, b), 0.0);
+        assert!(lax.similarity(a, b) > 0.8);
+    }
+}

@@ -1,0 +1,126 @@
+//! TF-IDF weighting and cosine similarity over token bags.
+//!
+//! Used by the COMA++-style instance matcher (documents = attribute value
+//! corpora) and as the corpus-statistics backbone of [`crate::softtfidf`].
+
+use std::collections::HashMap;
+
+use crate::bow::BagOfWords;
+
+/// Corpus-level document-frequency statistics for IDF computation.
+///
+/// A "document" is whatever unit the caller chooses — for attribute matching
+/// it is the full value corpus of one attribute.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfCorpus {
+    doc_freq: HashMap<String, u32>,
+    num_docs: u32,
+}
+
+impl TfIdfCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one document given as a bag of tokens. Each distinct token
+    /// increments its document frequency once.
+    pub fn add_document(&mut self, bag: &BagOfWords) {
+        self.num_docs += 1;
+        for t in bag.token_set() {
+            *self.doc_freq.entry(t.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of registered documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln((1 + N) / (1 + df)) + 1`, always positive.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        (((1 + self.num_docs) as f64) / ((1 + df) as f64)).ln() + 1.0
+    }
+
+    /// TF-IDF vector of a bag, as a token → weight map (tf is the raw count,
+    /// i.e. classic `tf·idf`), L2-normalized. Empty bags yield empty vectors.
+    pub fn weight_vector(&self, bag: &BagOfWords) -> HashMap<String, f64> {
+        let mut v: HashMap<String, f64> = bag
+            .iter()
+            .map(|(t, c)| (t.to_string(), c as f64 * self.idf(t)))
+            .collect();
+        let norm = v.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in v.values_mut() {
+                *w /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity between the TF-IDF vectors of two bags, in `[0, 1]`.
+    pub fn cosine(&self, a: &BagOfWords, b: &BagOfWords) -> f64 {
+        let va = self.weight_vector(a);
+        let vb = self.weight_vector(b);
+        cosine_of(&va, &vb)
+    }
+}
+
+/// Cosine similarity of two sparse, already-normalized vectors.
+pub fn cosine_of(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb))
+        .sum();
+    dot.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(s: &str) -> BagOfWords {
+        BagOfWords::from_values([s])
+    }
+
+    #[test]
+    fn idf_decreases_with_frequency() {
+        let mut corpus = TfIdfCorpus::new();
+        corpus.add_document(&bag("common rare1"));
+        corpus.add_document(&bag("common rare2"));
+        corpus.add_document(&bag("common rare3"));
+        assert!(corpus.idf("common") < corpus.idf("rare1"));
+        assert!(corpus.idf("unseen") >= corpus.idf("rare1"));
+    }
+
+    #[test]
+    fn cosine_identity_and_disjoint() {
+        let mut corpus = TfIdfCorpus::new();
+        let a = bag("seagate barracuda 5400");
+        let b = bag("western digital raptor");
+        corpus.add_document(&a);
+        corpus.add_document(&b);
+        assert!((corpus.cosine(&a, &a) - 1.0).abs() < 1e-9);
+        assert_eq!(corpus.cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_partial_overlap_between_zero_and_one() {
+        let mut corpus = TfIdfCorpus::new();
+        let a = bag("ata 100 ide 133");
+        let b = bag("ata 100 mb s");
+        corpus.add_document(&a);
+        corpus.add_document(&b);
+        let c = corpus.cosine(&a, &b);
+        assert!(c > 0.0 && c < 1.0, "c={c}");
+    }
+
+    #[test]
+    fn empty_bags_have_zero_cosine() {
+        let corpus = TfIdfCorpus::new();
+        assert_eq!(corpus.cosine(&BagOfWords::new(), &bag("x")), 0.0);
+    }
+}

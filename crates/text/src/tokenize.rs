@@ -1,0 +1,109 @@
+//! Word-level tokenization of attribute values and titles.
+//!
+//! The paper collects "bags of words" over attribute values (Section 3.1,
+//! Figure 5c): a value such as `"ATA 100 mb/s"` contributes the tokens
+//! `ata`, `100`, `mb`, `s`. We tokenize on any non-alphanumeric boundary,
+//! lowercase everything, and additionally split at letter/digit boundaries so
+//! that merchant-formatted values like `"500GB"` and catalog values like
+//! `"500 GB"` produce comparable token streams.
+
+/// Tokenize `input` into lowercase alphanumeric tokens.
+///
+/// Splitting happens at every non-alphanumeric character and at every
+/// transition between letters and digits. Empty tokens are never produced.
+///
+/// ```
+/// use pse_text::tokenize::tokens;
+/// assert_eq!(tokens("ATA 100 mb/s"), ["ata", "100", "mb", "s"]);
+/// assert_eq!(tokens("500GB"), ["500", "gb"]);
+/// assert_eq!(tokens("  "), Vec::<String>::new());
+/// ```
+pub fn tokens(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_is_digit = false;
+    for ch in input.chars() {
+        if ch.is_alphanumeric() {
+            let is_digit = ch.is_ascii_digit();
+            if !cur.is_empty() && is_digit != cur_is_digit {
+                out.push(std::mem::take(&mut cur));
+            }
+            cur_is_digit = is_digit;
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenize without splitting at letter/digit boundaries.
+///
+/// Useful when the caller wants tokens that stay closer to the surface form
+/// (e.g. model numbers such as `hdt725050vla360` must remain one token when
+/// clustering offers by key attribute).
+///
+/// ```
+/// use pse_text::tokenize::surface_tokens;
+/// assert_eq!(surface_tokens("MPN: HDT725050VLA360"), ["mpn", "hdt725050vla360"]);
+/// ```
+pub fn surface_tokens(input: &str) -> Vec<String> {
+    input
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Iterator-style token count, avoiding the intermediate `Vec`.
+pub fn token_count(input: &str) -> usize {
+    tokens(input).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(tokens("Serial ATA-300"), ["serial", "ata", "300"]);
+        assert_eq!(tokens("3.5\" x 1/3H"), ["3", "5", "x", "1", "3", "h"]);
+    }
+
+    #[test]
+    fn splits_letter_digit_boundaries() {
+        assert_eq!(tokens("7200rpm"), ["7200", "rpm"]);
+        assert_eq!(tokens("HDT725050VLA360"), ["hdt", "725050", "vla", "360"]);
+    }
+
+    #[test]
+    fn surface_tokens_keep_mixed_tokens_whole() {
+        assert_eq!(surface_tokens("HDT725050VLA360"), ["hdt725050vla360"]);
+        assert_eq!(surface_tokens("a--b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokens("").is_empty());
+        assert!(tokens("--- / ---").is_empty());
+        assert!(surface_tokens("!!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokens("Größe"), ["größe"]);
+        assert_eq!(tokens("ÉCRAN"), ["écran"]);
+    }
+
+    #[test]
+    fn token_count_matches_tokens_len() {
+        for s in ["", "a b c", "500GB SATA", "Windows Vista"] {
+            assert_eq!(token_count(s), tokens(s).len());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the text primitives.
+
+use proptest::prelude::*;
+use pse_text::divergence::{jaccard_bags, jensen_shannon, MAX_JS};
+use pse_text::normalize::{normalize_attribute_name, normalize_value, values_equivalent};
+use pse_text::strsim::{jaro, jaro_winkler, levenshtein, levenshtein_similarity, trigram_dice};
+use pse_text::tokenize::{surface_tokens, tokens};
+use pse_text::BagOfWords;
+
+proptest! {
+    #[test]
+    fn tokens_are_lowercase_and_nonempty(s in ".{0,64}") {
+        for t in tokens(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+            prop_assert!(t.chars().all(char::is_alphanumeric));
+        }
+    }
+
+    #[test]
+    fn tokenization_is_idempotent(s in ".{0,64}") {
+        let once = tokens(&s);
+        let again = tokens(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn surface_tokens_never_split_alnum_runs(s in "[a-zA-Z0-9]{1,20}") {
+        prop_assert_eq!(surface_tokens(&s), vec![s.to_lowercase()]);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(s in ".{0,64}") {
+        let n = normalize_attribute_name(&s);
+        prop_assert_eq!(normalize_attribute_name(&n), n);
+        let v = normalize_value(&s);
+        prop_assert_eq!(normalize_value(&v), v);
+    }
+
+    #[test]
+    fn values_equivalent_is_reflexive_and_symmetric(a in ".{0,32}", b in ".{0,32}") {
+        prop_assert!(values_equivalent(&a, &a));
+        prop_assert_eq!(values_equivalent(&a, &b), values_equivalent(&b, &a));
+    }
+
+    #[test]
+    fn js_divergence_bounds_and_symmetry(
+        xs in prop::collection::vec("[a-z0-9 ]{1,12}", 0..8),
+        ys in prop::collection::vec("[a-z0-9 ]{1,12}", 0..8),
+    ) {
+        let a = BagOfWords::from_values(xs.iter().map(String::as_str));
+        let b = BagOfWords::from_values(ys.iter().map(String::as_str));
+        let d = jensen_shannon(&a, &b);
+        prop_assert!((0.0..=MAX_JS + 1e-12).contains(&d), "d={d}");
+        prop_assert!((d - jensen_shannon(&b, &a)).abs() < 1e-12);
+        if !a.is_empty() {
+            prop_assert!(jensen_shannon(&a, &a) < 1e-12, "identity");
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(
+        xs in prop::collection::vec("[a-z0-9 ]{1,12}", 0..8),
+        ys in prop::collection::vec("[a-z0-9 ]{1,12}", 0..8),
+    ) {
+        let a = BagOfWords::from_values(xs.iter().map(String::as_str));
+        let b = BagOfWords::from_values(ys.iter().map(String::as_str));
+        let j = jaccard_bags(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard_bags(&b, &a)).abs() < 1e-12);
+        if !a.is_empty() {
+            prop_assert!((jaccard_bags(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn levenshtein_metric_properties(a in ".{0,24}", b in ".{0,24}", c in ".{0,24}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer string.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn similarity_measures_stay_in_unit_interval(a in ".{0,24}", b in ".{0,24}") {
+        for s in [
+            levenshtein_similarity(&a, &b),
+            jaro(&a, &b),
+            jaro_winkler(&a, &b),
+            trigram_dice(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "s={s}");
+        }
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+    }
+
+    #[test]
+    fn bag_counts_are_consistent(xs in prop::collection::vec("[a-z0-9 ]{0,16}", 0..10)) {
+        let bag = BagOfWords::from_values(xs.iter().map(String::as_str));
+        let sum: u64 = bag.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(sum, bag.total());
+        let p: f64 = bag.iter().map(|(t, _)| bag.probability(t)).sum();
+        if !bag.is_empty() {
+            prop_assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+}

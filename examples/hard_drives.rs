@@ -1,0 +1,162 @@
+//! The paper's running example (Figures 2 and 5): hard-drive offers from
+//! heterogeneous merchants. One merchant uses the catalog's own attribute
+//! names ("Speed", "Interface"); another says "RPM" and "Int. Type" with
+//! reformatted values. The offline learner must discover the cross-merchant
+//! correspondences from value distributions alone, and the runtime pipeline
+//! must fuse both merchants' offers into a single product.
+//!
+//! Run with: `cargo run --release --example hard_drives`
+
+use product_synthesis::core::{
+    AttributeDef, AttributeKind, Catalog, CategorySchema, HistoricalMatches, Merchant,
+    MerchantId, Offer, OfferId, Spec, Taxonomy,
+};
+use product_synthesis::synthesis::{FnProvider, OfflineLearner, RuntimePipeline};
+
+fn main() {
+    // Catalog: the hard-drive category of Figure 5.
+    let mut taxonomy = Taxonomy::new();
+    let computing = taxonomy.add_top_level("Computing");
+    let hd = taxonomy.add_leaf(
+        computing,
+        "Hard Drives",
+        CategorySchema::from_attributes([
+            AttributeDef::key("MPN", AttributeKind::Identifier),
+            AttributeDef::new("Brand", AttributeKind::Text),
+            AttributeDef::new("Speed", AttributeKind::Numeric),
+            AttributeDef::new("Interface", AttributeKind::Text),
+            AttributeDef::new("Capacity", AttributeKind::Numeric),
+        ]),
+    );
+    let mut catalog = Catalog::new(taxonomy);
+
+    let drives = [
+        ("Seagate", "Barracuda", "ST3500", "5400", "ATA 100", "250 GB"),
+        ("Western Digital", "Raptor", "WD740GD", "7200", "IDE 133", "74 GB"),
+        ("Seagate", "Momentus", "ST9160", "5400", "IDE 133", "160 GB"),
+        ("Hitachi", "Deskstar", "39T2525", "7200", "ATA 133", "500 GB"),
+        ("Hitachi", "Ultrastar", "38L2392", "10000", "SCSI 320", "300 GB"),
+    ];
+    let mut products = Vec::new();
+    for (brand, series, mpn, speed, iface, cap) in drives {
+        let pid = catalog.add_product(
+            hd,
+            format!("{brand} {series} {mpn}"),
+            Spec::from_pairs([
+                ("MPN", mpn),
+                ("Brand", brand),
+                ("Speed", speed),
+                ("Interface", iface),
+                ("Capacity", cap),
+            ]),
+        );
+        products.push(pid);
+    }
+
+    let merchants = [Merchant { id: MerchantId(0), name: "DriveDepot".into() }, Merchant {
+        id: MerchantId(1),
+        name: "Microwarehouse".into(),
+    }];
+
+    // Historical offers. DriveDepot (merchant 0) uses catalog names
+    // verbatim — those name identities become the training set. Micro-
+    // warehouse (merchant 1) uses its own dialect.
+    let mut offers = Vec::new();
+    let mut historical = HistoricalMatches::new();
+    let mut next_id = 0u64;
+    let mut mk_offer = |merchant: u32, title: &str, pairs: &[(&str, &str)]| {
+        let o = Offer {
+            id: OfferId(next_id),
+            merchant: MerchantId(merchant),
+            price_cents: 9900 + next_id * 371,
+            image_url: None,
+            category: Some(hd),
+            url: format!("https://shop{merchant}.example.com/{next_id}"),
+            title: title.to_string(),
+            spec: Spec::from_pairs(pairs.iter().copied()),
+        };
+        next_id += 1;
+        o
+    };
+
+    for (i, (brand, series, mpn, speed, iface, cap)) in drives.iter().enumerate() {
+        let o = mk_offer(
+            0,
+            &format!("{brand} {series} HD"),
+            &[
+                ("MPN", mpn),
+                ("Brand", brand),
+                ("Speed", speed),
+                ("Interface", iface),
+                ("Capacity", cap),
+            ],
+        );
+        historical.insert(o.id, products[i]);
+        offers.push(o);
+        let o = mk_offer(
+            1,
+            &format!("{brand} {series}"),
+            &[
+                ("Mfr. Part #", mpn),
+                ("Manufacturer", brand),
+                ("RPM", &format!("{speed} rpm")),
+                ("Int. Type", &format!("{iface} mb/s")),
+                ("Hard Disk Size", cap.trim_end_matches(" GB")),
+            ],
+        );
+        historical.insert(o.id, products[i]);
+        offers.push(o);
+    }
+
+    let provider = FnProvider(|o: &Offer| o.spec.clone());
+    let outcome = OfflineLearner::new().learn(&catalog, &offers, &historical, &provider);
+
+    println!("learned correspondences (catalog <- merchant, score):");
+    let mut all: Vec<_> = outcome.correspondences.iter().collect();
+    all.sort_by(|a, b| {
+        (a.merchant, &a.catalog_attribute).cmp(&(b.merchant, &b.catalog_attribute))
+    });
+    for c in &all {
+        let m = &merchants[c.merchant.index()].name;
+        println!(
+            "  [{m:<15}] {:<10} <- {:<15} ({:.2})",
+            c.catalog_attribute, c.merchant_attribute, c.score
+        );
+    }
+
+    // A new drive appears at both merchants but is missing from the catalog:
+    // the pipeline synthesizes it.
+    let new_offers = vec![
+        mk_offer(
+            0,
+            "Samsung SpinPoint NEW",
+            &[
+                ("MPN", "HD501LJ"),
+                ("Brand", "Samsung"),
+                ("Speed", "7200"),
+                ("Interface", "SATA 300"),
+                ("Capacity", "500 GB"),
+            ],
+        ),
+        mk_offer(
+            1,
+            "Samsung SpinPoint T166",
+            &[
+                ("Mfr. Part #", "HD-501-LJ"),
+                ("Manufacturer", "Samsung"),
+                ("RPM", "7200 rpm"),
+                ("Int. Type", "SATA 300 mb/s"),
+                ("Hard Disk Size", "500"),
+            ],
+        ),
+    ];
+    let result =
+        RuntimePipeline::new(outcome.correspondences).process(&catalog, &new_offers, &provider);
+    println!("\nsynthesized {} product(s) from {} new offers:", result.products.len(), new_offers.len());
+    for p in &result.products {
+        println!("  key {} = {} (from {} offers)", p.key_attribute, p.key_value, p.offers.len());
+        for pair in p.spec.iter() {
+            println!("    {:<12} {}", pair.name, pair.value);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Operating from a raw merchant feed: offers arrive with a title, a price
+//! and a landing-page URL but almost no structured data (paper Figure 3).
+//! The pipeline fetches each landing page, extracts the specification table
+//! from its HTML, and shows how schema reconciliation filters the noise the
+//! extractor inevitably picks up (review tables, marketing rows).
+//!
+//! Run with: `cargo run --release --example merchant_feed`
+
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::extract::extract_pairs;
+use product_synthesis::synthesis::runtime::reconcile;
+use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, SpecProvider};
+
+fn main() {
+    let world = World::generate(WorldConfig {
+        num_offers: 3_000,
+        noise_table_probability: 0.8, // extra-noisy pages for the demo
+        ..WorldConfig::default()
+    });
+
+    // Show one raw landing page fragment and what the extractor sees.
+    let offer = &world.offers[0];
+    let html = world.landing_page(offer.id);
+    println!("feed entry: {:?} (${:.2})", offer.title, offer.price());
+    println!("landing page: {} bytes of HTML at {}", html.len(), offer.url);
+
+    let raw = extract_pairs(&html);
+    println!("\nextracted {} raw pairs (noise included):", raw.len());
+    for pair in raw.iter() {
+        println!("  {:<24} {}", pair.name, pair.value);
+    }
+
+    // Learn correspondences, then reconcile the same offer: junk pairs
+    // (reviews, shipping, condition) are discarded because no
+    // correspondence was ever learned for them.
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+
+    let spec = provider.spec(offer);
+    let reconciled = reconcile(
+        offer.id,
+        offer.merchant,
+        offer.category.expect("feed offers carry categories here"),
+        &spec,
+        &outcome.correspondences,
+    );
+    println!("\nafter schema reconciliation ({} pairs survive):", reconciled.pairs.len());
+    for (attr, value) in &reconciled.pairs {
+        println!("  {attr:<24} {value}");
+    }
+    let dropped = spec.len() - reconciled.pairs.len();
+    println!("\n{dropped} noisy/junk pairs were filtered by reconciliation");
+}

@@ -1,0 +1,51 @@
+//! # product-synthesis
+//!
+//! A from-scratch Rust reproduction of Nguyen, Fuxman, Paparizos, Freire &
+//! Agrawal, *Synthesizing Products for Online Catalogs*, PVLDB 4(7), 2011.
+//!
+//! Given merchant offers that cannot be matched to any existing catalog
+//! product, the pipeline synthesizes *new* structured product instances:
+//!
+//! 1. **Web-page attribute extraction** ([`extract`]) scrapes two-column
+//!    specification tables from offer landing pages;
+//! 2. **Offline learning** ([`synthesis::offline`]) learns attribute
+//!    correspondences `⟨Ap, Ao, M, C⟩` from historical offer-to-product
+//!    matches, with automatically constructed training data;
+//! 3. **Schema reconciliation, clustering and value fusion**
+//!    ([`synthesis::runtime`]) translate offers into catalog vocabulary,
+//!    group them by key attributes (MPN/UPC) and fuse each cluster into a
+//!    single specification.
+//!
+//! This facade re-exports the workspace crates under one roof. See the
+//! `examples/` directory for end-to-end usage, `pse-bench` for experiment
+//! drivers regenerating every table and figure of the paper, and DESIGN.md
+//! for the system inventory.
+//!
+//! ```
+//! use product_synthesis::datagen::{World, WorldConfig};
+//! use product_synthesis::synthesis::{FnProvider, OfflineLearner, RuntimePipeline};
+//!
+//! // A miniature shopping world standing in for Bing Shopping data.
+//! let world = World::generate(WorldConfig::tiny());
+//! let provider = FnProvider(|o: &product_synthesis::core::Offer| world.page_spec(o.id));
+//!
+//! // Offline: learn attribute correspondences from historical matches.
+//! let outcome = OfflineLearner::new()
+//!     .learn(&world.catalog, &world.offers, &world.historical, &provider);
+//!
+//! // Runtime: synthesize products from the offers.
+//! let result = RuntimePipeline::new(outcome.correspondences)
+//!     .process(&world.catalog, &world.offers, &provider);
+//! assert!(!result.products.is_empty());
+//! ```
+
+pub use pse_assignment as assignment;
+pub use pse_baselines as baselines;
+pub use pse_core as core;
+pub use pse_datagen as datagen;
+pub use pse_eval as eval;
+pub use pse_extract as extract;
+pub use pse_html as html;
+pub use pse_ml as ml;
+pub use pse_synthesis as synthesis;
+pub use pse_text as text;

@@ -1,0 +1,64 @@
+//! Bootstrap integration: a deployment with *no* historical matches at all.
+//!
+//! Section 3.1 lists automated title matchers among the sources of
+//! historical offer-to-product associations. This test exercises that
+//! cold-start path end to end: bootstrap matches with the
+//! [`TitleMatcher`], feed them to the offline learner, and synthesize.
+
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::eval::synthesis_eval::evaluate_synthesis;
+use product_synthesis::synthesis::{
+    ExtractingProvider, OfflineLearner, RuntimePipeline, SpecProvider, TitleMatcher,
+};
+
+#[test]
+fn cold_start_via_title_matching() {
+    let world = World::generate(WorldConfig {
+        num_offers: 1_000,
+        num_merchants: 8,
+        leaf_categories_per_top: [2, 3, 1, 1],
+        products_per_category: 25,
+        ..WorldConfig::default()
+    });
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+
+    // 1. Bootstrap historical matches from titles + extracted identifiers —
+    //    ignore the generator's own match set entirely.
+    let matcher = TitleMatcher::new(&world.catalog);
+    let bootstrapped = matcher.bootstrap(&world.offers, |o| provider.spec(o));
+    assert!(
+        bootstrapped.len() > world.offers.len() / 4,
+        "bootstrap matched only {} of {} offers",
+        bootstrapped.len(),
+        world.offers.len()
+    );
+
+    // Bootstrap quality: the vast majority of proposed matches are right
+    // (identifier matches are exact; title matches clear a margin).
+    let correct = bootstrapped
+        .iter()
+        .filter(|(o, p)| world.truth.product_of(*o) == *p)
+        .count();
+    let precision = correct as f64 / bootstrapped.len() as f64;
+    assert!(precision > 0.9, "bootstrap match precision {precision}");
+
+    // 2. Learn correspondences from the bootstrapped history.
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &bootstrapped, &provider);
+    assert!(outcome.correspondences.len() > 30);
+
+    // 3. Synthesize and evaluate.
+    let result = RuntimePipeline::new(outcome.correspondences).process(
+        &world.catalog,
+        &world.offers,
+        &provider,
+    );
+    assert!(!result.products.is_empty());
+    let quality = evaluate_synthesis(&world, &result.products);
+    assert!(
+        quality.attribute_precision() > 0.7,
+        "cold-start attribute precision {}",
+        quality.attribute_precision()
+    );
+}

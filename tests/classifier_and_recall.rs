@@ -1,0 +1,95 @@
+//! Integration tests for the title-based category classifier (Section 2)
+//! and the Table 4 recall protocol.
+
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::eval::recall::recall_report;
+use product_synthesis::synthesis::category::TitleClassifier;
+use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, RuntimePipeline};
+
+#[test]
+fn title_classifier_recovers_categories() {
+    let world = World::generate(WorldConfig {
+        num_offers: 1_000,
+        ..WorldConfig::default()
+    });
+    // Train on historical offers, evaluate on the rest.
+    let (train, test): (Vec<&Offer>, Vec<&Offer>) = world
+        .offers
+        .iter()
+        .partition(|o| world.historical.product_of(o.id).is_some());
+    let classifier = TitleClassifier::train(
+        train.iter().map(|o| (o.title.as_str(), o.category.unwrap())),
+    );
+    let accuracy = classifier
+        .accuracy(test.iter().map(|o| (o.title.as_str(), o.category.unwrap())));
+    assert!(
+        accuracy > 0.7,
+        "category classifier accuracy {accuracy} too low"
+    );
+}
+
+#[test]
+fn pipeline_recovers_from_missing_categories_via_classifier() {
+    let world = World::generate(WorldConfig::tiny());
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+
+    // Strip categories from half the offers, then restore them with the
+    // classifier before running the pipeline.
+    let classifier = TitleClassifier::train_from_offers(&world.offers);
+    let mut offers = world.offers.clone();
+    for (i, o) in offers.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            o.category = None;
+        }
+    }
+    for o in offers.iter_mut() {
+        if o.category.is_none() {
+            o.category = classifier.classify(&o.title).map(|(c, _)| c);
+        }
+    }
+    let result =
+        RuntimePipeline::new(outcome.correspondences).process(&world.catalog, &offers, &provider);
+    assert!(
+        !result.products.is_empty(),
+        "pipeline should still synthesize with classifier-restored categories"
+    );
+}
+
+#[test]
+fn recall_grows_with_offer_set_size() {
+    let world = World::generate(WorldConfig {
+        num_offers: 2_500,
+        num_merchants: 10,
+        leaf_categories_per_top: [1, 2, 1, 1],
+        products_per_category: 20,
+        ..WorldConfig::default()
+    });
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let result = RuntimePipeline::new(outcome.correspondences).process(
+        &world.catalog,
+        &world.offers,
+        &provider,
+    );
+    let report = recall_report(&world, &result.products, 10);
+    assert!(report.large.products > 0, "need some products with >= 10 offers");
+    assert!(report.small.products > 0, "need some products with < 10 offers");
+
+    // Table 4's shape: bigger offer sets pool more evidence and synthesize
+    // more attributes; recall is at least as high.
+    assert!(report.large.avg_pooled_pairs() > report.small.avg_pooled_pairs());
+    assert!(report.large.avg_synthesized() >= report.small.avg_synthesized());
+    assert!(
+        report.large.recall() >= report.small.recall() - 0.05,
+        "large-set recall {} should not trail small-set recall {}",
+        report.large.recall(),
+        report.small.recall()
+    );
+    // Precision stays comparable across buckets (both high).
+    assert!(report.large.quality.attribute_precision() > 0.7);
+    assert!(report.small.quality.attribute_precision() > 0.7);
+}

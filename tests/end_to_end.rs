@@ -1,0 +1,160 @@
+//! End-to-end integration: world generation → landing pages → extraction →
+//! offline learning → reconciliation → clustering → fusion → oracle
+//! evaluation, across crate boundaries.
+
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::eval::synthesis_eval::{evaluate_synthesis, per_top_level};
+use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, RuntimePipeline, SpecProvider};
+
+fn small_world() -> World {
+    World::generate(WorldConfig {
+        num_offers: 800,
+        num_merchants: 8,
+        leaf_categories_per_top: [2, 3, 1, 1],
+        products_per_category: 25,
+        ..WorldConfig::default()
+    })
+}
+
+#[test]
+fn full_pipeline_through_html_extraction() {
+    let world = small_world();
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    assert!(outcome.model.is_some(), "classifier must train at this scale");
+    assert!(outcome.stats.training_positives > 0);
+    assert!(outcome.correspondences.len() > 50);
+
+    let unmatched: Vec<Offer> = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .cloned()
+        .collect();
+    let result = RuntimePipeline::new(outcome.correspondences)
+        .process(&world.catalog, &unmatched, &provider);
+
+    assert!(result.offers_reconciled > 0);
+    assert!(!result.products.is_empty());
+    assert!(result.offers_clustered <= result.offers_reconciled);
+
+    // Synthesized specs conform to catalog schemas.
+    for p in &result.products {
+        let schema = world.catalog.taxonomy().schema(p.category);
+        for pair in p.spec.iter() {
+            assert!(schema.contains(&pair.name), "{} not in schema", pair.name);
+        }
+        assert!(!p.offers.is_empty());
+    }
+
+    // Oracle quality: the pipeline must be meaningfully precise end to end,
+    // even through noisy HTML extraction.
+    let quality = evaluate_synthesis(&world, &result.products);
+    assert!(
+        quality.attribute_precision() > 0.75,
+        "attribute precision {}",
+        quality.attribute_precision()
+    );
+
+    // Per-top-level rows partition the products (Table 3 invariant).
+    let rows = per_top_level(&world, &result.products);
+    let total: usize = rows.iter().map(|(_, q)| q.products).sum();
+    assert_eq!(total, result.products.len());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let world = small_world();
+        let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+        let outcome = OfflineLearner::new().learn(
+            &world.catalog,
+            &world.offers,
+            &world.historical,
+            &provider,
+        );
+        let result = RuntimePipeline::new(outcome.correspondences).process(
+            &world.catalog,
+            &world.offers,
+            &provider,
+        );
+        let mut keys: Vec<String> =
+            result.products.iter().map(|p| format!("{}:{}", p.category, p.key_value)).collect();
+        keys.sort();
+        (result.products.len(), result.total_attributes(), keys)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn clusters_group_cross_merchant_offers_for_same_product() {
+    let world = small_world();
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let result = RuntimePipeline::new(outcome.correspondences).process(
+        &world.catalog,
+        &world.offers,
+        &provider,
+    );
+    // Some cluster must span multiple merchants (the whole point of schema
+    // reconciliation on key attributes).
+    let cross_merchant = result.products.iter().any(|p| {
+        let merchants: std::collections::HashSet<_> =
+            p.offers.iter().map(|o| world.offers[o.index()].merchant).collect();
+        merchants.len() > 1
+    });
+    assert!(cross_merchant, "expected at least one cross-merchant cluster");
+
+    // Clusters should be overwhelmingly pure (one true product each).
+    let mut pure = 0usize;
+    let mut impure = 0usize;
+    for p in &result.products {
+        let products: std::collections::HashSet<_> =
+            p.offers.iter().map(|o| world.truth.product_of(*o)).collect();
+        if products.len() == 1 {
+            pure += 1;
+        } else {
+            impure += 1;
+        }
+    }
+    assert!(
+        pure as f64 / (pure + impure).max(1) as f64 > 0.95,
+        "cluster purity too low: {pure} pure vs {impure} impure"
+    );
+}
+
+#[test]
+fn reconciliation_filters_extraction_noise() {
+    let world = World::generate(WorldConfig {
+        num_offers: 600,
+        noise_table_probability: 1.0, // every page carries a noisy table
+        ..WorldConfig::tiny()
+    });
+    let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+
+    // Raw extraction picks up reviewer-name pairs; reconciled offers must
+    // contain catalog attribute names only.
+    let mut checked = 0;
+    for offer in world.offers.iter().take(100) {
+        let spec = provider.spec(offer);
+        let reconciled = product_synthesis::synthesis::runtime::reconcile(
+            offer.id,
+            offer.merchant,
+            offer.category.unwrap(),
+            &spec,
+            &outcome.correspondences,
+        );
+        let schema = world.catalog.taxonomy().schema(offer.category.unwrap());
+        for (attr, _) in &reconciled.pairs {
+            assert!(schema.contains(attr), "non-schema attribute {attr} survived");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration of the matcher comparison (the Figures 6–8
+//! machinery): every matcher runs on the same world and is scored by the
+//! same oracle, and the paper's qualitative orderings hold.
+
+use product_synthesis::baselines::{
+    ComaConfig, ComaMatcher, ComaStrategy, DumasMatcher, NaiveBayesMatcher, SingleFeature,
+    SingleFeatureScorer,
+};
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::eval::correspondence::labeled_curve;
+use product_synthesis::synthesis::{
+    ExtractingProvider, OfflineConfig, OfflineLearner, SpecProvider,
+};
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        num_offers: 1_200,
+        num_merchants: 10,
+        leaf_categories_per_top: [2, 4, 1, 1],
+        products_per_category: 30,
+        ..WorldConfig::default()
+    })
+}
+
+/// Cache extracted specs so each matcher sees identical inputs.
+fn cached_provider(world: &World) -> impl SpecProvider + '_ {
+    let extracting = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    let specs: Vec<_> = world.offers.iter().map(|o| extracting.spec(o)).collect();
+    product_synthesis::synthesis::FnProvider(move |o: &Offer| specs[o.id.index()].clone())
+}
+
+#[test]
+fn classifier_beats_single_features_at_matched_coverage() {
+    let world = world();
+    let provider = cached_provider(&world);
+    let ours = OfflineLearner::new()
+        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let js = SingleFeatureScorer::new(SingleFeature::JsMc).score_candidates(
+        &world.catalog,
+        &world.offers,
+        &world.historical,
+        &provider,
+    );
+    let jaccard = SingleFeatureScorer::new(SingleFeature::JaccardMc).score_candidates(
+        &world.catalog,
+        &world.offers,
+        &world.historical,
+        &provider,
+    );
+
+    let ours_curve = labeled_curve("ours", &ours.scored, &world.truth);
+    let js_curve = labeled_curve("js", &js, &world.truth);
+    let jac_curve = labeled_curve("jaccard", &jaccard, &world.truth);
+
+    // Figure 6's claim: at a fixed target precision the classifier covers
+    // at least as much as either single feature.
+    for precision in [0.95, 0.9] {
+        let ours_cov = ours_curve.coverage_at_precision(precision);
+        assert!(
+            ours_cov >= js_curve.coverage_at_precision(precision),
+            "JS-MC beat the classifier at precision {precision}"
+        );
+        assert!(
+            ours_cov >= jac_curve.coverage_at_precision(precision),
+            "Jaccard-MC beat the classifier at precision {precision}"
+        );
+    }
+}
+
+#[test]
+fn conditioning_beats_no_matching_at_high_precision() {
+    let world = world();
+    let provider = cached_provider(&world);
+    let ours = OfflineLearner::new()
+        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let unconditioned = OfflineLearner::with_config(OfflineConfig {
+        match_conditioning: false,
+        ..OfflineConfig::default()
+    })
+    .learn(&world.catalog, &world.offers, &world.historical, &provider);
+
+    let ours_curve = labeled_curve("ours", &ours.scored, &world.truth);
+    let flat_curve = labeled_curve("no-matching", &unconditioned.scored, &world.truth);
+    let p = 0.95;
+    assert!(
+        ours_curve.coverage_at_precision(p) > flat_curve.coverage_at_precision(p),
+        "conditioning should dominate at precision {p}: {} vs {}",
+        ours_curve.coverage_at_precision(p),
+        flat_curve.coverage_at_precision(p)
+    );
+}
+
+#[test]
+fn all_baselines_produce_scorable_output() {
+    let world = world();
+    let provider = cached_provider(&world);
+
+    let nb = NaiveBayesMatcher::new().score_candidates(&world.catalog, &world.offers, &provider);
+    let dumas = DumasMatcher::new().score_candidates(
+        &world.catalog,
+        &world.offers,
+        &world.historical,
+        &provider,
+    );
+    let coma = ComaMatcher::new(ComaConfig::new(ComaStrategy::Combined)).score_candidates(
+        &world.catalog,
+        &world.offers,
+        &provider,
+    );
+
+    for (name, scored) in [("nb", &nb), ("dumas", &dumas), ("coma", &coma)] {
+        assert!(!scored.is_empty(), "{name} produced no candidates");
+        let curve = labeled_curve(name, scored, &world.truth);
+        assert!(curve.evaluated > 0, "{name} evaluated nothing");
+        // Every matcher must clear a random-guess bar on its own output.
+        assert!(
+            curve.overall_precision() > 0.1,
+            "{name} precision {} is below sanity",
+            curve.overall_precision()
+        );
+    }
+
+    // The matchers that exploit instance-level alignment (ours, DUMAS) are
+    // more precise overall than the purely marginal COMA combined matcher.
+    let ours = OfflineLearner::new()
+        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let ours_curve = labeled_curve("ours", &ours.scored, &world.truth);
+    let coma_curve = labeled_curve("coma", &coma, &world.truth);
+    let p = 0.9;
+    assert!(
+        ours_curve.coverage_at_precision(p) >= coma_curve.coverage_at_precision(p),
+        "ours {} vs coma {}",
+        ours_curve.coverage_at_precision(p),
+        coma_curve.coverage_at_precision(p)
+    );
+}
+
+#[test]
+fn coma_delta_restricts_candidates() {
+    let world = world();
+    let provider = cached_provider(&world);
+    let tight = ComaMatcher::new(ComaConfig::new(ComaStrategy::Combined)).score_candidates(
+        &world.catalog,
+        &world.offers,
+        &provider,
+    );
+    let loose = ComaMatcher::new(ComaConfig::with_unbounded_delta(ComaStrategy::Combined))
+        .score_candidates(&world.catalog, &world.offers, &provider);
+    assert!(tight.len() < loose.len(), "δ=0.01 must prune candidates");
+
+    // Figure 9's claim: the default δ keeps higher-precision output overall.
+    let tight_curve = labeled_curve("tight", &tight, &world.truth);
+    let loose_curve = labeled_curve("loose", &loose, &world.truth);
+    assert!(tight_curve.overall_precision() > loose_curve.overall_precision());
+}
