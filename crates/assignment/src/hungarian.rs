@@ -97,8 +97,7 @@ pub fn hungarian_max_matching(weights: &Matrix) -> Vec<Assignment> {
     }
 
     let mut out = Vec::new();
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i == 0 {
             continue;
         }
@@ -191,7 +190,11 @@ mod tests {
             let cols = rng.random_range(1..=5);
             let w = Matrix::from_fn(rows, cols, |_, _| {
                 // Mix of positives and zeros.
-                if rng.random_bool(0.3) { 0.0 } else { rng.random::<f64>() }
+                if rng.random_bool(0.3) {
+                    0.0
+                } else {
+                    rng.random::<f64>()
+                }
             });
             let m = hungarian_max_matching(&w);
             let opt = brute_force(&w);

@@ -148,10 +148,7 @@ impl ComaMatcher {
                     });
                 }
                 // δ selection per merchant attribute.
-                let best = candidates
-                    .iter()
-                    .map(|c| c.score)
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let best = candidates.iter().map(|c| c.score).fold(f64::NEG_INFINITY, f64::max);
                 out.extend(
                     candidates
                         .into_iter()

@@ -62,10 +62,7 @@ impl DumasMatcher {
                 .map(|p| (normalize_attribute_name(&p.name), p.value.clone()))
                 .filter(|(n, _)| !n.is_empty())
                 .collect();
-            groups
-                .entry((offer.merchant, category))
-                .or_default()
-                .push(Dup { product, offer_spec });
+            groups.entry((offer.merchant, category)).or_default().push(Dup { product, offer_spec });
         }
 
         let mut keys: Vec<_> = groups.keys().copied().collect();
@@ -78,10 +75,8 @@ impl DumasMatcher {
             let catalog_attrs: Vec<&str> = schema.attribute_names().collect();
             // Column axis: union of merchant attributes over all duplicates,
             // sorted for determinism.
-            let mut merchant_attrs: Vec<String> = dups
-                .iter()
-                .flat_map(|d| d.offer_spec.iter().map(|(n, _)| n.clone()))
-                .collect();
+            let mut merchant_attrs: Vec<String> =
+                dups.iter().flat_map(|d| d.offer_spec.iter().map(|(n, _)| n.clone())).collect();
             merchant_attrs.sort();
             merchant_attrs.dedup();
             if merchant_attrs.is_empty() || catalog_attrs.is_empty() {
@@ -105,11 +100,8 @@ impl DumasMatcher {
             let mut sum = Matrix::zeros(catalog_attrs.len(), merchant_attrs.len());
             for d in dups {
                 let product = catalog.product(d.product);
-                let offer_values: HashMap<&str, &str> = d
-                    .offer_spec
-                    .iter()
-                    .map(|(n, v)| (n.as_str(), v.as_str()))
-                    .collect();
+                let offer_values: HashMap<&str, &str> =
+                    d.offer_spec.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
                 let mut s_k = Matrix::zeros(catalog_attrs.len(), merchant_attrs.len());
                 for (i, ap) in catalog_attrs.iter().enumerate() {
                     let Some(pv) = product.spec.get(ap) else { continue };
@@ -144,9 +136,7 @@ impl DumasMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pse_core::{
-        AttributeDef, AttributeKind, CategorySchema, OfferId, Spec, Taxonomy,
-    };
+    use pse_core::{AttributeDef, AttributeKind, CategorySchema, OfferId, Spec, Taxonomy};
     use pse_synthesis::FnProvider;
 
     /// Duplicates share near-identical field values, which is exactly the

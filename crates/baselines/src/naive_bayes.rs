@@ -57,9 +57,9 @@ impl NaiveBayesMatcher {
         keys.sort();
 
         for (merchant, category) in keys {
-            let (attr_names, nb) = classifiers.entry(category).or_insert_with(|| {
-                train_category_classifier(catalog, category)
-            });
+            let (attr_names, nb) = classifiers
+                .entry(category)
+                .or_insert_with(|| train_category_classifier(catalog, category));
             if attr_names.is_empty() {
                 continue;
             }
@@ -68,8 +68,7 @@ impl NaiveBayesMatcher {
             sorted_attrs.sort();
 
             // score[A][B] = mean posterior P(A | v) over values v of B.
-            let mut scores: Vec<Vec<f64>> =
-                vec![vec![0.0; sorted_attrs.len()]; attr_names.len()];
+            let mut scores: Vec<Vec<f64>> = vec![vec![0.0; sorted_attrs.len()]; attr_names.len()];
             for (j, ao) in sorted_attrs.iter().enumerate() {
                 let vals = &merchant_attrs[*ao];
                 for v in vals {
@@ -89,10 +88,7 @@ impl NaiveBayesMatcher {
             // score(A, B′) for every other B′": per catalog attribute, keep
             // the argmax merchant attribute.
             for (i, ap) in attr_names.iter().enumerate() {
-                let Some((j, &s)) = scores[i]
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
+                let Some((j, &s)) = scores[i].iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))
                 else {
                     continue;
                 };

@@ -144,9 +144,7 @@ mod tests {
         let mut offers = Vec::new();
         let mut hist = HistoricalMatches::new();
         for (i, (speed, iface)) in
-            [("5400", "ATA"), ("7200", "IDE"), ("5400", "IDE"), ("7200", "SCSI")]
-                .iter()
-                .enumerate()
+            [("5400", "ATA"), ("7200", "IDE"), ("5400", "IDE"), ("7200", "SCSI")].iter().enumerate()
         {
             let pid = catalog.add_product(
                 cat,

@@ -3,7 +3,7 @@
 //! come from the `experiments` binary; these benches track the *cost* of
 //! each stage).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
 
 use pse_bench::{build_world, computing_offers, html_provider, Scale};
@@ -26,18 +26,23 @@ fn bench_text(c: &mut Criterion) {
     g.bench_function("jensen_shannon", |bench| {
         bench.iter(|| jensen_shannon(black_box(&a), black_box(&b)))
     });
-    g.bench_function("jaccard", |bench| {
-        bench.iter(|| jaccard_bags(black_box(&a), black_box(&b)))
-    });
+    g.bench_function("jaccard", |bench| bench.iter(|| jaccard_bags(black_box(&a), black_box(&b))));
     g.bench_function("tokenize_title", |bench| {
-        bench.iter(|| pse_text::tokens(black_box("Hitachi HDT725050VLA360 500GB SATA-300 7200rpm Hard Drive")))
+        bench.iter(|| {
+            pse_text::tokens(black_box("Hitachi HDT725050VLA360 500GB SATA-300 7200rpm Hard Drive"))
+        })
     });
     g.bench_function("soft_tfidf", |bench| {
         let mut corpus = pse_text::tfidf::TfIdfCorpus::new();
         corpus.add_document(&a);
         corpus.add_document(&b);
         let soft = pse_text::SoftTfIdf::new(corpus);
-        bench.iter(|| soft.similarity(black_box("Seagate Barracuda 7200.10"), black_box("Segate Baracuda 7200")))
+        bench.iter(|| {
+            soft.similarity(
+                black_box("Seagate Barracuda 7200.10"),
+                black_box("Segate Baracuda 7200"),
+            )
+        })
     });
     g.finish();
 }
@@ -112,12 +117,8 @@ fn bench_offline(c: &mut Criterion) {
 fn bench_runtime(c: &mut Criterion) {
     let world = bench_world();
     let provider = html_provider(&world);
-    let outcome = OfflineLearner::new().learn(
-        &world.catalog,
-        &world.offers,
-        &world.historical,
-        &provider,
-    );
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let pipeline = RuntimePipeline::new(outcome.correspondences);
     let unmatched: Vec<Offer> = world
         .offers
@@ -185,6 +186,133 @@ fn bench_datagen(c: &mut Criterion) {
     g.finish();
 }
 
+/// The four `pse-par` hot paths, 1 worker vs N workers. Results are pure
+/// wall-clock comparisons — outputs are byte-identical by construction
+/// (see the `determinism_par` integration test), so only time may differ.
+fn bench_par(c: &mut Criterion) {
+    use pse_baselines::{ComaConfig, ComaMatcher, ComaStrategy, DumasMatcher, NaiveBayesMatcher};
+    use pse_core::OfferId;
+    use pse_eval::correspondence::{labeled_curve, LabeledCurve};
+
+    let world = bench_world();
+    let threads = pse_par::current_threads().max(2);
+    let page_ids: Vec<OfferId> = world.offers.iter().map(|o| o.id).collect();
+    let provider = html_provider(&world);
+    let outcome =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let pipeline = RuntimePipeline::new(outcome.correspondences);
+    let unmatched: Vec<Offer> = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .cloned()
+        .collect();
+    let offers = computing_offers(&world);
+    let specs: Vec<pse_core::Spec> = world.offers.iter().map(|o| provider.spec(o)).collect();
+    let cached = pse_synthesis::FnProvider(move |o: &Offer| specs[o.id.index()].clone());
+
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    for (suffix, t) in [("t1", 1), ("tN", threads)] {
+        g.bench_function(&format!("offline_learn/{suffix}"), |bench| {
+            bench.iter(|| {
+                pse_par::with_threads(t, || {
+                    let provider = html_provider(&world);
+                    OfflineLearner::new().learn(
+                        &world.catalog,
+                        &world.offers,
+                        &world.historical,
+                        &provider,
+                    )
+                })
+            })
+        });
+        g.bench_function(&format!("datagen_pages/{suffix}"), |bench| {
+            bench.iter(|| pse_par::with_threads(t, || world.landing_pages(black_box(&page_ids))))
+        });
+        g.bench_function(&format!("runtime_process/{suffix}"), |bench| {
+            bench.iter(|| {
+                pse_par::with_threads(t, || {
+                    pipeline.process(&world.catalog, black_box(&unmatched), &provider)
+                })
+            })
+        });
+        g.bench_function(&format!("baseline_sweep/{suffix}"), |bench| {
+            bench.iter(|| {
+                pse_par::with_threads(t, || {
+                    let tasks: Vec<Box<dyn Fn() -> LabeledCurve + Sync + '_>> = vec![
+                        Box::new(|| {
+                            let s = DumasMatcher::new().score_candidates(
+                                &world.catalog,
+                                &offers,
+                                &world.historical,
+                                &cached,
+                            );
+                            labeled_curve("DUMAS", &s, &world.truth)
+                        }),
+                        Box::new(|| {
+                            let s = NaiveBayesMatcher::new().score_candidates(
+                                &world.catalog,
+                                &offers,
+                                &cached,
+                            );
+                            labeled_curve("NB", &s, &world.truth)
+                        }),
+                        Box::new(|| {
+                            let s = ComaMatcher::new(ComaConfig::new(ComaStrategy::Combined))
+                                .score_candidates(&world.catalog, &offers, &cached);
+                            labeled_curve("COMA", &s, &world.truth)
+                        }),
+                    ];
+                    pse_par::par_map(&tasks, |task| task())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Summarize the `par/*` results as BENCH_par.json at the workspace root:
+/// per path, the 1-thread and N-thread medians and the speedup.
+fn write_bench_par_json(threads: usize) {
+    use serde_json::Value;
+    let results = criterion::all_results();
+    let median_of = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+    let mut paths = Vec::new();
+    for path in ["offline_learn", "datagen_pages", "runtime_process", "baseline_sweep"] {
+        let (Some(t1), Some(tn)) =
+            (median_of(&format!("par/{path}/t1")), median_of(&format!("par/{path}/tN")))
+        else {
+            continue;
+        };
+        paths.push(Value::Object(vec![
+            ("path".to_string(), Value::Str(path.to_string())),
+            ("t1_ns".to_string(), Value::F64(t1)),
+            ("tn_ns".to_string(), Value::F64(tn)),
+            ("speedup".to_string(), Value::F64(t1 / tn)),
+        ]));
+    }
+    if paths.is_empty() {
+        return;
+    }
+    // Record the host's real parallelism: on a single-core machine the
+    // tN numbers measure executor overhead, not speedup.
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let doc = Value::Object(vec![
+        ("threads".to_string(), Value::U64(threads as u64)),
+        ("host_cpus".to_string(), Value::U64(host_cpus as u64)),
+        ("paths".to_string(), Value::Array(paths)),
+    ]);
+    let out =
+        format!("{}\n", serde_json::to_string_pretty(&doc).expect("bench summary serializes"));
+    let dest = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    if let Err(e) = std::fs::write(dest, out) {
+        eprintln!("could not write BENCH_par.json: {e}");
+    } else {
+        println!("wrote {dest}");
+    }
+}
+
 criterion_group!(
     benches,
     bench_text,
@@ -195,5 +323,10 @@ criterion_group!(
     bench_runtime,
     bench_baselines,
     bench_datagen,
+    bench_par,
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_bench_par_json(pse_par::current_threads().max(2));
+}

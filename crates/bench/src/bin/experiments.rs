@@ -30,8 +30,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use pse_bench::{
-    ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise,
-    ablation_keys, ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
+    ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
+    ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
     render_curves, run_end_to_end, table2, table3, table4, EndToEnd, Scale,
 };
 use pse_datagen::World;
@@ -76,9 +76,16 @@ fn main() -> ExitCode {
             .iter()
             .all(|c| run(c, &world)),
         "all-ablations" => {
-            ["ablation", "ablation-features", "ablation-fusion", "ablation-keys", "ablation-measures", "extension-names"]
-                .iter()
-                .all(|c| run(c, &world))
+            [
+                "ablation",
+                "ablation-features",
+                "ablation-fusion",
+                "ablation-keys",
+                "ablation-measures",
+                "extension-names",
+            ]
+            .iter()
+            .all(|c| run(c, &world))
                 && {
                     let t = std::time::Instant::now();
                     println!("{}", ablation_history_noise(&scale));
@@ -120,10 +127,30 @@ fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
             println!("{}", table4(world, e2e_cached(world), 10));
             true
         }
-        "fig6" => figure(out_dir, "fig6", "Figure 6: classifier vs single-feature baselines (all categories)", fig6(world)),
-        "fig7" => figure(out_dir, "fig7", "Figure 7: with vs without historical instance matches (Computing)", fig7(world)),
-        "fig8" => figure(out_dir, "fig8", "Figure 8: comparison with existing schema matchers (Computing)", fig8(world)),
-        "fig9" => figure(out_dir, "fig9", "Figure 9: COMA++ delta configurations (Computing)", fig9(world)),
+        "fig6" => figure(
+            out_dir,
+            "fig6",
+            "Figure 6: classifier vs single-feature baselines (all categories)",
+            fig6(world),
+        ),
+        "fig7" => figure(
+            out_dir,
+            "fig7",
+            "Figure 7: with vs without historical instance matches (Computing)",
+            fig7(world),
+        ),
+        "fig8" => figure(
+            out_dir,
+            "fig8",
+            "Figure 8: comparison with existing schema matchers (Computing)",
+            fig8(world),
+        ),
+        "fig9" => figure(
+            out_dir,
+            "fig9",
+            "Figure 9: COMA++ delta configurations (Computing)",
+            fig9(world),
+        ),
         "ablation" => figure(
             out_dir,
             "ablation_extraction",
@@ -166,8 +193,8 @@ fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
 fn figure(out_dir: &PathBuf, stem: &str, title: &str, curves: Vec<LabeledCurve>) -> bool {
     println!("{}", render_curves(title, &curves));
     let path = out_dir.join(format!("{stem}.csv"));
-    if let Err(e) = std::fs::create_dir_all(out_dir)
-        .and_then(|_| std::fs::write(&path, curves_csv(&curves)))
+    if let Err(e) =
+        std::fs::create_dir_all(out_dir).and_then(|_| std::fs::write(&path, curves_csv(&curves)))
     {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {

@@ -30,10 +30,8 @@ pub fn build_world(scale: &Scale) -> World {
 /// Computing").
 pub fn computing_offers(world: &World) -> Vec<Offer> {
     let taxonomy = world.catalog.taxonomy();
-    let computing = taxonomy
-        .find_by_name(TopLevel::Computing.name())
-        .expect("computing top level exists")
-        .id;
+    let computing =
+        taxonomy.find_by_name(TopLevel::Computing.name()).expect("computing top level exists").id;
     world
         .offers
         .iter()
@@ -65,12 +63,8 @@ pub struct EndToEnd {
 /// Run the full pipeline at world scale.
 pub fn run_end_to_end(world: &World) -> EndToEnd {
     let provider = html_provider(world);
-    let offline = OfflineLearner::new().learn(
-        &world.catalog,
-        &world.offers,
-        &world.historical,
-        &provider,
-    );
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let unmatched: Vec<Offer> = world
         .offers
         .iter()
@@ -109,7 +103,13 @@ pub fn table2(world: &World, e2e: &EndToEnd) -> String {
 /// Table 3: synthesis per top-level category.
 pub fn table3(world: &World, e2e: &EndToEnd) -> String {
     let rows = per_top_level(world, &e2e.synthesis.products);
-    let mut t = TextTable::new(["Top-level category", "Avg Attrs/Product", "Attr precision", "Product precision", "Products"]);
+    let mut t = TextTable::new([
+        "Top-level category",
+        "Avg Attrs/Product",
+        "Attr precision",
+        "Product precision",
+        "Products",
+    ]);
     for (name, q) in rows {
         t.row([
             name,
@@ -153,12 +153,8 @@ pub fn table4(world: &World, e2e: &EndToEnd, threshold: usize) -> String {
 /// Figure 6: our classifier vs single-feature baselines, all categories.
 pub fn fig6(world: &World) -> Vec<LabeledCurve> {
     let provider = html_provider(world);
-    let ours = OfflineLearner::new().learn(
-        &world.catalog,
-        &world.offers,
-        &world.historical,
-        &provider,
-    );
+    let ours =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let js = SingleFeatureScorer::new(SingleFeature::JsMc).score_candidates(
         &world.catalog,
         &world.offers,
@@ -183,8 +179,7 @@ pub fn fig6(world: &World) -> Vec<LabeledCurve> {
 pub fn fig7(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
-    let ours =
-        OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
+    let ours = OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
     let no_matching = OfflineLearner::with_config(OfflineConfig {
         match_conditioning: false,
         ..OfflineConfig::default()
@@ -197,19 +192,12 @@ pub fn fig7(world: &World) -> Vec<LabeledCurve> {
 }
 
 /// Figure 8: our approach vs DUMAS, instance-based Naive Bayes, and the
-/// COMA++ configurations (Computing subtree).
+/// COMA++ configurations (Computing subtree). The six matcher runs are
+/// independent, so they fan out across worker threads; curve order (and
+/// every number in it) is identical at any `PSE_THREADS`.
 pub fn fig8(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
-    let ours =
-        OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
-    let nb = NaiveBayesMatcher::new().score_candidates(&world.catalog, &offers, &provider);
-    let dumas = DumasMatcher::new().score_candidates(
-        &world.catalog,
-        &offers,
-        &world.historical,
-        &provider,
-    );
     let coma = |strategy| {
         ComaMatcher::new(ComaConfig::new(strategy)).score_candidates(
             &world.catalog,
@@ -217,49 +205,78 @@ pub fn fig8(world: &World) -> Vec<LabeledCurve> {
             &provider,
         )
     };
-    vec![
-        labeled_curve("Our approach", &ours.scored, &world.truth),
-        labeled_curve("Instance-based Naive Bayes", &nb, &world.truth),
-        labeled_curve("DUMAS", &dumas, &world.truth),
-        labeled_curve("Name-based COMA++", &coma(ComaStrategy::Name), &world.truth),
-        labeled_curve("Instance-based COMA++", &coma(ComaStrategy::Instance), &world.truth),
-        labeled_curve("Combined COMA++", &coma(ComaStrategy::Combined), &world.truth),
-    ]
+    let sweep: Vec<MatcherTask<'_>> = vec![
+        Box::new(|| {
+            let ours =
+                OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
+            labeled_curve("Our approach", &ours.scored, &world.truth)
+        }),
+        Box::new(|| {
+            let nb = NaiveBayesMatcher::new().score_candidates(&world.catalog, &offers, &provider);
+            labeled_curve("Instance-based Naive Bayes", &nb, &world.truth)
+        }),
+        Box::new(|| {
+            let dumas = DumasMatcher::new().score_candidates(
+                &world.catalog,
+                &offers,
+                &world.historical,
+                &provider,
+            );
+            labeled_curve("DUMAS", &dumas, &world.truth)
+        }),
+        Box::new(|| labeled_curve("Name-based COMA++", &coma(ComaStrategy::Name), &world.truth)),
+        Box::new(|| {
+            labeled_curve("Instance-based COMA++", &coma(ComaStrategy::Instance), &world.truth)
+        }),
+        Box::new(|| labeled_curve("Combined COMA++", &coma(ComaStrategy::Combined), &world.truth)),
+    ];
+    run_sweep(sweep)
 }
 
-/// Figure 9: COMA++ δ ablation (Computing subtree).
+/// One matcher run inside a scoring sweep.
+type MatcherTask<'a> = Box<dyn Fn() -> LabeledCurve + Sync + 'a>;
+
+/// Run the independent matchers of a sweep across worker threads,
+/// preserving sweep order.
+fn run_sweep(tasks: Vec<MatcherTask<'_>>) -> Vec<LabeledCurve> {
+    pse_par::par_map(&tasks, |task| task())
+}
+
+/// Figure 9: COMA++ δ ablation (Computing subtree); the six runs fan out
+/// like [`fig8`]'s.
 pub fn fig9(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
-    let ours =
-        OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
-    let coma = |cfg| {
-        ComaMatcher::new(cfg).score_candidates(&world.catalog, &offers, &provider)
+    let coma_curve = |name: &'static str, cfg| {
+        labeled_curve(
+            name,
+            &ComaMatcher::new(cfg).score_candidates(&world.catalog, &offers, &provider),
+            &world.truth,
+        )
     };
-    vec![
-        labeled_curve("Our approach", &ours.scored, &world.truth),
-        labeled_curve(
-            "Combined COMA++ (d=inf)",
-            &coma(ComaConfig::with_unbounded_delta(ComaStrategy::Combined)),
-            &world.truth,
-        ),
-        labeled_curve(
-            "Name-based COMA++ (d=inf)",
-            &coma(ComaConfig::with_unbounded_delta(ComaStrategy::Name)),
-            &world.truth,
-        ),
-        labeled_curve("Name-based COMA++", &coma(ComaConfig::new(ComaStrategy::Name)), &world.truth),
-        labeled_curve(
-            "Instance-based COMA++",
-            &coma(ComaConfig::new(ComaStrategy::Instance)),
-            &world.truth,
-        ),
-        labeled_curve(
-            "Combined COMA++",
-            &coma(ComaConfig::new(ComaStrategy::Combined)),
-            &world.truth,
-        ),
-    ]
+    let sweep: Vec<MatcherTask<'_>> = vec![
+        Box::new(|| {
+            let ours =
+                OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
+            labeled_curve("Our approach", &ours.scored, &world.truth)
+        }),
+        Box::new(|| {
+            coma_curve(
+                "Combined COMA++ (d=inf)",
+                ComaConfig::with_unbounded_delta(ComaStrategy::Combined),
+            )
+        }),
+        Box::new(|| {
+            coma_curve(
+                "Name-based COMA++ (d=inf)",
+                ComaConfig::with_unbounded_delta(ComaStrategy::Name),
+            )
+        }),
+        Box::new(|| coma_curve("Name-based COMA++", ComaConfig::new(ComaStrategy::Name))),
+        Box::new(|| coma_curve("Instance-based COMA++", ComaConfig::new(ComaStrategy::Instance))),
+        Box::new(|| coma_curve("Combined COMA++", ComaConfig::new(ComaStrategy::Combined))),
+    ];
+    run_sweep(sweep)
 }
 
 /// Ablation: extraction noise — oracle specs vs HTML-extracted specs.
@@ -306,19 +323,16 @@ pub fn ablation_features(world: &World) -> Vec<LabeledCurve> {
 pub fn ablation_fusion(world: &World) -> String {
     use pse_synthesis::runtime::FusionStrategy;
     let provider = html_provider(world);
-    let offline = OfflineLearner::new().learn(
-        &world.catalog,
-        &world.offers,
-        &world.historical,
-        &provider,
-    );
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let unmatched: Vec<Offer> = world
         .offers
         .iter()
         .filter(|o| world.historical.product_of(o.id).is_none())
         .cloned()
         .collect();
-    let mut t = TextTable::new(["Fusion strategy", "Products", "Attr precision", "Product precision"]);
+    let mut t =
+        TextTable::new(["Fusion strategy", "Products", "Attr precision", "Product precision"]);
     for (name, strategy) in [
         ("Centroid vote (paper)", FusionStrategy::CentroidVote),
         ("Exact majority", FusionStrategy::MajorityExact),
@@ -338,19 +352,18 @@ pub fn ablation_fusion(world: &World) -> String {
             format!("{:.3}", q.product_precision()),
         ]);
     }
-    format!("Ablation: value-fusion strategy
-{}", t.render())
+    format!(
+        "Ablation: value-fusion strategy
+{}",
+        t.render()
+    )
 }
 
 /// Ablation: clustering key choice (MPN vs UPC vs both).
 pub fn ablation_keys(world: &World) -> String {
     let provider = html_provider(world);
-    let offline = OfflineLearner::new().learn(
-        &world.catalog,
-        &world.offers,
-        &world.historical,
-        &provider,
-    );
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let unmatched: Vec<Offer> = world
         .offers
         .iter()
@@ -376,8 +389,11 @@ pub fn ablation_keys(world: &World) -> String {
             format!("{:.3}", q.attribute_precision()),
         ]);
     }
-    format!("Ablation: clustering key choice
-{}", t.render())
+    format!(
+        "Ablation: clustering key choice
+{}",
+        t.render()
+    )
 }
 
 /// Ablation: robustness to historical-match noise — sweep the match error
@@ -392,12 +408,8 @@ pub fn ablation_history_noise(scale: &Scale) -> String {
         let world = build_world(&s);
         let offers = computing_offers(&world);
         let provider = html_provider(&world);
-        let out = OfflineLearner::new().learn(
-            &world.catalog,
-            &offers,
-            &world.historical,
-            &provider,
-        );
+        let out =
+            OfflineLearner::new().learn(&world.catalog, &offers, &world.historical, &provider);
         let curve = labeled_curve("x", &out.scored, &world.truth);
         let fmt = |c: Option<f64>| c.map_or("-".to_string(), |p| format!("{p:.3}"));
         t.row([
@@ -407,8 +419,11 @@ pub fn ablation_history_noise(scale: &Scale) -> String {
             curve.max_coverage().to_string(),
         ]);
     }
-    format!("Ablation: historical-match noise robustness
-{}", t.render())
+    format!(
+        "Ablation: historical-match noise robustness
+{}",
+        t.render()
+    )
 }
 
 /// Ablation: distributional-measure choice (Lee '99) — validates the
@@ -498,16 +513,10 @@ fn checkpoints_for(max_cov: usize) -> Vec<usize> {
     if max_cov == 0 {
         return Vec::new();
     }
-    let candidates = [
-        100, 250, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 30_000, 50_000,
-    ];
-    let mut out: Vec<usize> =
-        candidates.iter().copied().filter(|c| *c <= max_cov).collect();
+    let candidates = [100, 250, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 30_000, 50_000];
+    let mut out: Vec<usize> = candidates.iter().copied().filter(|c| *c <= max_cov).collect();
     if out.len() < 3 {
-        out = vec![max_cov / 4, max_cov / 2, max_cov]
-            .into_iter()
-            .filter(|c| *c > 0)
-            .collect();
+        out = vec![max_cov / 4, max_cov / 2, max_cov].into_iter().filter(|c| *c > 0).collect();
         out.dedup();
     }
     out

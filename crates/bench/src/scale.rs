@@ -60,9 +60,7 @@ impl Scale {
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
-            let mut take = || {
-                it.next().cloned().ok_or_else(|| format!("missing value for {arg}"))
-            };
+            let mut take = || it.next().cloned().ok_or_else(|| format!("missing value for {arg}"));
             match arg.as_str() {
                 "--offers" => scale.offers = parse(&take()?)?,
                 "--merchants" => scale.merchants = parse(&take()?)?,
@@ -71,10 +69,8 @@ impl Scale {
                 "--match-error-rate" => scale.match_error_rate = parse(&take()?)?,
                 "--leaves" => {
                     let v = take()?;
-                    let parts: Vec<usize> = v
-                        .split(',')
-                        .map(|p| parse::<usize>(p))
-                        .collect::<Result<_, _>>()?;
+                    let parts: Vec<usize> =
+                        v.split(',').map(parse::<usize>).collect::<Result<_, _>>()?;
                     if parts.len() != 4 {
                         return Err("--leaves needs 4 comma-separated counts".into());
                     }

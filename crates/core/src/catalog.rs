@@ -62,11 +62,7 @@ impl Catalog {
 
     /// Products of one category.
     pub fn products_in(&self, category: CategoryId) -> impl Iterator<Item = &Product> {
-        self.by_category
-            .get(&category)
-            .into_iter()
-            .flatten()
-            .map(|id| self.product(*id))
+        self.by_category.get(&category).into_iter().flatten().map(|id| self.product(*id))
     }
 
     /// Check that every product's attributes belong to its category schema.

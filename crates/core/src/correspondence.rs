@@ -60,11 +60,7 @@ impl CorrespondenceSet {
     /// Insert one correspondence; keeps the higher-scoring mapping on
     /// collision.
     pub fn insert(&mut self, c: AttributeCorrespondence) {
-        let key = (
-            c.merchant,
-            c.category,
-            normalize_attribute_name(&c.merchant_attribute),
-        );
+        let key = (c.merchant, c.category, normalize_attribute_name(&c.merchant_attribute));
         match self.map.get_mut(&key) {
             Some(existing) if existing.1 >= c.score => {}
             slot => {
@@ -147,10 +143,7 @@ mod tests {
             corr("Capacity", "Hard Disk Size", 0, 0, 0.8),
         ]);
         assert_eq!(set.translate(MerchantId(0), CategoryId(0), "rpm"), Some("Speed"));
-        assert_eq!(
-            set.translate(MerchantId(0), CategoryId(0), "Hard-Disk Size"),
-            Some("Capacity")
-        );
+        assert_eq!(set.translate(MerchantId(0), CategoryId(0), "Hard-Disk Size"), Some("Capacity"));
         assert_eq!(set.translate(MerchantId(0), CategoryId(0), "Color"), None);
         assert_eq!(set.translate(MerchantId(1), CategoryId(0), "rpm"), None);
     }

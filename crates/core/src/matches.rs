@@ -48,10 +48,7 @@ impl HistoricalMatches {
 
     /// The offers known to match a given product.
     pub fn offers_of(&self, product: ProductId) -> &[OfferId] {
-        self.product_to_offers
-            .get(&product)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.product_to_offers.get(&product).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of matched offers.

@@ -48,12 +48,7 @@ impl Spec {
         N: Into<String>,
         V: Into<String>,
     {
-        Self {
-            pairs: pairs
-                .into_iter()
-                .map(|(n, v)| AttributeValue::new(n, v))
-                .collect(),
-        }
+        Self { pairs: pairs.into_iter().map(|(n, v)| AttributeValue::new(n, v)).collect() }
     }
 
     /// Append a pair.
@@ -80,10 +75,7 @@ impl Spec {
     /// `name`, if any.
     pub fn get(&self, name: &str) -> Option<&str> {
         let target = normalize_attribute_name(name);
-        self.pairs
-            .iter()
-            .find(|p| p.normalized_name() == target)
-            .map(|p| p.value.as_str())
+        self.pairs.iter().find(|p| p.normalized_name() == target).map(|p| p.value.as_str())
     }
 
     /// All values for attributes whose names normalize to `name`.

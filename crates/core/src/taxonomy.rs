@@ -92,9 +92,7 @@ impl Taxonomy {
 
     /// Leaf categories (those with a parent and a non-empty schema).
     pub fn leaves(&self) -> impl Iterator<Item = &Category> {
-        self.categories
-            .iter()
-            .filter(|c| c.parent.is_some() && !c.schema.is_empty())
+        self.categories.iter().filter(|c| c.parent.is_some() && !c.schema.is_empty())
     }
 
     /// Top-level categories.
@@ -131,10 +129,8 @@ mod tests {
         let mut t = Taxonomy::new();
         let computing = t.add_top_level("Computing");
         let cameras = t.add_top_level("Cameras");
-        let schema = CategorySchema::from_attributes([AttributeDef::new(
-            "Brand",
-            AttributeKind::Text,
-        )]);
+        let schema =
+            CategorySchema::from_attributes([AttributeDef::new("Brand", AttributeKind::Text)]);
         t.add_leaf(computing, "Hard Drives", schema.clone());
         t.add_leaf(computing, "Laptops", schema.clone());
         t.add_leaf(cameras, "Digital Cameras", schema);

@@ -221,9 +221,7 @@ impl MerchantVocab {
 
     /// The merchant's surface name for a catalog attribute (when exposed).
     pub fn merchant_name(&self, catalog_attr: &str) -> Option<&str> {
-        self.rename
-            .get(&normalize_attribute_name(catalog_attr))
-            .map(String::as_str)
+        self.rename.get(&normalize_attribute_name(catalog_attr)).map(String::as_str)
     }
 
     /// Iterate over `(normalized catalog attr, merchant surface name)`.
@@ -243,19 +241,18 @@ impl MerchantVocab {
         canonical_value: &str,
         gen: &ValueGen,
     ) -> String {
-        let fmt = self
-            .formats
-            .get(&normalize_attribute_name(catalog_attr))
-            .copied()
-            .unwrap_or(ValueFormat {
+        let fmt = self.formats.get(&normalize_attribute_name(catalog_attr)).copied().unwrap_or(
+            ValueFormat {
                 unit: UnitMode::Keep,
                 case: CaseMode::AsIs,
                 text: TextStyle::AsIs,
                 decor: None,
-            });
+            },
+        );
         // Token-level rewriting applies to textual (non-unit-bearing) values.
         let restyled: String = match (&fmt.text, gen) {
-            (TextStyle::AsIs, _) | (_, ValueGen::Numeric { .. } | ValueGen::Mpn | ValueGen::Upc) => {
+            (TextStyle::AsIs, _)
+            | (_, ValueGen::Numeric { .. } | ValueGen::Mpn | ValueGen::Upc) => {
                 canonical_value.to_string()
             }
             (TextStyle::Abbrev, _) => abbreviate_first_token(canonical_value),
@@ -399,14 +396,24 @@ mod tests {
         ] {
             v.formats.insert(
                 "capacity".to_string(),
-                ValueFormat { unit: mode, case: CaseMode::AsIs, text: TextStyle::AsIs, decor: None },
+                ValueFormat {
+                    unit: mode,
+                    case: CaseMode::AsIs,
+                    text: TextStyle::AsIs,
+                    decor: None,
+                },
             );
             assert_eq!(v.format_value("Capacity", "500 GB", &gen), expected);
         }
         // Case modes apply to text values.
         v.formats.insert(
             "interface".to_string(),
-            ValueFormat { unit: UnitMode::Keep, case: CaseMode::Lower, text: TextStyle::AsIs, decor: None },
+            ValueFormat {
+                unit: UnitMode::Keep,
+                case: CaseMode::Lower,
+                text: TextStyle::AsIs,
+                decor: None,
+            },
         );
         let text_gen = ValueGen::Enum { choices: vec![] };
         assert_eq!(v.format_value("Interface", "Serial ATA 300", &text_gen), "serial ata 300");
@@ -435,19 +442,34 @@ mod tests {
         let text_gen = ValueGen::Enum { choices: vec![] };
         v.formats.insert(
             "interface".to_string(),
-            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Tight, decor: None },
+            ValueFormat {
+                unit: UnitMode::Keep,
+                case: CaseMode::AsIs,
+                text: TextStyle::Tight,
+                decor: None,
+            },
         );
         assert_eq!(v.format_value("Interface", "Serial ATA 300", &text_gen), "SerialATA300");
         v.formats.insert(
             "brand".to_string(),
-            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Abbrev, decor: None },
+            ValueFormat {
+                unit: UnitMode::Keep,
+                case: CaseMode::AsIs,
+                text: TextStyle::Abbrev,
+                decor: None,
+            },
         );
         assert_eq!(v.format_value("Brand", "Western Digital", &text_gen), "W Digital");
         assert_eq!(v.format_value("Brand", "Sony", &text_gen), "Sony");
         // Identifiers are never restyled.
         v.formats.insert(
             "mpn".to_string(),
-            ValueFormat { unit: UnitMode::Keep, case: CaseMode::AsIs, text: TextStyle::Tight, decor: None },
+            ValueFormat {
+                unit: UnitMode::Keep,
+                case: CaseMode::AsIs,
+                text: TextStyle::Tight,
+                decor: None,
+            },
         );
         assert_eq!(v.format_value("MPN", "ABC 123", &ValueGen::Mpn), "ABC 123");
     }

@@ -38,8 +38,10 @@ pub fn render_landing_page<R: rand::Rng + ?Sized>(
     let mut html = String::with_capacity(2048);
     html.push_str("<!DOCTYPE html><html><head><title>");
     html.push_str(&escape(title));
-    html.push_str("</title><style>.nav{width:100%}</style>\
-        <script>var tracking = '<table>';</script></head><body>");
+    html.push_str(
+        "</title><style>.nav{width:100%}</style>\
+        <script>var tracking = '<table>';</script></head><body>",
+    );
 
     // Navigation chrome: a three-column layout table (ignored by the
     // extractor because its rows are not two-column).
@@ -53,7 +55,11 @@ pub fn render_landing_page<R: rand::Rng + ?Sized>(
     html.push_str(&escape(title));
     html.push_str("</h1><div class=\"seller\">Sold by ");
     html.push_str(&escape(merchant_name));
-    html.push_str(&format!("</div><div class=\"price\">${}.{:02}</div>", price_cents / 100, price_cents % 100));
+    html.push_str(&format!(
+        "</div><div class=\"price\">${}.{:02}</div>",
+        price_cents / 100,
+        price_cents % 100
+    ));
 
     if style.bullet_specs {
         html.push_str("<h2>Product Details</h2><ul>");
@@ -127,11 +133,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn spec() -> Spec {
-        Spec::from_pairs([
-            ("Brand", "Hitachi"),
-            ("Hard Disk Size", "500"),
-            ("RPM", "7200 rpm"),
-        ])
+        Spec::from_pairs([("Brand", "Hitachi"), ("Hard Disk Size", "500"), ("RPM", "7200 rpm")])
     }
 
     fn rng() -> rand::rngs::StdRng {
@@ -141,7 +143,14 @@ mod tests {
     #[test]
     fn table_page_round_trips_through_extractor() {
         let style = PageStyle { bullet_specs: false, noise_table: false, banner_row: true };
-        let html = render_landing_page("Hitachi 500GB", "Microwarehouse", 8999, &spec(), style, &mut rng());
+        let html = render_landing_page(
+            "Hitachi 500GB",
+            "Microwarehouse",
+            8999,
+            &spec(),
+            style,
+            &mut rng(),
+        );
         let extracted = pse_extract_for_test(&html);
         assert_eq!(extracted.get("Brand"), Some("Hitachi"));
         assert_eq!(extracted.get("Hard Disk Size"), Some("500"));
@@ -168,7 +177,8 @@ mod tests {
     #[test]
     fn titles_are_escaped() {
         let style = PageStyle { bullet_specs: false, noise_table: false, banner_row: false };
-        let html = render_landing_page("3.5\" <Drive> & Co", "M", 100, &Spec::new(), style, &mut rng());
+        let html =
+            render_landing_page("3.5\" <Drive> & Co", "M", 100, &Spec::new(), style, &mut rng());
         assert!(html.contains("3.5&quot; &lt;Drive&gt; &amp; Co"));
     }
 
@@ -176,8 +186,7 @@ mod tests {
     /// dev-dependency on `pse-extract` (which depends on nothing here, but
     /// keeping datagen's dev-deps minimal keeps build graphs simple).
     fn pse_extract_for_test(html: &str) -> Spec {
-        let doc = pse_html_parse(html);
-        doc
+        pse_html_parse(html)
     }
 
     fn pse_html_parse(html: &str) -> Spec {

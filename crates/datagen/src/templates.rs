@@ -60,21 +60,54 @@ impl TopLevel {
 pub fn category_names(top: TopLevel) -> &'static [&'static str] {
     match top {
         TopLevel::Cameras => &[
-            "Digital Cameras", "SLR Lenses", "Camcorders", "Camera Flashes", "Tripods",
-            "Camera Bags", "Memory Cards", "Binoculars", "Telescopes", "Photo Printers",
+            "Digital Cameras",
+            "SLR Lenses",
+            "Camcorders",
+            "Camera Flashes",
+            "Tripods",
+            "Camera Bags",
+            "Memory Cards",
+            "Binoculars",
+            "Telescopes",
+            "Photo Printers",
         ],
         TopLevel::Computing => &[
-            "Hard Drives", "Laptops", "Monitors", "Desktops", "Printers", "Routers",
-            "Graphics Cards", "Motherboards", "Keyboards", "Mice", "Workstations",
-            "Mobile Devices", "USB Drives", "Sound Cards", "Network Switches", "Webcams",
+            "Hard Drives",
+            "Laptops",
+            "Monitors",
+            "Desktops",
+            "Printers",
+            "Routers",
+            "Graphics Cards",
+            "Motherboards",
+            "Keyboards",
+            "Mice",
+            "Workstations",
+            "Mobile Devices",
+            "USB Drives",
+            "Sound Cards",
+            "Network Switches",
+            "Webcams",
         ],
         TopLevel::Furnishings => &[
-            "Bedspreads", "Home Lighting", "Area Rugs", "Curtains", "Throw Pillows",
-            "Mattresses", "Picture Frames", "Wall Clocks",
+            "Bedspreads",
+            "Home Lighting",
+            "Area Rugs",
+            "Curtains",
+            "Throw Pillows",
+            "Mattresses",
+            "Picture Frames",
+            "Wall Clocks",
         ],
         TopLevel::Kitchen => &[
-            "Stand Mixers", "Dishwashers", "Air Conditioners", "Blenders", "Coffee Makers",
-            "Toasters", "Cookware Sets", "Microwave Ovens",
+            "Stand Mixers",
+            "Dishwashers",
+            "Air Conditioners",
+            "Blenders",
+            "Coffee Makers",
+            "Toasters",
+            "Cookware Sets",
+            "Microwave Ovens",
         ],
     }
 }
@@ -83,20 +116,57 @@ pub fn category_names(top: TopLevel) -> &'static [&'static str] {
 pub fn brand_pool(top: TopLevel) -> Vec<String> {
     let brands: &[&str] = match top {
         TopLevel::Cameras => &[
-            "Canon", "Nikon", "Sony", "Olympus", "Panasonic", "Fujifilm", "Pentax", "Leica",
-            "Sigma", "Tamron", "Kodak", "Casio",
+            "Canon",
+            "Nikon",
+            "Sony",
+            "Olympus",
+            "Panasonic",
+            "Fujifilm",
+            "Pentax",
+            "Leica",
+            "Sigma",
+            "Tamron",
+            "Kodak",
+            "Casio",
         ],
         TopLevel::Computing => &[
-            "Seagate", "Western Digital", "Hitachi", "Samsung", "Toshiba", "HP", "Dell",
-            "Lenovo", "Asus", "Acer", "Intel", "Kingston", "Corsair", "Logitech", "NetGear",
+            "Seagate",
+            "Western Digital",
+            "Hitachi",
+            "Samsung",
+            "Toshiba",
+            "HP",
+            "Dell",
+            "Lenovo",
+            "Asus",
+            "Acer",
+            "Intel",
+            "Kingston",
+            "Corsair",
+            "Logitech",
+            "NetGear",
         ],
         TopLevel::Furnishings => &[
-            "Ashley", "Croscill", "Waverly", "Serta", "Simmons", "Laura Ashley", "Nautica",
+            "Ashley",
+            "Croscill",
+            "Waverly",
+            "Serta",
+            "Simmons",
+            "Laura Ashley",
+            "Nautica",
             "Tommy Hilfiger",
         ],
         TopLevel::Kitchen => &[
-            "KitchenAid", "Cuisinart", "Whirlpool", "GE", "Bosch", "Oster", "Hamilton Beach",
-            "Breville", "Krups", "DeLonghi",
+            "KitchenAid",
+            "Cuisinart",
+            "Whirlpool",
+            "GE",
+            "Bosch",
+            "Oster",
+            "Hamilton Beach",
+            "Breville",
+            "Krups",
+            "DeLonghi",
         ],
     };
     brands.iter().map(|s| s.to_string()).collect()
@@ -117,12 +187,7 @@ pub struct AttrTemplate {
 }
 
 impl AttrTemplate {
-    fn new(
-        name: &str,
-        synonyms: &[&str],
-        kind: AttributeKind,
-        gen: ValueGen,
-    ) -> Self {
+    fn new(name: &str, synonyms: &[&str], kind: AttributeKind, gen: ValueGen) -> Self {
         Self {
             name: name.to_string(),
             synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
@@ -178,7 +243,11 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Capacity",
                 &["Hard Disk Size", "Storage Capacity", "Disk Capacity", "Hard Drive Capacity"],
                 N,
-                numeric(&[80.0, 160.0, 250.0, 320.0, 400.0, 500.0, 640.0, 750.0, 1000.0, 1500.0], "GB", &["gigabytes", "Gb"]),
+                numeric(
+                    &[80.0, 160.0, 250.0, 320.0, 400.0, 500.0, 640.0, 750.0, 1000.0, 1500.0],
+                    "GB",
+                    &["gigabytes", "Gb"],
+                ),
             ),
             AttrTemplate::new(
                 "Speed",
@@ -190,7 +259,15 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Interface",
                 &["Int. Type", "Interface Type", "Connection Type", "Bus Type"],
                 T,
-                choices(&["Serial ATA 300", "SATA 150", "IDE ATA 133", "SCSI Ultra 320", "SAS", "USB 2.0", "FireWire 800"]),
+                choices(&[
+                    "Serial ATA 300",
+                    "SATA 150",
+                    "IDE ATA 133",
+                    "SCSI Ultra 320",
+                    "SAS",
+                    "USB 2.0",
+                    "FireWire 800",
+                ]),
             ),
             AttrTemplate::new(
                 "Buffer Size",
@@ -226,7 +303,14 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Operating System",
                 &["OS", "Platform", "OS Provided"],
                 T,
-                choices(&["Microsoft Windows Vista", "Microsoft Windows XP", "Microsoft Windows 7", "Linux", "Mac OS X", "FreeDOS"]),
+                choices(&[
+                    "Microsoft Windows Vista",
+                    "Microsoft Windows XP",
+                    "Microsoft Windows 7",
+                    "Linux",
+                    "Mac OS X",
+                    "FreeDOS",
+                ]),
             ),
             AttrTemplate::new(
                 "Color",
@@ -252,7 +336,11 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Resolution",
                 &["Megapixels", "Effective Pixels", "Image Resolution", "Sensor Resolution"],
                 N,
-                numeric(&[6.0, 8.0, 10.0, 12.0, 14.1, 16.2, 18.0, 21.1], "MP", &["megapixel", "megapixels"]),
+                numeric(
+                    &[6.0, 8.0, 10.0, 12.0, 14.1, 16.2, 18.0, 21.1],
+                    "MP",
+                    &["megapixel", "megapixels"],
+                ),
             ),
             AttrTemplate::new(
                 "Optical Zoom",
@@ -314,13 +402,23 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Material",
                 &["Fabric", "Fabric Type", "Fabric Content"],
                 T,
-                choices(&["Cotton", "Polyester", "Microfiber", "Silk", "Wool", "Linen", "Cotton Blend"]),
+                choices(&[
+                    "Cotton",
+                    "Polyester",
+                    "Microfiber",
+                    "Silk",
+                    "Wool",
+                    "Linen",
+                    "Cotton Blend",
+                ]),
             ),
             AttrTemplate::new(
                 "Color",
                 &["Colour", "Shade", "Color Family"],
                 T,
-                choices(&["White", "Ivory", "Blue", "Red", "Sage", "Brown", "Black", "Gold", "Burgundy"]),
+                choices(&[
+                    "White", "Ivory", "Blue", "Red", "Sage", "Brown", "Black", "Gold", "Burgundy",
+                ]),
             ),
             AttrTemplate::new(
                 "Size",
@@ -358,7 +456,14 @@ pub fn attribute_pool(top: TopLevel) -> Vec<AttrTemplate> {
                 "Finish",
                 &["Color", "Colour", "Exterior Finish"],
                 T,
-                choices(&["Stainless Steel", "Black", "White", "Empire Red", "Silver", "Onyx Black"]),
+                choices(&[
+                    "Stainless Steel",
+                    "Black",
+                    "White",
+                    "Empire Red",
+                    "Silver",
+                    "Onyx Black",
+                ]),
             ),
             AttrTemplate::new(
                 "Material",
@@ -432,8 +537,16 @@ fn numeric_vec(values: Vec<f64>, unit: &str, alts: &[&str]) -> ValueGen {
 /// width than the static pool provides). Deterministic in `(rng)`.
 pub fn procedural_attribute<R: rand::Rng + ?Sized>(rng: &mut R, index: usize) -> AttrTemplate {
     const SUBJECTS: &[&str] = &[
-        "Performance", "Durability", "Efficiency", "Noise", "Output", "Compatibility",
-        "Response", "Reliability", "Comfort", "Safety",
+        "Performance",
+        "Durability",
+        "Efficiency",
+        "Noise",
+        "Output",
+        "Compatibility",
+        "Response",
+        "Reliability",
+        "Comfort",
+        "Safety",
     ];
     const FORMS: &[(&str, &str)] = &[
         ("{} Rating", "{} Score"),

@@ -72,14 +72,11 @@ mod tests {
     use super::*;
 
     fn truth() -> GroundTruth {
-        let mut t = GroundTruth::default();
-        t.offer_product = vec![ProductId(7), ProductId(8)];
-        t.attr_map.insert(
-            (MerchantId(0), CategoryId(1), "rpm".to_string()),
-            Some("Speed".to_string()),
-        );
+        let mut t =
+            GroundTruth { offer_product: vec![ProductId(7), ProductId(8)], ..Default::default() };
         t.attr_map
-            .insert((MerchantId(0), CategoryId(1), "shipping weight".to_string()), None);
+            .insert((MerchantId(0), CategoryId(1), "rpm".to_string()), Some("Speed".to_string()));
+        t.attr_map.insert((MerchantId(0), CategoryId(1), "shipping weight".to_string()), None);
         t.bullet_offers.insert(OfferId(1));
         t
     }
@@ -98,7 +95,12 @@ mod tests {
         assert!(t.correspondence_correct("speed", "rpm", MerchantId(0), CategoryId(1)));
         assert!(!t.correspondence_correct("Capacity", "rpm", MerchantId(0), CategoryId(1)));
         assert!(!t.correspondence_correct("Speed", "rpm", MerchantId(1), CategoryId(1)));
-        assert!(!t.correspondence_correct("Speed", "shipping weight", MerchantId(0), CategoryId(1)));
+        assert!(!t.correspondence_correct(
+            "Speed",
+            "shipping weight",
+            MerchantId(0),
+            CategoryId(1)
+        ));
     }
 
     #[test]

@@ -149,18 +149,13 @@ mod tests {
         let w = g.category_weights(&mut r);
         for _ in 0..50 {
             let v = g.sample(&w, &mut r);
-            assert!(
-                ["250 GB", "500 GB", "1000 GB"].contains(&v.as_str()),
-                "unexpected value {v}"
-            );
+            assert!(["250 GB", "500 GB", "1000 GB"].contains(&v.as_str()), "unexpected value {v}");
         }
     }
 
     #[test]
     fn weights_skew_distributions() {
-        let g = ValueGen::Enum {
-            choices: vec!["a".into(), "b".into()],
-        };
+        let g = ValueGen::Enum { choices: vec!["a".into(), "b".into()] };
         let mut r = rng();
         let w = vec![100.0, 1.0];
         let a_count = (0..200).filter(|_| g.sample(&w, &mut r) == "a").count();

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 use pse_core::{
-    AttributeDef, Catalog, CategoryId, CategorySchema, HistoricalMatches,
-    Merchant, MerchantId, Offer, OfferId, ProductId, Spec, Taxonomy,
+    AttributeDef, Catalog, CategoryId, CategorySchema, HistoricalMatches, Merchant, MerchantId,
+    Offer, OfferId, ProductId, Spec, Taxonomy,
 };
 use pse_text::normalize::normalize_attribute_name;
 use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
@@ -110,8 +110,7 @@ impl World {
         // products in the catalog with a speed of 10,000 rpm, and none in
         // the merchant offers" — which is what makes unconditioned value
         // distributions misleading.
-        let active_count =
-            ((config.products_per_category as f64) * 0.6).ceil().max(1.0) as usize;
+        let active_count = ((config.products_per_category as f64) * 0.6).ceil().max(1.0) as usize;
         let mut catalog = Catalog::new(taxonomy);
         for info in &categories {
             let leaf_name = catalog.taxonomy().category(info.id).name.clone();
@@ -192,9 +191,7 @@ impl World {
                 .templates
                 .iter()
                 .skip(3)
-                .find(|t| {
-                    matches!(t.gen, ValueGen::Numeric { .. } | ValueGen::Enum { .. })
-                })
+                .find(|t| matches!(t.gen, ValueGen::Numeric { .. } | ValueGen::Enum { .. }))
                 .map(|t| {
                     let menu = canonical_menu(&t.gen);
                     let keep = ((menu.len() as f64) * 0.45).ceil() as usize;
@@ -209,25 +206,17 @@ impl World {
                     (t.name.clone(), allowed)
                 });
             let brand_ok = |p: &pse_core::Product| {
-                p.spec
-                    .get("Brand")
-                    .map(|b| brands.iter().any(|a| a == b))
-                    .unwrap_or(true)
+                p.spec.get("Brand").map(|b| brands.iter().any(|a| a == b)).unwrap_or(true)
             };
             let segment_ok = |p: &pse_core::Product| match &segment {
-                Some((attr, allowed)) => p
-                    .spec
-                    .get(attr)
-                    .map(|v| allowed.iter().any(|a| a == v))
-                    .unwrap_or(true),
+                Some((attr, allowed)) => {
+                    p.spec.get(attr).map(|v| allowed.iter().any(|a| a == v)).unwrap_or(true)
+                }
                 None => true,
             };
             let warm = &products[..active_count.min(products.len())];
-            let mut eligible: Vec<ProductId> = warm
-                .iter()
-                .filter(|p| brand_ok(p) && segment_ok(p))
-                .map(|p| p.id)
-                .collect();
+            let mut eligible: Vec<ProductId> =
+                warm.iter().filter(|p| brand_ok(p) && segment_ok(p)).map(|p| p.id).collect();
             if eligible.is_empty() {
                 eligible = warm.iter().filter(|p| brand_ok(p)).map(|p| p.id).collect();
             }
@@ -307,10 +296,7 @@ impl World {
                 price_cents,
                 image_url: Some(format!("https://img.example.com/{oi}.jpg")),
                 category: Some(info.id),
-                url: format!(
-                    "https://www.{}.example.com/product/{oi}",
-                    slug(&merchants[mi].name)
-                ),
+                url: format!("https://www.{}.example.com/product/{oi}", slug(&merchants[mi].name)),
                 title,
                 spec: feed_spec,
             });
@@ -418,6 +404,21 @@ impl World {
         spec
     }
 
+    /// Derive the page specifications of many offers at once, fanning the
+    /// per-offer work (vocabulary application, value formatting) across
+    /// worker threads. Output `i` is `page_spec(offers[i])` at any thread
+    /// count — each offer derives from its own seeded RNG, so parallelism
+    /// cannot change the result.
+    pub fn page_specs(&self, offers: &[OfferId]) -> Vec<Spec> {
+        pse_par::par_map_chunked(offers, 32, |&o| self.page_spec(o))
+    }
+
+    /// Render many landing pages at once (see [`World::landing_page`]);
+    /// order-preserving and deterministic at any thread count.
+    pub fn landing_pages(&self, offers: &[OfferId]) -> Vec<String> {
+        pse_par::par_map_chunked(offers, 16, |&o| self.landing_page(o))
+    }
+
     /// Render the offer's landing page HTML. Deterministic per offer.
     pub fn landing_page(&self, offer: OfferId) -> String {
         let o = &self.offers[offer.index()];
@@ -438,11 +439,7 @@ impl World {
         for o in &self.offers {
             *mc.entry((o.merchant, o.category)).or_insert(0) += 1;
         }
-        let mean = if mc.is_empty() {
-            0.0
-        } else {
-            self.offers.len() as f64 / mc.len() as f64
-        };
+        let mean = if mc.is_empty() { 0.0 } else { self.offers.len() as f64 / mc.len() as f64 };
         WorldStats {
             categories: self.categories.len(),
             products: self.catalog.len(),
@@ -488,16 +485,12 @@ fn generate_category<R: Rng + ?Sized>(
     if rng.random_bool(0.9) {
         templates.extend(crate::templates::confusable_group(top));
     }
-    let weights: Vec<Vec<f64>> =
-        templates.iter().map(|t| t.gen.category_weights(rng)).collect();
+    let weights: Vec<Vec<f64>> = templates.iter().map(|t| t.gen.category_weights(rng)).collect();
     let schema = CategorySchema::from_attributes(templates.iter().map(|t| {
         let is_key = matches!(t.gen, ValueGen::Mpn | ValueGen::Upc);
         AttributeDef { name: t.name.clone(), kind: t.kind, is_key }
     }));
-    (
-        CategoryInfo { id: CategoryId(0), top, templates, weights },
-        schema,
-    )
+    (CategoryInfo { id: CategoryId(0), top, templates, weights }, schema)
 }
 
 fn generate_product<R: Rng + ?Sized>(
@@ -515,9 +508,7 @@ fn generate_product<R: Rng + ?Sized>(
     let salient = info
         .templates
         .iter()
-        .find(|t| {
-            !matches!(t.gen, ValueGen::Mpn | ValueGen::Upc | ValueGen::Brand { .. })
-        })
+        .find(|t| !matches!(t.gen, ValueGen::Mpn | ValueGen::Upc | ValueGen::Brand { .. }))
         .and_then(|t| spec.get(&t.name))
         .unwrap_or("");
     let singular = leaf_name.strip_suffix('s').unwrap_or(leaf_name);
@@ -562,8 +553,18 @@ fn offer_title<R: Rng + ?Sized>(product_title: &str, rng: &mut R) -> String {
 
 fn merchant_name(i: usize) -> String {
     const NAMES: &[&str] = &[
-        "TechForLess", "Microwarehouse", "BuyMore", "ShopSmart", "GadgetHub", "ValueBazaar",
-        "PrimeDeals", "MegaMart", "DirectSupply", "CircuitCity", "HomeStyles", "KitchenKing",
+        "TechForLess",
+        "Microwarehouse",
+        "BuyMore",
+        "ShopSmart",
+        "GadgetHub",
+        "ValueBazaar",
+        "PrimeDeals",
+        "MegaMart",
+        "DirectSupply",
+        "CircuitCity",
+        "HomeStyles",
+        "KitchenKing",
     ];
     if i < NAMES.len() {
         NAMES[i].to_string()
@@ -573,10 +574,7 @@ fn merchant_name(i: usize) -> String {
 }
 
 fn slug(name: &str) -> String {
-    name.chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .collect::<String>()
-        .to_lowercase()
+    name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase()
 }
 
 #[cfg(test)]
@@ -656,11 +654,7 @@ mod tests {
     fn match_errors_appear_when_configured() {
         let cfg = WorldConfig { match_error_rate: 0.5, ..WorldConfig::tiny() };
         let w = World::generate(cfg);
-        let wrong = w
-            .historical
-            .iter()
-            .filter(|(o, p)| *p != w.truth.product_of(*o))
-            .count();
+        let wrong = w.historical.iter().filter(|(o, p)| *p != w.truth.product_of(*o)).count();
         assert!(wrong > 0, "expected some corrupted matches");
     }
 

@@ -26,10 +26,7 @@ pub struct LabeledCurve {
 
 /// Label candidates against the oracle. Name-identity candidates are
 /// excluded, mirroring the paper's evaluation-sample construction.
-pub fn label_candidates(
-    candidates: &[ScoredCandidate],
-    truth: &GroundTruth,
-) -> Vec<(f64, bool)> {
+pub fn label_candidates(candidates: &[ScoredCandidate], truth: &GroundTruth) -> Vec<(f64, bool)> {
     candidates
         .iter()
         .filter(|c| !c.is_name_identity)
@@ -101,14 +98,8 @@ mod tests {
 
     fn truth() -> GroundTruth {
         let mut t = GroundTruth::default();
-        t.attr_map.insert(
-            (MerchantId(0), CategoryId(0), "rpm".into()),
-            Some("Speed".into()),
-        );
-        t.attr_map.insert(
-            (MerchantId(0), CategoryId(0), "speed".into()),
-            Some("Speed".into()),
-        );
+        t.attr_map.insert((MerchantId(0), CategoryId(0), "rpm".into()), Some("Speed".into()));
+        t.attr_map.insert((MerchantId(0), CategoryId(0), "speed".into()), Some("Speed".into()));
         t
     }
 
@@ -138,10 +129,8 @@ mod tests {
 
     #[test]
     fn curve_statistics() {
-        let candidates = vec![
-            candidate("Speed", "rpm", 0.9, false),
-            candidate("Capacity", "rpm", 0.8, false),
-        ];
+        let candidates =
+            vec![candidate("Speed", "rpm", 0.9, false), candidate("Capacity", "rpm", 0.8, false)];
         let curve = labeled_curve("test", &candidates, &truth());
         assert_eq!(curve.evaluated, 2);
         assert_eq!(curve.correct, 1);

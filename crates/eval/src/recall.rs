@@ -83,11 +83,8 @@ pub fn recall_report(
 ) -> RecallReport {
     let mut report = RecallReport { threshold, ..Default::default() };
     for product in products {
-        let bucket = if product.offers.len() >= threshold {
-            &mut report.large
-        } else {
-            &mut report.small
-        };
+        let bucket =
+            if product.offers.len() >= threshold { &mut report.large } else { &mut report.small };
         evaluate_into(world, product, bucket);
     }
     report
@@ -119,11 +116,8 @@ fn evaluate_into(world: &World, product: &SynthesizedProduct, bucket: &mut Recal
     bucket.pooled_pairs += pooled_pairs;
     bucket.pool += pool.len();
 
-    let synthesized: HashSet<String> = product
-        .spec
-        .iter()
-        .map(|p| normalize_attribute_name(&p.name))
-        .collect();
+    let synthesized: HashSet<String> =
+        product.spec.iter().map(|p| normalize_attribute_name(&p.name)).collect();
     bucket.recalled += synthesized.intersection(&pool).count();
 
     let q = evaluate_product(world, product);

@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn z_scores_are_monotone() {
-        let zs: Vec<f64> = [0.5, 0.8, 0.9, 0.95, 0.99, 0.999]
-            .iter()
-            .map(|c| z_score(*c))
-            .collect();
+        let zs: Vec<f64> = [0.5, 0.8, 0.9, 0.95, 0.99, 0.999].iter().map(|c| z_score(*c)).collect();
         for w in zs.windows(2) {
             assert!(w[0] < w[1]);
         }

@@ -133,9 +133,7 @@ pub fn per_top_level(
     }
     taxonomy
         .top_levels()
-        .map(|t| {
-            (t.name.clone(), by_top.remove(&t.id).unwrap_or_default())
-        })
+        .map(|t| (t.name.clone(), by_top.remove(&t.id).unwrap_or_default()))
         .collect()
 }
 
@@ -198,11 +196,8 @@ mod tests {
         let (world, mut products) = run_world();
         let p = &mut products[0];
         // Replace every value with garbage disjoint from the truth.
-        let pairs: Vec<(String, String)> = p
-            .spec
-            .iter()
-            .map(|pair| (pair.name.clone(), "zzz bogus".to_string()))
-            .collect();
+        let pairs: Vec<(String, String)> =
+            p.spec.iter().map(|pair| (pair.name.clone(), "zzz bogus".to_string())).collect();
         p.spec = pse_core::Spec::from_pairs(pairs);
         let q = evaluate_product(&world, &products[0]);
         assert_eq!(q.correct_products, 0);

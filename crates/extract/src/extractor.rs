@@ -73,9 +73,7 @@ impl PageExtractor {
             if name.is_empty() || value.is_empty() {
                 continue;
             }
-            if name.len() > self.config.max_name_len
-                || value.len() > self.config.max_value_len
-            {
+            if name.len() > self.config.max_name_len || value.len() > self.config.max_value_len {
                 continue;
             }
             spec.push(name, value);
@@ -177,7 +175,8 @@ mod tests {
 
     #[test]
     fn empty_cells_dropped() {
-        let html = "<table><tr><td></td><td>orphan</td></tr><tr><td>Name</td><td> </td></tr></table>";
+        let html =
+            "<table><tr><td></td><td>orphan</td></tr><tr><td>Name</td><td> </td></tr></table>";
         assert!(extract_pairs(html).is_empty());
     }
 

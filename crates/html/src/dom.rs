@@ -46,9 +46,7 @@ pub struct Document {
 impl Document {
     /// A document containing only the root node.
     pub fn new() -> Self {
-        Self {
-            nodes: vec![Node { data: NodeData::Document, parent: None, children: Vec::new() }],
-        }
+        Self { nodes: vec![Node { data: NodeData::Document, parent: None, children: Vec::new() }] }
     }
 
     /// The root node id.
@@ -90,10 +88,9 @@ impl Document {
     /// Value of attribute `name` on element `id`.
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
         match &self.node(id).data {
-            NodeData::Element { attrs, .. } => attrs
-                .iter()
-                .find(|(a, _)| a.eq_ignore_ascii_case(name))
-                .map(|(_, v)| v.as_str()),
+            NodeData::Element { attrs, .. } => {
+                attrs.iter().find(|(a, _)| a.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+            }
             _ => None,
         }
     }
@@ -105,8 +102,7 @@ impl Document {
 
     /// All elements with the given tag name, in document order.
     pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-        self.descendants(self.root())
-            .filter(move |id| self.tag_name(*id) == Some(name))
+        self.descendants(self.root()).filter(move |id| self.tag_name(*id) == Some(name))
     }
 
     /// Concatenated text of all text-node descendants, whitespace-collapsed.
@@ -185,7 +181,10 @@ mod tests {
         let root = doc.root();
         let table = doc.append(
             root,
-            NodeData::Element { name: "table".into(), attrs: vec![("class".into(), "specs".into())] },
+            NodeData::Element {
+                name: "table".into(),
+                attrs: vec![("class".into(), "specs".into())],
+            },
         );
         let tr = doc.append(table, NodeData::Element { name: "tr".into(), attrs: vec![] });
         let td1 = doc.append(tr, NodeData::Element { name: "td".into(), attrs: vec![] });

@@ -18,8 +18,20 @@ use crate::tokenizer::{Token, Tokenizer};
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -32,7 +44,9 @@ fn implies_end(incoming: &str, open: &str) -> bool {
         "li" => open == "li",
         "p" => open == "p",
         "option" => open == "option",
-        "thead" | "tbody" | "tfoot" => matches!(open, "tr" | "td" | "th" | "thead" | "tbody" | "tfoot"),
+        "thead" | "tbody" | "tfoot" => {
+            matches!(open, "tr" | "td" | "th" | "thead" | "tbody" | "tfoot")
+        }
         "table" => matches!(open, "p"),
         _ => false,
     }
@@ -105,18 +119,12 @@ mod tests {
         // No </td> or </tr> anywhere — the tree must still have 2 rows × 2 cells.
         let doc = parse("<table><tr><td>A<td>1<tr><td>B<td>2</table>");
         let table = doc.elements_named("table").next().unwrap();
-        let rows: Vec<_> = doc
-            .descendants(table)
-            .filter(|id| doc.tag_name(*id) == Some("tr"))
-            .collect();
+        let rows: Vec<_> =
+            doc.descendants(table).filter(|id| doc.tag_name(*id) == Some("tr")).collect();
         assert_eq!(rows.len(), 2);
         for row in rows {
-            let cells = doc
-                .node(row)
-                .children
-                .iter()
-                .filter(|c| doc.tag_name(**c) == Some("td"))
-                .count();
+            let cells =
+                doc.node(row).children.iter().filter(|c| doc.tag_name(**c) == Some("td")).count();
             assert_eq!(cells, 2);
         }
     }
@@ -163,9 +171,7 @@ mod tests {
 
     #[test]
     fn nested_tables_preserved() {
-        let doc = parse(
-            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>",
-        );
+        let doc = parse("<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>");
         assert_eq!(doc.elements_named("table").count(), 2);
         let tds: Vec<_> = doc.elements_named("td").collect();
         assert_eq!(tds.len(), 2);

@@ -40,9 +40,7 @@ impl Table {
 
 /// Extract every `<table>` in the document, outermost first.
 pub fn extract_tables(doc: &Document) -> Vec<Table> {
-    doc.elements_named("table")
-        .map(|t| extract_table(doc, t))
-        .collect()
+    doc.elements_named("table").map(|t| extract_table(doc, t)).collect()
 }
 
 /// Extract one `<table>` element.
@@ -176,7 +174,8 @@ mod tests {
 
     #[test]
     fn markup_inside_cells_contributes_text() {
-        let doc = parse("<table><tr><td><b>Buffer</b> Size</td><td><span>16</span> MB</td></tr></table>");
+        let doc =
+            parse("<table><tr><td><b>Buffer</b> Size</td><td><span>16</span> MB</td></tr></table>");
         let t = &extract_tables(&doc)[0];
         assert_eq!(t.rows[0][0].text, "Buffer Size");
         assert_eq!(t.rows[0][1].text, "16 MB");

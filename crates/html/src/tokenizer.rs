@@ -107,10 +107,7 @@ impl<'a> Tokenizer<'a> {
 
         let is_end = rest.as_bytes().get(1) == Some(&b'/');
         let name_start = if is_end { 2 } else { 1 };
-        let name_len = rest[name_start..]
-            .bytes()
-            .take_while(|b| b.is_ascii_alphanumeric())
-            .count();
+        let name_len = rest[name_start..].bytes().take_while(|b| b.is_ascii_alphanumeric()).count();
         if name_len == 0 {
             // `<` not followed by a tag: literal text.
             self.bump(1);
@@ -289,7 +286,9 @@ mod tests {
     #[test]
     fn self_closing_and_case_folding() {
         let toks = Tokenizer::tokenize("<BR/><IMG SRC=x.png />");
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br")
+        );
         assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, attrs, .. }
             if name == "img" && attrs[0] == ("src".to_string(), "x.png".to_string())));
     }

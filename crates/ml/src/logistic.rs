@@ -50,8 +50,7 @@ impl LogisticRegression {
     pub fn train(data: &Dataset, config: &TrainConfig) -> Self {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let standardizer = Standardizer::fit(data.features());
-        let rows: Vec<Vec<f64>> =
-            data.features().iter().map(|r| standardizer.apply(r)).collect();
+        let rows: Vec<Vec<f64>> = data.features().iter().map(|r| standardizer.apply(r)).collect();
         let dim = data.dim();
         let mut weights = vec![0.0f64; dim];
         let mut intercept = 0.0f64;
@@ -181,14 +180,10 @@ mod tests {
     #[test]
     fn more_epochs_do_not_hurt_loss() {
         let data = linearly_separable(300, 4);
-        let short = LogisticRegression::train(
-            &data,
-            &TrainConfig { epochs: 2, ..TrainConfig::default() },
-        );
-        let long = LogisticRegression::train(
-            &data,
-            &TrainConfig { epochs: 80, ..TrainConfig::default() },
-        );
+        let short =
+            LogisticRegression::train(&data, &TrainConfig { epochs: 2, ..TrainConfig::default() });
+        let long =
+            LogisticRegression::train(&data, &TrainConfig { epochs: 80, ..TrainConfig::default() });
         assert!(long.log_loss(&data) <= short.log_loss(&data) + 1e-6);
     }
 

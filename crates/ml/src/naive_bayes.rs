@@ -99,9 +99,8 @@ impl MultinomialNaiveBayes {
 
     /// Posterior distribution `P(class | tokens)` over all classes.
     pub fn posterior(&self, tokens: &[&str]) -> Vec<f64> {
-        let logs: Vec<f64> = (0..self.num_classes())
-            .map(|c| self.log_joint(c, tokens.iter().copied()))
-            .collect();
+        let logs: Vec<f64> =
+            (0..self.num_classes()).map(|c| self.log_joint(c, tokens.iter().copied())).collect();
         softmax_from_logs(&logs)
     }
 
@@ -112,10 +111,7 @@ impl MultinomialNaiveBayes {
             return None;
         }
         let post = self.posterior(tokens);
-        post.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, p)| (c, *p))
+        post.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, p)| (c, *p))
     }
 }
 

@@ -1,0 +1,316 @@
+//! # pse-par — deterministic data-parallel executor
+//!
+//! A zero-dependency data-parallel executor built on
+//! [`std::thread::scope`]. Every entry point is **order-preserving and
+//! deterministic**: output `i` is always the result of input `i`, no
+//! matter how many worker threads run, so parallelism changes
+//! wall-clock time and nothing else. The pipeline's byte-identical
+//! output guarantee (experiment tables, CSV series, serialized
+//! correspondences) rests on this property.
+//!
+//! ## Thread-count knob
+//!
+//! The worker count is resolved per call, in priority order:
+//!
+//! 1. a scoped override installed by [`with_threads`] (used by tests
+//!    and benchmarks to compare 1-thread vs N-thread in one process),
+//! 2. the `PSE_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `PSE_THREADS=1` (or `with_threads(1, ..)`) forces the sequential
+//! path through the same API — no threads are spawned at all.
+//!
+//! ## Panic propagation
+//!
+//! If a worker panics, every worker is still joined (no detached
+//! threads, no deadlock) and then the panic payload of the **first**
+//! failing chunk (in input order) is resumed on the caller's thread.
+
+use std::cell::Cell;
+use std::panic::resume_unwind;
+use std::thread;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolves the worker count for the current call context.
+pub fn current_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("PSE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread
+/// (overriding `PSE_THREADS`), restoring the previous setting on exit —
+/// including on panic.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Joins workers in chunk order, preserving output order and resuming
+/// the first panic only after every worker has been joined.
+fn join_ordered<U>(handles: Vec<thread::ScopedJoinHandle<'_, Vec<U>>>, out: &mut Vec<U>) {
+    let mut first_panic = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(chunk) => {
+                if first_panic.is_none() {
+                    out.extend(chunk);
+                }
+            }
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Order-preserving parallel map: `out[i] == f(&items[i])` at any
+/// thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_chunked(items, 1, f)
+}
+
+/// Order-preserving parallel map with a minimum chunk size: each worker
+/// processes contiguous runs of at least `min_chunk` items, amortizing
+/// dispatch overhead when `f` is cheap. Semantically identical to
+/// [`par_map`].
+pub fn par_map_chunked<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = current_threads();
+    let min_chunk = min_chunk.max(1);
+    if threads <= 1 || items.len() <= min_chunk {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads).max(min_chunk);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || slice.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        join_ordered(handles, &mut out);
+    });
+    out
+}
+
+/// Order-preserving parallel map with per-worker scratch state: `init`
+/// runs once per worker, and `f` receives the worker's scratch for
+/// every item it processes. The scratch must never influence results in
+/// an order-dependent way if determinism is required — it exists for
+/// allocation reuse (buffers, interners), not accumulation.
+pub fn par_map_init<T, U, S, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || items.len() <= 1 {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|s| {
+        let (init, f) = (&init, &f);
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut scratch = init();
+                    slice.iter().map(|item| f(&mut scratch, item)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        join_ordered(handles, &mut out);
+    });
+    out
+}
+
+/// Parallel for-each with per-worker scratch state. Side effects only;
+/// use [`par_map_init`] when results are needed.
+pub fn par_for_each_init<T, S, I, F>(items: &[T], init: I, f: F)
+where
+    T: Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) + Sync,
+{
+    par_map_init(items, init, |scratch, item| f(scratch, item));
+}
+
+/// Order-preserving indexed parallel map: like [`par_map`] but `f`
+/// also receives the item's index in `items`.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(chunk_idx, slice)| {
+                let base = chunk_idx * chunk;
+                s.spawn(move || {
+                    slice.iter().enumerate().map(|(i, item)| f(base + i, item)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        join_ordered(handles, &mut out);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 7, 64] {
+            let got = with_threads(threads, || par_map(&items, |x| x * x));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(with_threads(4, || par_map(&empty, |x| x + 1)), Vec::<u32>::new());
+        assert_eq!(with_threads(4, || par_map(&[9u32], |x| x + 1)), vec![10]);
+    }
+
+    #[test]
+    fn chunked_respects_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let got = with_threads(5, || par_map_chunked(&items, 8, |x| x * 3));
+        assert_eq!(got, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_map_sees_true_indices() {
+        let items = vec!["a"; 53];
+        let got = with_threads(4, || par_map_indexed(&items, |i, _| i));
+        assert_eq!(got, (0..53).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn init_runs_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let got = with_threads(4, || {
+            par_map_init(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<u32>::new()
+                },
+                |scratch, x| {
+                    scratch.push(*x);
+                    x + 1
+                },
+            )
+        });
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+        let n = inits.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&n), "init ran {n} times");
+    }
+
+    #[test]
+    fn for_each_init_visits_everything() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        with_threads(4, || {
+            par_for_each_init(
+                &items,
+                || (),
+                |(), _| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates_first_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(8, || {
+                par_map(&items, |&x| {
+                    if x == 5 {
+                        panic!("boom at 5");
+                    }
+                    if x == 60 {
+                        panic!("boom at 60");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = result.expect_err("must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom at 5", "first chunk's panic wins");
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = current_threads();
+        let _ = std::panic::catch_unwind(|| {
+            with_threads(3, || panic!("inner"));
+        });
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn one_thread_spawns_nothing() {
+        // Sequential path: the closure runs on the caller's thread.
+        let caller = std::thread::current().id();
+        let seen = with_threads(1, || par_map(&[1, 2, 3], |_| std::thread::current().id()));
+        assert!(seen.iter().all(|&id| id == caller));
+    }
+}

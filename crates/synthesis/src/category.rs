@@ -45,10 +45,8 @@ impl TitleClassifier {
 
     /// Train from offers that already carry a category.
     pub fn train_from_offers(offers: &[Offer]) -> Self {
-        let examples: Vec<(&str, CategoryId)> = offers
-            .iter()
-            .filter_map(|o| o.category.map(|c| (o.title.as_str(), c)))
-            .collect();
+        let examples: Vec<(&str, CategoryId)> =
+            offers.iter().filter_map(|o| o.category.map(|c| (o.title.as_str(), c))).collect();
         Self::train(examples)
     }
 

@@ -26,8 +26,8 @@ pub mod offline;
 pub mod provider;
 pub mod runtime;
 
-pub use offline::{OfflineConfig, OfflineLearner, OfflineOutcome, OfflineStats, ScoredCandidate};
 pub use matching::{MatcherConfig, TitleMatcher};
+pub use offline::{OfflineConfig, OfflineLearner, OfflineOutcome, OfflineStats, ScoredCandidate};
 pub use provider::{ExtractingProvider, FnProvider, SpecProvider};
 pub use runtime::{
     FusedValue, RuntimeConfig, RuntimePipeline, SynthesisResult, SynthesizedProduct,

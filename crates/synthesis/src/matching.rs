@@ -77,7 +77,7 @@ pub struct TitleMatcher<'a> {
 
 struct CategoryIndex {
     corpus: TfIdfCorpus,
-    products: Vec<(ProductId, HashMap<String, f64>)>,
+    products: Vec<(ProductId, std::collections::BTreeMap<String, f64>)>,
 }
 
 impl<'a> TitleMatcher<'a> {
@@ -101,8 +101,7 @@ impl<'a> TitleMatcher<'a> {
             bags.entry(product.category).or_default().push((product.id, bag));
             for id_attr in &config.identifier_attributes {
                 if let Some(v) = product.spec.get(id_attr) {
-                    identifiers
-                        .insert((product.category, normalize_value(v)), product.id);
+                    identifiers.insert((product.category, normalize_value(v)), product.id);
                 }
             }
         }
@@ -132,9 +131,7 @@ impl<'a> TitleMatcher<'a> {
         // 1. Identifier matching.
         for id_attr in &self.config.identifier_attributes {
             for v in spec.get_all(id_attr) {
-                if let Some(&product) =
-                    self.identifiers.get(&(category, normalize_value(v)))
-                {
+                if let Some(&product) = self.identifiers.get(&(category, normalize_value(v))) {
                     return Some(ProposedMatch {
                         offer: offer.id,
                         product,
@@ -168,8 +165,7 @@ impl<'a> TitleMatcher<'a> {
             }
         }
         let (product, similarity) = best?;
-        if similarity >= self.config.min_similarity
-            && similarity - second >= self.config.min_margin
+        if similarity >= self.config.min_similarity && similarity - second >= self.config.min_margin
         {
             Some(ProposedMatch { offer: offer.id, product, similarity, kind: MatchKind::Title })
         } else {
@@ -202,9 +198,7 @@ impl<'a> TitleMatcher<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pse_core::{
-        AttributeDef, AttributeKind, CategorySchema, MerchantId, OfferId, Taxonomy,
-    };
+    use pse_core::{AttributeDef, AttributeKind, CategorySchema, MerchantId, OfferId, Taxonomy};
 
     fn setup() -> (Catalog, Vec<ProductId>) {
         let mut tax = Taxonomy::new();
@@ -252,11 +246,7 @@ mod tests {
         let (catalog, pids) = setup();
         let matcher = TitleMatcher::new(&catalog);
         let cat = catalog.products().next().unwrap().category;
-        let o = offer(
-            "totally unrelated title",
-            cat,
-            Spec::from_pairs([("UPC", "222222222222")]),
-        );
+        let o = offer("totally unrelated title", cat, Spec::from_pairs([("UPC", "222222222222")]));
         let m = matcher.match_offer(&o, &o.spec).unwrap();
         assert_eq!(m.product, pids[1]);
         assert_eq!(m.kind, MatchKind::Identifier);
@@ -299,19 +289,16 @@ mod tests {
         let (catalog, pids) = setup();
         let matcher = TitleMatcher::new(&catalog);
         let cat = catalog.products().next().unwrap().category;
-        let offers: Vec<Offer> = [
-            "Seagate Barracuda 500GB drive",
-            "Hitachi Deskstar 1TB",
-            "mystery gadget",
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let mut o = offer(t, cat, Spec::new());
-            o.id = OfferId(i as u64);
-            o
-        })
-        .collect();
+        let offers: Vec<Offer> =
+            ["Seagate Barracuda 500GB drive", "Hitachi Deskstar 1TB", "mystery gadget"]
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mut o = offer(t, cat, Spec::new());
+                    o.id = OfferId(i as u64);
+                    o
+                })
+                .collect();
         let matches = matcher.bootstrap(&offers, |o| o.spec.clone());
         assert_eq!(matches.product_of(OfferId(0)), Some(pids[0]));
         assert_eq!(matches.product_of(OfferId(1)), Some(pids[1]));

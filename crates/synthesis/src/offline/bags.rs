@@ -48,14 +48,25 @@ impl FeatureIndex {
         historical: &HistoricalMatches,
         provider: &P,
     ) -> Self {
+        let contributing: Vec<(&Offer, ProductId, CategoryId)> = offers
+            .iter()
+            .filter_map(|offer| {
+                let product = historical.product_of(offer.id)?;
+                let category = offer.category?;
+                Some((offer, product, category))
+            })
+            .collect();
+        // Extraction (page fetch + parse) dominates; run it across worker
+        // threads and fold the specs into the bags in offer order, so the
+        // index is identical at any thread count.
+        let specs =
+            pse_par::par_map_chunked(&contributing, 16, |(offer, _, _)| provider.spec(offer));
         let mut index = Self::default();
-        for offer in offers {
-            let Some(product) = historical.product_of(offer.id) else { continue };
-            let Some(category) = offer.category else { continue };
-            index.add_offer(offer, category, provider);
-            index.products_mc.entry((offer.merchant, category)).or_default().insert(product);
-            index.products_c.entry(category).or_default().insert(product);
-            index.products_m.entry(offer.merchant).or_default().insert(product);
+        for ((offer, product, category), spec) in contributing.iter().zip(&specs) {
+            index.add_spec(offer, *category, spec);
+            index.products_mc.entry((offer.merchant, *category)).or_default().insert(*product);
+            index.products_c.entry(*category).or_default().insert(*product);
+            index.products_m.entry(offer.merchant).or_default().insert(*product);
         }
         index
     }
@@ -68,24 +79,25 @@ impl FeatureIndex {
         offers: &[Offer],
         provider: &P,
     ) -> Self {
+        let contributing: Vec<(&Offer, CategoryId)> = offers
+            .iter()
+            .filter_map(|offer| offer.category.map(|category| (offer, category)))
+            .collect();
+        let specs = pse_par::par_map_chunked(&contributing, 16, |(offer, _)| provider.spec(offer));
         let mut index = Self::default();
         let mut merchant_categories: HashMap<MerchantId, HashSet<CategoryId>> = HashMap::new();
         let mut categories_seen: HashSet<CategoryId> = HashSet::new();
-        for offer in offers {
-            let Some(category) = offer.category else { continue };
-            index.add_offer(offer, category, provider);
-            merchant_categories.entry(offer.merchant).or_default().insert(category);
-            categories_seen.insert(category);
+        for ((offer, category), spec) in contributing.iter().zip(&specs) {
+            index.add_spec(offer, *category, spec);
+            merchant_categories.entry(offer.merchant).or_default().insert(*category);
+            categories_seen.insert(*category);
         }
         for &category in &categories_seen {
-            let all: HashSet<ProductId> =
-                catalog.products_in(category).map(|p| p.id).collect();
+            let all: HashSet<ProductId> = catalog.products_in(category).map(|p| p.id).collect();
             index.products_c.insert(category, all);
         }
         for ((merchant, category), _) in index.offer_mc.iter() {
-            index
-                .products_mc
-                .insert((*merchant, *category), index.products_c[category].clone());
+            index.products_mc.insert((*merchant, *category), index.products_c[category].clone());
         }
         for (merchant, cats) in merchant_categories {
             let mut set = HashSet::new();
@@ -97,8 +109,7 @@ impl FeatureIndex {
         index
     }
 
-    fn add_offer<P: SpecProvider>(&mut self, offer: &Offer, category: CategoryId, provider: &P) {
-        let spec = provider.spec(offer);
+    fn add_spec(&mut self, offer: &Offer, category: CategoryId, spec: &pse_core::Spec) {
         for pair in spec.iter() {
             let name = normalize_attribute_name(&pair.name);
             if name.is_empty() {
@@ -135,11 +146,7 @@ impl FeatureIndex {
 
     /// Merchant attribute names observed for a (merchant, category), in
     /// deterministic order.
-    pub fn merchant_attributes(
-        &self,
-        merchant: MerchantId,
-        category: CategoryId,
-    ) -> Vec<&str> {
+    pub fn merchant_attributes(&self, merchant: MerchantId, category: CategoryId) -> Vec<&str> {
         let mut names: Vec<&str> = self
             .offer_mc
             .get(&(merchant, category))
@@ -187,10 +194,7 @@ mod tests {
         assert_eq!(bag.count("7200"), 1);
         assert_eq!(bag.count("5400"), 0, "unmatched offer excluded");
         assert!(!index.offer_mc.contains_key(&(MerchantId(1), CategoryId(0))));
-        assert_eq!(
-            index.products_c[&CategoryId(0)],
-            HashSet::from([ProductId(10)])
-        );
+        assert_eq!(index.products_c[&CategoryId(0)], HashSet::from([ProductId(10)]));
     }
 
     #[test]
@@ -239,10 +243,7 @@ mod tests {
 
     #[test]
     fn deterministic_enumeration() {
-        let offers = vec![
-            offer(0, 2, 0, &[("B", "1"), ("A", "2")]),
-            offer(1, 1, 3, &[("Z", "1")]),
-        ];
+        let offers = vec![offer(0, 2, 0, &[("B", "1"), ("A", "2")]), offer(1, 1, 3, &[("Z", "1")])];
         let mut hist = HistoricalMatches::new();
         hist.insert(OfferId(0), ProductId(0));
         hist.insert(OfferId(1), ProductId(1));

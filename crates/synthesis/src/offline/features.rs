@@ -67,11 +67,8 @@ impl<'a> FeatureComputer<'a> {
         let mut out = [MAX_JS, 0.0, MAX_JS, 0.0, MAX_JS, 0.0];
 
         // MC grouping.
-        if let Some(offer_bag) = self
-            .index
-            .offer_mc
-            .get(&(merchant, category))
-            .and_then(|m| m.get(merchant_attr))
+        if let Some(offer_bag) =
+            self.index.offer_mc.get(&(merchant, category)).and_then(|m| m.get(merchant_attr))
         {
             self.ensure_mc_group(merchant, category);
             if let Some(product_bag) = self.mc_bags.get(catalog_attr) {
@@ -123,10 +120,8 @@ impl<'a> FeatureComputer<'a> {
         self.mc_bags.clear();
         if let Some(products) = self.index.products_mc.get(&(merchant, category)) {
             for attr in self.catalog.taxonomy().schema(category).iter() {
-                self.mc_bags.insert(
-                    attr.name.clone(),
-                    product_bag(self.catalog, products, &attr.name),
-                );
+                self.mc_bags
+                    .insert(attr.name.clone(), product_bag(self.catalog, products, &attr.name));
             }
         }
     }

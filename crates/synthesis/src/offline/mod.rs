@@ -12,8 +12,8 @@ pub mod bags;
 pub mod features;
 
 use pse_core::{
-    AttributeCorrespondence, Catalog, CategoryId, CorrespondenceSet, HistoricalMatches,
-    MerchantId, Offer,
+    AttributeCorrespondence, Catalog, CategoryId, CorrespondenceSet, HistoricalMatches, MerchantId,
+    Offer,
 };
 use pse_ml::{Dataset, LogisticRegression, TrainConfig};
 use pse_text::normalize::normalize_attribute_name;
@@ -182,44 +182,58 @@ impl OfflineLearner {
         index: &FeatureIndex,
         historical_offers: usize,
     ) -> OfflineOutcome {
-        let mut computer = FeatureComputer::new(catalog, index);
-
-        // 1. Enumerate candidates and compute features, grouped by (M, C)
-        //    so the MC product-bag cache stays hot.
+        // 1. Enumerate candidates and compute features. Groups are
+        //    independent given the shared (immutable) index, so they fan out
+        //    across worker threads; each worker owns a `FeatureComputer`
+        //    whose bag caches stay hot across the contiguous run of groups
+        //    it processes. Group outputs are concatenated in group order, so
+        //    candidate enumeration is identical at any thread count.
+        let groups = index.merchant_category_groups();
+        let per_group: Vec<(Vec<ScoredCandidate>, Vec<Vec<f64>>)> = pse_par::par_map_init(
+            &groups,
+            || FeatureComputer::new(catalog, index),
+            |computer, &(merchant, category)| {
+                let schema = catalog.taxonomy().schema(category);
+                let merchant_attrs: Vec<String> = index
+                    .merchant_attributes(merchant, category)
+                    .into_iter()
+                    .map(String::from)
+                    .collect();
+                let mut cands = Vec::new();
+                let mut rows = Vec::new();
+                for ap in schema.iter() {
+                    let ap_norm = ap.normalized_name();
+                    for ao in &merchant_attrs {
+                        let mut f = computer.features(merchant, category, &ap.name, ao).to_vec();
+                        for (i, keep) in self.config.feature_mask.iter().enumerate() {
+                            if !keep {
+                                // Worst-case constants: max divergence / zero overlap.
+                                f[i] = if i % 2 == 0 { pse_text::divergence::MAX_JS } else { 0.0 };
+                            }
+                        }
+                        if self.config.use_name_features {
+                            f.push(pse_text::strsim::levenshtein_similarity(&ap_norm, ao));
+                            f.push(pse_text::strsim::trigram_dice(&ap_norm, ao));
+                        }
+                        rows.push(f);
+                        cands.push(ScoredCandidate {
+                            catalog_attribute: ap.name.clone(),
+                            merchant_attribute: ao.clone(),
+                            merchant,
+                            category,
+                            score: 0.0,
+                            is_name_identity: *ao == ap_norm,
+                        });
+                    }
+                }
+                (cands, rows)
+            },
+        );
         let mut candidates: Vec<ScoredCandidate> = Vec::new();
         let mut feature_rows: Vec<Vec<f64>> = Vec::new();
-        for (merchant, category) in index.merchant_category_groups() {
-            let schema = catalog.taxonomy().schema(category);
-            let merchant_attrs: Vec<String> = index
-                .merchant_attributes(merchant, category)
-                .into_iter()
-                .map(String::from)
-                .collect();
-            for ap in schema.iter() {
-                let ap_norm = ap.normalized_name();
-                for ao in &merchant_attrs {
-                    let mut f = computer.features(merchant, category, &ap.name, ao).to_vec();
-                    for (i, keep) in self.config.feature_mask.iter().enumerate() {
-                        if !keep {
-                            // Worst-case constants: max divergence / zero overlap.
-                            f[i] = if i % 2 == 0 { pse_text::divergence::MAX_JS } else { 0.0 };
-                        }
-                    }
-                    if self.config.use_name_features {
-                        f.push(pse_text::strsim::levenshtein_similarity(&ap_norm, ao));
-                        f.push(pse_text::strsim::trigram_dice(&ap_norm, ao));
-                    }
-                    feature_rows.push(f);
-                    candidates.push(ScoredCandidate {
-                        catalog_attribute: ap.name.clone(),
-                        merchant_attribute: ao.clone(),
-                        merchant,
-                        category,
-                        score: 0.0,
-                        is_name_identity: *ao == ap_norm,
-                    });
-                }
-            }
+        for (cands, rows) in per_group {
+            candidates.extend(cands);
+            feature_rows.extend(rows);
         }
 
         // 2. Automated training-set construction (Section 3.2): for every
@@ -382,19 +396,13 @@ mod tests {
         let cat = offers[0].category.unwrap();
 
         // Merchant 1's RPM must map to Speed, Int. Type to Interface.
-        assert_eq!(
-            outcome.correspondences.translate(MerchantId(1), cat, "rpm"),
-            Some("Speed"),
-        );
+        assert_eq!(outcome.correspondences.translate(MerchantId(1), cat, "rpm"), Some("Speed"),);
         assert_eq!(
             outcome.correspondences.translate(MerchantId(1), cat, "int type"),
             Some("Interface"),
         );
         // Merchant 0's identities are present with score 1.0.
-        assert_eq!(
-            outcome.correspondences.score(MerchantId(0), cat, "speed"),
-            Some(1.0)
-        );
+        assert_eq!(outcome.correspondences.score(MerchantId(0), cat, "speed"), Some(1.0));
         assert!(outcome.model.is_some(), "classifier trained");
         assert!(outcome.stats.training_positives > 0);
         assert!(outcome.stats.candidates >= outcome.stats.training_examples);
@@ -426,8 +434,7 @@ mod tests {
         let (catalog, offers, hist) = scenario();
         let provider = FnProvider(|o: &Offer| o.spec.clone());
         let outcome = OfflineLearner::new().learn(&catalog, &offers, &hist, &provider);
-        let identities: Vec<_> =
-            outcome.scored.iter().filter(|c| c.is_name_identity).collect();
+        let identities: Vec<_> = outcome.scored.iter().filter(|c| c.is_name_identity).collect();
         assert!(!identities.is_empty());
         for c in identities {
             assert_eq!(c.merchant, MerchantId(0), "only merchant 0 uses identity names");
@@ -511,10 +518,7 @@ mod tests {
             .learn(&catalog, &offers, &hist, &provider);
         let cat = offers[0].category.unwrap();
         // The extended model still learns the cross-merchant mappings.
-        assert_eq!(
-            with_names.correspondences.translate(MerchantId(1), cat, "rpm"),
-            Some("Speed"),
-        );
+        assert_eq!(with_names.correspondences.translate(MerchantId(1), cat, "rpm"), Some("Speed"),);
         // Its weight vector has eight entries (six instance + two name).
         assert_eq!(with_names.model.unwrap().weights().len(), 8);
     }

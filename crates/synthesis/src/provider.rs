@@ -10,7 +10,14 @@ use pse_core::{Offer, Spec};
 use pse_extract::PageExtractor;
 
 /// Source of offer specifications.
-pub trait SpecProvider {
+///
+/// `Sync` is a supertrait: the offline bag builder and the run-time
+/// pipeline extract specifications from worker threads (see `pse-par`),
+/// sharing the provider by reference. Providers must therefore be
+/// deterministic per offer — the pipeline's byte-identical-output
+/// guarantee at any `PSE_THREADS` assumes `spec` is a pure function of
+/// the offer.
+pub trait SpecProvider: Sync {
     /// The specification (attribute–value pairs) of `offer`.
     fn spec(&self, offer: &Offer) -> Spec;
 }
@@ -35,7 +42,7 @@ impl<F: Fn(&Offer) -> String> ExtractingProvider<F> {
     }
 }
 
-impl<F: Fn(&Offer) -> String> SpecProvider for ExtractingProvider<F> {
+impl<F: Fn(&Offer) -> String + Sync> SpecProvider for ExtractingProvider<F> {
     fn spec(&self, offer: &Offer) -> Spec {
         let html = (self.fetch)(offer);
         let mut spec = self.extractor.extract(&html);
@@ -52,7 +59,7 @@ impl<F: Fn(&Offer) -> String> SpecProvider for ExtractingProvider<F> {
 /// noise-free ablations).
 pub struct FnProvider<F>(pub F);
 
-impl<F: Fn(&Offer) -> Spec> SpecProvider for FnProvider<F> {
+impl<F: Fn(&Offer) -> Spec + Sync> SpecProvider for FnProvider<F> {
     fn spec(&self, offer: &Offer) -> Spec {
         (self.0)(offer)
     }

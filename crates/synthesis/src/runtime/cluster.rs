@@ -42,9 +42,9 @@ pub fn normalize_key(value: &str) -> String {
 pub fn cluster_by_key(offers: Vec<ReconciledOffer>, key_attributes: &[String]) -> Vec<Cluster> {
     let mut map: HashMap<(CategoryId, String, String), Vec<ReconciledOffer>> = HashMap::new();
     for offer in offers {
-        let key = key_attributes.iter().find_map(|k| {
-            offer.value_of(k).map(|v| (k.clone(), normalize_key(v)))
-        });
+        let key = key_attributes
+            .iter()
+            .find_map(|k| offer.value_of(k).map(|v| (k.clone(), normalize_key(v))));
         let Some((attr, value)) = key else { continue };
         if value.is_empty() {
             continue;
@@ -62,7 +62,11 @@ pub fn cluster_by_key(offers: Vec<ReconciledOffer>, key_attributes: &[String]) -
         .collect();
     // Deterministic output order.
     clusters.sort_by(|a, b| {
-        (a.category, &a.key_attribute, &a.key_value).cmp(&(b.category, &b.key_attribute, &b.key_value))
+        (a.category, &a.key_attribute, &a.key_value).cmp(&(
+            b.category,
+            &b.key_attribute,
+            &b.key_value,
+        ))
     });
     clusters
 }
@@ -117,10 +121,7 @@ mod tests {
 
     #[test]
     fn categories_never_mix() {
-        let offers = vec![
-            ro(0, 0, &[("MPN", "SAME")]),
-            ro(1, 1, &[("MPN", "SAME")]),
-        ];
+        let offers = vec![ro(0, 0, &[("MPN", "SAME")]), ro(1, 1, &[("MPN", "SAME")])];
         let clusters = cluster_by_key(offers, &["MPN".to_string()]);
         assert_eq!(clusters.len(), 2);
     }
@@ -135,11 +136,7 @@ mod tests {
     #[test]
     fn deterministic_ordering() {
         let mk = || {
-            vec![
-                ro(0, 1, &[("MPN", "B2")]),
-                ro(1, 0, &[("MPN", "A1")]),
-                ro(2, 0, &[("MPN", "Z9")]),
-            ]
+            vec![ro(0, 1, &[("MPN", "B2")]), ro(1, 0, &[("MPN", "A1")]), ro(2, 0, &[("MPN", "Z9")])]
         };
         let a = cluster_by_key(mk(), &["MPN".to_string()]);
         let b = cluster_by_key(mk(), &["MPN".to_string()]);

@@ -44,15 +44,14 @@ pub fn fuse_values_with<S: AsRef<str>>(
             for v in values {
                 *counts.entry(v.as_ref()).or_insert(0) += 1;
             }
-            let (value, _) = counts
-                .into_iter()
-                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))?;
+            let (value, _) = counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))?;
             Some(FusedValue { value: value.to_string(), support: values.len(), distance: 0.0 })
         }
         FusionStrategy::LongestValue => {
-            let value = values.iter().map(AsRef::as_ref).max_by(|a, b| {
-                a.len().cmp(&b.len()).then(b.cmp(a))
-            })?;
+            let value = values
+                .iter()
+                .map(AsRef::as_ref)
+                .max_by(|a, b| a.len().cmp(&b.len()).then(b.cmp(a)))?;
             Some(FusedValue { value: value.to_string(), support: values.len(), distance: 0.0 })
         }
         FusionStrategy::FirstSeen => values.first().map(|v| FusedValue {
@@ -117,12 +116,23 @@ pub fn fuse_values<S: AsRef<str>>(values: &[S]) -> Option<FusedValue> {
     }
 
     let mut best: Option<(f64, usize, &str)> = None; // (distance, -count, value)
+                                                     // O(1) membership bitmap over the term universe, reused across values
+                                                     // (set before, cleared after each distance computation). The summation
+                                                     // order over `d` is unchanged, so distances are bit-identical to the
+                                                     // former O(|dims|) `contains` probe.
+    let mut member = vec![false; dim];
     for (v, dims) in values.iter().zip(&vectors) {
         let v = v.as_ref();
+        for &d in dims {
+            member[d] = true;
+        }
         let mut dist2 = 0.0;
         for (d, c) in centroid.iter().enumerate() {
-            let x = if dims.contains(&d) { 1.0 } else { 0.0 };
+            let x = if member[d] { 1.0 } else { 0.0 };
             dist2 += (x - c) * (x - c);
+        }
+        for &d in dims {
+            member[d] = false;
         }
         let dist = dist2.sqrt();
         let count = counts[v];
@@ -130,8 +140,7 @@ pub fn fuse_values<S: AsRef<str>>(values: &[S]) -> Option<FusedValue> {
             None => true,
             Some((bd, bc, bv)) => {
                 dist < bd - 1e-12
-                    || ((dist - bd).abs() <= 1e-12
-                        && (count > *bc || (count == *bc && v < *bv)))
+                    || ((dist - bd).abs() <= 1e-12 && (count > *bc || (count == *bc && v < *bv)))
             }
         };
         if better {
@@ -154,8 +163,7 @@ mod tests {
         // v1 = "Windows Vista", v2 = "Microsoft Windows Vista",
         // v3 = "Microsoft Vista" → centroid (2/3, 2/3, 1), v2 closest.
         let fused =
-            fuse_values(&["Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"])
-                .unwrap();
+            fuse_values(&["Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"]).unwrap();
         assert_eq!(fused.value, "Microsoft Windows Vista");
         assert!((fused.distance - 0.47).abs() < 0.01, "distance {}", fused.distance);
         assert_eq!(fused.support, 3);

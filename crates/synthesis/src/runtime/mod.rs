@@ -112,38 +112,35 @@ impl RuntimePipeline {
         offers: &[Offer],
         provider: &P,
     ) -> SynthesisResult {
-        let mut reconciled = Vec::new();
-        let mut offers_reconciled = 0usize;
-        for offer in offers {
-            let Some(category) = offer.category else { continue };
+        // Extraction + reconciliation is per-offer work; fan it out and
+        // keep offer order, so clustering sees the same sequence at any
+        // thread count.
+        let reconciled: Vec<ReconciledOffer> = pse_par::par_map_chunked(offers, 16, |offer| {
+            let category = offer.category?;
             let spec = provider.spec(offer);
             let r = reconcile(offer.id, offer.merchant, category, &spec, &self.correspondences);
-            if !r.pairs.is_empty() {
-                offers_reconciled += 1;
-                reconciled.push(r);
-            }
-        }
+            (!r.pairs.is_empty()).then_some(r)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let offers_reconciled = reconciled.len();
 
         let clusters = cluster_by_key(reconciled, &self.config.key_attributes);
         let offers_clustered = clusters.iter().map(|c| c.members.len()).sum();
 
-        let mut products = Vec::new();
-        for cluster in clusters {
-            if cluster.members.len() < self.config.min_cluster_size {
-                continue;
-            }
-            products.push(self.fuse_cluster(catalog, cluster));
-        }
+        // Clusters fuse independently; output order follows cluster order.
+        let kept: Vec<Cluster> = clusters
+            .into_iter()
+            .filter(|c| c.members.len() >= self.config.min_cluster_size)
+            .collect();
+        let products =
+            pse_par::par_map_chunked(&kept, 4, |cluster| self.fuse_cluster(catalog, cluster));
 
-        SynthesisResult {
-            products,
-            offers_in: offers.len(),
-            offers_reconciled,
-            offers_clustered,
-        }
+        SynthesisResult { products, offers_in: offers.len(), offers_reconciled, offers_clustered }
     }
 
-    fn fuse_cluster(&self, catalog: &Catalog, cluster: Cluster) -> SynthesizedProduct {
+    fn fuse_cluster(&self, catalog: &Catalog, cluster: &Cluster) -> SynthesizedProduct {
         let schema = catalog.taxonomy().schema(cluster.category);
         let mut spec = Spec::new();
         // Fuse attribute by attribute in schema order (output is catalog-
@@ -152,19 +149,16 @@ impl RuntimePipeline {
             if !self.config.include_keys_in_spec && attr.is_key {
                 continue;
             }
-            let values: Vec<&str> = cluster
-                .members
-                .iter()
-                .filter_map(|m| m.value_of(&attr.name))
-                .collect();
+            let values: Vec<&str> =
+                cluster.members.iter().filter_map(|m| m.value_of(&attr.name)).collect();
             if let Some(fused) = fuse_values_with(&values, self.config.fusion) {
                 spec.push(attr.name.clone(), fused.value);
             }
         }
         SynthesizedProduct {
             category: cluster.category,
-            key_attribute: cluster.key_attribute,
-            key_value: cluster.key_value,
+            key_attribute: cluster.key_attribute.clone(),
+            key_value: cluster.key_value.clone(),
             spec,
             offers: cluster.members.iter().map(|m| m.offer).collect(),
         }
@@ -203,7 +197,12 @@ mod tests {
         ]);
         let offers = vec![
             mk_offer(0, 0, cat, &[("MPN", "ABC123"), ("RPM", "7200 rpm"), ("Capacity", "500 GB")]),
-            mk_offer(1, 1, cat, &[("Mfr. Part #", "abc-123"), ("Speed", "7200"), ("Hard Disk Size", "500")]),
+            mk_offer(
+                1,
+                1,
+                cat,
+                &[("Mfr. Part #", "abc-123"), ("Speed", "7200"), ("Hard Disk Size", "500")],
+            ),
             mk_offer(2, 1, cat, &[("Mfr. Part #", "XYZ999"), ("Speed", "5400")]),
             mk_offer(3, 0, cat, &[("John D.", "nice drive")]), // noise only
         ];

@@ -80,7 +80,7 @@ mod tests {
         let spec = Spec::from_pairs([
             ("RPM", "7200 rpm"),
             ("Hard Disk Size", "500"),
-            ("John D.", "Great drive!"), // extraction noise
+            ("John D.", "Great drive!"),  // extraction noise
             ("Shipping Weight", "2 lbs"), // junk attribute
         ]);
         let r = reconcile(OfferId(1), MerchantId(0), CategoryId(0), &spec, &correspondences());
@@ -103,13 +103,8 @@ mod tests {
 
     #[test]
     fn empty_spec_reconciles_to_empty() {
-        let r = reconcile(
-            OfferId(0),
-            MerchantId(0),
-            CategoryId(0),
-            &Spec::new(),
-            &correspondences(),
-        );
+        let r =
+            reconcile(OfferId(0), MerchantId(0), CategoryId(0), &Spec::new(), &correspondences());
         assert!(r.pairs.is_empty());
     }
 }

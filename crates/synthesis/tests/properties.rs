@@ -1,16 +1,14 @@
 //! Property-based tests for the pipeline's core invariants.
 
 use proptest::prelude::*;
-use pse_core::{
-    AttributeCorrespondence, CategoryId, CorrespondenceSet, MerchantId, OfferId, Spec,
-};
+use pse_core::{AttributeCorrespondence, CategoryId, CorrespondenceSet, MerchantId, OfferId, Spec};
 use pse_synthesis::runtime::{cluster_by_key, fuse_values, normalize_key, ReconciledOffer};
 
 proptest! {
     #[test]
     fn fusion_returns_a_member_value(values in prop::collection::vec(".{0,24}", 1..8)) {
         let fused = fuse_values(&values).expect("non-empty input fuses");
-        prop_assert!(values.iter().any(|v| *v == fused.value), "{fused:?} not a member");
+        prop_assert!(values.contains(&fused.value), "{fused:?} not a member");
         prop_assert_eq!(fused.support, values.len());
         prop_assert!(fused.distance >= 0.0);
     }
@@ -25,7 +23,7 @@ proptest! {
 
     #[test]
     fn unanimous_fusion_is_exact(v in ".{1,16}", n in 1usize..6) {
-        let values: Vec<&str> = std::iter::repeat(v.as_str()).take(n).collect();
+        let values: Vec<&str> = std::iter::repeat_n(v.as_str(), n).collect();
         let fused = fuse_values(&values).unwrap();
         prop_assert_eq!(fused.value, v);
         prop_assert!(fused.distance < 1e-9);

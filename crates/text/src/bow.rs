@@ -7,14 +7,20 @@
 //! Jensen–Shannon divergence feature.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::tokenize::tokens;
 
-/// A multiset of tokens with O(1) insertion and total-count tracking.
+/// A multiset of tokens with cheap insertion and total-count tracking.
+///
+/// Backed by a `BTreeMap` so iteration is in sorted token order: the
+/// floating-point sums computed over bags (JS divergence, TF-IDF cosines)
+/// accumulate in a fixed order, which makes every score bit-reproducible
+/// across runs and thread counts. A `HashMap` would randomize summation
+/// order per bag instance and leak last-bit differences into scores.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BagOfWords {
-    counts: HashMap<String, u64>,
+    counts: BTreeMap<String, u64>,
     total: u64,
 }
 
@@ -87,7 +93,7 @@ impl BagOfWords {
         }
     }
 
-    /// Iterate over `(token, count)` pairs in arbitrary order.
+    /// Iterate over `(token, count)` pairs in sorted token order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counts.iter().map(|(t, c)| (t.as_str(), *c))
     }

@@ -23,6 +23,13 @@ pub const MAX_JS: f64 = std::f64::consts::LN_2;
 /// `q(t) > 0` wherever `p(t) > 0` (true by construction when `q` is the
 /// average distribution of `p` and another bag); otherwise the result is
 /// `f64::INFINITY`.
+///
+/// Caller audit (see the `finite_features` regression test in
+/// `pse-synthesis`): no pipeline feature path calls this function —
+/// [`jensen_shannon`] computes its mixture terms inline and clamps to
+/// `[0, MAX_JS]`, so classifier features stay finite even for bags with
+/// disjoint or empty support. Any new caller must uphold the `q(t) > 0`
+/// contract itself or handle the `INFINITY` sentinel.
 pub fn kullback_leibler(p: &BagOfWords, q: &BagOfWords) -> f64 {
     let mut sum = 0.0;
     for (t, _) in p.iter() {
@@ -123,9 +130,7 @@ pub fn cosine_bags(a: &BagOfWords, b: &BagOfWords) -> f64 {
     for (t, _) in small.iter() {
         dot += small.probability(t) * large.probability(t);
     }
-    let norm = |x: &BagOfWords| {
-        x.iter().map(|(t, _)| x.probability(t).powi(2)).sum::<f64>().sqrt()
-    };
+    let norm = |x: &BagOfWords| x.iter().map(|(t, _)| x.probability(t).powi(2)).sum::<f64>().sqrt();
     (dot / (norm(a) * norm(b))).clamp(0.0, 1.0)
 }
 
@@ -178,7 +183,8 @@ mod tests {
         // Figure 5(c)/(d): Interface should be closer to "Int. Type" than to
         // RPM, and Speed/RPM should be identical.
         let interface = bag(&["ATA, 100", "IDE, 133", "IDE, 133", "ATA, 133"]);
-        let int_type = bag(&["ATA, 100, mb/s", "IDE, 133, mb/s", "IDE, 133, mb/s", "ATA, 133, mb/s"]);
+        let int_type =
+            bag(&["ATA, 100, mb/s", "IDE, 133, mb/s", "IDE, 133, mb/s", "ATA, 133, mb/s"]);
         let speed = bag(&["5400", "7200", "5400", "7200"]);
         let rpm = bag(&["5400", "7200", "5400", "7200"]);
 

@@ -22,7 +22,9 @@ pub mod tfidf;
 pub mod tokenize;
 
 pub use bow::BagOfWords;
-pub use divergence::{cosine_bags, jaccard_bags, jaccard_sets, jensen_shannon, kullback_leibler, l1_distance};
+pub use divergence::{
+    cosine_bags, jaccard_bags, jaccard_sets, jensen_shannon, kullback_leibler, l1_distance,
+};
 pub use normalize::{normalize_attribute_name, normalize_value};
 pub use softtfidf::SoftTfIdf;
 pub use tokenize::tokens;

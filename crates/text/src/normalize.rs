@@ -63,10 +63,8 @@ pub fn values_equivalent(a: &str, b: &str) -> bool {
 /// token-level relation holds. True when both token sequences contain at
 /// least one digit token and their digit subsequences are identical.
 fn digit_sequences_equal(ta: &[String], tb: &[String]) -> bool {
-    let da: Vec<&String> =
-        ta.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
-    let db: Vec<&String> =
-        tb.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
+    let da: Vec<&String> = ta.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
+    let db: Vec<&String> = tb.iter().filter(|t| t.bytes().all(|b| b.is_ascii_digit())).collect();
     !da.is_empty() && da == db
 }
 

@@ -6,7 +6,7 @@
 //! θ (0.9 in the original work), and the contribution of a close pair is
 //! scaled by that similarity.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::bow::BagOfWords;
 use crate::strsim::jaro_winkler;
@@ -73,7 +73,7 @@ impl SoftTfIdf {
         sum.clamp(0.0, 1.0)
     }
 
-    fn normalized_weights(&self, toks: &[String]) -> HashMap<String, f64> {
+    fn normalized_weights(&self, toks: &[String]) -> BTreeMap<String, f64> {
         let mut bag = BagOfWords::new();
         for t in toks {
             bag.add_token(t.clone());

@@ -87,12 +87,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// length capped at 4.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
@@ -104,10 +99,9 @@ pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
     if s.is_empty() {
         return Vec::new();
     }
-    let padded: Vec<char> = std::iter::repeat('\u{1}')
-        .take(n - 1)
+    let padded: Vec<char> = std::iter::repeat_n('\u{1}', n - 1)
         .chain(s.to_lowercase().chars())
-        .chain(std::iter::repeat('\u{1}').take(n - 1))
+        .chain(std::iter::repeat_n('\u{1}', n - 1))
         .collect();
     if padded.len() < n {
         return Vec::new();

@@ -3,7 +3,7 @@
 //! Used by the COMA++-style instance matcher (documents = attribute value
 //! corpora) and as the corpus-statistics backbone of [`crate::softtfidf`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::bow::BagOfWords;
 
@@ -46,11 +46,13 @@ impl TfIdfCorpus {
 
     /// TF-IDF vector of a bag, as a token → weight map (tf is the raw count,
     /// i.e. classic `tf·idf`), L2-normalized. Empty bags yield empty vectors.
-    pub fn weight_vector(&self, bag: &BagOfWords) -> HashMap<String, f64> {
-        let mut v: HashMap<String, f64> = bag
-            .iter()
-            .map(|(t, c)| (t.to_string(), c as f64 * self.idf(t)))
-            .collect();
+    ///
+    /// The map is a `BTreeMap` so the norm and dot-product sums below always
+    /// accumulate in sorted token order — similarity scores are
+    /// bit-reproducible across runs and thread counts.
+    pub fn weight_vector(&self, bag: &BagOfWords) -> BTreeMap<String, f64> {
+        let mut v: BTreeMap<String, f64> =
+            bag.iter().map(|(t, c)| (t.to_string(), c as f64 * self.idf(t))).collect();
         let norm = v.values().map(|w| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for w in v.values_mut() {
@@ -69,12 +71,9 @@ impl TfIdfCorpus {
 }
 
 /// Cosine similarity of two sparse, already-normalized vectors.
-pub fn cosine_of(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+pub fn cosine_of(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb))
-        .sum();
+    let dot: f64 = small.iter().filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb)).sum();
     dot.clamp(0.0, 1.0)
 }
 

@@ -13,10 +13,7 @@ use product_synthesis::eval::synthesis_eval::evaluate_synthesis;
 use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, RuntimePipeline};
 
 fn main() {
-    let world = World::generate(WorldConfig {
-        num_offers: 12_000,
-        ..WorldConfig::default()
-    });
+    let world = World::generate(WorldConfig { num_offers: 12_000, ..WorldConfig::default() });
     let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
 
     // Learn once from the historical offers.

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example hard_drives`
 
 use product_synthesis::core::{
-    AttributeDef, AttributeKind, Catalog, CategorySchema, HistoricalMatches, Merchant,
-    MerchantId, Offer, OfferId, Spec, Taxonomy,
+    AttributeDef, AttributeKind, Catalog, CategorySchema, HistoricalMatches, Merchant, MerchantId,
+    Offer, OfferId, Spec, Taxonomy,
 };
 use product_synthesis::synthesis::{FnProvider, OfflineLearner, RuntimePipeline};
 
@@ -53,10 +53,10 @@ fn main() {
         products.push(pid);
     }
 
-    let merchants = [Merchant { id: MerchantId(0), name: "DriveDepot".into() }, Merchant {
-        id: MerchantId(1),
-        name: "Microwarehouse".into(),
-    }];
+    let merchants = [
+        Merchant { id: MerchantId(0), name: "DriveDepot".into() },
+        Merchant { id: MerchantId(1), name: "Microwarehouse".into() },
+    ];
 
     // Historical offers. DriveDepot (merchant 0) uses catalog names
     // verbatim — those name identities become the training set. Micro-
@@ -113,9 +113,7 @@ fn main() {
 
     println!("learned correspondences (catalog <- merchant, score):");
     let mut all: Vec<_> = outcome.correspondences.iter().collect();
-    all.sort_by(|a, b| {
-        (a.merchant, &a.catalog_attribute).cmp(&(b.merchant, &b.catalog_attribute))
-    });
+    all.sort_by(|a, b| (a.merchant, &a.catalog_attribute).cmp(&(b.merchant, &b.catalog_attribute)));
     for c in &all {
         let m = &merchants[c.merchant.index()].name;
         println!(
@@ -152,7 +150,11 @@ fn main() {
     ];
     let result =
         RuntimePipeline::new(outcome.correspondences).process(&catalog, &new_offers, &provider);
-    println!("\nsynthesized {} product(s) from {} new offers:", result.products.len(), new_offers.len());
+    println!(
+        "\nsynthesized {} product(s) from {} new offers:",
+        result.products.len(),
+        new_offers.len()
+    );
     for p in &result.products {
         println!("  key {} = {} (from {} offers)", p.key_attribute, p.key_value, p.offers.len());
         for pair in p.spec.iter() {

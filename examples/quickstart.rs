@@ -44,8 +44,11 @@ fn main() {
         .filter(|o| world.historical.product_of(o.id).is_none())
         .cloned()
         .collect();
-    let result =
-        RuntimePipeline::new(outcome.correspondences).process(&world.catalog, &unmatched, &provider);
+    let result = RuntimePipeline::new(outcome.correspondences).process(
+        &world.catalog,
+        &unmatched,
+        &provider,
+    );
     println!(
         "runtime: {} offers in -> {} reconciled -> {} clustered -> {} products ({} attributes)",
         result.offers_in,

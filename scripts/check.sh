@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before a change lands.
+# Usage: scripts/check.sh  (run from anywhere; cd's to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+
+echo "tier-1 gate: all green"

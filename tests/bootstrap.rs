@@ -36,10 +36,7 @@ fn cold_start_via_title_matching() {
 
     // Bootstrap quality: the vast majority of proposed matches are right
     // (identifier matches are exact; title matches clear a margin).
-    let correct = bootstrapped
-        .iter()
-        .filter(|(o, p)| world.truth.product_of(*o) == *p)
-        .count();
+    let correct = bootstrapped.iter().filter(|(o, p)| world.truth.product_of(*o) == *p).count();
     let precision = correct as f64 / bootstrapped.len() as f64;
     assert!(precision > 0.9, "bootstrap match precision {precision}");
 

@@ -9,24 +9,15 @@ use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, RuntimePi
 
 #[test]
 fn title_classifier_recovers_categories() {
-    let world = World::generate(WorldConfig {
-        num_offers: 1_000,
-        ..WorldConfig::default()
-    });
+    let world = World::generate(WorldConfig { num_offers: 1_000, ..WorldConfig::default() });
     // Train on historical offers, evaluate on the rest.
-    let (train, test): (Vec<&Offer>, Vec<&Offer>) = world
-        .offers
-        .iter()
-        .partition(|o| world.historical.product_of(o.id).is_some());
-    let classifier = TitleClassifier::train(
-        train.iter().map(|o| (o.title.as_str(), o.category.unwrap())),
-    );
-    let accuracy = classifier
-        .accuracy(test.iter().map(|o| (o.title.as_str(), o.category.unwrap())));
-    assert!(
-        accuracy > 0.7,
-        "category classifier accuracy {accuracy} too low"
-    );
+    let (train, test): (Vec<&Offer>, Vec<&Offer>) =
+        world.offers.iter().partition(|o| world.historical.product_of(o.id).is_some());
+    let classifier =
+        TitleClassifier::train(train.iter().map(|o| (o.title.as_str(), o.category.unwrap())));
+    let accuracy =
+        classifier.accuracy(test.iter().map(|o| (o.title.as_str(), o.category.unwrap())));
+    assert!(accuracy > 0.7, "category classifier accuracy {accuracy} too low");
 }
 
 #[test]

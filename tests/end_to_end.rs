@@ -5,7 +5,9 @@
 use product_synthesis::core::Offer;
 use product_synthesis::datagen::{World, WorldConfig};
 use product_synthesis::eval::synthesis_eval::{evaluate_synthesis, per_top_level};
-use product_synthesis::synthesis::{ExtractingProvider, OfflineLearner, RuntimePipeline, SpecProvider};
+use product_synthesis::synthesis::{
+    ExtractingProvider, OfflineLearner, RuntimePipeline, SpecProvider,
+};
 
 fn small_world() -> World {
     World::generate(WorldConfig {
@@ -34,8 +36,11 @@ fn full_pipeline_through_html_extraction() {
         .filter(|o| world.historical.product_of(o.id).is_none())
         .cloned()
         .collect();
-    let result = RuntimePipeline::new(outcome.correspondences)
-        .process(&world.catalog, &unmatched, &provider);
+    let result = RuntimePipeline::new(outcome.correspondences).process(
+        &world.catalog,
+        &unmatched,
+        &provider,
+    );
 
     assert!(result.offers_reconciled > 0);
     assert!(!result.products.is_empty());

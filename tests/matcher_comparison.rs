@@ -34,8 +34,8 @@ fn cached_provider(world: &World) -> impl SpecProvider + '_ {
 fn classifier_beats_single_features_at_matched_coverage() {
     let world = world();
     let provider = cached_provider(&world);
-    let ours = OfflineLearner::new()
-        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let ours =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let js = SingleFeatureScorer::new(SingleFeature::JsMc).score_candidates(
         &world.catalog,
         &world.offers,
@@ -72,8 +72,8 @@ fn classifier_beats_single_features_at_matched_coverage() {
 fn conditioning_beats_no_matching_at_high_precision() {
     let world = world();
     let provider = cached_provider(&world);
-    let ours = OfflineLearner::new()
-        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let ours =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let unconditioned = OfflineLearner::with_config(OfflineConfig {
         match_conditioning: false,
         ..OfflineConfig::default()
@@ -123,8 +123,8 @@ fn all_baselines_produce_scorable_output() {
 
     // The matchers that exploit instance-level alignment (ours, DUMAS) are
     // more precise overall than the purely marginal COMA combined matcher.
-    let ours = OfflineLearner::new()
-        .learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let ours =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
     let ours_curve = labeled_curve("ours", &ours.scored, &world.truth);
     let coma_curve = labeled_curve("coma", &coma, &world.truth);
     let p = 0.9;

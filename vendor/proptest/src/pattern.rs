@@ -1,0 +1,297 @@
+//! Generator for the regex-like string patterns proptest accepts as
+//! string strategies. Supports the subset this workspace uses:
+//! literals, `.`, character classes `[a-z0-9 ]` (ranges, literals,
+//! `\xHH` escapes, leading `^` negation is NOT supported), groups with
+//! alternation `(a|bc)`, and the quantifiers `{n}`, `{m,n}`, `?`, `*`,
+//! `+` (the last two capped at 8 repetitions).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.`: any printable char (mostly ASCII, occasionally multibyte).
+    AnyChar,
+    Class(Vec<char>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<(Atom, Quant)>>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONE: Quant = Quant { min: 1, max: 1 };
+
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    seq: Vec<(Atom, Quant)>,
+}
+
+struct PatParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    src: &'a str,
+}
+
+impl<'a> PatParser<'a> {
+    fn fail(&self, msg: &str) -> ! {
+        panic!("proptest stub: unsupported pattern {:?}: {msg}", self.src)
+    }
+
+    fn parse_escape(&mut self) -> char {
+        match self.chars.next() {
+            Some('x') => {
+                let hi = self.chars.next().unwrap_or_else(|| self.fail("truncated \\x"));
+                let lo = self.chars.next().unwrap_or_else(|| self.fail("truncated \\x"));
+                let code = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                    .unwrap_or_else(|_| self.fail("bad \\x escape"));
+                char::from_u32(code).unwrap_or_else(|| self.fail("bad \\x escape"))
+            }
+            Some('n') => '\n',
+            Some('r') => '\r',
+            Some('t') => '\t',
+            Some(c) => c,
+            None => self.fail("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut chars = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => return chars,
+                Some('\\') => self.parse_escape(),
+                Some(c) => c,
+                None => self.fail("unterminated class"),
+            };
+            // Range `a-z` if `-` is followed by a non-`]` char.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => chars.push(c),
+                    Some(_) => {
+                        self.chars.next(); // the '-'
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.parse_escape(),
+                            Some(h) => h,
+                            None => self.fail("unterminated range"),
+                        };
+                        if (hi as u32) < (c as u32) {
+                            self.fail("inverted range");
+                        }
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                chars.push(ch);
+                            }
+                        }
+                    }
+                }
+            } else {
+                chars.push(c);
+            }
+        }
+    }
+
+    fn parse_quant(&mut self) -> Quant {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    min.push(self.chars.next().unwrap());
+                }
+                let min: u32 = min.parse().unwrap_or_else(|_| self.fail("bad quantifier"));
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            max.push(self.chars.next().unwrap());
+                        }
+                        if self.chars.next() != Some('}') {
+                            self.fail("unterminated quantifier");
+                        }
+                        max.parse().unwrap_or_else(|_| self.fail("bad quantifier"))
+                    }
+                    _ => self.fail("unterminated quantifier"),
+                };
+                Quant { min, max }
+            }
+            Some('?') => {
+                self.chars.next();
+                Quant { min: 0, max: 1 }
+            }
+            Some('*') => {
+                self.chars.next();
+                Quant { min: 0, max: 8 }
+            }
+            Some('+') => {
+                self.chars.next();
+                Quant { min: 1, max: 8 }
+            }
+            _ => ONE,
+        }
+    }
+
+    /// Parses a sequence of quantified atoms up to (not past) `|`, `)`,
+    /// or end of input.
+    fn parse_seq(&mut self) -> Vec<(Atom, Quant)> {
+        let mut seq = Vec::new();
+        loop {
+            let atom = match self.chars.peek() {
+                None | Some('|') | Some(')') => return seq,
+                Some('.') => {
+                    self.chars.next();
+                    Atom::AnyChar
+                }
+                Some('[') => {
+                    self.chars.next();
+                    Atom::Class(self.parse_class())
+                }
+                Some('(') => {
+                    self.chars.next();
+                    let mut alternatives = vec![self.parse_seq()];
+                    while self.chars.peek() == Some(&'|') {
+                        self.chars.next();
+                        alternatives.push(self.parse_seq());
+                    }
+                    if self.chars.next() != Some(')') {
+                        self.fail("unterminated group");
+                    }
+                    Atom::Group(alternatives)
+                }
+                Some('\\') => {
+                    self.chars.next();
+                    Atom::Literal(self.parse_escape())
+                }
+                Some(&c) => {
+                    if matches!(c, '{' | '}' | '*' | '+' | '?' | '^' | '$') {
+                        self.fail("unsupported metachar in this position");
+                    }
+                    self.chars.next();
+                    Atom::Literal(c)
+                }
+            };
+            let quant = self.parse_quant();
+            seq.push((atom, quant));
+        }
+    }
+}
+
+impl Pattern {
+    pub fn compile(src: &str) -> Pattern {
+        let mut parser = PatParser { chars: src.chars().peekable(), src };
+        let seq = parser.parse_seq();
+        if parser.chars.next().is_some() {
+            panic!("proptest stub: unsupported pattern {src:?}: trailing `|` or `)`");
+        }
+        Pattern { seq }
+    }
+
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        gen_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn gen_seq(seq: &[(Atom, Quant)], rng: &mut StdRng, out: &mut String) {
+    for (atom, quant) in seq {
+        let reps = if quant.min == quant.max {
+            quant.min
+        } else {
+            rng.random_range(quant.min..=quant.max)
+        };
+        for _ in 0..reps {
+            gen_atom(atom, rng, out);
+        }
+    }
+}
+
+/// Extra characters `.` occasionally produces beyond printable ASCII,
+/// exercising multibyte and non-Latin handling.
+const EXOTIC: &[char] = &['é', 'ß', '漢', '€', 'Ω', 'ñ', '→', '🦀'];
+
+fn gen_atom(atom: &Atom, rng: &mut StdRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::AnyChar => {
+            if rng.random_bool(0.9) {
+                // Printable ASCII 0x20..=0x7E.
+                out.push(char::from(rng.random_range(0x20u8..0x7F)));
+            } else {
+                out.push(EXOTIC[rng.random_range(0..EXOTIC.len())]);
+            }
+        }
+        Atom::Class(chars) => {
+            out.push(chars[rng.random_range(0..chars.len())]);
+        }
+        Atom::Group(alternatives) => {
+            let pick = rng.random_range(0..alternatives.len());
+            gen_seq(&alternatives[pick], rng, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(pat: &str, n: usize) -> Vec<String> {
+        let compiled = Pattern::compile(pat);
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..n).map(|_| compiled.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in samples("[a-z0-9 ]{1,12}", 200) {
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn dot_len_bounds() {
+        for s in samples(".{0,24}", 200) {
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn exact_literal() {
+        assert_eq!(samples("MPN", 3), vec!["MPN", "MPN", "MPN"]);
+    }
+
+    #[test]
+    fn group_alternation_and_escape() {
+        let pat = r"(<[a-z/!]{0,4}[a-z ='\x22]{0,8}>?|[a-z&;#0-9 ]{0,6}){0,24}";
+        for s in samples(pat, 100) {
+            for c in s.chars() {
+                assert!(
+                    "<>/!='\" &;#".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_hex_is_quote() {
+        assert_eq!(samples(r"\x22", 1), vec!["\""]);
+    }
+
+    #[test]
+    fn fixed_count_class() {
+        for s in samples("[A-Z]{3}", 50) {
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs and enums.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream
+//! (no `syn`/`quote` in an offline build), and the generated impls are
+//! rendered as source text targeting the `Value`-tree data model of the
+//! sibling `serde` stub. Externally-tagged enum representation matches
+//! real serde: unit variants as strings, data variants as single-entry
+//! objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count).
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attribute groups and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive stub: malformed attribute, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens up to (not including) a top-level `,`,
+/// tracking `<`/`>` nesting so commas inside generics don't terminate.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle: i32 = 0;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match tokens.next() {
+                    Some(tt) if is_punct(&tt, ':') => {}
+                    other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut tokens);
+                // consume the separating comma, if any
+                if let Some(tt) = tokens.peek() {
+                    if is_punct(tt, ',') {
+                        tokens.next();
+                    }
+                }
+            }
+            None => return names,
+            other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+        }
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+        if let Some(tt) = tokens.peek() {
+            if is_punct(tt, ',') {
+                tokens.next();
+            }
+        }
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        tokens.next();
+                        Fields::Tuple(count_tuple_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        tokens.next();
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                // skip an optional discriminant `= expr`
+                if let Some(tt) = tokens.peek() {
+                    if is_punct(tt, '=') {
+                        tokens.next();
+                        while let Some(tt) = tokens.peek() {
+                            if is_punct(tt, ',') {
+                                break;
+                            }
+                            tokens.next();
+                        }
+                    }
+                }
+                if let Some(tt) = tokens.peek() {
+                    if is_punct(tt, ',') {
+                        tokens.next();
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            None => return variants,
+            other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(tt) if is_punct(tt, '<')) {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(tt) if is_punct(&tt, ';') => Fields::Unit,
+                other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive stub: unexpected enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---- Serialize -------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", "),
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+// ---- Deserialize -----------------------------------------------------------
+
+fn named_fields_ctor(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get(\"{f}\") {{\n\
+                     Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     None => ::serde::Deserialize::missing_field(\"{f}\")?,\n\
+                 }}"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = named_fields_ctor(name, fs, "v");
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Object(_) => Ok({ctor}),\n\
+                             other => Err(::serde::Error::expected(\"object for struct {name}\", other)),\n\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({items})),\n\
+                             other => Err(::serde::Error::expected(\"array of {n} for struct {name}\", other)),\n\
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match v {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::Error::expected(\"null for unit struct {name}\", other)),\n\
+                     }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}({items})),\n\
+                                     other => Err(::serde::Error::expected(\"array of {n} for variant {vn}\", other)),\n\
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let ctor = named_fields_ctor(&format!("{name}::{vn}"), fs, "inner");
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Object(_) => Ok({ctor}),\n\
+                                     other => Err(::serde::Error::expected(\"object for variant {vn}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error(format!(\"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(::serde::Error(format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::expected(\"enum {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
