@@ -299,7 +299,12 @@ fn write_bench_par_json(threads: usize) {
     // tN numbers measure executor overhead, not speedup.
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let doc = Value::Object(vec![
+        ("git_commit".to_string(), Value::Str(pse_bench::git_commit())),
         ("threads".to_string(), Value::U64(threads as u64)),
+        (
+            "pse_threads_env".to_string(),
+            std::env::var("PSE_THREADS").map(Value::Str).unwrap_or(Value::Null),
+        ),
         ("host_cpus".to_string(), Value::U64(host_cpus as u64)),
         ("paths".to_string(), Value::Array(paths)),
     ]);

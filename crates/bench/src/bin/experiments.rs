@@ -4,6 +4,7 @@
 //! experiments <subcommand> [--offers N] [--merchants N] [--seed S]
 //!             [--leaves a,b,c,d] [--products-per-category N]
 //!             [--match-error-rate R] [--smoke] [--out DIR]
+//!             [--quiet] [--obs]
 //!
 //! Subcommands:
 //!   table2    end-to-end quality (Table 2)
@@ -24,7 +25,9 @@
 //! ```
 //!
 //! Text renderings go to stdout; CSV series are written under `--out`
-//! (default `results/`).
+//! (default `results/`). `--quiet` silences stderr progress chatter and the
+//! stage summary; `--obs` (or `PSE_OBS=1`) turns on observability and
+//! writes `OBS_REPORT.json` at the workspace root on exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,6 +47,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
+    let quiet = rest.iter().any(|a| a == "--quiet");
+    if rest.iter().any(|a| a == "--obs") {
+        pse_obs::set_enabled(true);
+    }
     let scale = match Scale::from_args(rest) {
         Ok(s) => s,
         Err(e) => {
@@ -53,21 +60,31 @@ fn main() -> ExitCode {
     };
     let out_dir = out_dir(rest);
 
-    eprintln!(
-        "# world: {} offers, {} merchants, {} leaf categories (seed {})",
-        scale.offers,
-        scale.merchants,
-        scale.total_leaves(),
-        scale.seed
-    );
+    if !quiet {
+        eprintln!(
+            "# world: {} offers, {} merchants, {} leaf categories (seed {})",
+            scale.offers,
+            scale.merchants,
+            scale.total_leaves(),
+            scale.seed
+        );
+    }
     let t0 = std::time::Instant::now();
-    let world = build_world(&scale);
-    eprintln!("# world built in {:.1?}; {} products", t0.elapsed(), world.catalog.len());
+    let world = {
+        let _obs = pse_obs::span("experiments.build_world");
+        build_world(&scale)
+    };
+    if !quiet {
+        eprintln!("# world built in {:.1?}; {} products", t0.elapsed(), world.catalog.len());
+    }
 
     let run = |name: &str, world: &World| -> bool {
         let t = std::time::Instant::now();
-        let ok = dispatch(name, world, &out_dir);
-        eprintln!("# {name} finished in {:.1?}", t.elapsed());
+        let _obs = pse_obs::span(&format!("experiments.{name}"));
+        let ok = dispatch(name, world, &out_dir, quiet);
+        if !quiet {
+            eprintln!("# {name} finished in {:.1?}", t.elapsed());
+        }
         ok
     };
 
@@ -88,21 +105,49 @@ fn main() -> ExitCode {
             .all(|c| run(c, &world))
                 && {
                     let t = std::time::Instant::now();
+                    let _obs = pse_obs::span("experiments.ablation-history");
                     println!("{}", ablation_history_noise(&scale));
-                    eprintln!("# ablation-history finished in {:.1?}", t.elapsed());
+                    if !quiet {
+                        eprintln!("# ablation-history finished in {:.1?}", t.elapsed());
+                    }
                     true
                 }
         }
         "ablation-history" => {
+            let _obs = pse_obs::span("experiments.ablation-history");
             println!("{}", ablation_history_noise(&scale));
             true
         }
         name => run(name, &world),
     };
+    write_obs_report(quiet);
     if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// When observability is on, stamp provenance into the report, write
+/// `OBS_REPORT.json` at the workspace root, and print the stage summary.
+fn write_obs_report(quiet: bool) {
+    if !pse_obs::enabled() {
+        return;
+    }
+    let mut report = pse_obs::report();
+    report.git_commit = pse_bench::git_commit();
+    report.threads = pse_par::current_threads() as u64;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_REPORT.json");
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => {
+            if !quiet {
+                eprintln!("# observability report written to {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    if !quiet {
+        println!("{}", report.render_summary());
     }
 }
 
@@ -113,7 +158,7 @@ fn e2e_cached(world: &World) -> &'static EndToEnd {
     CACHE.get_or_init(|| run_end_to_end(world))
 }
 
-fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
+fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf, quiet: bool) -> bool {
     match cmd {
         "table2" => {
             println!("{}", table2(world, e2e_cached(world)));
@@ -128,36 +173,42 @@ fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
             true
         }
         "fig6" => figure(
+            quiet,
             out_dir,
             "fig6",
             "Figure 6: classifier vs single-feature baselines (all categories)",
             fig6(world),
         ),
         "fig7" => figure(
+            quiet,
             out_dir,
             "fig7",
             "Figure 7: with vs without historical instance matches (Computing)",
             fig7(world),
         ),
         "fig8" => figure(
+            quiet,
             out_dir,
             "fig8",
             "Figure 8: comparison with existing schema matchers (Computing)",
             fig8(world),
         ),
         "fig9" => figure(
+            quiet,
             out_dir,
             "fig9",
             "Figure 9: COMA++ delta configurations (Computing)",
             fig9(world),
         ),
         "ablation" => figure(
+            quiet,
             out_dir,
             "ablation_extraction",
             "Ablation: HTML extraction noise vs oracle specifications",
             ablation_extraction(world),
         ),
         "ablation-features" => figure(
+            quiet,
             out_dir,
             "ablation_features",
             "Ablation: feature groupings (Computing)",
@@ -172,12 +223,14 @@ fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
             true
         }
         "ablation-measures" => figure(
+            quiet,
             out_dir,
             "ablation_measures",
             "Ablation: distributional-measure choice, Lee '99 (Computing)",
             ablation_measures(world),
         ),
         "extension-names" => figure(
+            quiet,
             out_dir,
             "extension_names",
             "Extension (paper future work): instance vs instance+name features (Computing)",
@@ -190,14 +243,20 @@ fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf) -> bool {
     }
 }
 
-fn figure(out_dir: &PathBuf, stem: &str, title: &str, curves: Vec<LabeledCurve>) -> bool {
+fn figure(
+    quiet: bool,
+    out_dir: &PathBuf,
+    stem: &str,
+    title: &str,
+    curves: Vec<LabeledCurve>,
+) -> bool {
     println!("{}", render_curves(title, &curves));
     let path = out_dir.join(format!("{stem}.csv"));
     if let Err(e) =
         std::fs::create_dir_all(out_dir).and_then(|_| std::fs::write(&path, curves_csv(&curves)))
     {
         eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
+    } else if !quiet {
         eprintln!("# series written to {}", path.display());
     }
     true

@@ -1,0 +1,326 @@
+//! CI validator for `OBS_REPORT.json`.
+//!
+//! Checks run at the raw JSON level rather than through the typed
+//! [`pse_obs::ObsReport`] deserializer, so a NaN duration serialized as
+//! `null`/float or a negative value is rejected instead of being papered
+//! over by a lenient numeric conversion:
+//!
+//! - `schema_version` matches, `enabled` is true, `threads` ≥ 1;
+//! - spans cover every pipeline stage (`datagen.`, `extract.`, `offline.`,
+//!   `runtime.`, `experiments.`);
+//! - the stage counters the experiment drivers are expected to emit exist;
+//! - every duration / count / sum / min / max is a non-negative integer;
+//! - histogram bucket counts sum to the histogram count;
+//! - at least one per-worker timeline with consistent chunk fields.
+//!
+//! Usage: `obs_check [path]` (default: workspace-root `OBS_REPORT.json`).
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// Every stage of the pipeline must appear in at least one span path.
+/// Spans nest (`extract.page` ends up under `runtime.reconcile` when the
+/// provider extracts inside a worker), so this is a substring match.
+const STAGE_PREFIXES: [&str; 5] = ["datagen.", "extract.", "offline.", "runtime.", "experiments."];
+
+/// Counters every experiments run is expected to emit.
+const REQUIRED_COUNTERS: [&str; 8] = [
+    "datagen.offers",
+    "datagen.pages_rendered",
+    "extract.pairs_extracted",
+    "offline.candidates",
+    "runtime.offers_in",
+    "runtime.pairs_discarded_unmapped",
+    "runtime.clusters_formed",
+    "runtime.values_fused",
+];
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_REPORT.json").into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs_check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = check(&value);
+    if errs.is_empty() {
+        println!("obs_check: {path} OK");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errs {
+            eprintln!("obs_check: {e}");
+        }
+        eprintln!("obs_check: {path}: {} problem(s)", errs.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn check(v: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match v.get("schema_version") {
+        Some(&Value::U64(n)) if n == pse_obs::SCHEMA_VERSION as u64 => {}
+        other => {
+            errs.push(format!("schema_version must be {}, got {other:?}", pse_obs::SCHEMA_VERSION))
+        }
+    }
+    if v.get("enabled") != Some(&Value::Bool(true)) {
+        errs.push("enabled must be true (was the run missing --obs / PSE_OBS=1?)".into());
+    }
+    match v.get("threads") {
+        Some(&Value::U64(n)) if n >= 1 => {}
+        other => errs.push(format!("threads must be a positive integer, got {other:?}")),
+    }
+    if !matches!(v.get("git_commit"), Some(Value::Str(s)) if !s.is_empty()) {
+        errs.push("git_commit must be a non-empty string".into());
+    }
+
+    let span_paths = check_spans(v, &mut errs);
+    for prefix in STAGE_PREFIXES {
+        if !span_paths.iter().any(|p| p.contains(prefix)) {
+            errs.push(format!("no span covers stage {prefix}*"));
+        }
+    }
+    check_counters(v, &mut errs);
+    check_histograms(v, &mut errs);
+    check_timelines(v, &mut errs);
+    errs
+}
+
+/// A named numeric field that must be a non-negative JSON integer — the
+/// encoding a NaN (`null`/float) or negative duration cannot take.
+fn require_u64(obj: &Value, key: &str, ctx: &str, errs: &mut Vec<String>) -> u64 {
+    match obj.get(key) {
+        Some(&Value::U64(n)) => n,
+        other => {
+            errs.push(format!("{ctx}: {key} must be a non-negative integer, got {other:?}"));
+            0
+        }
+    }
+}
+
+fn str_field<'v>(obj: &'v Value, key: &str) -> &'v str {
+    match obj.get(key) {
+        Some(Value::Str(s)) => s,
+        _ => "",
+    }
+}
+
+fn array<'v>(v: &'v Value, key: &str, errs: &mut Vec<String>) -> &'v [Value] {
+    match v.get(key) {
+        Some(Value::Array(items)) => items,
+        other => {
+            errs.push(format!("{key} must be an array, got {other:?}"));
+            &[]
+        }
+    }
+}
+
+fn check_spans(v: &Value, errs: &mut Vec<String>) -> Vec<String> {
+    let mut paths = Vec::new();
+    for s in array(v, "spans", errs) {
+        let path = str_field(s, "path").to_string();
+        let ctx = format!("span {path:?}");
+        if path.is_empty() {
+            errs.push(format!("{ctx}: path must be a non-empty string"));
+        }
+        let count = require_u64(s, "count", &ctx, errs);
+        let total = require_u64(s, "total_ns", &ctx, errs);
+        let min = require_u64(s, "min_ns", &ctx, errs);
+        let max = require_u64(s, "max_ns", &ctx, errs);
+        if count == 0 {
+            errs.push(format!("{ctx}: count must be positive"));
+        }
+        if min > max || max > total {
+            errs.push(format!("{ctx}: expected min <= max <= total, got {min}/{max}/{total}"));
+        }
+        paths.push(path);
+    }
+    if paths.is_empty() {
+        errs.push("report has no spans".into());
+    }
+    paths
+}
+
+fn check_counters(v: &Value, errs: &mut Vec<String>) {
+    let counters = array(v, "counters", errs).to_vec();
+    let mut names = Vec::new();
+    for c in &counters {
+        let name = str_field(c, "name").to_string();
+        require_u64(c, "value", &format!("counter {name:?}"), errs);
+        names.push(name);
+    }
+    for required in REQUIRED_COUNTERS {
+        if !names.iter().any(|n| n == required) {
+            errs.push(format!("missing required counter {required}"));
+        }
+    }
+}
+
+fn check_histograms(v: &Value, errs: &mut Vec<String>) {
+    for h in array(v, "histograms", errs) {
+        let ctx = format!("histogram {:?}", str_field(h, "name"));
+        let count = require_u64(h, "count", &ctx, errs);
+        let sum = require_u64(h, "sum", &ctx, errs);
+        let min = require_u64(h, "min", &ctx, errs);
+        let max = require_u64(h, "max", &ctx, errs);
+        if min > max || (count > 0 && sum < max as u64) {
+            errs.push(format!("{ctx}: inconsistent aggregates {count}/{sum}/{min}/{max}"));
+        }
+        let mut bucket_total = 0u64;
+        match h.get("buckets") {
+            Some(Value::Array(buckets)) => {
+                for b in buckets {
+                    require_u64(b, "le", &format!("{ctx} bucket"), errs);
+                    bucket_total += require_u64(b, "count", &format!("{ctx} bucket"), errs);
+                }
+            }
+            other => errs.push(format!("{ctx}: buckets must be an array, got {other:?}")),
+        }
+        if bucket_total != count {
+            errs.push(format!("{ctx}: bucket counts sum to {bucket_total}, expected {count}"));
+        }
+    }
+}
+
+fn check_timelines(v: &Value, errs: &mut Vec<String>) {
+    let timelines = array(v, "timelines", errs).to_vec();
+    if timelines.is_empty() {
+        errs.push("report has no per-worker timelines".into());
+    }
+    for t in &timelines {
+        let ctx = format!("timeline {:?}", str_field(t, "label"));
+        let calls = require_u64(t, "calls", &ctx, errs);
+        if calls == 0 {
+            errs.push(format!("{ctx}: calls must be positive"));
+        }
+        match t.get("chunks") {
+            Some(Value::Array(chunks)) if !chunks.is_empty() => {
+                for c in chunks {
+                    require_u64(c, "worker", &ctx, errs);
+                    require_u64(c, "chunk", &ctx, errs);
+                    require_u64(c, "items", &ctx, errs);
+                    require_u64(c, "start_ns", &ctx, errs);
+                    require_u64(c, "dur_ns", &ctx, errs);
+                }
+            }
+            other => errs.push(format!("{ctx}: chunks must be a non-empty array, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_report() -> Value {
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = STAGE_PREFIXES
+            .iter()
+            .map(|p| pse_obs::SpanSummary {
+                path: format!("{p}stage"),
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "runtime.reconcile".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        serde_json::from_str(&r.to_json()).unwrap()
+    }
+
+    #[test]
+    fn valid_report_passes() {
+        assert_eq!(check(&good_report()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_stage_and_counter_detected() {
+        let mut v = good_report();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "spans" || k == "counters" {
+                    *val = Value::Array(Vec::new());
+                }
+            }
+        }
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("no span covers stage runtime.")));
+        assert!(errs.iter().any(|e| e.contains("missing required counter runtime.offers_in")));
+    }
+
+    #[test]
+    fn nan_and_negative_durations_rejected() {
+        let mut v = good_report();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k != "spans" {
+                    continue;
+                }
+                let Value::Array(spans) = val else { unreachable!() };
+                let Value::Object(span) = &mut spans[0] else { unreachable!() };
+                for (sk, sv) in span.iter_mut() {
+                    match sk.as_str() {
+                        "total_ns" => *sv = Value::Null, // NaN serializes as null
+                        "min_ns" => *sv = Value::I64(-4),
+                        "max_ns" => *sv = Value::F64(1.5),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("total_ns must be a non-negative integer")));
+        assert!(errs.iter().any(|e| e.contains("min_ns must be a non-negative integer")));
+        assert!(errs.iter().any(|e| e.contains("max_ns must be a non-negative integer")));
+    }
+
+    #[test]
+    fn bucket_sum_mismatch_rejected() {
+        let r = pse_obs::ObsReport {
+            histograms: vec![pse_obs::HistogramSummary {
+                name: "h".into(),
+                count: 2, // lies: the buckets hold only one sample
+                sum: 3,
+                min: 3,
+                max: 3,
+                buckets: vec![pse_obs::BucketEntry { le: 4, count: 1 }],
+            }],
+            ..Default::default()
+        };
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("bucket counts sum to 1, expected 2")));
+    }
+}

@@ -17,6 +17,22 @@ use pse_core::Offer;
 use pse_datagen::World;
 use pse_synthesis::{ExtractingProvider, SpecProvider};
 
+/// The git commit hash of the working tree, recorded in report headers so
+/// results stay attributable to the code that produced them. Returns
+/// `"unknown"` when git or the repository is unavailable.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// The honest provider: render the offer's landing page and extract the
 /// specification from its tables — extraction noise and bullet-page misses
 /// included.

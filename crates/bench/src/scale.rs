@@ -54,7 +54,8 @@ impl Scale {
     ///
     /// Recognized keys: `--offers`, `--merchants`, `--seed`,
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
-    /// `--smoke`.
+    /// `--smoke`. The binary-level flags `--out DIR`, `--quiet` and `--obs`
+    /// are accepted and ignored here.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
@@ -76,7 +77,7 @@ impl Scale {
                     }
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
-                "--smoke" => {}
+                "--smoke" | "--quiet" | "--obs" => {}
                 "--out" => {
                     take()?; // consumed by the binary, not the scale
                 }
@@ -150,6 +151,12 @@ mod tests {
     fn unknown_flag_rejected() {
         assert!(Scale::from_args(&args(&["--bogus"])).is_err());
         assert!(Scale::from_args(&args(&["--offers"])).is_err());
+    }
+
+    #[test]
+    fn binary_level_flags_accepted() {
+        let s = Scale::from_args(&args(&["--quiet", "--obs", "--out", "results"])).unwrap();
+        assert_eq!(s.offers, Scale::default().offers);
     }
 
     #[test]

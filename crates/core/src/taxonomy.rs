@@ -85,6 +85,12 @@ impl Taxonomy {
         &self.category(id).schema
     }
 
+    /// Schema of a category, or `None` when `id` is not a valid id of this
+    /// taxonomy (e.g. an offer classified against a different taxonomy).
+    pub fn try_schema(&self, id: CategoryId) -> Option<&CategorySchema> {
+        self.categories.get(id.index()).map(|c| &c.schema)
+    }
+
     /// All categories.
     pub fn iter(&self) -> std::slice::Iter<'_, Category> {
         self.categories.iter()
@@ -161,6 +167,14 @@ mod tests {
         let t = tiny();
         let cameras = t.find_by_name("Cameras").unwrap().id;
         assert_eq!(t.top_level_of(cameras), cameras);
+    }
+
+    #[test]
+    fn try_schema_rejects_foreign_ids() {
+        let t = tiny();
+        let hd = t.find_by_name("Hard Drives").unwrap().id;
+        assert!(t.try_schema(hd).is_some_and(|s| !s.is_empty()));
+        assert!(t.try_schema(CategoryId(999)).is_none());
     }
 
     #[test]

@@ -79,6 +79,7 @@ impl World {
     /// # Panics
     /// Panics when `config.validate()` fails.
     pub fn generate(config: WorldConfig) -> Self {
+        let _obs = pse_obs::span("datagen.generate");
         config.validate().expect("invalid world configuration");
         let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -340,6 +341,10 @@ impl World {
             }
         }
 
+        pse_obs::add("datagen.offers", offers.len() as u64);
+        pse_obs::add("datagen.products", catalog.len() as u64);
+        pse_obs::add("datagen.merchants", merchants.len() as u64);
+        pse_obs::add("datagen.historical_matches", historical.len() as u64);
         Self {
             config,
             catalog,
@@ -410,12 +415,14 @@ impl World {
     /// count — each offer derives from its own seeded RNG, so parallelism
     /// cannot change the result.
     pub fn page_specs(&self, offers: &[OfferId]) -> Vec<Spec> {
+        let _obs = pse_obs::span("datagen.page_specs");
         pse_par::par_map_chunked(offers, 32, |&o| self.page_spec(o))
     }
 
     /// Render many landing pages at once (see [`World::landing_page`]);
     /// order-preserving and deterministic at any thread count.
     pub fn landing_pages(&self, offers: &[OfferId]) -> Vec<String> {
+        let _obs = pse_obs::span("datagen.render_pages");
         pse_par::par_map_chunked(offers, 16, |&o| self.landing_page(o))
     }
 
@@ -430,6 +437,7 @@ impl World {
             banner_row: rng.random_bool(0.5),
         };
         let merchant_name = &self.merchants[o.merchant.index()].name;
+        pse_obs::incr("datagen.pages_rendered");
         render_landing_page(&o.title, merchant_name, o.price_cents, &spec, style, &mut rng)
     }
 

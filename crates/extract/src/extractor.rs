@@ -47,11 +47,15 @@ impl PageExtractor {
     /// column is the attribute name, the second the value. Rows failing the
     /// sanity limits are dropped.
     pub fn extract(&self, html: &str) -> Spec {
+        let _obs = pse_obs::span("extract.page");
         let doc = parse(html);
         let mut spec = Spec::new();
         for table in extract_tables(&doc) {
             self.extract_from_table(&table, &mut spec);
         }
+        pse_obs::incr("extract.pages");
+        pse_obs::add("extract.pairs_extracted", spec.len() as u64);
+        pse_obs::observe("extract.pairs_per_page", spec.len() as u64);
         spec
     }
 

@@ -1,0 +1,142 @@
+//! Fixed-boundary integer histograms.
+//!
+//! Bucket boundaries are compile-time constants shared by every histogram,
+//! and all accumulation is integer arithmetic (`u64` counts, `u128` sum),
+//! so the aggregate is exactly the same no matter how many threads record
+//! into it or in what order — the FP-order-independence requirement that
+//! the rest of the pipeline already obeys for its scores.
+
+/// Shared geometric bucket boundaries (powers of 4 from 1 to 4^24).
+///
+/// One scale serves every unit the pipeline records: item counts (1..10^5)
+/// land in the low buckets, nanosecond durations (10^3..10^14, i.e. 1 µs to
+/// ~78 h) in the high ones. A value `v` falls into the first bucket whose
+/// boundary satisfies `v <= boundary`; values above the last boundary go
+/// into the overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 25] = {
+    let mut b = [0u64; 25];
+    let mut i = 0;
+    let mut v = 1u64;
+    while i < 25 {
+        b[i] = v;
+        v = v.saturating_mul(4);
+        i += 1;
+    }
+    b
+};
+
+/// One histogram: fixed buckets plus exact integer count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[i]` counts values `v` with `v <= BUCKET_BOUNDS[i]` (and
+    /// `v > BUCKET_BOUNDS[i-1]` for `i > 0`); `buckets[25]` is overflow.
+    pub buckets: [u64; 26],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u128,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest recorded value (0 while empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; 26], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(BUCKET_BOUNDS[0], 1);
+        assert_eq!(BUCKET_BOUNDS[1], 4);
+    }
+
+    #[test]
+    fn bucketing_is_inclusive_upper() {
+        let mut h = Histogram::default();
+        h.record(1); // bucket 0 (<= 1)
+        h.record(4); // bucket 1 (<= 4)
+        h.record(5); // bucket 2 (<= 16)
+        h.record(0); // bucket 0
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 10);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 5);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[25], 1);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_count() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 17, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn order_independent_merge() {
+        // Recording the same multiset in any order yields identical state.
+        let values = [7u64, 0, 99, 1 << 30, 5, 5, 123_456_789];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in values {
+            a.record(v);
+        }
+        for v in values.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.sum, b.sum);
+        assert_eq!((a.min, a.max, a.count), (b.min, b.max, b.count));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Histogram::default().mean(), 0.0);
+        let mut h = Histogram::default();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), 15.0);
+    }
+}

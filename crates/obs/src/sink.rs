@@ -1,0 +1,181 @@
+//! The global event sink: thread-safe aggregation with deterministic
+//! export ordering.
+//!
+//! Spans and histograms aggregate *incrementally* (per-path / per-name
+//! integer merges), so memory stays bounded no matter how many events are
+//! recorded, and the export order is the `BTreeMap` key order — fully
+//! deterministic regardless of thread interleaving. Counters are exact
+//! integer sums, which commute, so any interleaving yields the same value.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::{Histogram, BUCKET_BOUNDS};
+use crate::report::{
+    BucketEntry, ChunkSummary, CounterEntry, HistogramSummary, ObsReport, SpanSummary,
+    TimelineGroup, SCHEMA_VERSION,
+};
+
+/// Aggregated state of one span path.
+#[derive(Debug, Clone, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// One raw chunk event from a `pse-par` call (bounded: one per worker per
+/// parallel call, not per item).
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkEvent {
+    pub label: String,
+    pub worker: u64,
+    pub chunk: u64,
+    pub items: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// The global sink.
+#[derive(Debug, Default)]
+pub(crate) struct Sink {
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    timeline: Mutex<Vec<ChunkEvent>>,
+}
+
+impl Sink {
+    pub fn record_span(&self, path: String, dur_ns: u64) {
+        let mut spans = self.spans.lock().expect("span sink poisoned");
+        let agg = spans.entry(path).or_insert(SpanAgg {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        agg.count += 1;
+        agg.total_ns += dur_ns;
+        agg.min_ns = agg.min_ns.min(dur_ns);
+        agg.max_ns = agg.max_ns.max(dur_ns);
+    }
+
+    pub fn add_counter(&self, name: &str, n: u64) {
+        let mut counters = self.counters.lock().expect("counter sink poisoned");
+        match counters.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    pub fn record_histogram(&self, name: &str, value: u64) {
+        let mut hists = self.histograms.lock().expect("histogram sink poisoned");
+        if let Some(h) = hists.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            hists.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn record_chunk(&self, ev: ChunkEvent) {
+        self.timeline.lock().expect("timeline sink poisoned").push(ev);
+    }
+
+    pub fn clear(&self) {
+        self.spans.lock().expect("span sink poisoned").clear();
+        self.counters.lock().expect("counter sink poisoned").clear();
+        self.histograms.lock().expect("histogram sink poisoned").clear();
+        self.timeline.lock().expect("timeline sink poisoned").clear();
+    }
+
+    /// Snapshot into a report with deterministic ordering: spans, counters
+    /// and histograms in key order; timelines grouped by label (sorted),
+    /// chunks within a group in `(start_ns, worker, chunk)` order.
+    pub fn snapshot(&self, enabled: bool) -> ObsReport {
+        let spans = self
+            .spans
+            .lock()
+            .expect("span sink poisoned")
+            .iter()
+            .map(|(path, a)| SpanSummary {
+                path: path.clone(),
+                count: a.count,
+                total_ns: a.total_ns,
+                min_ns: if a.count == 0 { 0 } else { a.min_ns },
+                max_ns: a.max_ns,
+            })
+            .collect();
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter sink poisoned")
+            .iter()
+            .map(|(name, &value)| CounterEntry { name: name.clone(), value })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram sink poisoned")
+            .iter()
+            .map(|(name, h)| HistogramSummary {
+                name: name.clone(),
+                count: h.count,
+                sum: u64::try_from(h.sum).unwrap_or(u64::MAX),
+                min: if h.count == 0 { 0 } else { h.min },
+                max: h.max,
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &count)| BucketEntry {
+                        le: BUCKET_BOUNDS.get(i).copied().unwrap_or(0),
+                        count,
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut groups: BTreeMap<String, TimelineGroup> = BTreeMap::new();
+        for ev in self.timeline.lock().expect("timeline sink poisoned").iter() {
+            let g = groups.entry(ev.label.clone()).or_insert_with(|| TimelineGroup {
+                label: ev.label.clone(),
+                calls: 0,
+                chunks: Vec::new(),
+            });
+            if ev.chunk == 0 {
+                g.calls += 1;
+            }
+            g.chunks.push(ChunkSummary {
+                worker: ev.worker,
+                chunk: ev.chunk,
+                items: ev.items,
+                start_ns: ev.start_ns,
+                dur_ns: ev.dur_ns,
+            });
+        }
+        let timelines = groups
+            .into_values()
+            .map(|mut g| {
+                g.chunks.sort_by_key(|c| (c.start_ns, c.worker, c.chunk));
+                g
+            })
+            .collect();
+
+        ObsReport {
+            schema_version: SCHEMA_VERSION,
+            enabled,
+            git_commit: String::new(),
+            threads: 0,
+            spans,
+            counters,
+            histograms,
+            timelines,
+        }
+    }
+}

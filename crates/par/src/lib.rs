@@ -25,6 +25,16 @@
 //! If a worker panics, every worker is still joined (no detached
 //! threads, no deadlock) and then the panic payload of the **first**
 //! failing chunk (in input order) is resumed on the caller's thread.
+//!
+//! ## Observability
+//!
+//! When `pse-obs` instrumentation is on (`PSE_OBS=1`), every entry point
+//! records one timeline event per chunk — worker id, chunk index, item
+//! count, start/stop — labelled with the caller's active span path, and
+//! worker threads inherit that path so spans opened inside chunks stay
+//! attributed to the forking stage. While off (the default), the only
+//! cost is one relaxed atomic load per call; recording never changes
+//! results either way.
 
 use std::cell::Cell;
 use std::panic::resume_unwind;
@@ -109,7 +119,9 @@ where
 {
     let threads = current_threads();
     let min_chunk = min_chunk.max(1);
+    let obs = pse_obs::par_call();
     if threads <= 1 || items.len() <= min_chunk {
+        let _t = obs.as_ref().map(|c| c.chunk(0, 0, items.len()));
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads).max(min_chunk);
@@ -118,7 +130,14 @@ where
         let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|slice| s.spawn(move || slice.iter().map(f).collect::<Vec<U>>()))
+            .enumerate()
+            .map(|(ci, slice)| {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    let _t = obs.as_ref().map(|c| c.chunk(ci, ci, slice.len()));
+                    slice.iter().map(f).collect::<Vec<U>>()
+                })
+            })
             .collect();
         join_ordered(handles, &mut out);
     });
@@ -138,7 +157,9 @@ where
     F: Fn(&mut S, &T) -> U + Sync,
 {
     let threads = current_threads();
+    let obs = pse_obs::par_call();
     if threads <= 1 || items.len() <= 1 {
+        let _t = obs.as_ref().map(|c| c.chunk(0, 0, items.len()));
         let mut scratch = init();
         return items.iter().map(|item| f(&mut scratch, item)).collect();
     }
@@ -148,8 +169,11 @@ where
         let (init, f) = (&init, &f);
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|slice| {
+            .enumerate()
+            .map(|(ci, slice)| {
+                let obs = obs.clone();
                 s.spawn(move || {
+                    let _t = obs.as_ref().map(|c| c.chunk(ci, ci, slice.len()));
                     let mut scratch = init();
                     slice.iter().map(|item| f(&mut scratch, item)).collect::<Vec<U>>()
                 })
@@ -180,7 +204,9 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let threads = current_threads();
+    let obs = pse_obs::par_call();
     if threads <= 1 || items.len() <= 1 {
+        let _t = obs.as_ref().map(|c| c.chunk(0, 0, items.len()));
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let chunk = items.len().div_ceil(threads);
@@ -192,7 +218,9 @@ where
             .enumerate()
             .map(|(chunk_idx, slice)| {
                 let base = chunk_idx * chunk;
+                let obs = obs.clone();
                 s.spawn(move || {
+                    let _t = obs.as_ref().map(|c| c.chunk(chunk_idx, chunk_idx, slice.len()));
                     slice.iter().enumerate().map(|(i, item)| f(base + i, item)).collect::<Vec<U>>()
                 })
             })

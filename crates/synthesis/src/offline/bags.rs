@@ -48,6 +48,7 @@ impl FeatureIndex {
         historical: &HistoricalMatches,
         provider: &P,
     ) -> Self {
+        let _obs = pse_obs::span("offline.bags");
         let contributing: Vec<(&Offer, ProductId, CategoryId)> = offers
             .iter()
             .filter_map(|offer| {
@@ -59,6 +60,7 @@ impl FeatureIndex {
         // Extraction (page fetch + parse) dominates; run it across worker
         // threads and fold the specs into the bags in offer order, so the
         // index is identical at any thread count.
+        pse_obs::add("offline.historical_offers", contributing.len() as u64);
         let specs =
             pse_par::par_map_chunked(&contributing, 16, |(offer, _, _)| provider.spec(offer));
         let mut index = Self::default();
@@ -79,6 +81,7 @@ impl FeatureIndex {
         offers: &[Offer],
         provider: &P,
     ) -> Self {
+        let _obs = pse_obs::span("offline.bags");
         let contributing: Vec<(&Offer, CategoryId)> = offers
             .iter()
             .filter_map(|offer| offer.category.map(|category| (offer, category)))

@@ -161,6 +161,7 @@ impl OfflineLearner {
         historical: &HistoricalMatches,
         provider: &P,
     ) -> OfflineOutcome {
+        let _obs = pse_obs::span("offline.learn");
         let index = if self.config.match_conditioning {
             FeatureIndex::build_matched(offers, historical, provider)
         } else {
@@ -188,6 +189,7 @@ impl OfflineLearner {
         //    whose bag caches stay hot across the contiguous run of groups
         //    it processes. Group outputs are concatenated in group order, so
         //    candidate enumeration is identical at any thread count.
+        let features_span = pse_obs::span("offline.features");
         let groups = index.merchant_category_groups();
         let per_group: Vec<(Vec<ScoredCandidate>, Vec<Vec<f64>>)> = pse_par::par_map_init(
             &groups,
@@ -235,6 +237,8 @@ impl OfflineLearner {
             candidates.extend(cands);
             feature_rows.extend(rows);
         }
+        drop(features_span);
+        pse_obs::add("offline.candidates", candidates.len() as u64);
 
         // 2. Automated training-set construction (Section 3.2): for every
         //    (M, C) where the merchant uses some catalog attribute name
@@ -262,15 +266,26 @@ impl OfflineLearner {
         //    scorer so the pipeline still functions on tiny inputs.
         let positives = train.positives();
         let trainable = !train.is_empty() && positives > 0 && positives < train.len();
-        let model = trainable.then(|| LogisticRegression::train(&train, &self.config.train));
+        let model = {
+            let _obs = pse_obs::span("offline.train");
+            trainable.then(|| {
+                // One gradient pass per example per epoch.
+                pse_obs::add("offline.train_iterations", self.config.train.epochs as u64);
+                pse_obs::add("offline.training_examples", train.len() as u64);
+                pse_obs::add("offline.training_positives", positives as u64);
+                LogisticRegression::train(&train, &self.config.train)
+            })
+        };
 
         // 4. Score all candidates.
+        let score_span = pse_obs::span("offline.score");
         for (c, f) in candidates.iter_mut().zip(&feature_rows) {
             c.score = match &model {
                 Some(m) => m.predict_proba(f),
                 None => heuristic_score(f),
             };
         }
+        drop(score_span);
 
         // 5. Assemble the correspondence set.
         let mut set = CorrespondenceSet::new();
@@ -291,6 +306,8 @@ impl OfflineLearner {
             }
         }
 
+        pse_obs::add("offline.predicted_valid", predicted_valid as u64);
+        pse_obs::add("offline.correspondences_accepted", set.len() as u64);
         let stats = OfflineStats {
             historical_offers,
             candidates: candidates.len(),

@@ -112,36 +112,84 @@ impl RuntimePipeline {
         offers: &[Offer],
         provider: &P,
     ) -> SynthesisResult {
+        let _obs = pse_obs::span("runtime.process");
+        pse_obs::add("runtime.offers_in", offers.len() as u64);
         // Extraction + reconciliation is per-offer work; fan it out and
         // keep offer order, so clustering sees the same sequence at any
         // thread count.
+        let reconcile_span = pse_obs::span("runtime.reconcile");
         let reconciled: Vec<ReconciledOffer> = pse_par::par_map_chunked(offers, 16, |offer| {
-            let category = offer.category?;
+            let Some(category) = offer.category else {
+                pse_obs::incr("runtime.drop.no_category");
+                return None;
+            };
             let spec = provider.spec(offer);
             let r = reconcile(offer.id, offer.merchant, category, &spec, &self.correspondences);
-            (!r.pairs.is_empty()).then_some(r)
+            pse_obs::add(
+                "runtime.pairs_discarded_unmapped",
+                spec.len().saturating_sub(r.pairs.len()) as u64,
+            );
+            if r.pairs.is_empty() {
+                pse_obs::incr("runtime.drop.all_unmapped");
+                return None;
+            }
+            pse_obs::add("runtime.pairs_kept", r.pairs.len() as u64);
+            Some(r)
         })
         .into_iter()
         .flatten()
         .collect();
+        drop(reconcile_span);
         let offers_reconciled = reconciled.len();
+        pse_obs::add("runtime.offers_reconciled", offers_reconciled as u64);
 
+        let cluster_span = pse_obs::span("runtime.cluster");
         let clusters = cluster_by_key(reconciled, &self.config.key_attributes);
         let offers_clustered = clusters.iter().map(|c| c.members.len()).sum();
+        pse_obs::add(
+            "runtime.drop.no_key",
+            offers_reconciled.saturating_sub(offers_clustered) as u64,
+        );
+        pse_obs::add("runtime.clusters_formed", clusters.len() as u64);
+        for cluster in &clusters {
+            pse_obs::observe("runtime.cluster_size", cluster.members.len() as u64);
+        }
+        drop(cluster_span);
 
         // Clusters fuse independently; output order follows cluster order.
+        let clusters_formed = clusters.len();
         let kept: Vec<Cluster> = clusters
             .into_iter()
             .filter(|c| c.members.len() >= self.config.min_cluster_size)
             .collect();
-        let products =
-            pse_par::par_map_chunked(&kept, 4, |cluster| self.fuse_cluster(catalog, cluster));
+        pse_obs::add(
+            "runtime.drop.small_cluster",
+            clusters_formed.saturating_sub(kept.len()) as u64,
+        );
+        let fuse_span = pse_obs::span("runtime.fuse");
+        let products: Vec<SynthesizedProduct> =
+            pse_par::par_map_chunked(&kept, 4, |cluster| self.fuse_cluster(catalog, cluster))
+                .into_iter()
+                .flatten()
+                .collect();
+        drop(fuse_span);
+        pse_obs::add("runtime.products", products.len() as u64);
+        pse_obs::add(
+            "runtime.values_fused",
+            products.iter().map(|p| p.spec.len() as u64).sum::<u64>(),
+        );
 
         SynthesisResult { products, offers_in: offers.len(), offers_reconciled, offers_clustered }
     }
 
-    fn fuse_cluster(&self, catalog: &Catalog, cluster: &Cluster) -> SynthesizedProduct {
-        let schema = catalog.taxonomy().schema(cluster.category);
+    fn fuse_cluster(&self, catalog: &Catalog, cluster: &Cluster) -> Option<SynthesizedProduct> {
+        // A cluster whose category the catalog does not know (offer
+        // classified against another taxonomy, stale id) cannot produce a
+        // schema-conformant product; drop it instead of panicking.
+        let Some(schema) = catalog.taxonomy().try_schema(cluster.category) else {
+            pse_obs::incr("runtime.drop.unknown_category");
+            return None;
+        };
         let mut spec = Spec::new();
         // Fuse attribute by attribute in schema order (output is catalog-
         // compatible by construction).
@@ -155,13 +203,13 @@ impl RuntimePipeline {
                 spec.push(attr.name.clone(), fused.value);
             }
         }
-        SynthesizedProduct {
+        Some(SynthesizedProduct {
             category: cluster.category,
             key_attribute: cluster.key_attribute.clone(),
             key_value: cluster.key_value.clone(),
             spec,
             offers: cluster.members.iter().map(|m| m.offer).collect(),
-        }
+        })
     }
 }
 
@@ -309,6 +357,22 @@ mod tests {
         let result = pipeline.process(&catalog, &offers, &provider);
         assert!(result.products.is_empty());
         assert_eq!(result.offers_reconciled, 0);
+    }
+
+    #[test]
+    fn unknown_category_cluster_is_dropped_not_fatal() {
+        // An offer classified against a category id the catalog has never
+        // heard of must become a counted drop, not a panic.
+        let (catalog, _, _) = setup();
+        let bogus = CategoryId(999);
+        let set = CorrespondenceSet::from_correspondences([corr("MPN", "mpn", 0, bogus)]);
+        let offers = vec![mk_offer(0, 0, bogus, &[("MPN", "GHOST1")])];
+        let pipeline = RuntimePipeline::new(set);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let result = pipeline.process(&catalog, &offers, &provider);
+        assert!(result.products.is_empty());
+        assert_eq!(result.offers_reconciled, 1);
+        assert_eq!(result.offers_clustered, 1);
     }
 
     #[test]

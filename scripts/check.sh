@@ -9,4 +9,11 @@ cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 
+# Observability smoke: one instrumented pipeline run must produce an
+# OBS_REPORT.json that passes schema validation (required stage spans and
+# counters present, no NaN/negative durations).
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    table2 --smoke --quiet --obs --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+
 echo "tier-1 gate: all green"

@@ -40,6 +40,30 @@ fn synthesized_products_are_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn observability_does_not_change_outputs() {
+    // The PSE_OBS contract: instrumentation records on the side and never
+    // influences a pipeline byte. Same world, obs off vs on, at a thread
+    // count that exercises the par timeline hooks.
+    let world = World::generate(WorldConfig::tiny());
+    pse_obs::set_enabled(false);
+    let (products_off, scored_off) = pse_par::with_threads(4, || run_pipeline(&world));
+    pse_obs::set_enabled(true);
+    pse_obs::reset();
+    let (products_on, scored_on) = pse_par::with_threads(4, || run_pipeline(&world));
+    let report = pse_obs::report();
+    pse_obs::set_enabled(false);
+    pse_obs::reset();
+
+    assert_eq!(products_off, products_on, "synthesized products differ with observability on");
+    assert_eq!(scored_off, scored_on, "scored candidates differ with observability on");
+    // And the side channel actually observed the run.
+    assert_eq!(report.validate(), Ok(()));
+    assert!(report.span("offline.learn").is_some());
+    assert!(report.span("runtime.process").is_some());
+    assert!(report.counter("runtime.offers_in").unwrap_or(0) > 0);
+}
+
+#[test]
 fn page_derivation_is_byte_identical_at_any_thread_count() {
     let world = World::generate(WorldConfig::tiny());
     let ids: Vec<pse_core::OfferId> = world.offers.iter().map(|o| o.id).collect();
