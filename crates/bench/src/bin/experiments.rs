@@ -4,12 +4,15 @@
 //! experiments <subcommand> [--offers N] [--merchants N] [--seed S]
 //!             [--leaves a,b,c,d] [--products-per-category N]
 //!             [--match-error-rate R] [--smoke] [--out DIR]
-//!             [--quiet] [--obs]
+//!             [--quiet] [--obs] [--batches N]
 //!
 //! Subcommands:
 //!   table2    end-to-end quality (Table 2)
 //!   table3    per-top-level-category breakdown (Table 3)
 //!   table4    precision/recall by offer-set size (Table 4)
+//!   incremental  replay the Table-2 corpus through the persistent store
+//!                in --batches batches (default 4); per-batch latency is
+//!                merged into BENCH_par.json under "incremental"
 //!   fig6      classifier vs single-feature baselines (Figure 6)
 //!   fig7      with vs without historical matches (Figure 7)
 //!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
@@ -35,7 +38,8 @@ use std::process::ExitCode;
 use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
-    render_curves, run_end_to_end, table2, table3, table4, EndToEnd, Scale,
+    render_curves, render_incremental, run_end_to_end, run_incremental, table2, table3, table4,
+    EndToEnd, IncrementalRun, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -43,7 +47,7 @@ use pse_eval::correspondence::LabeledCurve;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -59,6 +63,7 @@ fn main() -> ExitCode {
         }
     };
     let out_dir = out_dir(rest);
+    let batches = batches(rest);
 
     if !quiet {
         eprintln!(
@@ -81,7 +86,7 @@ fn main() -> ExitCode {
     let run = |name: &str, world: &World| -> bool {
         let t = std::time::Instant::now();
         let _obs = pse_obs::span(&format!("experiments.{name}"));
-        let ok = dispatch(name, world, &out_dir, quiet);
+        let ok = dispatch(name, world, &out_dir, quiet, batches);
         if !quiet {
             eprintln!("# {name} finished in {:.1?}", t.elapsed());
         }
@@ -158,8 +163,17 @@ fn e2e_cached(world: &World) -> &'static EndToEnd {
     CACHE.get_or_init(|| run_end_to_end(world))
 }
 
-fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf, quiet: bool) -> bool {
+fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf, quiet: bool, batches: usize) -> bool {
     match cmd {
+        "incremental" => {
+            let run = run_incremental(world, batches);
+            println!("{}", render_incremental(&run));
+            merge_incremental_into_bench_json(&run, quiet);
+            if !run.equal {
+                eprintln!("error: incremental store diverged from one-shot process");
+            }
+            run.equal
+        }
         "table2" => {
             println!("{}", table2(world, e2e_cached(world)));
             true
@@ -260,6 +274,52 @@ fn figure(
         eprintln!("# series written to {}", path.display());
     }
     true
+}
+
+/// Merge the incremental replay results into `BENCH_par.json` at the
+/// workspace root, preserving whatever the Criterion benches wrote there
+/// (the `paths` speedup table and its provenance header).
+fn merge_incremental_into_bench_json(run: &IncrementalRun, quiet: bool) {
+    use serde::{Serialize, Value};
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    let mut fields: Vec<(String, Value)> = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        Some(Value::Object(fields)) => fields,
+        _ => vec![
+            ("git_commit".to_string(), Value::Str(pse_bench::git_commit())),
+            ("threads".to_string(), Value::U64(pse_par::current_threads() as u64)),
+        ],
+    };
+    let entry = run.to_value();
+    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "incremental") {
+        slot.1 = entry;
+    } else {
+        fields.push(("incremental".to_string(), entry));
+    }
+    let out = serde_json::to_string_pretty(&Value::Object(fields))
+        .expect("bench json serialization is infallible");
+    match std::fs::write(path, out + "\n") {
+        Ok(()) => {
+            if !quiet {
+                eprintln!("# incremental results merged into {path}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn batches(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--batches" {
+            if let Some(v) = it.next() {
+                return v.parse().unwrap_or(4).max(1);
+            }
+        }
+    }
+    4
 }
 
 fn out_dir(args: &[String]) -> PathBuf {

@@ -36,6 +36,11 @@ const REQUIRED_COUNTERS: [&str; 8] = [
     "runtime.values_fused",
 ];
 
+/// Counters a run that exercised the persistent store (any `store.*` span
+/// present) must additionally emit.
+const STORE_COUNTERS: [&str; 4] =
+    ["store.ingest", "store.clusters_dirty", "store.refused", "store.snapshot"];
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -92,7 +97,8 @@ fn check(v: &Value) -> Vec<String> {
             errs.push(format!("no span covers stage {prefix}*"));
         }
     }
-    check_counters(v, &mut errs);
+    let store_ran = span_paths.iter().any(|p| p.contains("store."));
+    check_counters(v, store_ran, &mut errs);
     check_histograms(v, &mut errs);
     check_timelines(v, &mut errs);
     errs
@@ -153,7 +159,7 @@ fn check_spans(v: &Value, errs: &mut Vec<String>) -> Vec<String> {
     paths
 }
 
-fn check_counters(v: &Value, errs: &mut Vec<String>) {
+fn check_counters(v: &Value, store_ran: bool, errs: &mut Vec<String>) {
     let counters = array(v, "counters", errs).to_vec();
     let mut names = Vec::new();
     for c in &counters {
@@ -164,6 +170,13 @@ fn check_counters(v: &Value, errs: &mut Vec<String>) {
     for required in REQUIRED_COUNTERS {
         if !names.iter().any(|n| n == required) {
             errs.push(format!("missing required counter {required}"));
+        }
+    }
+    if store_ran {
+        for required in STORE_COUNTERS {
+            if !names.iter().any(|n| n == required) {
+                errs.push(format!("store spans present but counter {required} missing"));
+            }
         }
     }
 }
@@ -278,6 +291,57 @@ mod tests {
         let errs = check(&v);
         assert!(errs.iter().any(|e| e.contains("no span covers stage runtime.")));
         assert!(errs.iter().any(|e| e.contains("missing required counter runtime.offers_in")));
+    }
+
+    #[test]
+    fn store_counters_required_only_when_store_spans_present() {
+        // Without store spans, store counters are not demanded.
+        assert_eq!(check(&good_report()), Vec::<String>::new());
+        // A store span without the counters is an error...
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = STAGE_PREFIXES
+            .iter()
+            .map(|p| format!("{p}stage"))
+            .chain(["experiments.incremental.store.ingest".to_string()])
+            .map(|path| pse_obs::SpanSummary {
+                path,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "runtime.reconcile".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter store.ingest missing")));
+        assert!(errs.iter().any(|e| e.contains("counter store.snapshot missing")));
+        // ...and adding them satisfies the check.
+        r.counters.extend(
+            STORE_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 3 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
     }
 
     #[test]

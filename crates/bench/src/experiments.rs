@@ -16,6 +16,7 @@ use pse_eval::synthesis_eval::{evaluate_synthesis, per_top_level, SynthesisQuali
 use pse_synthesis::{
     OfflineConfig, OfflineLearner, OfflineOutcome, RuntimePipeline, SynthesisResult,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::scale::Scale;
 use crate::{html_provider, oracle_provider};
@@ -509,6 +510,141 @@ pub fn curves_csv(curves: &[LabeledCurve]) -> String {
     csv.into_string()
 }
 
+/// One batch of the incremental-ingestion experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalBatchRow {
+    /// Batch index (0-based).
+    pub batch: usize,
+    /// Offers in this batch.
+    pub offers: usize,
+    /// Offers ingested so far (including this batch).
+    pub total_offers: usize,
+    /// Clusters this batch touched.
+    pub clusters_dirty: usize,
+    /// Dirty clusters re-fused.
+    pub refused: usize,
+    /// Clusters in the store after this batch.
+    pub clusters_total: usize,
+    /// Wall-clock of the incremental `ingest`.
+    pub ingest_ns: u64,
+    /// Wall-clock of a full `RuntimePipeline::process` over every offer
+    /// ingested so far — what a batch-only system would pay per batch.
+    pub full_recompute_ns: u64,
+}
+
+/// Result of replaying the Table-2 corpus through a [`ProductStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalRun {
+    /// Number of batches requested.
+    pub batches: usize,
+    /// Per-batch measurements.
+    pub rows: Vec<IncrementalBatchRow>,
+    /// Final store products are byte-identical to one `process` call over
+    /// the whole corpus (the batch-equivalence acceptance check).
+    pub equal: bool,
+    /// Products in the final store.
+    pub products: usize,
+    /// Size of the JSON snapshot taken mid-replay.
+    pub snapshot_bytes: usize,
+}
+
+/// Replay the Table-2 corpus (offers matching no historical product) in
+/// `batches` batches through a [`ProductStore`], timing each incremental
+/// ingest against a from-scratch `process` over the same prefix. A
+/// snapshot/restore cycle runs (untimed) before the third batch to
+/// exercise persistence on the honest path.
+pub fn run_incremental(world: &World, batches: usize) -> IncrementalRun {
+    let provider = html_provider(world);
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let corpus: Vec<Offer> = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .cloned()
+        .collect();
+    let batches = batches.max(1);
+    let pipeline = RuntimePipeline::new(offline.correspondences.clone());
+    let mut store = pse_store::ProductStore::new(offline.correspondences.clone());
+    let chunk = corpus.len().div_ceil(batches).max(1);
+    let mut rows = Vec::new();
+    let mut snapshot_bytes = 0;
+    let mut ingested = 0;
+    let mut last_full: Option<SynthesisResult> = None;
+    for (i, batch) in corpus.chunks(chunk).enumerate() {
+        if i == 2 {
+            // Persistence mid-replay: the store must come back bit-equal.
+            let snap = store.snapshot_json();
+            snapshot_bytes = snap.len();
+            store =
+                pse_store::ProductStore::restore_json(&snap).expect("mid-replay snapshot restores");
+        }
+        let t = std::time::Instant::now();
+        let stats = store.ingest(&world.catalog, batch, &provider);
+        let ingest_ns = t.elapsed().as_nanos() as u64;
+        ingested += batch.len();
+        let t = std::time::Instant::now();
+        let full = pipeline.process(&world.catalog, &corpus[..ingested], &provider);
+        let full_recompute_ns = t.elapsed().as_nanos() as u64;
+        rows.push(IncrementalBatchRow {
+            batch: i,
+            offers: batch.len(),
+            total_offers: ingested,
+            clusters_dirty: stats.clusters_dirty,
+            refused: stats.refused,
+            clusters_total: store.cluster_count(),
+            ingest_ns,
+            full_recompute_ns,
+        });
+        last_full = Some(full);
+    }
+    let store_products = store.products();
+    let equal = match &last_full {
+        Some(full) => {
+            serde_json::to_string(&store_products).ok()
+                == serde_json::to_string(&full.products).ok()
+        }
+        None => true,
+    };
+    IncrementalRun { batches, rows, equal, products: store_products.len(), snapshot_bytes }
+}
+
+/// Render the incremental replay as a text table.
+pub fn render_incremental(run: &IncrementalRun) -> String {
+    let mut t = TextTable::new([
+        "Batch",
+        "Offers",
+        "Total",
+        "Dirty",
+        "Refused",
+        "Clusters",
+        "Ingest (ms)",
+        "Full recompute (ms)",
+        "Speedup",
+    ]);
+    for r in &run.rows {
+        t.row(vec![
+            r.batch.to_string(),
+            r.offers.to_string(),
+            r.total_offers.to_string(),
+            r.clusters_dirty.to_string(),
+            r.refused.to_string(),
+            r.clusters_total.to_string(),
+            format!("{:.1}", r.ingest_ns as f64 / 1e6),
+            format!("{:.1}", r.full_recompute_ns as f64 / 1e6),
+            format!("{:.2}x", r.full_recompute_ns as f64 / r.ingest_ns.max(1) as f64),
+        ]);
+    }
+    format!(
+        "Incremental ingestion: dirty-cluster re-fusion vs full recompute\n{}\
+         products: {} · batch-equivalent to one-shot process: {} · snapshot: {} bytes",
+        t.render(),
+        run.products,
+        if run.equal { "yes" } else { "NO — MISMATCH" },
+        run.snapshot_bytes,
+    )
+}
+
 fn checkpoints_for(max_cov: usize) -> Vec<usize> {
     if max_cov == 0 {
         return Vec::new();
@@ -541,6 +677,21 @@ mod tests {
         assert!(t3.contains("Computing"));
         let t4 = table4(&world, &e2e, 5);
         assert!(t4.contains("Attr recall"));
+    }
+
+    #[test]
+    fn incremental_replay_is_batch_equivalent() {
+        let world = tiny_world();
+        let run = run_incremental(&world, 4);
+        assert_eq!(run.rows.len(), 4);
+        assert!(run.equal, "store diverged from one-shot process");
+        assert!(run.products > 0);
+        assert!(run.snapshot_bytes > 0, "mid-replay snapshot must have been taken");
+        let total: usize = run.rows.iter().map(|r| r.offers).sum();
+        assert_eq!(total, run.rows.last().unwrap().total_offers);
+        // Steady state: later batches touch far fewer clusters than exist.
+        let last = run.rows.last().unwrap();
+        assert!(last.clusters_dirty <= last.clusters_total);
     }
 
     #[test]

@@ -54,8 +54,8 @@ impl Scale {
     ///
     /// Recognized keys: `--offers`, `--merchants`, `--seed`,
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
-    /// `--smoke`. The binary-level flags `--out DIR`, `--quiet` and `--obs`
-    /// are accepted and ignored here.
+    /// `--smoke`. The binary-level flags `--out DIR`, `--batches N`,
+    /// `--quiet` and `--obs` are accepted and ignored here.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
@@ -78,7 +78,7 @@ impl Scale {
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
                 "--smoke" | "--quiet" | "--obs" => {}
-                "--out" => {
+                "--out" | "--batches" => {
                     take()?; // consumed by the binary, not the scale
                 }
                 other if other.starts_with("--") => {
@@ -155,8 +155,11 @@ mod tests {
 
     #[test]
     fn binary_level_flags_accepted() {
-        let s = Scale::from_args(&args(&["--quiet", "--obs", "--out", "results"])).unwrap();
+        let s =
+            Scale::from_args(&args(&["--quiet", "--obs", "--out", "results", "--batches", "4"]))
+                .unwrap();
         assert_eq!(s.offers, Scale::default().offers);
+        assert!(Scale::from_args(&args(&["--batches"])).is_err());
     }
 
     #[test]

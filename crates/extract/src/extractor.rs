@@ -77,12 +77,22 @@ impl PageExtractor {
             if name.is_empty() || value.is_empty() {
                 continue;
             }
-            if name.len() > self.config.max_name_len || value.len() > self.config.max_value_len {
+            if exceeds_chars(name, self.config.max_name_len)
+                || exceeds_chars(value, self.config.max_value_len)
+            {
                 continue;
             }
             spec.push(name, value);
         }
     }
+}
+
+/// Length limit in *characters*, not bytes — multi-byte UTF-8 text
+/// ("Diagonale d'écran") must not hit the limit earlier than ASCII. The
+/// byte length is a cheap upper bound on the char count, so most cells
+/// skip the char walk entirely.
+fn exceeds_chars(s: &str, max: usize) -> bool {
+    s.len() > max && s.chars().count() > max
 }
 
 /// One-shot convenience: extract pairs with the default configuration.
@@ -175,6 +185,28 @@ mod tests {
         );
         let spec = extract_pairs(&html);
         assert_eq!(spec.len(), 1);
+    }
+
+    #[test]
+    fn length_limits_count_chars_not_bytes() {
+        // "é" is 2 bytes in UTF-8: a 60-char accented name is 61+ bytes and
+        // used to be rejected against max_name_len=80 only for ASCII-length
+        // reasons when pushed past the byte limit. Pin char semantics: a
+        // name of exactly max_name_len chars passes even when its byte
+        // length exceeds max_name_len.
+        let config = ExtractionConfig { max_name_len: 20, max_value_len: 20, ..Default::default() };
+        let extractor = PageExtractor::with_config(config);
+        let name = "é".repeat(20); // 20 chars, 40 bytes
+        let value = "écran très présent…"; // 19 chars, > 20 bytes
+        let html = format!("<table><tr><td>{name}</td><td>{value}</td></tr></table>");
+        let spec = extractor.extract(&html);
+        assert_eq!(spec.len(), 1, "multi-byte cells within the char limit must survive");
+        assert_eq!(spec.get(&name), Some(value));
+
+        // One char over the limit is still rejected.
+        let over = "é".repeat(21);
+        let html = format!("<table><tr><td>{over}</td><td>ok</td></tr></table>");
+        assert!(extractor.extract(&html).is_empty());
     }
 
     #[test]

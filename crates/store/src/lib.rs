@@ -1,0 +1,491 @@
+//! A persistent, incrementally maintained product store.
+//!
+//! [`RuntimePipeline::process`](pse_synthesis::RuntimePipeline) is
+//! batch-only: every call re-reconciles, re-clusters, and re-fuses the
+//! entire offer set. A PSE that continuously receives merchant feeds needs
+//! the catalog to be a live structure instead — [`ProductStore`] holds
+//! reconciled cluster state keyed by `(category, key_attribute, normalized
+//! key_value)` and, on [`ProductStore::ingest`], re-fuses only the clusters
+//! a batch actually touched. Steady-state cost is proportional to the
+//! batch, not the corpus.
+//!
+//! # Batch equivalence
+//!
+//! Ingesting any partition of an offer stream, in any batch sizes, yields
+//! **byte-identical** products to one `RuntimePipeline::process` call over
+//! the concatenation. The guarantee holds by construction:
+//!
+//! - per-offer reconciliation and key routing are pure functions of the
+//!   offer (shared with the batch path via
+//!   [`pse_synthesis::reconcile_batch`] and [`KeyAttributes::route`]),
+//!   so batch boundaries cannot change where an offer lands;
+//! - cluster members are appended in stream order, which equals the order
+//!   `cluster_by_key` would see over the concatenation;
+//! - fusion ([`pse_synthesis::fuse_cluster`]) is a deterministic function
+//!   of the member sequence, re-run whenever a cluster is dirty;
+//! - products are emitted in `BTreeMap` key order — the same
+//!   `(category, key_attribute, key_value)` order the batch pipeline sorts
+//!   its clusters into.
+//!
+//! The property is enforced by proptests (`tests/incremental_store.rs` at
+//! the workspace root) at 1 and 4 threads, and by the `check.sh`
+//! incremental smoke over the Table-2 corpus.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pse_core::{Catalog, CategoryId, CorrespondenceSet, Offer, OfferId};
+use pse_synthesis::runtime::{fuse_cluster, reconcile_batch, Cluster, KeyAttributes};
+use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot format version; bumped on incompatible layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Identity of a cluster: `(category, key attribute, normalized key value)`.
+/// `BTreeMap` iteration over this key reproduces the batch pipeline's
+/// cluster output order exactly.
+pub type ClusterKey = (CategoryId, String, String);
+
+/// One cluster's persistent state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ClusterState {
+    /// Members in stream (ingestion) order.
+    members: Vec<ReconciledOffer>,
+    /// Cached fusion result; `None` when the cluster is below
+    /// `min_cluster_size` or its category is unknown to the catalog.
+    fused: Option<SynthesizedProduct>,
+    /// Whether membership changed since the last fusion.
+    dirty: bool,
+}
+
+/// What one [`ProductStore::ingest`] (or [`ProductStore::retract`]) did —
+/// the numbers the incremental experiment reports per batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Offers in the batch.
+    pub offers_in: usize,
+    /// Offers that reconciled and routed to a cluster.
+    pub offers_routed: usize,
+    /// Clusters whose membership changed.
+    pub clusters_dirty: usize,
+    /// Dirty clusters actually re-fused (≥ `min_cluster_size`).
+    pub refused: usize,
+}
+
+/// The serialized form of a store (see [`ProductStore::snapshot_json`]).
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    schema_version: u32,
+    config: RuntimeConfig,
+    correspondences: CorrespondenceSet,
+    clusters: BTreeMap<ClusterKey, ClusterState>,
+}
+
+/// A persistent product catalog maintained incrementally from offer
+/// batches. See the crate docs for the batch-equivalence guarantee.
+pub struct ProductStore {
+    correspondences: CorrespondenceSet,
+    config: RuntimeConfig,
+    /// Routing table derived from `config.key_attributes` (not persisted).
+    keys: KeyAttributes,
+    clusters: BTreeMap<ClusterKey, ClusterState>,
+    /// Reverse index for `retract`: which cluster holds each offer.
+    offer_index: BTreeMap<OfferId, ClusterKey>,
+}
+
+impl ProductStore {
+    /// Empty store with the default pipeline configuration.
+    pub fn new(correspondences: CorrespondenceSet) -> Self {
+        Self::with_config(correspondences, RuntimeConfig::default())
+    }
+
+    /// Empty store with a custom pipeline configuration.
+    pub fn with_config(correspondences: CorrespondenceSet, config: RuntimeConfig) -> Self {
+        let keys = KeyAttributes::new(&config.key_attributes);
+        Self {
+            correspondences,
+            config,
+            keys,
+            clusters: BTreeMap::new(),
+            offer_index: BTreeMap::new(),
+        }
+    }
+
+    /// The correspondence set in use.
+    pub fn correspondences(&self) -> &CorrespondenceSet {
+        &self.correspondences
+    }
+
+    /// The pipeline configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Number of clusters currently held (including below-minimum ones).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of offers currently held across all clusters.
+    pub fn offer_count(&self) -> usize {
+        self.clusters.values().map(|s| s.members.len()).sum()
+    }
+
+    /// Ingest a batch: reconcile (in parallel, order-preserving), route
+    /// each offer to its cluster, and re-fuse only the clusters this batch
+    /// touched. Offers without a category, with no mapped pairs, or with no
+    /// usable key are dropped exactly as the batch pipeline drops them.
+    pub fn ingest<P: SpecProvider>(
+        &mut self,
+        catalog: &Catalog,
+        offers: &[Offer],
+        provider: &P,
+    ) -> IngestStats {
+        let _span = pse_obs::span("store.ingest");
+        pse_obs::add("store.ingest", offers.len() as u64);
+        let reconciled = reconcile_batch(offers, &self.correspondences, provider);
+        let mut dirty: BTreeSet<ClusterKey> = BTreeSet::new();
+        let mut offers_routed = 0;
+        for r in reconciled {
+            let Some((attr, value)) = self.keys.route(&r) else { continue };
+            let key = (r.category, attr, value);
+            self.offer_index.insert(r.offer, key.clone());
+            let state = self.clusters.entry(key.clone()).or_default();
+            state.members.push(r);
+            state.dirty = true;
+            dirty.insert(key);
+            offers_routed += 1;
+        }
+        pse_obs::add("store.clusters_dirty", dirty.len() as u64);
+        let refused = self.refuse(catalog, &dirty);
+        IngestStats { offers_in: offers.len(), offers_routed, clusters_dirty: dirty.len(), refused }
+    }
+
+    /// Remove offers by id, re-fusing the affected clusters. Unknown ids
+    /// are ignored. A cluster whose last member is retracted disappears.
+    pub fn retract(&mut self, catalog: &Catalog, ids: &[OfferId]) -> IngestStats {
+        let _span = pse_obs::span("store.retract");
+        let mut dirty: BTreeSet<ClusterKey> = BTreeSet::new();
+        let mut removed = 0;
+        for id in ids {
+            let Some(key) = self.offer_index.remove(id) else { continue };
+            let Some(state) = self.clusters.get_mut(&key) else { continue };
+            state.members.retain(|m| m.offer != *id);
+            removed += 1;
+            if state.members.is_empty() {
+                self.clusters.remove(&key);
+            } else {
+                state.dirty = true;
+                dirty.insert(key);
+            }
+        }
+        pse_obs::add("store.retracted", removed as u64);
+        pse_obs::add("store.clusters_dirty", dirty.len() as u64);
+        let refused = self.refuse(catalog, &dirty);
+        IngestStats {
+            offers_in: ids.len(),
+            offers_routed: removed,
+            clusters_dirty: dirty.len(),
+            refused,
+        }
+    }
+
+    /// Re-fuse the given dirty clusters (in parallel, order-preserving);
+    /// clusters below `min_cluster_size` just drop their cached product.
+    fn refuse(&mut self, catalog: &Catalog, dirty: &BTreeSet<ClusterKey>) -> usize {
+        let mut work: Vec<(ClusterKey, Cluster)> = Vec::new();
+        for key in dirty {
+            let Some(state) = self.clusters.get_mut(key) else { continue };
+            if state.members.len() < self.config.min_cluster_size {
+                state.fused = None;
+                state.dirty = false;
+                continue;
+            }
+            // Move the members out so fusion borrows no `&mut self` state;
+            // they are put back below.
+            let members = std::mem::take(&mut state.members);
+            let cluster = Cluster {
+                category: key.0,
+                key_attribute: key.1.clone(),
+                key_value: key.2.clone(),
+                members,
+            };
+            work.push((key.clone(), cluster));
+        }
+        let refuse_span = pse_obs::span("store.refuse");
+        let fused: Vec<Option<SynthesizedProduct>> =
+            pse_par::par_map_chunked(&work, 4, |(_, cluster)| {
+                fuse_cluster(catalog, cluster, &self.config)
+            });
+        drop(refuse_span);
+        let refused = work.len();
+        pse_obs::add("store.refused", refused as u64);
+        for ((key, cluster), product) in work.into_iter().zip(fused) {
+            let state = self.clusters.get_mut(&key).expect("cluster vanished during refuse");
+            state.members = cluster.members;
+            state.fused = product;
+            state.dirty = false;
+        }
+        refused
+    }
+
+    /// Current products, in the exact order `RuntimePipeline::process`
+    /// would emit them for the concatenated stream.
+    pub fn products(&self) -> Vec<SynthesizedProduct> {
+        self.clusters
+            .values()
+            .filter(|s| s.members.len() >= self.config.min_cluster_size)
+            .filter_map(|s| s.fused.clone())
+            .collect()
+    }
+
+    /// Serialize the store to JSON. Restoring the snapshot and snapshotting
+    /// again yields byte-identical JSON (all collection orders are
+    /// deterministic).
+    pub fn snapshot_json(&self) -> String {
+        let _span = pse_obs::span("store.snapshot");
+        pse_obs::incr("store.snapshot");
+        let snapshot = Snapshot {
+            schema_version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            correspondences: self.correspondences.clone(),
+            clusters: self.clusters.clone(),
+        };
+        serde_json::to_string_pretty(&snapshot).expect("snapshot serialization is infallible")
+    }
+
+    /// Rebuild a store from a [`ProductStore::snapshot_json`] string.
+    pub fn restore_json(json: &str) -> Result<Self, String> {
+        let _span = pse_obs::span("store.restore");
+        let snapshot: Snapshot = serde_json::from_str(json).map_err(|e| e.0)?;
+        if snapshot.schema_version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snapshot.schema_version
+            ));
+        }
+        let keys = KeyAttributes::new(&snapshot.config.key_attributes);
+        let mut offer_index = BTreeMap::new();
+        for (key, state) in &snapshot.clusters {
+            for m in &state.members {
+                offer_index.insert(m.offer, key.clone());
+            }
+        }
+        Ok(Self {
+            correspondences: snapshot.correspondences,
+            config: snapshot.config,
+            keys,
+            clusters: snapshot.clusters,
+            offer_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_core::{
+        AttributeCorrespondence, AttributeDef, AttributeKind, CategorySchema, MerchantId, Spec,
+        Taxonomy,
+    };
+    use pse_synthesis::{FnProvider, RuntimePipeline};
+
+    fn setup() -> (Catalog, CorrespondenceSet, Vec<Offer>) {
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("Computing");
+        let cat = tax.add_leaf(
+            top,
+            "Hard Drives",
+            CategorySchema::from_attributes([
+                AttributeDef::key("MPN", AttributeKind::Identifier),
+                AttributeDef::key("UPC", AttributeKind::Identifier),
+                AttributeDef::new("Speed", AttributeKind::Numeric),
+                AttributeDef::new("Capacity", AttributeKind::Numeric),
+            ]),
+        );
+        let catalog = Catalog::new(tax);
+        let corr = |ap: &str, ao: &str, m: u32| AttributeCorrespondence {
+            catalog_attribute: ap.into(),
+            merchant_attribute: ao.into(),
+            merchant: MerchantId(m),
+            category: cat,
+            score: 0.9,
+        };
+        let set = CorrespondenceSet::from_correspondences([
+            corr("MPN", "mpn", 0),
+            corr("UPC", "upc", 0),
+            corr("Speed", "rpm", 0),
+            corr("Capacity", "capacity", 0),
+            corr("MPN", "mfr part", 1),
+            corr("UPC", "upc", 1),
+            corr("Speed", "speed", 1),
+            corr("Capacity", "hard disk size", 1),
+        ]);
+        let offers = vec![
+            mk(0, 0, cat, &[("MPN", "ABC123"), ("RPM", "7200 rpm"), ("Capacity", "500 GB")]),
+            mk(
+                1,
+                1,
+                cat,
+                &[("Mfr. Part #", "abc-123"), ("Speed", "7200"), ("Hard Disk Size", "500")],
+            ),
+            mk(2, 1, cat, &[("Mfr. Part #", "XYZ999"), ("Speed", "5400")]),
+            mk(3, 0, cat, &[("John D.", "nice drive")]), // noise only
+            mk(4, 0, cat, &[("MPN", "—"), ("UPC", "0001112223334"), ("RPM", "5400 rpm")]),
+        ];
+        (catalog, set, offers)
+    }
+
+    fn mk(id: u64, merchant: u32, cat: CategoryId, pairs: &[(&str, &str)]) -> Offer {
+        Offer {
+            id: OfferId(id),
+            merchant: MerchantId(merchant),
+            price_cents: 100,
+            image_url: None,
+            category: Some(cat),
+            url: String::new(),
+            title: String::new(),
+            spec: Spec::from_pairs(pairs.iter().copied()),
+        }
+    }
+
+    fn provider() -> FnProvider<impl Fn(&Offer) -> Spec + Sync> {
+        FnProvider(|o: &Offer| o.spec.clone())
+    }
+
+    fn products_json(products: &[SynthesizedProduct]) -> String {
+        serde_json::to_string_pretty(&products.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn single_batch_matches_process() {
+        let (catalog, set, offers) = setup();
+        let one_shot = RuntimePipeline::new(set.clone()).process(&catalog, &offers, &provider());
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        assert_eq!(products_json(&store.products()), products_json(&one_shot.products));
+    }
+
+    #[test]
+    fn split_batches_match_process() {
+        let (catalog, set, offers) = setup();
+        let one_shot = RuntimePipeline::new(set.clone()).process(&catalog, &offers, &provider());
+        for split in 0..=offers.len() {
+            let mut store = ProductStore::new(set.clone());
+            store.ingest(&catalog, &offers[..split], &provider());
+            store.ingest(&catalog, &offers[split..], &provider());
+            assert_eq!(
+                products_json(&store.products()),
+                products_json(&one_shot.products),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_batch_refuses_only_touched_clusters() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        let first = store.ingest(&catalog, &offers, &provider());
+        assert_eq!(first.clusters_dirty, 3, "abc123, xyz999, and the UPC fallthrough");
+        // A new offer for the existing abc123 cluster touches exactly one.
+        let more =
+            vec![mk(10, 0, offers[0].category.unwrap(), &[("MPN", "abc123"), ("RPM", "7200 rpm")])];
+        let second = store.ingest(&catalog, &more, &provider());
+        assert_eq!(second.clusters_dirty, 1);
+        assert_eq!(second.refused, 1);
+        assert_eq!(store.cluster_count(), 3);
+    }
+
+    #[test]
+    fn empty_key_offer_falls_through_to_upc_cluster() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let products = store.products();
+        let upc = products.iter().find(|p| p.key_attribute == "UPC").expect("UPC cluster");
+        assert_eq!(upc.offers, vec![OfferId(4)]);
+    }
+
+    #[test]
+    fn retract_restores_previous_products() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set.clone());
+        store.ingest(&catalog, &offers, &provider());
+        let before = products_json(&store.products());
+        let extra = vec![mk(
+            10,
+            0,
+            offers[0].category.unwrap(),
+            &[("MPN", "abc123"), ("RPM", "10000 rpm")],
+        )];
+        store.ingest(&catalog, &extra, &provider());
+        assert_ne!(products_json(&store.products()), before, "extra offer visible");
+        let stats = store.retract(&catalog, &[OfferId(10)]);
+        assert_eq!(stats.offers_routed, 1);
+        assert_eq!(products_json(&store.products()), before, "retraction undoes the ingest");
+    }
+
+    #[test]
+    fn retract_last_member_removes_cluster() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let n = store.cluster_count();
+        store.retract(&catalog, &[OfferId(2)]); // xyz999 singleton
+        assert_eq!(store.cluster_count(), n - 1);
+        assert!(store.products().iter().all(|p| p.key_value != "xyz999"));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let snap = store.snapshot_json();
+        let restored = ProductStore::restore_json(&snap).unwrap();
+        assert_eq!(restored.snapshot_json(), snap);
+        assert_eq!(products_json(&restored.products()), products_json(&store.products()));
+    }
+
+    #[test]
+    fn snapshot_restore_then_ingest_matches_uninterrupted() {
+        let (catalog, set, offers) = setup();
+        let mut uninterrupted = ProductStore::new(set.clone());
+        uninterrupted.ingest(&catalog, &offers[..2], &provider());
+        uninterrupted.ingest(&catalog, &offers[2..], &provider());
+
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers[..2], &provider());
+        let mut restored = ProductStore::restore_json(&store.snapshot_json()).unwrap();
+        restored.ingest(&catalog, &offers[2..], &provider());
+        assert_eq!(products_json(&restored.products()), products_json(&uninterrupted.products()));
+    }
+
+    #[test]
+    fn bad_snapshot_version_rejected() {
+        let (_, set, _) = setup();
+        let store = ProductStore::new(set);
+        let snap = store.snapshot_json().replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(ProductStore::restore_json(&snap).is_err());
+    }
+
+    #[test]
+    fn min_cluster_size_applies_at_read_time() {
+        let (catalog, set, offers) = setup();
+        let config = RuntimeConfig { min_cluster_size: 2, ..RuntimeConfig::default() };
+        let one_shot = RuntimePipeline::with_config(set.clone(), config.clone()).process(
+            &catalog,
+            &offers,
+            &provider(),
+        );
+        let mut store = ProductStore::with_config(set, config);
+        // One offer at a time: the abc123 cluster only crosses the
+        // threshold on the second batch.
+        for o in &offers {
+            store.ingest(&catalog, std::slice::from_ref(o), &provider());
+        }
+        assert_eq!(products_json(&store.products()), products_json(&one_shot.products));
+        assert_eq!(store.products().len(), 1);
+    }
+}

@@ -30,5 +30,6 @@ pub use matching::{MatcherConfig, TitleMatcher};
 pub use offline::{OfflineConfig, OfflineLearner, OfflineOutcome, OfflineStats, ScoredCandidate};
 pub use provider::{ExtractingProvider, FnProvider, SpecProvider};
 pub use runtime::{
-    FusedValue, RuntimeConfig, RuntimePipeline, SynthesisResult, SynthesizedProduct,
+    fuse_cluster, reconcile_batch, Cluster, FusedValue, FusionStrategy, KeyAttributes,
+    ReconciledOffer, RuntimeConfig, RuntimePipeline, SynthesisResult, SynthesizedProduct,
 };

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use pse_core::CategoryId;
+use pse_text::normalize::normalize_attribute_name;
 use pse_text::tokenize::surface_tokens;
 
 use super::reconcile::ReconciledOffer;
@@ -34,21 +35,58 @@ pub fn normalize_key(value: &str) -> String {
     surface_tokens(value).join("")
 }
 
+/// A key-attribute preference list with the names pre-normalized, so
+/// routing many offers does not re-normalize the list per offer.
+#[derive(Debug, Clone)]
+pub struct KeyAttributes {
+    /// `(surface form, normalized form)` in preference order.
+    attrs: Vec<(String, String)>,
+}
+
+impl KeyAttributes {
+    /// Pre-normalize a preference list (first present-and-usable wins).
+    pub fn new(key_attributes: &[String]) -> Self {
+        Self {
+            attrs: key_attributes
+                .iter()
+                .map(|k| (k.clone(), normalize_attribute_name(k)))
+                .collect(),
+        }
+    }
+
+    /// Decide which cluster an offer belongs to: the first key attribute in
+    /// preference order whose value is present **and** normalizes to a
+    /// non-empty key. A present value that normalizes to empty (`"N/A"`
+    /// renders as `"—"` on some pages, or plain punctuation) falls through
+    /// to the next preferred key instead of dropping the offer — the
+    /// fallthrough is counted as `runtime.cluster.empty_key_fallthrough`.
+    ///
+    /// Returns `(key attribute surface form, normalized key value)`, or
+    /// `None` when no usable key exists (the offer is dropped; with no
+    /// identifier there is no safe way to group it — the paper's design).
+    pub fn route(&self, offer: &ReconciledOffer) -> Option<(String, String)> {
+        for (surface, normalized) in &self.attrs {
+            let Some(v) = offer.value_of_normalized(normalized) else { continue };
+            let key_value = normalize_key(v);
+            if key_value.is_empty() {
+                pse_obs::incr("runtime.cluster.empty_key_fallthrough");
+                continue;
+            }
+            return Some((surface.clone(), key_value));
+        }
+        None
+    }
+}
+
 /// Cluster reconciled offers by key attribute.
 ///
-/// `key_attributes` is an ordered preference list (first present wins, MPN
-/// before UPC by default). Offers without any key value are dropped — with
-/// no identifier there is no safe way to group them (the paper's design).
+/// `key_attributes` is an ordered preference list (MPN before UPC by
+/// default); see [`KeyAttributes::route`] for the per-offer selection rule.
 pub fn cluster_by_key(offers: Vec<ReconciledOffer>, key_attributes: &[String]) -> Vec<Cluster> {
+    let keys = KeyAttributes::new(key_attributes);
     let mut map: HashMap<(CategoryId, String, String), Vec<ReconciledOffer>> = HashMap::new();
     for offer in offers {
-        let key = key_attributes
-            .iter()
-            .find_map(|k| offer.value_of(k).map(|v| (k.clone(), normalize_key(v))));
-        let Some((attr, value)) = key else { continue };
-        if value.is_empty() {
-            continue;
-        }
+        let Some((attr, value)) = keys.route(&offer) else { continue };
         map.entry((offer.category, attr, value)).or_default().push(offer);
     }
     let mut clusters: Vec<Cluster> = map
@@ -77,12 +115,12 @@ mod tests {
     use pse_core::{MerchantId, OfferId};
 
     fn ro(id: u64, category: u32, pairs: &[(&str, &str)]) -> ReconciledOffer {
-        ReconciledOffer {
-            offer: OfferId(id),
-            merchant: MerchantId(0),
-            category: CategoryId(category),
-            pairs: pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
-        }
+        ReconciledOffer::new(
+            OfferId(id),
+            MerchantId(0),
+            CategoryId(category),
+            pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
+        )
     }
 
     #[test]
@@ -114,6 +152,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_normalized_key_falls_through_to_next_attribute() {
+        // The preferred key is present but normalizes to empty ("—", "***",
+        // whitespace); the offer must fall through to UPC, not be dropped.
+        let offers = vec![
+            ro(0, 0, &[("MPN", "—"), ("UPC", "111222333444")]),
+            ro(1, 0, &[("MPN", "***"), ("UPC", "111222333444")]),
+            ro(2, 0, &[("MPN", "  "), ("UPC", "111222333444")]),
+        ];
+        let clusters = cluster_by_key(offers, &["MPN".to_string(), "UPC".to_string()]);
+        assert_eq!(clusters.len(), 1, "all three fall through to the same UPC cluster");
+        assert_eq!(clusters[0].key_attribute, "UPC");
+        assert_eq!(clusters[0].key_value, "111222333444");
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn all_keys_empty_normalized_drops_offer() {
+        let offers = vec![ro(0, 0, &[("MPN", "—"), ("UPC", "///")])];
+        assert!(cluster_by_key(offers, &["MPN".to_string(), "UPC".to_string()]).is_empty());
+    }
+
+    #[test]
     fn offers_without_keys_are_dropped() {
         let offers = vec![ro(0, 0, &[("Speed", "7200")])];
         assert!(cluster_by_key(offers, &["MPN".to_string()]).is_empty());
@@ -131,6 +191,17 @@ mod tests {
         assert_eq!(normalize_key("HDT725050VLA360"), normalize_key("hdt 725050 vla360"));
         assert_eq!(normalize_key("ABC-123"), "abc123");
         assert_eq!(normalize_key("  "), "");
+    }
+
+    #[test]
+    fn route_matches_cluster_membership() {
+        let keys = KeyAttributes::new(&["MPN".to_string(), "UPC".to_string()]);
+        let offer = ro(0, 0, &[("MPN", "HDT-725050"), ("UPC", "111")]);
+        assert_eq!(keys.route(&offer), Some(("MPN".to_string(), "hdt725050".to_string())));
+        let fallthrough = ro(1, 0, &[("MPN", "--"), ("UPC", "111")]);
+        assert_eq!(keys.route(&fallthrough), Some(("UPC".to_string(), "111".to_string())));
+        let keyless = ro(2, 0, &[("Speed", "7200")]);
+        assert_eq!(keys.route(&keyless), None);
     }
 
     #[test]

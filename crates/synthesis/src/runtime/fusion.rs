@@ -11,10 +11,11 @@
 use std::collections::HashMap;
 
 use pse_text::tokenize::tokens;
+use serde::{Deserialize, Serialize};
 
 /// Which fusion rule the pipeline applies per attribute (the paper uses
 /// [`FusionStrategy::CentroidVote`]; the others are ablation baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FusionStrategy {
     /// Appendix A's generalization of majority voting: term-vector
     /// centroid, pick the member value closest to it.

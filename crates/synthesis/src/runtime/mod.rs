@@ -5,16 +5,17 @@ pub mod cluster;
 pub mod fusion;
 pub mod reconcile;
 
-use pse_core::{Catalog, CategoryId, Offer, OfferId, Spec};
+use pse_core::{Catalog, CategoryId, CorrespondenceSet, Offer, OfferId, Spec};
+use pse_text::normalize::normalize_attribute_name;
 use serde::{Deserialize, Serialize};
 
 use crate::provider::SpecProvider;
-pub use cluster::{cluster_by_key, normalize_key, Cluster};
+pub use cluster::{cluster_by_key, normalize_key, Cluster, KeyAttributes};
 pub use fusion::{fuse_values, fuse_values_with, FusedValue, FusionStrategy};
 pub use reconcile::{reconcile, ReconciledOffer};
 
 /// Configuration of the run-time pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Key attributes used for clustering, in preference order.
     pub key_attributes: Vec<String>,
@@ -75,6 +76,84 @@ impl SynthesisResult {
     }
 }
 
+/// Extract and reconcile a batch of offers in parallel, preserving offer
+/// order. Shared by [`RuntimePipeline::process`] and the incremental
+/// `pse-store` ingest path, so both produce identical [`ReconciledOffer`]
+/// sequences (and therefore identical products) for the same input.
+///
+/// Emits the `runtime.offers_in` / `runtime.drop.*` / `runtime.pairs_*` /
+/// `runtime.offers_reconciled` counters; callers own the enclosing span.
+pub fn reconcile_batch<P: SpecProvider>(
+    offers: &[Offer],
+    correspondences: &CorrespondenceSet,
+    provider: &P,
+) -> Vec<ReconciledOffer> {
+    pse_obs::add("runtime.offers_in", offers.len() as u64);
+    let reconciled: Vec<ReconciledOffer> = pse_par::par_map_chunked(offers, 16, |offer| {
+        let Some(category) = offer.category else {
+            pse_obs::incr("runtime.drop.no_category");
+            return None;
+        };
+        let spec = provider.spec(offer);
+        let r = reconcile(offer.id, offer.merchant, category, &spec, correspondences);
+        pse_obs::add(
+            "runtime.pairs_discarded_unmapped",
+            spec.len().saturating_sub(r.pairs().len()) as u64,
+        );
+        if r.pairs().is_empty() {
+            pse_obs::incr("runtime.drop.all_unmapped");
+            return None;
+        }
+        pse_obs::add("runtime.pairs_kept", r.pairs().len() as u64);
+        Some(r)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    pse_obs::add("runtime.offers_reconciled", reconciled.len() as u64);
+    reconciled
+}
+
+/// Fuse one cluster into a synthesized product, attribute by attribute in
+/// the category's schema order (so the output is catalog-compatible by
+/// construction). Shared by [`RuntimePipeline::process`] and the
+/// incremental `pse-store` re-fusion path.
+///
+/// Returns `None` when the catalog does not know the cluster's category
+/// (offer classified against another taxonomy, stale id) — a counted drop,
+/// not a panic.
+pub fn fuse_cluster(
+    catalog: &Catalog,
+    cluster: &Cluster,
+    config: &RuntimeConfig,
+) -> Option<SynthesizedProduct> {
+    let Some(schema) = catalog.taxonomy().try_schema(cluster.category) else {
+        pse_obs::incr("runtime.drop.unknown_category");
+        return None;
+    };
+    let mut spec = Spec::new();
+    for attr in schema.iter() {
+        if !config.include_keys_in_spec && attr.is_key {
+            continue;
+        }
+        // Normalize the schema attribute name once per cluster, not once
+        // per member (members store pre-normalized names).
+        let target = normalize_attribute_name(&attr.name);
+        let values: Vec<&str> =
+            cluster.members.iter().filter_map(|m| m.value_of_normalized(&target)).collect();
+        if let Some(fused) = fuse_values_with(&values, config.fusion) {
+            spec.push(attr.name.clone(), fused.value);
+        }
+    }
+    Some(SynthesizedProduct {
+        category: cluster.category,
+        key_attribute: cluster.key_attribute.clone(),
+        key_value: cluster.key_value.clone(),
+        spec,
+        offers: cluster.members.iter().map(|m| m.offer).collect(),
+    })
+}
+
 /// The run-time pipeline: applies learned correspondences to incoming
 /// offers and synthesizes new products.
 pub struct RuntimePipeline {
@@ -113,35 +192,13 @@ impl RuntimePipeline {
         provider: &P,
     ) -> SynthesisResult {
         let _obs = pse_obs::span("runtime.process");
-        pse_obs::add("runtime.offers_in", offers.len() as u64);
         // Extraction + reconciliation is per-offer work; fan it out and
         // keep offer order, so clustering sees the same sequence at any
         // thread count.
         let reconcile_span = pse_obs::span("runtime.reconcile");
-        let reconciled: Vec<ReconciledOffer> = pse_par::par_map_chunked(offers, 16, |offer| {
-            let Some(category) = offer.category else {
-                pse_obs::incr("runtime.drop.no_category");
-                return None;
-            };
-            let spec = provider.spec(offer);
-            let r = reconcile(offer.id, offer.merchant, category, &spec, &self.correspondences);
-            pse_obs::add(
-                "runtime.pairs_discarded_unmapped",
-                spec.len().saturating_sub(r.pairs.len()) as u64,
-            );
-            if r.pairs.is_empty() {
-                pse_obs::incr("runtime.drop.all_unmapped");
-                return None;
-            }
-            pse_obs::add("runtime.pairs_kept", r.pairs.len() as u64);
-            Some(r)
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let reconciled = reconcile_batch(offers, &self.correspondences, provider);
         drop(reconcile_span);
         let offers_reconciled = reconciled.len();
-        pse_obs::add("runtime.offers_reconciled", offers_reconciled as u64);
 
         let cluster_span = pse_obs::span("runtime.cluster");
         let clusters = cluster_by_key(reconciled, &self.config.key_attributes);
@@ -167,11 +224,12 @@ impl RuntimePipeline {
             clusters_formed.saturating_sub(kept.len()) as u64,
         );
         let fuse_span = pse_obs::span("runtime.fuse");
-        let products: Vec<SynthesizedProduct> =
-            pse_par::par_map_chunked(&kept, 4, |cluster| self.fuse_cluster(catalog, cluster))
-                .into_iter()
-                .flatten()
-                .collect();
+        let products: Vec<SynthesizedProduct> = pse_par::par_map_chunked(&kept, 4, |cluster| {
+            fuse_cluster(catalog, cluster, &self.config)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         drop(fuse_span);
         pse_obs::add("runtime.products", products.len() as u64);
         pse_obs::add(
@@ -182,34 +240,9 @@ impl RuntimePipeline {
         SynthesisResult { products, offers_in: offers.len(), offers_reconciled, offers_clustered }
     }
 
-    fn fuse_cluster(&self, catalog: &Catalog, cluster: &Cluster) -> Option<SynthesizedProduct> {
-        // A cluster whose category the catalog does not know (offer
-        // classified against another taxonomy, stale id) cannot produce a
-        // schema-conformant product; drop it instead of panicking.
-        let Some(schema) = catalog.taxonomy().try_schema(cluster.category) else {
-            pse_obs::incr("runtime.drop.unknown_category");
-            return None;
-        };
-        let mut spec = Spec::new();
-        // Fuse attribute by attribute in schema order (output is catalog-
-        // compatible by construction).
-        for attr in schema.iter() {
-            if !self.config.include_keys_in_spec && attr.is_key {
-                continue;
-            }
-            let values: Vec<&str> =
-                cluster.members.iter().filter_map(|m| m.value_of(&attr.name)).collect();
-            if let Some(fused) = fuse_values_with(&values, self.config.fusion) {
-                spec.push(attr.name.clone(), fused.value);
-            }
-        }
-        Some(SynthesizedProduct {
-            category: cluster.category,
-            key_attribute: cluster.key_attribute.clone(),
-            key_value: cluster.key_value.clone(),
-            spec,
-            offers: cluster.members.iter().map(|m| m.offer).collect(),
-        })
+    /// The pipeline configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 }
 

@@ -8,9 +8,17 @@
 //! bogus pairs never earn a correspondence during offline learning.
 
 use pse_core::{CategoryId, CorrespondenceSet, MerchantId, OfferId, Spec};
+use pse_text::normalize::normalize_attribute_name;
+use serde::{Deserialize, Serialize};
 
 /// An offer whose pairs have been translated into catalog attribute names.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Attribute names are stored in **normalized** form (see
+/// [`normalize_attribute_name`]), computed once at construction. Lookups in
+/// the fusion hot loop ([`ReconciledOffer::value_of_normalized`]) therefore
+/// compare raw strings instead of re-normalizing every stored pair on every
+/// call — previously an O(schema × members × pairs) redundancy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReconciledOffer {
     /// The source offer.
     pub offer: OfferId,
@@ -18,8 +26,10 @@ pub struct ReconciledOffer {
     pub merchant: MerchantId,
     /// Its category.
     pub category: CategoryId,
-    /// Pairs in catalog vocabulary: `(catalog attribute, value)`.
-    pub pairs: Vec<(String, String)>,
+    /// Pairs in catalog vocabulary: `(normalized catalog attribute, value)`.
+    /// Private so every construction path goes through [`ReconciledOffer::new`],
+    /// which upholds the names-are-normalized invariant.
+    pairs: Vec<(String, String)>,
 }
 
 /// Translate an extracted offer specification into catalog vocabulary,
@@ -37,17 +47,38 @@ pub fn reconcile(
             pairs.push((catalog_attr.to_string(), pair.value.clone()));
         }
     }
-    ReconciledOffer { offer, merchant, category, pairs }
+    ReconciledOffer::new(offer, merchant, category, pairs)
 }
 
 impl ReconciledOffer {
-    /// First value of a catalog attribute, if present.
+    /// Build from catalog-vocabulary pairs, normalizing each attribute name
+    /// once up front.
+    pub fn new(
+        offer: OfferId,
+        merchant: MerchantId,
+        category: CategoryId,
+        pairs: Vec<(String, String)>,
+    ) -> Self {
+        let pairs = pairs.into_iter().map(|(a, v)| (normalize_attribute_name(&a), v)).collect();
+        Self { offer, merchant, category, pairs }
+    }
+
+    /// The reconciled pairs: `(normalized catalog attribute, value)`.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// First value of a catalog attribute, if present. `catalog_attr` may be
+    /// in any surface form; it is normalized once per call.
     pub fn value_of(&self, catalog_attr: &str) -> Option<&str> {
-        let target = pse_text::normalize::normalize_attribute_name(catalog_attr);
-        self.pairs
-            .iter()
-            .find(|(a, _)| pse_text::normalize::normalize_attribute_name(a) == target)
-            .map(|(_, v)| v.as_str())
+        self.value_of_normalized(&normalize_attribute_name(catalog_attr))
+    }
+
+    /// First value of an **already-normalized** catalog attribute name.
+    /// The raw comparison makes repeated lookups (per schema attribute, per
+    /// cluster member) free of redundant normalization.
+    pub fn value_of_normalized(&self, target: &str) -> Option<&str> {
+        self.pairs.iter().find(|(a, _)| a == target).map(|(_, v)| v.as_str())
     }
 }
 
@@ -84,10 +115,22 @@ mod tests {
             ("Shipping Weight", "2 lbs"), // junk attribute
         ]);
         let r = reconcile(OfferId(1), MerchantId(0), CategoryId(0), &spec, &correspondences());
-        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.pairs().len(), 2);
         assert_eq!(r.value_of("Speed"), Some("7200 rpm"));
         assert_eq!(r.value_of("Capacity"), Some("500"));
         assert_eq!(r.value_of("Brand"), None);
+    }
+
+    #[test]
+    fn stored_names_are_normalized_once() {
+        let spec = Spec::from_pairs([("RPM", "7200 rpm")]);
+        let r = reconcile(OfferId(1), MerchantId(0), CategoryId(0), &spec, &correspondences());
+        assert_eq!(r.pairs(), [("speed".to_string(), "7200 rpm".to_string())]);
+        // Any surface form of the catalog attribute resolves...
+        assert_eq!(r.value_of("  SPEED: "), Some("7200 rpm"));
+        // ...and the pre-normalized fast path agrees.
+        assert_eq!(r.value_of_normalized("speed"), Some("7200 rpm"));
+        assert_eq!(r.value_of_normalized("Speed"), None, "fast path takes normalized names only");
     }
 
     #[test]
@@ -95,16 +138,25 @@ mod tests {
         let spec = Spec::from_pairs([("RPM", "7200")]);
         let other_merchant =
             reconcile(OfferId(1), MerchantId(5), CategoryId(0), &spec, &correspondences());
-        assert!(other_merchant.pairs.is_empty());
+        assert!(other_merchant.pairs().is_empty());
         let other_category =
             reconcile(OfferId(1), MerchantId(0), CategoryId(7), &spec, &correspondences());
-        assert!(other_category.pairs.is_empty());
+        assert!(other_category.pairs().is_empty());
     }
 
     #[test]
     fn empty_spec_reconciles_to_empty() {
         let r =
             reconcile(OfferId(0), MerchantId(0), CategoryId(0), &Spec::new(), &correspondences());
-        assert!(r.pairs.is_empty());
+        assert!(r.pairs().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = Spec::from_pairs([("RPM", "7200 rpm"), ("Hard Disk Size", "500")]);
+        let r = reconcile(OfferId(3), MerchantId(0), CategoryId(0), &spec, &correspondences());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReconciledOffer = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
     }
 }

@@ -45,12 +45,12 @@ proptest! {
         let offers: Vec<ReconciledOffer> = keys
             .iter()
             .enumerate()
-            .map(|(i, k)| ReconciledOffer {
-                offer: OfferId(i as u64),
-                merchant: MerchantId(0),
-                category: CategoryId((i % 2) as u32),
-                pairs: vec![("MPN".to_string(), k.clone())],
-            })
+            .map(|(i, k)| ReconciledOffer::new(
+                OfferId(i as u64),
+                MerchantId(0),
+                CategoryId((i % 2) as u32),
+                vec![("MPN".to_string(), k.clone())],
+            ))
             .collect();
         let clusters = cluster_by_key(offers, &["MPN".to_string()]);
         // Every keyed offer lands in exactly one cluster.
@@ -126,9 +126,10 @@ proptest! {
             &set,
         );
         let expected = pairs.iter().filter(|(a, _)| a == "rpm").count();
-        prop_assert_eq!(r.pairs.len(), expected);
-        for (attr, _) in &r.pairs {
-            prop_assert_eq!(attr.as_str(), "Speed");
+        prop_assert_eq!(r.pairs().len(), expected);
+        for (attr, _) in r.pairs() {
+            // Stored names are normalized catalog attribute names.
+            prop_assert_eq!(attr.as_str(), "speed");
         }
     }
 }

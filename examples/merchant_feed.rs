@@ -46,10 +46,10 @@ fn main() {
         &spec,
         &outcome.correspondences,
     );
-    println!("\nafter schema reconciliation ({} pairs survive):", reconciled.pairs.len());
-    for (attr, value) in &reconciled.pairs {
+    println!("\nafter schema reconciliation ({} pairs survive):", reconciled.pairs().len());
+    for (attr, value) in reconciled.pairs() {
         println!("  {attr:<24} {value}");
     }
-    let dropped = spec.len() - reconciled.pairs.len();
+    let dropped = spec.len() - reconciled.pairs().len();
     println!("\n{dropped} noisy/junk pairs were filtered by reconciliation");
 }

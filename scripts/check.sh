@@ -16,4 +16,12 @@ PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
     table2 --smoke --quiet --obs --out target/check-results
 cargo run --release -q -p pse-bench --bin obs_check
 
+# Incremental smoke: replay the Table-2 corpus through the persistent store
+# in 4 batches. The subcommand exits non-zero if the store's products diverge
+# from a one-shot RuntimePipeline::process over the same corpus, and the
+# obs_check run validates the store.* spans and counters in the report.
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    incremental --smoke --quiet --obs --batches 4 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+
 echo "tier-1 gate: all green"

@@ -156,7 +156,7 @@ fn reconciliation_filters_extraction_noise() {
             &outcome.correspondences,
         );
         let schema = world.catalog.taxonomy().schema(offer.category.unwrap());
-        for (attr, _) in &reconciled.pairs {
+        for (attr, _) in reconciled.pairs() {
             assert!(schema.contains(attr), "non-schema attribute {attr} survived");
             checked += 1;
         }
