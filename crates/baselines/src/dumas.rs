@@ -8,15 +8,22 @@
 //! `S_M = (1/T) Σ S_k`, then solve maximum-weight bipartite matching on
 //! `S_M`; every matched cell becomes a candidate correspondence scored by
 //! its cell weight.
+//!
+//! [`DumasMatcher::score_candidates`] runs on the interned SoftTFIDF
+//! kernel: per (merchant, category) group, each distinct field value is
+//! tokenized and TF-IDF-weighted once, and Jaro–Winkler scores are memoized
+//! per token pair across the whole matrix build. Scores are bit-identical
+//! to [`DumasMatcher::score_candidates_reference`], the retained
+//! string-based implementation.
 
 use std::collections::HashMap;
 
 use pse_assignment::{hungarian_max_matching, Matrix};
-use pse_core::{Catalog, CategoryId, HistoricalMatches, MerchantId, Offer};
+use pse_core::{Catalog, CategoryId, HistoricalMatches, MerchantId, Offer, ProductId};
 use pse_synthesis::{ScoredCandidate, SpecProvider};
 use pse_text::normalize::normalize_attribute_name;
-use pse_text::tfidf::TfIdfCorpus;
-use pse_text::{BagOfWords, SoftTfIdf};
+use pse_text::tfidf::{InternedCorpusBuilder, TfIdfCorpus};
+use pse_text::{BagOfWords, InternedSoftTfIdf, InternerBuilder, JwMemo, SoftTfIdf};
 
 /// The DUMAS matcher.
 #[derive(Debug, Clone)]
@@ -29,6 +36,41 @@ impl Default for DumasMatcher {
     fn default() -> Self {
         Self { theta: 0.9 }
     }
+}
+
+/// One known duplicate: a matched product and the offer's normalized spec.
+struct Dup {
+    product: ProductId,
+    offer_spec: Vec<(String, String)>, // (normalized attr, value)
+}
+
+/// Group duplicates by (merchant, category) in sorted key order,
+/// materializing offer specs once.
+fn group_duplicates<P: SpecProvider>(
+    offers: &[Offer],
+    historical: &HistoricalMatches,
+    provider: &P,
+) -> Vec<((MerchantId, CategoryId), Vec<Dup>)> {
+    let mut groups: HashMap<(MerchantId, CategoryId), Vec<Dup>> = HashMap::new();
+    for offer in offers {
+        let Some(product) = historical.product_of(offer.id) else { continue };
+        let Some(category) = offer.category else { continue };
+        let spec = provider.spec(offer);
+        let offer_spec: Vec<(String, String)> = spec
+            .iter()
+            .map(|p| (normalize_attribute_name(&p.name), p.value.clone()))
+            .filter(|(n, _)| !n.is_empty())
+            .collect();
+        groups.entry((offer.merchant, category)).or_default().push(Dup { product, offer_spec });
+    }
+    let mut keys: Vec<_> = groups.keys().copied().collect();
+    keys.sort();
+    keys.into_iter()
+        .map(|k| {
+            let dups = groups.remove(&k).expect("key");
+            (k, dups)
+        })
+        .collect()
 }
 
 impl DumasMatcher {
@@ -46,31 +88,14 @@ impl DumasMatcher {
         historical: &HistoricalMatches,
         provider: &P,
     ) -> Vec<ScoredCandidate> {
-        // Group duplicates by (merchant, category), materializing offer
-        // specs once.
-        struct Dup {
-            product: pse_core::ProductId,
-            offer_spec: Vec<(String, String)>, // (normalized attr, value)
-        }
-        let mut groups: HashMap<(MerchantId, CategoryId), Vec<Dup>> = HashMap::new();
-        for offer in offers {
-            let Some(product) = historical.product_of(offer.id) else { continue };
-            let Some(category) = offer.category else { continue };
-            let spec = provider.spec(offer);
-            let offer_spec: Vec<(String, String)> = spec
-                .iter()
-                .map(|p| (normalize_attribute_name(&p.name), p.value.clone()))
-                .filter(|(n, _)| !n.is_empty())
-                .collect();
-            groups.entry((offer.merchant, category)).or_default().push(Dup { product, offer_spec });
-        }
-
-        let mut keys: Vec<_> = groups.keys().copied().collect();
-        keys.sort();
-
+        let _span = pse_obs::span("baselines.dumas");
+        // The memo counters may stay at zero (no groups, or exact-match-only
+        // cells); seed them so reports always carry them with the span.
+        pse_obs::seed("softtfidf.jw_memo_hit");
+        pse_obs::seed("softtfidf.jw_memo_miss");
         let mut out = Vec::new();
-        for (merchant, category) in keys {
-            let dups = &groups[&(merchant, category)];
+        let grouped = group_duplicates(offers, historical, provider);
+        for ((merchant, category), dups) in grouped {
             let schema = catalog.taxonomy().schema(category);
             let catalog_attrs: Vec<&str> = schema.attribute_names().collect();
             // Column axis: union of merchant attributes over all duplicates,
@@ -83,9 +108,117 @@ impl DumasMatcher {
                 continue;
             }
 
+            // Shared IDF corpus over every field value in the group: one
+            // document per value *occurrence* (like the reference), but each
+            // distinct value string is tokenized only once.
+            let mut builder = InternerBuilder::new();
+            let mut corpus_builder = InternedCorpusBuilder::new();
+            let mut raw_values: HashMap<String, Vec<u32>> = HashMap::new();
+            {
+                let mut add_value = |v: &str| {
+                    let raw = match raw_values.get(v) {
+                        Some(raw) => raw,
+                        None => {
+                            let raw = builder.tokenize(v);
+                            raw_values.entry(v.to_string()).or_insert(raw)
+                        }
+                    };
+                    corpus_builder.add_document(raw.iter().copied());
+                };
+                for d in &dups {
+                    for (_, v) in &d.offer_spec {
+                        add_value(v);
+                    }
+                    let p = catalog.product(d.product);
+                    for pair in p.spec.iter() {
+                        add_value(&pair.value);
+                    }
+                }
+            }
+            let interner = builder.finalize();
+            let corpus = corpus_builder.finalize(&interner);
+            let soft = InternedSoftTfIdf::new(interner, corpus, self.theta);
+            // Pre-weight each distinct value once (the reference recomputed
+            // the TF-IDF vector of both cell values for every cell).
+            let docs: HashMap<&str, pse_text::SoftDoc> =
+                raw_values.iter().map(|(v, raw)| (v.as_str(), soft.doc(raw))).collect();
+            // One Jaro–Winkler memo per matrix build, plus a cell memo: the
+            // same (product value, offer value) string pair recurs across
+            // duplicates (and across cells when merchants repeat values),
+            // and SoftTFIDF similarity is a pure function of the two values
+            // under the group corpus.
+            let mut memo = JwMemo::new();
+            let mut cell_memo: HashMap<(&str, &str), f64> = HashMap::new();
+
+            // Average the per-duplicate similarity matrices.
+            let mut sum = Matrix::zeros(catalog_attrs.len(), merchant_attrs.len());
+            for d in &dups {
+                let product = catalog.product(d.product);
+                let offer_values: HashMap<&str, &str> =
+                    d.offer_spec.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+                let mut s_k = Matrix::zeros(catalog_attrs.len(), merchant_attrs.len());
+                for (i, ap) in catalog_attrs.iter().enumerate() {
+                    let Some(pv) = product.spec.get(ap) else { continue };
+                    for (j, ao) in merchant_attrs.iter().enumerate() {
+                        if let Some(ov) = offer_values.get(ao.as_str()) {
+                            s_k[(i, j)] = match cell_memo.get(&(pv, *ov)) {
+                                Some(&s) => s,
+                                None => {
+                                    let s = soft.similarity(&docs[pv], &docs[ov], &mut memo);
+                                    cell_memo.insert((pv, *ov), s);
+                                    s
+                                }
+                            };
+                        }
+                    }
+                }
+                sum.add_assign(&s_k);
+            }
+            sum.scale(1.0 / dups.len() as f64);
+
+            // Maximum-weight bipartite matching on S_M.
+            for a in hungarian_max_matching(&sum) {
+                let ap = catalog_attrs[a.row];
+                let ao = &merchant_attrs[a.col];
+                out.push(ScoredCandidate {
+                    catalog_attribute: ap.to_string(),
+                    merchant_attribute: ao.clone(),
+                    merchant,
+                    category,
+                    score: a.weight,
+                    is_name_identity: normalize_attribute_name(ap) == *ao,
+                });
+            }
+        }
+        out
+    }
+
+    /// The original string-based implementation, kept as the oracle for the
+    /// interned fast path (every `S_k` cell recomputes both TF-IDF vectors
+    /// and rescans token pairs). Bit-identical output to
+    /// [`Self::score_candidates`].
+    pub fn score_candidates_reference<P: SpecProvider>(
+        &self,
+        catalog: &Catalog,
+        offers: &[Offer],
+        historical: &HistoricalMatches,
+        provider: &P,
+    ) -> Vec<ScoredCandidate> {
+        let mut out = Vec::new();
+        for ((merchant, category), dups) in group_duplicates(offers, historical, provider) {
+            let schema = catalog.taxonomy().schema(category);
+            let catalog_attrs: Vec<&str> = schema.attribute_names().collect();
+            let mut merchant_attrs: Vec<String> =
+                dups.iter().flat_map(|d| d.offer_spec.iter().map(|(n, _)| n.clone())).collect();
+            merchant_attrs.sort();
+            merchant_attrs.dedup();
+            if merchant_attrs.is_empty() || catalog_attrs.is_empty() {
+                continue;
+            }
+
             // Shared IDF corpus over every field value in the group.
             let mut corpus = TfIdfCorpus::new();
-            for d in dups {
+            for d in &dups {
                 for (_, v) in &d.offer_spec {
                     corpus.add_document(&BagOfWords::from_values([v.as_str()]));
                 }
@@ -98,7 +231,7 @@ impl DumasMatcher {
 
             // Average the per-duplicate similarity matrices.
             let mut sum = Matrix::zeros(catalog_attrs.len(), merchant_attrs.len());
-            for d in dups {
+            for d in &dups {
                 let product = catalog.product(d.product);
                 let offer_values: HashMap<&str, &str> =
                     d.offer_spec.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
@@ -115,7 +248,6 @@ impl DumasMatcher {
             }
             sum.scale(1.0 / dups.len() as f64);
 
-            // Maximum-weight bipartite matching on S_M.
             for a in hungarian_max_matching(&sum) {
                 let ap = catalog_attrs[a.row];
                 let ao = &merchant_attrs[a.col];
@@ -237,6 +369,27 @@ mod tests {
         let scored = DumasMatcher::new().score_candidates(&catalog, &offers, &hist, &provider);
         for c in &scored {
             assert!(c.score < 0.9, "diluted values should score lower: {c:?}");
+        }
+    }
+
+    /// The interned fast path must reproduce the reference bit-for-bit,
+    /// including fuzzy (θ-close) matches and non-ASCII values.
+    #[test]
+    fn interned_path_matches_reference() {
+        let (catalog, mut offers, hist) = scenario();
+        // Introduce typos and non-ASCII so soft matches and the Unicode
+        // tokenizer path are exercised.
+        offers[0].spec = Spec::from_pairs([("Manufacturer", "Seagaet"), ("RPM", "5400 tr/min")]);
+        offers[1].spec = Spec::from_pairs([("Manufacturer", "Hitachi"), ("RPM", "7200 U/min ü")]);
+        let provider = FnProvider(|o: &Offer| o.spec.clone());
+        let m = DumasMatcher::new();
+        let fast = m.score_candidates(&catalog, &offers, &hist, &provider);
+        let slow = m.score_candidates_reference(&catalog, &offers, &hist, &provider);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.catalog_attribute, s.catalog_attribute);
+            assert_eq!(f.merchant_attribute, s.merchant_attribute);
+            assert_eq!(f.score.to_bits(), s.score.to_bits(), "{}", f.catalog_attribute);
         }
     }
 }

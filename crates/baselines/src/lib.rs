@@ -21,7 +21,7 @@ pub mod dumas;
 pub mod naive_bayes;
 pub mod single_feature;
 
-pub use coma::{ComaConfig, ComaMatcher, ComaStrategy};
+pub use coma::{ComaConfig, ComaIndex, ComaMatcher, ComaStrategy};
 pub use dumas::DumasMatcher;
 pub use naive_bayes::NaiveBayesMatcher;
 pub use single_feature::{SingleFeature, SingleFeatureScorer};

@@ -9,9 +9,10 @@
 
 use pse_core::{Catalog, HistoricalMatches, Offer};
 use pse_synthesis::offline::bags::FeatureIndex;
-use pse_synthesis::offline::features::{product_bag, FeatureComputer, F_JACCARD_MC, F_JS_MC};
+use pse_synthesis::offline::features::{FeatureComputer, F_JACCARD_MC, F_JS_MC};
 use pse_synthesis::{ScoredCandidate, SpecProvider};
-use pse_text::divergence::{cosine_bags, l1_distance, MAX_JS};
+use pse_text::divergence::MAX_JS;
+use pse_text::sparse::{cosine_counts, l1_counts};
 
 /// Which single feature to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +51,7 @@ impl SingleFeatureScorer {
         historical: &HistoricalMatches,
         provider: &P,
     ) -> Vec<ScoredCandidate> {
-        let index = FeatureIndex::build_matched(offers, historical, provider);
+        let index = FeatureIndex::build_matched(catalog, offers, historical, provider);
         self.score_from_index(catalog, &index)
     }
 
@@ -76,7 +77,7 @@ impl SingleFeatureScorer {
                 let ap_norm = ap.normalized_name();
                 let alt_product_bag = match self.feature {
                     SingleFeature::L1Mc | SingleFeature::CosineMc => {
-                        mc_products.map(|set| product_bag(catalog, set, &ap.name))
+                        mc_products.map(|set| index.product_counts(set, &ap.name))
                     }
                     _ => None,
                 };
@@ -98,9 +99,9 @@ impl SingleFeatureScorer {
                             match (offer_bag, &alt_product_bag) {
                                 (Some(ob), Some(pb)) => match self.feature {
                                     SingleFeature::L1Mc => {
-                                        1.0 - (l1_distance(pb, ob) / 2.0).clamp(0.0, 1.0)
+                                        1.0 - (l1_counts(pb, ob) / 2.0).clamp(0.0, 1.0)
                                     }
-                                    _ => cosine_bags(pb, ob),
+                                    _ => cosine_counts(pb, ob),
                                 },
                                 _ => 0.0,
                             }

@@ -44,6 +44,96 @@ fn bench_text(c: &mut Criterion) {
             )
         })
     });
+
+    // Cosine kernel: the historical string path (re-weights both BTreeMap
+    // vectors per call) vs the interned merge-join over pre-weighted
+    // SparseVecs — the exact trade the matchers now make.
+    let mut corpus = pse_text::tfidf::TfIdfCorpus::new();
+    corpus.add_document(&a);
+    corpus.add_document(&b);
+    g.bench_function("cosine/btreemap", |bench| {
+        bench.iter(|| corpus.cosine(black_box(&a), black_box(&b)))
+    });
+    let value_a = "Serial ATA 300 IDE 133 SCSI Ultra 320 SATA 150";
+    let value_b = "SATA-300 mb/s IDE-133 mb/s SCSI 320 mb/s";
+    let mut builder = pse_text::InternerBuilder::new();
+    let ra = builder.tokenize(value_a);
+    let rb = builder.tokenize(value_b);
+    let mut cb = pse_text::InternedCorpusBuilder::new();
+    cb.add_document(ra.iter().copied());
+    cb.add_document(rb.iter().copied());
+    let interner = builder.finalize();
+    let icorpus = cb.finalize(&interner);
+    let counts_of = |raw: &[u32]| {
+        let mut m = std::collections::HashMap::new();
+        for &p in raw {
+            *m.entry(p).or_insert(0u64) += 1;
+        }
+        pse_text::SparseCounts::from_unsorted(
+            m.into_iter().map(|(p, c)| (interner.sym(p), c)).collect(),
+        )
+    };
+    let va = icorpus.weight_counts(&counts_of(&ra));
+    let vb = icorpus.weight_counts(&counts_of(&rb));
+    g.bench_function("cosine/interned", |bench| {
+        bench.iter(|| pse_text::cosine_sparse(black_box(&va), black_box(&vb)))
+    });
+    g.finish();
+}
+
+/// The interned text fast paths against their string-path references: the
+/// DUMAS SoftTFIDF matrix build (per-corpus tokenization, pre-weighted
+/// docs, Jaro–Winkler memo) and the title matcher's inverted-index
+/// candidate blocking. Both pairs produce byte-identical outputs (pinned
+/// by equivalence tests), so only time may differ.
+fn bench_text_kernels(c: &mut Criterion) {
+    use pse_baselines::DumasMatcher;
+    use pse_synthesis::TitleMatcher;
+    let world = bench_world();
+    let offers = computing_offers(&world);
+    let provider = html_provider(&world);
+    let specs: Vec<pse_core::Spec> = world.offers.iter().map(|o| provider.spec(o)).collect();
+    let cached = {
+        let specs = specs.clone();
+        pse_synthesis::FnProvider(move |o: &Offer| specs[o.id.index()].clone())
+    };
+    let mut g = c.benchmark_group("text");
+    g.sample_size(10);
+    g.bench_function("softtfidf_matrix/fast", |bench| {
+        bench.iter(|| {
+            DumasMatcher::new().score_candidates(
+                &world.catalog,
+                black_box(&offers),
+                &world.historical,
+                &cached,
+            )
+        })
+    });
+    g.bench_function("softtfidf_matrix/naive", |bench| {
+        bench.iter(|| {
+            DumasMatcher::new().score_candidates_reference(
+                &world.catalog,
+                black_box(&offers),
+                &world.historical,
+                &cached,
+            )
+        })
+    });
+    let matcher = TitleMatcher::new(&world.catalog);
+    g.bench_function("matcher_block/blocked", |bench| {
+        bench.iter(|| {
+            world.offers.iter().filter_map(|o| matcher.match_offer(o, &specs[o.id.index()])).count()
+        })
+    });
+    g.bench_function("matcher_block/naive", |bench| {
+        bench.iter(|| {
+            world
+                .offers
+                .iter()
+                .filter_map(|o| matcher.match_offer_naive(o, &specs[o.id.index()]))
+                .count()
+        })
+    });
     g.finish();
 }
 
@@ -272,8 +362,11 @@ fn bench_par(c: &mut Criterion) {
     g.finish();
 }
 
-/// Summarize the `par/*` results as BENCH_par.json at the workspace root:
-/// per path, the 1-thread and N-thread medians and the speedup.
+/// Summarize the `par/*` results (per path, the 1-thread and N-thread
+/// medians and the speedup) and the `text/*` fast-vs-naive pairs into
+/// BENCH_par.json at the workspace root. The write is read-modify-write:
+/// keys other producers merged into the file (e.g. the `incremental` replay
+/// written by the experiments binary) are preserved.
 fn write_bench_par_json(threads: usize) {
     use serde_json::Value;
     let results = criterion::all_results();
@@ -292,25 +385,54 @@ fn write_bench_par_json(threads: usize) {
             ("speedup".to_string(), Value::F64(t1 / tn)),
         ]));
     }
-    if paths.is_empty() {
+    let mut kernels = Vec::new();
+    for (name, naive, fast) in [
+        ("softtfidf_matrix", "text/softtfidf_matrix/naive", "text/softtfidf_matrix/fast"),
+        ("matcher_block", "text/matcher_block/naive", "text/matcher_block/blocked"),
+        ("cosine", "text/cosine/btreemap", "text/cosine/interned"),
+    ] {
+        let (Some(n), Some(f)) = (median_of(naive), median_of(fast)) else {
+            continue;
+        };
+        kernels.push(Value::Object(vec![
+            ("kernel".to_string(), Value::Str(name.to_string())),
+            ("naive_ns".to_string(), Value::F64(n)),
+            ("fast_ns".to_string(), Value::F64(f)),
+            ("speedup".to_string(), Value::F64(n / f)),
+        ]));
+    }
+    if paths.is_empty() && kernels.is_empty() {
         return;
     }
+    let dest = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    let mut fields: Vec<(String, Value)> = match std::fs::read_to_string(dest)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        Some(Value::Object(fields)) => fields,
+        _ => Vec::new(),
+    };
+    let mut set = |key: &str, val: Value| match fields.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = val,
+        None => fields.push((key.to_string(), val)),
+    };
+    set("git_commit", Value::Str(pse_bench::git_commit()));
+    set("threads", Value::U64(threads as u64));
+    set("pse_threads_env", std::env::var("PSE_THREADS").map(Value::Str).unwrap_or(Value::Null));
     // Record the host's real parallelism: on a single-core machine the
     // tN numbers measure executor overhead, not speedup.
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let doc = Value::Object(vec![
-        ("git_commit".to_string(), Value::Str(pse_bench::git_commit())),
-        ("threads".to_string(), Value::U64(threads as u64)),
-        (
-            "pse_threads_env".to_string(),
-            std::env::var("PSE_THREADS").map(Value::Str).unwrap_or(Value::Null),
-        ),
-        ("host_cpus".to_string(), Value::U64(host_cpus as u64)),
-        ("paths".to_string(), Value::Array(paths)),
-    ]);
-    let out =
-        format!("{}\n", serde_json::to_string_pretty(&doc).expect("bench summary serializes"));
-    let dest = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    set("host_cpus", Value::U64(host_cpus as u64));
+    if !paths.is_empty() {
+        set("paths", Value::Array(paths));
+    }
+    if !kernels.is_empty() {
+        set("text", Value::Array(kernels));
+    }
+    let out = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&Value::Object(fields)).expect("bench summary serializes")
+    );
     if let Err(e) = std::fs::write(dest, out) {
         eprintln!("could not write BENCH_par.json: {e}");
     } else {
@@ -321,6 +443,7 @@ fn write_bench_par_json(threads: usize) {
 criterion_group!(
     benches,
     bench_text,
+    bench_text_kernels,
     bench_extraction,
     bench_assignment,
     bench_fusion,

@@ -4,7 +4,7 @@
 //! experiments <subcommand> [--offers N] [--merchants N] [--seed S]
 //!             [--leaves a,b,c,d] [--products-per-category N]
 //!             [--match-error-rate R] [--smoke] [--out DIR]
-//!             [--quiet] [--obs] [--batches N]
+//!             [--quiet] [--obs] [--batches N] [--verify-blocking]
 //!
 //! Subcommands:
 //!   table2    end-to-end quality (Table 2)
@@ -31,6 +31,9 @@
 //! (default `results/`). `--quiet` silences stderr progress chatter and the
 //! stage summary; `--obs` (or `PSE_OBS=1`) turns on observability and
 //! writes `OBS_REPORT.json` at the workspace root on exit.
+//! `--verify-blocking` (with `fig8`) additionally audits the title
+//! matcher's inverted-index candidate blocking against the exhaustive scan
+//! over every world offer and fails the run on any disagreement.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +42,7 @@ use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
     render_curves, render_incremental, run_end_to_end, run_incremental, table2, table3, table4,
-    EndToEnd, IncrementalRun, Scale,
+    verify_blocking, EndToEnd, IncrementalRun, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
     };
     let rest = &args[1..];
     let quiet = rest.iter().any(|a| a == "--quiet");
+    let audit_blocking = rest.iter().any(|a| a == "--verify-blocking");
     if rest.iter().any(|a| a == "--obs") {
         pse_obs::set_enabled(true);
     }
@@ -86,7 +90,10 @@ fn main() -> ExitCode {
     let run = |name: &str, world: &World| -> bool {
         let t = std::time::Instant::now();
         let _obs = pse_obs::span(&format!("experiments.{name}"));
-        let ok = dispatch(name, world, &out_dir, quiet, batches);
+        let mut ok = dispatch(name, world, &out_dir, quiet, batches);
+        if ok && name == "fig8" && audit_blocking {
+            ok = run_blocking_audit(world);
+        }
         if !quiet {
             eprintln!("# {name} finished in {:.1?}", t.elapsed());
         }
@@ -131,6 +138,24 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `--verify-blocking`: compare the title matcher's blocked and naive
+/// paths over every world offer; any disagreement fails the run.
+fn run_blocking_audit(world: &World) -> bool {
+    let _obs = pse_obs::span("experiments.verify-blocking");
+    let audit = verify_blocking(world);
+    println!(
+        "Blocking audit: {} offers, {} matched, {} mismatches between blocked and naive paths",
+        audit.offers, audit.matched, audit.mismatches
+    );
+    if audit.mismatches > 0 {
+        eprintln!(
+            "error: inverted-index blocking diverged from the exhaustive scan on {} offers",
+            audit.mismatches
+        );
+    }
+    audit.mismatches == 0
 }
 
 /// When observability is on, stamp provenance into the report, write

@@ -25,7 +25,7 @@ use serde::Value;
 const STAGE_PREFIXES: [&str; 5] = ["datagen.", "extract.", "offline.", "runtime.", "experiments."];
 
 /// Counters every experiments run is expected to emit.
-const REQUIRED_COUNTERS: [&str; 8] = [
+const REQUIRED_COUNTERS: [&str; 9] = [
     "datagen.offers",
     "datagen.pages_rendered",
     "extract.pairs_extracted",
@@ -34,12 +34,23 @@ const REQUIRED_COUNTERS: [&str; 8] = [
     "runtime.pairs_discarded_unmapped",
     "runtime.clusters_formed",
     "runtime.values_fused",
+    "text.intern.symbols",
 ];
 
 /// Counters a run that exercised the persistent store (any `store.*` span
 /// present) must additionally emit.
 const STORE_COUNTERS: [&str; 4] =
     ["store.ingest", "store.clusters_dirty", "store.refused", "store.snapshot"];
+
+/// Counters a run that exercised the bootstrap title matcher (any
+/// `match.bootstrap` span present) must additionally emit — the matcher
+/// seeds them even when every offer matches by identifier.
+const MATCH_COUNTERS: [&str; 2] = ["match.block.candidates", "match.block.skipped"];
+
+/// Counters a run that exercised DUMAS (any `baselines.dumas` span present)
+/// must additionally emit — seeded by the matcher even when no matrix cell
+/// needs a Jaro–Winkler probe.
+const SOFTTFIDF_COUNTERS: [&str; 2] = ["softtfidf.jw_memo_hit", "softtfidf.jw_memo_miss"];
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -98,7 +109,9 @@ fn check(v: &Value) -> Vec<String> {
         }
     }
     let store_ran = span_paths.iter().any(|p| p.contains("store."));
-    check_counters(v, store_ran, &mut errs);
+    let match_ran = span_paths.iter().any(|p| p.contains("match.bootstrap"));
+    let dumas_ran = span_paths.iter().any(|p| p.contains("baselines.dumas"));
+    check_counters(v, store_ran, match_ran, dumas_ran, &mut errs);
     check_histograms(v, &mut errs);
     check_timelines(v, &mut errs);
     errs
@@ -159,7 +172,13 @@ fn check_spans(v: &Value, errs: &mut Vec<String>) -> Vec<String> {
     paths
 }
 
-fn check_counters(v: &Value, store_ran: bool, errs: &mut Vec<String>) {
+fn check_counters(
+    v: &Value,
+    store_ran: bool,
+    match_ran: bool,
+    dumas_ran: bool,
+    errs: &mut Vec<String>,
+) {
     let counters = array(v, "counters", errs).to_vec();
     let mut names = Vec::new();
     for c in &counters {
@@ -172,10 +191,18 @@ fn check_counters(v: &Value, store_ran: bool, errs: &mut Vec<String>) {
             errs.push(format!("missing required counter {required}"));
         }
     }
-    if store_ran {
-        for required in STORE_COUNTERS {
+    let conditional = [
+        (store_ran, "store", &STORE_COUNTERS[..]),
+        (match_ran, "match.bootstrap", &MATCH_COUNTERS[..]),
+        (dumas_ran, "baselines.dumas", &SOFTTFIDF_COUNTERS[..]),
+    ];
+    for (ran, what, required_set) in conditional {
+        if !ran {
+            continue;
+        }
+        for required in required_set {
             if !names.iter().any(|n| n == required) {
-                errs.push(format!("store spans present but counter {required} missing"));
+                errs.push(format!("{what} spans present but counter {required} missing"));
             }
         }
     }
@@ -339,6 +366,75 @@ mod tests {
         // ...and adding them satisfies the check.
         r.counters.extend(
             STORE_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 3 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn matcher_and_dumas_counters_gated_on_their_spans() {
+        // The baseline report (no matcher/dumas spans) demands neither set.
+        assert_eq!(check(&good_report()), Vec::<String>::new());
+        let with_span = |extra_span: &str| {
+            let mut r = pse_obs::ObsReport {
+                schema_version: pse_obs::SCHEMA_VERSION,
+                enabled: true,
+                git_commit: "deadbeef".into(),
+                threads: 2,
+                ..Default::default()
+            };
+            r.spans = STAGE_PREFIXES
+                .iter()
+                .map(|p| format!("{p}stage"))
+                .chain([extra_span.to_string()])
+                .map(|path| pse_obs::SpanSummary {
+                    path,
+                    count: 1,
+                    total_ns: 10,
+                    min_ns: 10,
+                    max_ns: 10,
+                })
+                .collect();
+            r.counters = REQUIRED_COUNTERS
+                .iter()
+                .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+                .collect();
+            r.timelines = vec![pse_obs::TimelineGroup {
+                label: "runtime.reconcile".into(),
+                calls: 1,
+                chunks: vec![pse_obs::ChunkSummary {
+                    worker: 0,
+                    chunk: 0,
+                    items: 5,
+                    start_ns: 0,
+                    dur_ns: 3,
+                }],
+            }];
+            r
+        };
+
+        // A bootstrap span without the blocking counters is an error, even
+        // when the counters would be zero (the matcher seeds them).
+        let mut r = with_span("runtime.ingest.match.bootstrap");
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter match.block.candidates missing")));
+        assert!(errs.iter().any(|e| e.contains("counter match.block.skipped missing")));
+        r.counters.extend(
+            MATCH_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // Same for DUMAS and the Jaro–Winkler memo counters.
+        let mut r = with_span("experiments.fig8.baselines.dumas");
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter softtfidf.jw_memo_hit missing")));
+        r.counters.extend(
+            SOFTTFIDF_COUNTERS
+                .iter()
+                .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
         );
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());

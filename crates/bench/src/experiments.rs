@@ -3,8 +3,8 @@
 use std::fmt::Write as _;
 
 use pse_baselines::{
-    ComaConfig, ComaMatcher, ComaStrategy, DumasMatcher, NaiveBayesMatcher, SingleFeature,
-    SingleFeatureScorer,
+    ComaConfig, ComaIndex, ComaMatcher, ComaStrategy, DumasMatcher, NaiveBayesMatcher,
+    SingleFeature, SingleFeatureScorer,
 };
 use pse_core::Offer;
 use pse_datagen::templates::TopLevel;
@@ -14,7 +14,8 @@ use pse_eval::recall::recall_report;
 use pse_eval::report::TextTable;
 use pse_eval::synthesis_eval::{evaluate_synthesis, per_top_level, SynthesisQuality};
 use pse_synthesis::{
-    OfflineConfig, OfflineLearner, OfflineOutcome, RuntimePipeline, SynthesisResult,
+    OfflineConfig, OfflineLearner, OfflineOutcome, RuntimePipeline, SpecProvider, SynthesisResult,
+    TitleMatcher,
 };
 use serde::{Deserialize, Serialize};
 
@@ -196,16 +197,15 @@ pub fn fig7(world: &World) -> Vec<LabeledCurve> {
 /// COMA++ configurations (Computing subtree). The six matcher runs are
 /// independent, so they fan out across worker threads; curve order (and
 /// every number in it) is identical at any `PSE_THREADS`.
+///
+/// The COMA index (per-category interning, per-group TF-IDF vectors, name
+/// scores) is strategy-independent, so it is built once per world and
+/// shared by the three COMA configurations.
 pub fn fig8(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
-    let coma = |strategy| {
-        ComaMatcher::new(ComaConfig::new(strategy)).score_candidates(
-            &world.catalog,
-            &offers,
-            &provider,
-        )
-    };
+    let coma_index = ComaIndex::build(&world.catalog, &offers, &provider);
+    let coma = |strategy| ComaMatcher::new(ComaConfig::new(strategy)).score_with_index(&coma_index);
     let sweep: Vec<MatcherTask<'_>> = vec![
         Box::new(|| {
             let ours =
@@ -244,16 +244,14 @@ fn run_sweep(tasks: Vec<MatcherTask<'_>>) -> Vec<LabeledCurve> {
 }
 
 /// Figure 9: COMA++ δ ablation (Computing subtree); the six runs fan out
-/// like [`fig8`]'s.
+/// like [`fig8`]'s, and the five COMA configurations share one
+/// [`ComaIndex`] build.
 pub fn fig9(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
+    let coma_index = ComaIndex::build(&world.catalog, &offers, &provider);
     let coma_curve = |name: &'static str, cfg| {
-        labeled_curve(
-            name,
-            &ComaMatcher::new(cfg).score_candidates(&world.catalog, &offers, &provider),
-            &world.truth,
-        )
+        labeled_curve(name, &ComaMatcher::new(cfg).score_with_index(&coma_index), &world.truth)
     };
     let sweep: Vec<MatcherTask<'_>> = vec![
         Box::new(|| {
@@ -278,6 +276,51 @@ pub fn fig9(world: &World) -> Vec<LabeledCurve> {
         Box::new(|| coma_curve("Combined COMA++", ComaConfig::new(ComaStrategy::Combined))),
     ];
     run_sweep(sweep)
+}
+
+/// Outcome of the blocking-equivalence audit (`fig8 --verify-blocking`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingAudit {
+    /// Offers audited.
+    pub offers: usize,
+    /// Offers the matcher matched (either path).
+    pub matched: usize,
+    /// Offers where the blocked and naive paths disagreed (product,
+    /// similarity bits, or kind). Must be zero.
+    pub mismatches: usize,
+}
+
+/// Audit the inverted-index candidate blocking of the bootstrap
+/// [`TitleMatcher`]: run every world offer through both the blocked path
+/// and the exhaustive scan, and count disagreements (matched product, match
+/// kind, or the similarity's exact bit pattern). Blocking is a pure
+/// optimization, so any mismatch is a bug.
+pub fn verify_blocking(world: &World) -> BlockingAudit {
+    let provider = html_provider(world);
+    let matcher = TitleMatcher::new(&world.catalog);
+    let mut matched = 0;
+    let mut mismatches = 0;
+    for offer in &world.offers {
+        let spec = provider.spec(offer);
+        let blocked = matcher.match_offer(offer, &spec);
+        let naive = matcher.match_offer_naive(offer, &spec);
+        let agree = match (&blocked, &naive) {
+            (None, None) => true,
+            (Some(b), Some(n)) => {
+                b.product == n.product
+                    && b.kind == n.kind
+                    && b.similarity.to_bits() == n.similarity.to_bits()
+            }
+            _ => false,
+        };
+        if blocked.is_some() || naive.is_some() {
+            matched += 1;
+        }
+        if !agree {
+            mismatches += 1;
+        }
+    }
+    BlockingAudit { offers: world.offers.len(), matched, mismatches }
 }
 
 /// Ablation: extraction noise — oracle specs vs HTML-extracted specs.
@@ -433,7 +476,7 @@ pub fn ablation_measures(world: &World) -> Vec<LabeledCurve> {
     let offers = computing_offers(world);
     let provider = html_provider(world);
     use pse_synthesis::offline::bags::FeatureIndex;
-    let index = FeatureIndex::build_matched(&offers, &world.historical, &provider);
+    let index = FeatureIndex::build_matched(&world.catalog, &offers, &world.historical, &provider);
     [
         ("JS - MC", SingleFeature::JsMc),
         ("Jaccard - MC", SingleFeature::JaccardMc),

@@ -55,7 +55,8 @@ impl Scale {
     /// Recognized keys: `--offers`, `--merchants`, `--seed`,
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
     /// `--smoke`. The binary-level flags `--out DIR`, `--batches N`,
-    /// `--quiet` and `--obs` are accepted and ignored here.
+    /// `--quiet`, `--obs` and `--verify-blocking` are accepted and ignored
+    /// here.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
@@ -77,7 +78,7 @@ impl Scale {
                     }
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
-                "--smoke" | "--quiet" | "--obs" => {}
+                "--smoke" | "--quiet" | "--obs" | "--verify-blocking" => {}
                 "--out" | "--batches" => {
                     take()?; // consumed by the binary, not the scale
                 }
@@ -155,9 +156,16 @@ mod tests {
 
     #[test]
     fn binary_level_flags_accepted() {
-        let s =
-            Scale::from_args(&args(&["--quiet", "--obs", "--out", "results", "--batches", "4"]))
-                .unwrap();
+        let s = Scale::from_args(&args(&[
+            "--quiet",
+            "--obs",
+            "--verify-blocking",
+            "--out",
+            "results",
+            "--batches",
+            "4",
+        ]))
+        .unwrap();
         assert_eq!(s.offers, Scale::default().offers);
         assert!(Scale::from_args(&args(&["--batches"])).is_err());
     }

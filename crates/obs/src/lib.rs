@@ -185,6 +185,17 @@ pub fn add(name: &str, n: u64) {
     }
 }
 
+/// Materialize the named counter at its current value (0 if new) without
+/// incrementing it. Use at the start of a stage whose counters may
+/// legitimately stay at zero, so reports (and report checkers) always see
+/// the counter when the stage ran. [`add`] skips `n == 0` by design, so a
+/// zero total would otherwise leave no trace.
+pub fn seed(name: &str) {
+    if enabled() {
+        global_sink().seed_counter(name);
+    }
+}
+
 /// Increment the named counter by one.
 pub fn incr(name: &str) {
     if enabled() {
@@ -352,6 +363,16 @@ mod tests {
         let (_g, _s) = ObsSession::start();
         add("never", 0);
         assert_eq!(report().counter("never"), None);
+    }
+
+    #[test]
+    fn seed_materializes_counter_without_incrementing() {
+        let (_g, _s) = ObsSession::start();
+        seed("maybe.zero");
+        assert_eq!(report().counter("maybe.zero"), Some(0));
+        add("maybe.zero", 2);
+        seed("maybe.zero");
+        assert_eq!(report().counter("maybe.zero"), Some(2));
     }
 
     #[test]

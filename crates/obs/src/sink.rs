@@ -71,6 +71,13 @@ impl Sink {
         }
     }
 
+    pub fn seed_counter(&self, name: &str) {
+        let mut counters = self.counters.lock().expect("counter sink poisoned");
+        if !counters.contains_key(name) {
+            counters.insert(name.to_string(), 0);
+        }
+    }
+
     pub fn record_histogram(&self, name: &str, value: u64) {
         let mut hists = self.histograms.lock().expect("histogram sink poisoned");
         if let Some(h) = hists.get_mut(name) {

@@ -12,13 +12,25 @@
 //! 2. title matching — otherwise, compare the offer title against product
 //!    titles and specifications with TF-IDF cosine, accepting the best
 //!    product when it clears a confidence margin.
+//!
+//! Title matching runs over an *inverted index*: per category, every
+//! product's L2-normalized TF-IDF vector is split into per-token posting
+//! lists, and an offer's cosine numerators are accumulated by walking the
+//! postings of the offer's tokens. Only products sharing at least one token
+//! with the offer are touched; all others have cosine exactly `0.0` and are
+//! skipped without changing any result (see [`TitleMatcher::match_offer`]).
+//! [`TitleMatcher::match_offer_naive`] keeps the exhaustive scan as the
+//! reference the blocked path is checked against
+//! (`experiments fig8 --verify-blocking`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use pse_core::{Catalog, CategoryId, HistoricalMatches, Offer, ProductId, Spec};
+use pse_text::intern::{Interner, InternerBuilder};
 use pse_text::normalize::normalize_value;
-use pse_text::tfidf::{cosine_of, TfIdfCorpus};
-use pse_text::BagOfWords;
+use pse_text::sparse::{cosine_sparse, SparseCounts, SparseVec};
+use pse_text::tfidf::{InternedCorpus, InternedCorpusBuilder};
+use pse_text::tokenize::for_each_token;
 
 /// Configuration of the bootstrap matcher.
 #[derive(Debug, Clone)]
@@ -69,15 +81,28 @@ pub struct ProposedMatch {
 pub struct TitleMatcher<'a> {
     catalog: &'a Catalog,
     config: MatcherConfig,
-    /// Per-category TF-IDF corpus and product vectors.
+    /// Per-category interned corpus, product vectors and posting lists.
     per_category: HashMap<CategoryId, CategoryIndex>,
     /// identifier value (normalized) → product, per category.
     identifiers: HashMap<(CategoryId, String), ProductId>,
 }
 
 struct CategoryIndex {
-    corpus: TfIdfCorpus,
-    products: Vec<(ProductId, std::collections::BTreeMap<String, f64>)>,
+    interner: Interner,
+    corpus: InternedCorpus,
+    /// Products in catalog order with their L2-normalized TF-IDF vectors.
+    products: Vec<(ProductId, SparseVec)>,
+    /// `postings[sym] = [(position in products, product weight), ..]`,
+    /// positions ascending.
+    postings: Vec<Vec<(u32, f64)>>,
+}
+
+#[derive(Default)]
+struct CategoryBuild {
+    builder: InternerBuilder,
+    corpus: InternedCorpusBuilder,
+    /// Products with their provisional token ids (title + spec values).
+    products: Vec<(ProductId, Vec<u32>)>,
 }
 
 impl<'a> TitleMatcher<'a> {
@@ -88,36 +113,41 @@ impl<'a> TitleMatcher<'a> {
 
     /// Build with custom configuration.
     pub fn with_config(catalog: &'a Catalog, config: MatcherConfig) -> Self {
-        let mut per_category: HashMap<CategoryId, CategoryIndex> = HashMap::new();
         let mut identifiers = HashMap::new();
-
-        let mut bags: HashMap<CategoryId, Vec<(ProductId, BagOfWords)>> = HashMap::new();
+        let mut builds: HashMap<CategoryId, CategoryBuild> = HashMap::new();
         for product in catalog.products() {
-            let mut bag = BagOfWords::new();
-            bag.add_value(&product.title);
+            let b = builds.entry(product.category).or_default();
+            let mut raw = b.builder.tokenize(&product.title);
             for pair in product.spec.iter() {
-                bag.add_value(&pair.value);
+                for_each_token(&pair.value, |t| raw.push(b.builder.intern(t)));
             }
-            bags.entry(product.category).or_default().push((product.id, bag));
+            b.corpus.add_document(raw.iter().copied());
+            b.products.push((product.id, raw));
             for id_attr in &config.identifier_attributes {
                 if let Some(v) = product.spec.get(id_attr) {
                     identifiers.insert((product.category, normalize_value(v)), product.id);
                 }
             }
         }
-        for (category, items) in bags {
-            let mut corpus = TfIdfCorpus::new();
-            for (_, bag) in &items {
-                corpus.add_document(bag);
-            }
-            let products = items
+        let mut per_category = HashMap::new();
+        for (category, build) in builds {
+            let interner = build.builder.finalize();
+            let corpus = build.corpus.finalize(&interner);
+            let products: Vec<(ProductId, SparseVec)> = build
+                .products
                 .into_iter()
-                .map(|(pid, bag)| {
-                    let v = corpus.weight_vector(&bag);
-                    (pid, v)
+                .map(|(pid, raw)| {
+                    let counts = SparseCounts::from_doc(&interner.doc(&raw));
+                    (pid, corpus.weight_counts(&counts))
                 })
                 .collect();
-            per_category.insert(category, CategoryIndex { corpus, products });
+            let mut postings: Vec<Vec<(u32, f64)>> = vec![Vec::new(); interner.len()];
+            for (pos, (_, v)) in products.iter().enumerate() {
+                for &(s, w) in v.entries() {
+                    postings[s.0 as usize].push((pos as u32, w));
+                }
+            }
+            per_category.insert(category, CategoryIndex { interner, corpus, products, postings });
         }
         Self { catalog, config, per_category, identifiers }
     }
@@ -125,10 +155,90 @@ impl<'a> TitleMatcher<'a> {
     /// Try to match one offer. `spec` is the offer's (extracted)
     /// specification, used for identifier matching; pass an empty spec to
     /// match on the title alone.
+    ///
+    /// Scores only the products sharing at least one token with the offer,
+    /// found through the category's inverted index. Equivalence with the
+    /// exhaustive scan ([`Self::match_offer_naive`]): product weights are
+    /// strictly positive, so non-candidates score exactly `0.0` and
+    /// candidates strictly above it; the accumulator adds each candidate's
+    /// shared-token products in ascending token order — the exact summation
+    /// sequence of the sparse merge-join — and candidates are visited in
+    /// product order, so best/second bookkeeping is unchanged. When *no*
+    /// product shares a token, every similarity is `0.0`; that can only be
+    /// accepted when `min_similarity <= 0.0`, in which case we fall back to
+    /// the exhaustive scan.
     pub fn match_offer(&self, offer: &Offer, spec: &Spec) -> Option<ProposedMatch> {
         let category = offer.category?;
+        if let Some(m) = self.identifier_match(category, offer, spec) {
+            return Some(m);
+        }
+        let index = self.per_category.get(&category)?;
+        let query = Self::query_vector(index, offer, spec);
 
-        // 1. Identifier matching.
+        let n = index.products.len();
+        let mut acc = vec![0.0f64; n];
+        let mut seen = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+        for &(s, wq) in query.entries() {
+            for &(pos, wp) in &index.postings[s.0 as usize] {
+                acc[pos as usize] += wq * wp;
+                if !seen[pos as usize] {
+                    seen[pos as usize] = true;
+                    touched.push(pos);
+                }
+            }
+        }
+        touched.sort_unstable();
+        pse_obs::add("match.block.candidates", touched.len() as u64);
+        pse_obs::add("match.block.skipped", (n - touched.len()) as u64);
+        pse_obs::observe("match.block.candidates_per_offer", touched.len() as u64);
+
+        if touched.is_empty() {
+            if self.config.min_similarity > 0.0 {
+                return None;
+            }
+            // Degenerate configuration: a 0.0 similarity could be accepted,
+            // so the skipped products matter. Reproduce the full scan.
+            return self.scan_products(index, offer, &query);
+        }
+        let mut best: Option<(ProductId, f64)> = None;
+        let mut second = 0.0f64;
+        for &pos in &touched {
+            let sim = acc[pos as usize].clamp(0.0, 1.0);
+            let pid = index.products[pos as usize].0;
+            match best {
+                Some((_, b)) if sim <= b => second = second.max(sim),
+                _ => {
+                    if let Some((_, b)) = best {
+                        second = second.max(b);
+                    }
+                    best = Some((pid, sim));
+                }
+            }
+        }
+        self.accept(offer, best, second)
+    }
+
+    /// Reference matcher: identical identifier handling, then an exhaustive
+    /// cosine scan over every product of the category. Kept as the oracle
+    /// for the blocked path (`experiments fig8 --verify-blocking` and the
+    /// equivalence tests).
+    pub fn match_offer_naive(&self, offer: &Offer, spec: &Spec) -> Option<ProposedMatch> {
+        let category = offer.category?;
+        if let Some(m) = self.identifier_match(category, offer, spec) {
+            return Some(m);
+        }
+        let index = self.per_category.get(&category)?;
+        let query = Self::query_vector(index, offer, spec);
+        self.scan_products(index, offer, &query)
+    }
+
+    fn identifier_match(
+        &self,
+        category: CategoryId,
+        offer: &Offer,
+        spec: &Spec,
+    ) -> Option<ProposedMatch> {
         for id_attr in &self.config.identifier_attributes {
             for v in spec.get_all(id_attr) {
                 if let Some(&product) = self.identifiers.get(&(category, normalize_value(v))) {
@@ -141,19 +251,66 @@ impl<'a> TitleMatcher<'a> {
                 }
             }
         }
+        None
+    }
 
-        // 2. Title matching.
-        let index = self.per_category.get(&category)?;
-        let mut bag = BagOfWords::new();
-        bag.add_value(&offer.title);
-        for pair in spec.iter() {
-            bag.add_value(&pair.value);
+    /// The offer's L2-normalized TF-IDF vector over the category vocabulary.
+    ///
+    /// Token counts are gathered in a `BTreeMap<String, u64>` so the norm
+    /// accumulates over *all* tokens — including out-of-vocabulary ones,
+    /// which have `df = 0` but still contribute to the norm — in sorted
+    /// string order, bit-identical to the historical
+    /// `TfIdfCorpus::weight_vector` of the offer's bag. Only in-vocabulary
+    /// tokens are emitted (out-of-vocabulary weights multiply a product
+    /// weight of zero in every dot product).
+    fn query_vector(index: &CategoryIndex, offer: &Offer, spec: &Spec) -> SparseVec {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        {
+            let mut tally = |t: &str| {
+                if let Some(c) = counts.get_mut(t) {
+                    *c += 1;
+                } else {
+                    counts.insert(t.to_string(), 1);
+                }
+            };
+            for_each_token(&offer.title, &mut tally);
+            for pair in spec.iter() {
+                for_each_token(&pair.value, &mut tally);
+            }
         }
-        let query = index.corpus.weight_vector(&bag);
+        let weights: Vec<_> = counts
+            .iter()
+            .map(|(t, &c)| {
+                let sym = index.interner.lookup(t);
+                let idf = match sym {
+                    Some(s) => index.corpus.idf(s),
+                    None => index.corpus.idf_of_df(0),
+                };
+                (sym, c as f64 * idf)
+            })
+            .collect();
+        let norm = weights.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let mut entries = Vec::new();
+        if norm > 0.0 {
+            for (sym, w) in weights {
+                if let Some(s) = sym {
+                    entries.push((s, w / norm));
+                }
+            }
+        }
+        SparseVec::from_sorted(entries)
+    }
+
+    fn scan_products(
+        &self,
+        index: &CategoryIndex,
+        offer: &Offer,
+        query: &SparseVec,
+    ) -> Option<ProposedMatch> {
         let mut best: Option<(ProductId, f64)> = None;
         let mut second = 0.0f64;
         for (pid, pv) in &index.products {
-            let sim = cosine_of(&query, pv);
+            let sim = cosine_sparse(query, pv);
             match best {
                 Some((_, b)) if sim <= b => second = second.max(sim),
                 _ => {
@@ -164,6 +321,15 @@ impl<'a> TitleMatcher<'a> {
                 }
             }
         }
+        self.accept(offer, best, second)
+    }
+
+    fn accept(
+        &self,
+        offer: &Offer,
+        best: Option<(ProductId, f64)>,
+        second: f64,
+    ) -> Option<ProposedMatch> {
         let (product, similarity) = best?;
         if similarity >= self.config.min_similarity && similarity - second >= self.config.min_margin
         {
@@ -179,6 +345,12 @@ impl<'a> TitleMatcher<'a> {
     where
         F: FnMut(&Offer) -> Spec,
     {
+        let _span = pse_obs::span("match.bootstrap");
+        // Counters may legitimately end at zero (e.g. every offer matched
+        // by identifier); seed them so reports always carry them alongside
+        // the span.
+        pse_obs::seed("match.block.candidates");
+        pse_obs::seed("match.block.skipped");
         let mut matches = HistoricalMatches::new();
         for offer in offers {
             let spec = spec_of(offer);
@@ -303,5 +475,52 @@ mod tests {
         assert_eq!(matches.product_of(OfferId(0)), Some(pids[0]));
         assert_eq!(matches.product_of(OfferId(1)), Some(pids[1]));
         assert_eq!(matches.product_of(OfferId(2)), None);
+    }
+
+    /// The blocked matcher must agree with the exhaustive reference on every
+    /// outcome, bit-for-bit on the similarity.
+    #[test]
+    fn blocked_agrees_with_naive_scan() {
+        let (catalog, _) = setup();
+        let matcher = TitleMatcher::new(&catalog);
+        let cat = catalog.products().next().unwrap().category;
+        for title in [
+            "Seagate Barracuda 500 GB SATA",
+            "Hard Drive",
+            "mystery gadget with zero overlap",
+            "hitachi deskstar",
+            "",
+            "größe écran", // out-of-vocabulary non-ASCII
+        ] {
+            let o = offer(title, cat, Spec::new());
+            let blocked = matcher.match_offer(&o, &Spec::new());
+            let naive = matcher.match_offer_naive(&o, &Spec::new());
+            match (&blocked, &naive) {
+                (None, None) => {}
+                (Some(b), Some(n)) => {
+                    assert_eq!(b.product, n.product, "title={title}");
+                    assert_eq!(b.similarity.to_bits(), n.similarity.to_bits(), "title={title}");
+                    assert_eq!(b.kind, n.kind, "title={title}");
+                }
+                _ => panic!("blocked={blocked:?} naive={naive:?} for title={title}"),
+            }
+        }
+    }
+
+    /// With `min_similarity <= 0`, an offer sharing no token still matches
+    /// through the exhaustive fallback, exactly like the reference.
+    #[test]
+    fn zero_threshold_falls_back_to_full_scan() {
+        let (catalog, _) = setup();
+        let config = MatcherConfig { min_similarity: 0.0, min_margin: 0.0, ..Default::default() };
+        let matcher = TitleMatcher::with_config(&catalog, config);
+        let cat = catalog.products().next().unwrap().category;
+        let o = offer("zero overlap whatsoever", cat, Spec::new());
+        let blocked = matcher.match_offer(&o, &Spec::new());
+        let naive = matcher.match_offer_naive(&o, &Spec::new());
+        let (b, n) = (blocked.unwrap(), naive.unwrap());
+        assert_eq!(b.product, n.product);
+        assert_eq!(b.similarity.to_bits(), n.similarity.to_bits());
+        assert_eq!(b.similarity, 0.0);
     }
 }

@@ -10,7 +10,8 @@
 use std::collections::{HashMap, HashSet};
 
 use pse_core::{Catalog, CategoryId, MerchantId, ProductId};
-use pse_text::divergence::{jaccard_bags, jensen_shannon, MAX_JS};
+use pse_text::divergence::MAX_JS;
+use pse_text::sparse::{jaccard_counts, jensen_shannon_counts, SparseCounts};
 use pse_text::BagOfWords;
 
 use super::bags::FeatureIndex;
@@ -33,11 +34,11 @@ pub struct FeatureComputer<'a> {
     index: &'a FeatureIndex,
     /// Product bags for the *current* (merchant, category) group.
     mc_group: Option<(MerchantId, CategoryId)>,
-    mc_bags: HashMap<String, BagOfWords>,
+    mc_bags: HashMap<String, SparseCounts>,
     /// Persistent per-category product bags: category → Ap → bag.
-    c_bags: HashMap<CategoryId, HashMap<String, BagOfWords>>,
+    c_bags: HashMap<CategoryId, HashMap<String, SparseCounts>>,
     /// Persistent per-merchant product bags: merchant → Ap → bag.
-    m_bags: HashMap<MerchantId, HashMap<String, BagOfWords>>,
+    m_bags: HashMap<MerchantId, HashMap<String, SparseCounts>>,
 }
 
 impl<'a> FeatureComputer<'a> {
@@ -72,8 +73,8 @@ impl<'a> FeatureComputer<'a> {
         {
             self.ensure_mc_group(merchant, category);
             if let Some(product_bag) = self.mc_bags.get(catalog_attr) {
-                out[0] = jensen_shannon(product_bag, offer_bag);
-                out[1] = jaccard_bags(product_bag, offer_bag);
+                out[0] = jensen_shannon_counts(product_bag, offer_bag);
+                out[1] = jaccard_counts(product_bag, offer_bag);
             }
         }
 
@@ -81,15 +82,15 @@ impl<'a> FeatureComputer<'a> {
         if let Some(offer_bag) =
             self.index.offer_c.get(&category).and_then(|m| m.get(merchant_attr))
         {
-            let catalog_ref = self.catalog;
+            let index = self.index;
             let products = self.index.products_c.get(&category);
             let bags = self.c_bags.entry(category).or_default();
             if let Some(products) = products {
                 let bag = bags
                     .entry(catalog_attr.to_string())
-                    .or_insert_with(|| product_bag(catalog_ref, products, catalog_attr));
-                out[2] = jensen_shannon(bag, offer_bag);
-                out[3] = jaccard_bags(bag, offer_bag);
+                    .or_insert_with(|| index.product_counts(products, catalog_attr));
+                out[2] = jensen_shannon_counts(bag, offer_bag);
+                out[3] = jaccard_counts(bag, offer_bag);
             }
         }
 
@@ -97,15 +98,15 @@ impl<'a> FeatureComputer<'a> {
         if let Some(offer_bag) =
             self.index.offer_m.get(&merchant).and_then(|m| m.get(merchant_attr))
         {
-            let catalog_ref = self.catalog;
+            let index = self.index;
             let products = self.index.products_m.get(&merchant);
             let bags = self.m_bags.entry(merchant).or_default();
             if let Some(products) = products {
                 let bag = bags
                     .entry(catalog_attr.to_string())
-                    .or_insert_with(|| product_bag(catalog_ref, products, catalog_attr));
-                out[4] = jensen_shannon(bag, offer_bag);
-                out[5] = jaccard_bags(bag, offer_bag);
+                    .or_insert_with(|| index.product_counts(products, catalog_attr));
+                out[4] = jensen_shannon_counts(bag, offer_bag);
+                out[5] = jaccard_counts(bag, offer_bag);
             }
         }
 
@@ -121,7 +122,7 @@ impl<'a> FeatureComputer<'a> {
         if let Some(products) = self.index.products_mc.get(&(merchant, category)) {
             for attr in self.catalog.taxonomy().schema(category).iter() {
                 self.mc_bags
-                    .insert(attr.name.clone(), product_bag(self.catalog, products, &attr.name));
+                    .insert(attr.name.clone(), self.index.product_counts(products, &attr.name));
             }
         }
     }
@@ -198,7 +199,7 @@ mod tests {
     fn figure5_feature_ordering() {
         let (catalog, offers, hist) = figure5();
         let provider = FnProvider(|o: &Offer| o.spec.clone());
-        let index = FeatureIndex::build_matched(&offers, &hist, &provider);
+        let index = FeatureIndex::build_matched(&catalog, &offers, &hist, &provider);
         let mut fc = FeatureComputer::new(&catalog, &index);
         let cat = offers[0].category.unwrap();
 
@@ -224,7 +225,7 @@ mod tests {
     fn missing_groupings_use_worst_case_defaults() {
         let (catalog, offers, hist) = figure5();
         let provider = FnProvider(|o: &Offer| o.spec.clone());
-        let index = FeatureIndex::build_matched(&offers, &hist, &provider);
+        let index = FeatureIndex::build_matched(&catalog, &offers, &hist, &provider);
         let mut fc = FeatureComputer::new(&catalog, &index);
         let cat = offers[0].category.unwrap();
         let f = fc.features(MerchantId(9), cat, "Speed", "rpm");
@@ -239,7 +240,7 @@ mod tests {
     fn unknown_catalog_attribute_is_worst_case() {
         let (catalog, offers, hist) = figure5();
         let provider = FnProvider(|o: &Offer| o.spec.clone());
-        let index = FeatureIndex::build_matched(&offers, &hist, &provider);
+        let index = FeatureIndex::build_matched(&catalog, &offers, &hist, &provider);
         let mut fc = FeatureComputer::new(&catalog, &index);
         let cat = offers[0].category.unwrap();
         let f = fc.features(MerchantId(0), cat, "Nonexistent", "rpm");
@@ -251,7 +252,7 @@ mod tests {
     fn mc_cache_switches_groups_correctly() {
         let (catalog, offers, hist) = figure5();
         let provider = FnProvider(|o: &Offer| o.spec.clone());
-        let index = FeatureIndex::build_matched(&offers, &hist, &provider);
+        let index = FeatureIndex::build_matched(&catalog, &offers, &hist, &provider);
         let mut fc = FeatureComputer::new(&catalog, &index);
         let cat = offers[0].category.unwrap();
         let a = fc.features(MerchantId(0), cat, "Speed", "rpm");

@@ -163,7 +163,7 @@ impl OfflineLearner {
     ) -> OfflineOutcome {
         let _obs = pse_obs::span("offline.learn");
         let index = if self.config.match_conditioning {
-            FeatureIndex::build_matched(offers, historical, provider)
+            FeatureIndex::build_matched(catalog, offers, historical, provider)
         } else {
             FeatureIndex::build_unconditioned(catalog, offers, provider)
         };

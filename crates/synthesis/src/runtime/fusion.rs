@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use pse_text::tokenize::tokens;
+use pse_text::tokenize::for_each_token;
 use serde::{Deserialize, Serialize};
 
 /// Which fusion rule the pipeline applies per attribute (the paper uses
@@ -88,13 +88,22 @@ pub fn fuse_values<S: AsRef<str>>(values: &[S]) -> Option<FusedValue> {
     let mut vectors: Vec<Vec<usize>> = Vec::with_capacity(values.len());
     for v in values {
         let mut dims = Vec::new();
-        for t in tokens(v.as_ref()) {
-            let next = term_index.len();
-            let idx = *term_index.entry(t).or_insert(next);
+        for_each_token(v.as_ref(), |t| {
+            // First-seen term ids, exactly like the historical
+            // `term_index.entry(tokens(..))` loop; insert allocates only for
+            // new terms.
+            let idx = match term_index.get(t) {
+                Some(&idx) => idx,
+                None => {
+                    let next = term_index.len();
+                    term_index.insert(t.to_string(), next);
+                    next
+                }
+            };
             if !dims.contains(&idx) {
                 dims.push(idx);
             }
-        }
+        });
         vectors.push(dims);
     }
     let dim = term_index.len();

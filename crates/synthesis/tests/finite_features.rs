@@ -74,7 +74,7 @@ fn offer(id: u64, merchant: u32, cat: pse_core::CategoryId, pairs: &[(&str, &str
 fn all_candidate_features_are_finite_even_with_disjoint_vocabularies() {
     let (catalog, offers, hist) = scenario();
     let provider = FnProvider(|o: &Offer| o.spec.clone());
-    let index = FeatureIndex::build_matched(&offers, &hist, &provider);
+    let index = FeatureIndex::build_matched(&catalog, &offers, &hist, &provider);
     let mut computer = FeatureComputer::new(&catalog, &index);
 
     let mut rows: Vec<Vec<f64>> = Vec::new();

@@ -15,8 +15,10 @@
 
 pub mod bow;
 pub mod divergence;
+pub mod intern;
 pub mod normalize;
 pub mod softtfidf;
+pub mod sparse;
 pub mod strsim;
 pub mod tfidf;
 pub mod tokenize;
@@ -25,6 +27,12 @@ pub use bow::BagOfWords;
 pub use divergence::{
     cosine_bags, jaccard_bags, jaccard_sets, jensen_shannon, kullback_leibler, l1_distance,
 };
+pub use intern::{Interner, InternerBuilder, Sym, TokenDoc};
 pub use normalize::{normalize_attribute_name, normalize_value};
-pub use softtfidf::SoftTfIdf;
+pub use softtfidf::{InternedSoftTfIdf, JwMemo, SoftDoc, SoftTfIdf};
+pub use sparse::{
+    cosine_counts, cosine_sparse, dot_sparse, jaccard_counts, jensen_shannon_counts, l1_counts,
+    SparseCounts, SparseVec,
+};
+pub use tfidf::{InternedCorpus, InternedCorpusBuilder};
 pub use tokenize::tokens;

@@ -6,11 +6,13 @@
 //! θ (0.9 in the original work), and the contribution of a close pair is
 //! scaled by that similarity.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::bow::BagOfWords;
-use crate::strsim::jaro_winkler;
-use crate::tfidf::TfIdfCorpus;
+use crate::intern::{Interner, Sym};
+use crate::sparse::{SparseCounts, SparseVec};
+use crate::strsim::{jaro_winkler, jaro_winkler_with, JaroScratch};
+use crate::tfidf::{InternedCorpus, TfIdfCorpus};
 use crate::tokenize::tokens;
 
 /// SoftTFIDF similarity with a shared IDF corpus.
@@ -79,6 +81,210 @@ impl SoftTfIdf {
             bag.add_token(t.clone());
         }
         self.corpus.weight_vector(&bag)
+    }
+}
+
+/// A pre-weighted value under an [`InternedSoftTfIdf`]: the L2-normalized
+/// TF-IDF vector of the value's tokens. Empty iff the value tokenizes to
+/// nothing (TF-IDF weights are strictly positive, so a non-empty token list
+/// always yields a non-empty vector).
+#[derive(Debug, Clone, Default)]
+pub struct SoftDoc {
+    weights: SparseVec,
+    /// Character count of each token, parallel to `weights`' entries — feeds
+    /// the length-based θ-prefilter in [`InternedSoftTfIdf::similarity`].
+    lens: Vec<u32>,
+}
+
+impl SoftDoc {
+    /// Whether the underlying value had no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// A multiply–xorshift hasher for the memo's packed `u64` keys. The memo is
+/// only ever probed by key (its iteration order is never observed), so a
+/// fast non-SipHash hasher cannot affect any output — it only removes the
+/// hashing cost from the innermost token-pair loop.
+#[derive(Debug, Default)]
+struct PairHasher(u64);
+
+impl std::hash::Hasher for PairHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct PairHasherBuilder;
+
+impl std::hash::BuildHasher for PairHasherBuilder {
+    type Hasher = PairHasher;
+
+    fn build_hasher(&self) -> PairHasher {
+        PairHasher::default()
+    }
+}
+
+/// Memo of Jaro–Winkler scores per `(Sym, Sym)` pair.
+///
+/// Scoped to one matrix build (e.g. one DUMAS (merchant, category) group):
+/// within that scope the token vocabulary is fixed, so each distinct token
+/// pair is scored once no matter how many cells compare values containing
+/// it. Dropping the memo flushes `softtfidf.jw_memo_hit` /
+/// `softtfidf.jw_memo_miss` counters to pse-obs.
+#[derive(Debug, Default)]
+pub struct JwMemo {
+    map: HashMap<u64, f64, PairHasherBuilder>,
+    scratch: JaroScratch,
+    hits: u64,
+    misses: u64,
+}
+
+impl JwMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jaro–Winkler similarity of two interned tokens, memoized.
+    pub fn jw(&mut self, interner: &Interner, a: Sym, b: Sym) -> f64 {
+        let key = ((a.0 as u64) << 32) | b.0 as u64;
+        if let Some(&s) = self.map.get(&key) {
+            self.hits += 1;
+            return s;
+        }
+        self.misses += 1;
+        let s = jaro_winkler_with(&mut self.scratch, interner.resolve(a), interner.resolve(b));
+        self.map.insert(key, s);
+        s
+    }
+}
+
+impl Drop for JwMemo {
+    fn drop(&mut self) {
+        pse_obs::add("softtfidf.jw_memo_hit", self.hits);
+        pse_obs::add("softtfidf.jw_memo_miss", self.misses);
+    }
+}
+
+/// Interned SoftTFIDF over a frozen vocabulary and corpus.
+///
+/// [`InternedSoftTfIdf::similarity`] is bit-identical to
+/// [`SoftTfIdf::similarity`] on equivalent inputs: both iterate the first
+/// value's tokens in sorted order, short-circuit exact matches, and
+/// otherwise scan *all* of the second value's tokens in sorted order for the
+/// best θ-close one.
+///
+/// Near-match blocking note: unlike exact-token cosine (see the inverted
+/// index in `pse-synthesis`'s `TitleMatcher`), SoftTFIDF cannot be blocked
+/// on shared exact tokens — a pair may score > 0 through θ-close tokens
+/// only. Instead of a per-cell rescan, the θ-close search is amortized by
+/// [`JwMemo`]: each distinct token pair of the group's vocabulary is scored
+/// once per matrix build (equivalent to scanning the group's token list once
+/// per distinct query token, rather than once per product cell).
+#[derive(Debug)]
+pub struct InternedSoftTfIdf {
+    interner: Interner,
+    corpus: InternedCorpus,
+    theta: f64,
+}
+
+impl InternedSoftTfIdf {
+    /// Build from a frozen vocabulary and its corpus statistics. `theta` is
+    /// clamped to `[0, 1]` like [`SoftTfIdf::with_theta`].
+    pub fn new(interner: Interner, corpus: InternedCorpus, theta: f64) -> Self {
+        Self { interner, corpus, theta: theta.clamp(0.0, 1.0) }
+    }
+
+    /// The symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Pre-weight one value given as provisional ids from the builder that
+    /// produced this vocabulary.
+    pub fn doc(&self, provisional: &[u32]) -> SoftDoc {
+        let counts = SparseCounts::from_doc(&self.interner.doc(provisional));
+        let weights = self.corpus.weight_counts(&counts);
+        let lens = weights
+            .entries()
+            .iter()
+            .map(|&(s, _)| self.interner.resolve(s).chars().count() as u32)
+            .collect();
+        SoftDoc { weights, lens }
+    }
+
+    /// SoftTFIDF similarity of two pre-weighted values, in `[0, 1]`.
+    ///
+    /// Token pairs that provably cannot reach θ are skipped before any
+    /// Jaro–Winkler work. With `mn = min(|t|, |u|)`, `mx = max(|t|, |u|)`:
+    /// at most `mn` characters match and transpositions only lower the
+    /// score, so `jaro ≤ (mn/mx + 2) / 3`. The Winkler boost is
+    /// `0.1·ℓ·(1 − jaro)` for the true common-prefix length `ℓ ≤ 4`, and is
+    /// monotone in jaro for `ℓ ≤ 4`, so
+    /// `jw ≤ jbound + 0.1·ℓ·(1 − jbound)` with `jbound = (mn/mx + 2) / 3`.
+    /// A skipped pair therefore scores strictly below θ and could never have
+    /// entered the `best` update; the result is bit-identical to the
+    /// unfiltered scan. Both comparisons keep a `1e-6` slack so float
+    /// rounding can only make the filter *less* aggressive, never unsound.
+    pub fn similarity(&self, a: &SoftDoc, b: &SoftDoc, memo: &mut JwMemo) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        }
+        // Cheap pre-test without resolving strings: assume the maximal
+        // prefix boost (ℓ = 4, i.e. jw ≤ 0.8 + 0.2·mn/mx) and skip iff
+        // mn/mx < (θ − 0.8)·5. For θ ≤ 0.8 the cut is ≤ 0 and never fires.
+        let cut = (self.theta - 0.8) * 5.0;
+        let theta_gate = self.theta - 1e-6;
+        let mut sum = 0.0;
+        for (ai, &(t, wa)) in a.weights.entries().iter().enumerate() {
+            // Exact matches short-circuit the O(|T|) scan.
+            if let Some(wb) = b.weights.get(t) {
+                sum += wa * wb;
+                continue;
+            }
+            let la = a.lens[ai];
+            let ta = self.interner.resolve(t);
+            let mut best = 0.0f64;
+            let mut best_w = 0.0f64;
+            for (bi, &(u, wb)) in b.weights.entries().iter().enumerate() {
+                let lb = b.lens[bi];
+                let (mn, mx) = if la <= lb { (la, lb) } else { (lb, la) };
+                if (mn as f64) < cut * (mx as f64) - 1e-6 {
+                    continue;
+                }
+                // Tighter test with the true prefix length.
+                let tu = self.interner.resolve(u);
+                let prefix = ta.chars().zip(tu.chars()).take(4).take_while(|(x, y)| x == y).count();
+                let jbound = (mn as f64 / mx as f64 + 2.0) / 3.0;
+                if jbound + 0.1 * prefix as f64 * (1.0 - jbound) < theta_gate {
+                    continue;
+                }
+                let s = memo.jw(&self.interner, t, u);
+                if s >= self.theta && s > best {
+                    best = s;
+                    best_w = wb;
+                }
+            }
+            if best > 0.0 {
+                sum += wa * best_w * best;
+            }
+        }
+        sum.clamp(0.0, 1.0)
     }
 }
 

@@ -38,10 +38,29 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
     1.0 - levenshtein(a, b) as f64 / max_len as f64
 }
 
+/// Reusable buffers for [`jaro`] / [`jaro_winkler`] in hot loops. A fresh
+/// computation needs four heap allocations; callers scoring many pairs (e.g.
+/// the SoftTFIDF memo) hold one scratch and amortize them away.
+#[derive(Debug, Default)]
+pub struct JaroScratch {
+    a: Vec<char>,
+    b: Vec<char>,
+    b_matched: Vec<bool>,
+    a_match_idx: Vec<usize>,
+}
+
 /// Jaro similarity in `[0, 1]`.
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    jaro_with(&mut JaroScratch::default(), a, b)
+}
+
+/// [`jaro`] with caller-provided scratch buffers.
+pub fn jaro_with(s: &mut JaroScratch, a: &str, b: &str) -> f64 {
+    s.a.clear();
+    s.a.extend(a.chars());
+    s.b.clear();
+    s.b.extend(b.chars());
+    let (a, b) = (&s.a, &s.b);
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -49,9 +68,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_matched = vec![false; b.len()];
+    s.b_matched.clear();
+    s.b_matched.resize(b.len(), false);
+    let b_matched = &mut s.b_matched;
     let mut matches = 0usize;
-    let mut a_match_idx = Vec::with_capacity(a.len());
+    s.a_match_idx.clear();
+    let a_match_idx = &mut s.a_match_idx;
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
@@ -67,17 +89,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if matches == 0 {
         return 0.0;
     }
-    // Count transpositions between the matched sequences.
+    // Count transpositions between the matched sequences: a_match_idx holds
+    // the matched b-positions in a-order; walking b_matched's set positions
+    // yields the same positions in ascending (b-) order. Half-transpositions
+    // are indices where the two orders differ.
     let mut transpositions = 0usize;
-    let mut sorted = a_match_idx.clone();
-    sorted.sort_unstable();
-    for (k, &j) in a_match_idx.iter().enumerate() {
-        if sorted[k] != j {
+    let mut in_b_order = b_matched.iter().enumerate().filter(|&(_, &m)| m).map(|(j, _)| j);
+    for &j in a_match_idx.iter() {
+        if in_b_order.next() != Some(j) {
             transpositions += 1;
         }
     }
-    // a_match_idx is in a-order; b-order is `sorted`. Half-transpositions are
-    // positions where they differ.
     let t = transpositions as f64 / 2.0;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -86,7 +108,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro–Winkler similarity with the standard scaling factor 0.1 and prefix
 /// length capped at 4.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    jaro_winkler_with(&mut JaroScratch::default(), a, b)
+}
+
+/// [`jaro_winkler`] with caller-provided scratch buffers.
+pub fn jaro_winkler_with(s: &mut JaroScratch, a: &str, b: &str) -> f64 {
+    let j = jaro_with(s, a, b);
     let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }

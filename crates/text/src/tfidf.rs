@@ -6,6 +6,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use crate::bow::BagOfWords;
+use crate::intern::{Interner, Sym};
+use crate::sparse::{SparseCounts, SparseVec};
 
 /// Corpus-level document-frequency statistics for IDF computation.
 ///
@@ -75,6 +77,118 @@ pub fn cosine_of(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let dot: f64 = small.iter().filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb)).sum();
     dot.clamp(0.0, 1.0)
+}
+
+/// Document-frequency accumulator for an [`InternedCorpus`].
+///
+/// Works on *provisional* ids from an [`crate::intern::InternerBuilder`], so
+/// documents can be registered while the vocabulary is still growing;
+/// [`InternedCorpusBuilder::finalize`] remaps the statistics onto the frozen
+/// symbol table.
+#[derive(Debug, Default)]
+pub struct InternedCorpusBuilder {
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+    scratch: Vec<u32>,
+}
+
+impl InternedCorpusBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one document given as provisional token ids (duplicates
+    /// allowed; each distinct token counts once, like
+    /// [`TfIdfCorpus::add_document`] over a bag's token set).
+    pub fn add_document(&mut self, provisional: impl IntoIterator<Item = u32>) {
+        self.num_docs += 1;
+        self.scratch.clear();
+        self.scratch.extend(provisional);
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        for &id in &self.scratch {
+            if self.doc_freq.len() <= id as usize {
+                self.doc_freq.resize(id as usize + 1, 0);
+            }
+            self.doc_freq[id as usize] += 1;
+        }
+    }
+
+    /// Remap the accumulated statistics onto the finalized symbol table.
+    pub fn finalize(self, interner: &Interner) -> InternedCorpus {
+        let mut doc_freq = vec![0u32; interner.len()];
+        for (prov, &df) in self.doc_freq.iter().enumerate() {
+            doc_freq[interner.sym(prov as u32).0 as usize] = df;
+        }
+        InternedCorpus::from_doc_freq(doc_freq, self.num_docs)
+    }
+}
+
+/// Interned counterpart of [`TfIdfCorpus`]: document frequencies indexed by
+/// [`Sym`]. Weight vectors computed here are bit-identical to
+/// [`TfIdfCorpus::weight_vector`] over the same documents, because sorted
+/// symbol order equals sorted token order (see [`crate::intern`]).
+#[derive(Debug, Clone, Default)]
+pub struct InternedCorpus {
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+    /// IDF indexed by document frequency. `df` never exceeds `num_docs`, so
+    /// this table (`num_docs + 1` entries) replaces a `ln` call per token
+    /// with a lookup — the table entry is computed by the exact expression
+    /// [`InternedCorpus::idf_of_df`] uses, so weights are unchanged.
+    idf_by_df: Vec<f64>,
+}
+
+impl InternedCorpus {
+    /// Build directly from document frequencies indexed by final [`Sym`]
+    /// (callers that tally `df` over already-finalized bags, e.g. one corpus
+    /// per scoring group over a shared category vocabulary).
+    pub fn from_doc_freq(doc_freq: Vec<u32>, num_docs: u32) -> Self {
+        let idf_by_df = (0..=num_docs)
+            .map(|df| (((1 + num_docs) as f64) / ((1 + df) as f64)).ln() + 1.0)
+            .collect();
+        Self { doc_freq, num_docs, idf_by_df }
+    }
+
+    /// Number of registered documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of a symbol.
+    pub fn doc_freq(&self, s: Sym) -> u32 {
+        self.doc_freq.get(s.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Smoothed IDF of a symbol — the same formula as [`TfIdfCorpus::idf`].
+    pub fn idf(&self, s: Sym) -> f64 {
+        self.idf_of_df(self.doc_freq(s))
+    }
+
+    /// IDF for an explicit document frequency (used for out-of-vocabulary
+    /// query tokens, where `df = 0`).
+    pub fn idf_of_df(&self, df: u32) -> f64 {
+        match self.idf_by_df.get(df as usize) {
+            Some(&idf) => idf,
+            None => (((1 + self.num_docs) as f64) / ((1 + df) as f64)).ln() + 1.0,
+        }
+    }
+
+    /// L2-normalized TF-IDF vector of a count multiset. The norm accumulates
+    /// over entries in ascending symbol (= token) order, matching
+    /// [`TfIdfCorpus::weight_vector`]'s sorted-map iteration bit-for-bit.
+    pub fn weight_counts(&self, counts: &SparseCounts) -> SparseVec {
+        let mut entries: Vec<(Sym, f64)> =
+            counts.entries().iter().map(|&(s, c)| (s, c as f64 * self.idf(s))).collect();
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut entries {
+                *w /= norm;
+            }
+        }
+        SparseVec::from_sorted(entries)
+    }
 }
 
 #[cfg(test)]

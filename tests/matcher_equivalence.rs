@@ -1,0 +1,113 @@
+//! The inverted-index title matcher and the interned DUMAS scorer are pure
+//! optimizations: their outputs must be **byte-identical** to the exhaustive
+//! / string-path references, at every thread count.
+
+use product_synthesis::baselines::DumasMatcher;
+use product_synthesis::core::Offer;
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::synthesis::{ExtractingProvider, SpecProvider, TitleMatcher};
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        num_offers: 1_500,
+        num_merchants: 12,
+        leaf_categories_per_top: [2, 4, 1, 1],
+        products_per_category: 30,
+        ..WorldConfig::default()
+    })
+}
+
+/// Cache extracted specs so both matcher paths see identical inputs.
+fn cached_specs(world: &World) -> Vec<product_synthesis::core::Spec> {
+    let extracting = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+    world.offers.iter().map(|o| extracting.spec(o)).collect()
+}
+
+#[test]
+fn blocked_matcher_is_byte_identical_to_naive_scan() {
+    let world = world();
+    let specs = cached_specs(&world);
+    let matcher = TitleMatcher::new(&world.catalog);
+    let mut matched = 0usize;
+    for offer in &world.offers {
+        let spec = &specs[offer.id.index()];
+        let blocked = matcher.match_offer(offer, spec);
+        let naive = matcher.match_offer_naive(offer, spec);
+        match (&blocked, &naive) {
+            (None, None) => {}
+            (Some(b), Some(n)) => {
+                assert_eq!(b.product, n.product, "offer {:?}", offer.id);
+                assert_eq!(b.kind, n.kind, "offer {:?}", offer.id);
+                assert_eq!(
+                    b.similarity.to_bits(),
+                    n.similarity.to_bits(),
+                    "offer {:?}: blocked {} vs naive {}",
+                    offer.id,
+                    b.similarity,
+                    n.similarity
+                );
+                matched += 1;
+            }
+            _ => panic!("offer {:?}: blocked={blocked:?} naive={naive:?}", offer.id),
+        }
+    }
+    // The world is built so the matcher actually matches things; an
+    // all-`None` run would make the equivalence vacuous.
+    assert!(matched > 100, "only {matched} offers matched");
+}
+
+#[test]
+fn dumas_interned_path_matches_string_reference() {
+    let world = world();
+    let specs = cached_specs(&world);
+    let provider =
+        product_synthesis::synthesis::FnProvider(|o: &Offer| specs[o.id.index()].clone());
+    let dumas = DumasMatcher::default();
+    let fast = dumas.score_candidates(&world.catalog, &world.offers, &world.historical, &provider);
+    let reference = dumas.score_candidates_reference(
+        &world.catalog,
+        &world.offers,
+        &world.historical,
+        &provider,
+    );
+    assert_eq!(fast.len(), reference.len());
+    for (f, r) in fast.iter().zip(&reference) {
+        assert_eq!(f.catalog_attribute, r.catalog_attribute);
+        assert_eq!(f.merchant_attribute, r.merchant_attribute);
+        assert_eq!(f.merchant, r.merchant);
+        assert_eq!(f.category, r.category);
+        assert_eq!(f.is_name_identity, r.is_name_identity);
+        assert_eq!(f.score.to_bits(), r.score.to_bits(), "{f:?} vs {r:?}");
+    }
+    assert!(!fast.is_empty());
+}
+
+#[test]
+fn matcher_outputs_identical_across_thread_counts() {
+    let world = world();
+    let specs = cached_specs(&world);
+    let run = || {
+        let matcher = TitleMatcher::new(&world.catalog);
+        let matches: Vec<_> = world
+            .offers
+            .iter()
+            .filter_map(|o| matcher.match_offer(o, &specs[o.id.index()]))
+            .map(|m| (m.offer, m.product, m.similarity.to_bits(), m.kind))
+            .collect();
+        let provider =
+            product_synthesis::synthesis::FnProvider(|o: &Offer| specs[o.id.index()].clone());
+        let dumas = DumasMatcher::default()
+            .score_candidates(&world.catalog, &world.offers, &world.historical, &provider)
+            .into_iter()
+            .map(|c| format!("{:?}:{}", c, c.score.to_bits()))
+            .collect::<Vec<_>>();
+        (matches, dumas)
+    };
+    let (m1, d1) = pse_par::with_threads(1, run);
+    let (m2, d2) = pse_par::with_threads(2, run);
+    let (m4, d4) = pse_par::with_threads(4, run);
+    assert_eq!(m1, m2);
+    assert_eq!(m1, m4);
+    assert_eq!(d1, d2);
+    assert_eq!(d1, d4);
+}
