@@ -13,6 +13,17 @@
 //!   incremental  replay the Table-2 corpus through the persistent store
 //!                in --batches batches (default 4); per-batch latency is
 //!                merged into BENCH_par.json under "incremental"
+//!   serve     ingest half the Table-2 corpus into a sharded store
+//!             (--shards, default 4), serve it over HTTP on --addr
+//!             (default 127.0.0.1:0), write the bound address to
+//!             --port-file plus driving materials (serve_batch.json,
+//!             serve_queries.txt) under --out, and block until a client
+//!             POSTs /shutdown — the CI serving smoke
+//!   serve-bench  closed-loop load generator: --workers K client threads
+//!                (default 4) issue --requests N point lookups (default
+//!                2000) against servers at 1/2/4/8 shards (--shards
+//!                a,b,c); p50/p99 latency and throughput are merged into
+//!                BENCH_par.json under "serve"
 //!   fig6      classifier vs single-feature baselines (Figure 6)
 //!   fig7      with vs without historical matches (Figure 7)
 //!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
@@ -40,9 +51,10 @@ use std::process::ExitCode;
 
 use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
-    ablation_measures, build_world, curves_csv, extension_name_features, fig6, fig7, fig8, fig9,
-    render_curves, render_incremental, run_end_to_end, run_incremental, table2, table3, table4,
-    verify_blocking, EndToEnd, IncrementalRun, Scale,
+    ablation_measures, build_world, curves_csv, embedded_spec_provider, extension_name_features,
+    fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_serve_bench,
+    run_end_to_end, run_incremental, run_serve_bench, serve_corpus, table2, table3, table4,
+    verify_blocking, EndToEnd, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -50,7 +62,7 @@ use pse_eval::correspondence::LabeledCurve;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -90,7 +102,7 @@ fn main() -> ExitCode {
     let run = |name: &str, world: &World| -> bool {
         let t = std::time::Instant::now();
         let _obs = pse_obs::span(&format!("experiments.{name}"));
-        let mut ok = dispatch(name, world, &out_dir, quiet, batches);
+        let mut ok = dispatch(name, world, &out_dir, quiet, batches, rest);
         if ok && name == "fig8" && audit_blocking {
             ok = run_blocking_audit(world);
         }
@@ -188,16 +200,33 @@ fn e2e_cached(world: &World) -> &'static EndToEnd {
     CACHE.get_or_init(|| run_end_to_end(world))
 }
 
-fn dispatch(cmd: &str, world: &World, out_dir: &PathBuf, quiet: bool, batches: usize) -> bool {
+fn dispatch(
+    cmd: &str,
+    world: &World,
+    out_dir: &PathBuf,
+    quiet: bool,
+    batches: usize,
+    args: &[String],
+) -> bool {
     match cmd {
         "incremental" => {
             let run = run_incremental(world, batches);
             println!("{}", render_incremental(&run));
-            merge_incremental_into_bench_json(&run, quiet);
+            merge_into_bench_json("incremental", &run, quiet);
             if !run.equal {
                 eprintln!("error: incremental store diverged from one-shot process");
             }
             run.equal
+        }
+        "serve" => run_serve(world, out_dir, quiet, args),
+        "serve-bench" => {
+            let workers = flag_value(args, "--workers").unwrap_or(4);
+            let requests = flag_value(args, "--requests").unwrap_or(2000);
+            let shard_counts = shard_list(args).unwrap_or_else(|| vec![1, 2, 4, 8]);
+            let run = run_serve_bench(world, workers, requests, &shard_counts);
+            println!("{}", render_serve_bench(&run));
+            merge_into_bench_json("serve", &run, quiet);
+            true
         }
         "table2" => {
             println!("{}", table2(world, e2e_cached(world)));
@@ -301,11 +330,65 @@ fn figure(
     true
 }
 
-/// Merge the incremental replay results into `BENCH_par.json` at the
-/// workspace root, preserving whatever the Criterion benches wrote there
-/// (the `paths` speedup table and its provenance header).
-fn merge_incremental_into_bench_json(run: &IncrementalRun, quiet: bool) {
-    use serde::{Serialize, Value};
+/// The CI serving smoke: pre-ingest half the corpus into a sharded store,
+/// serve it, write the bound address and driving materials for the client
+/// side, and block until a client POSTs /shutdown.
+fn run_serve(world: &World, out_dir: &PathBuf, quiet: bool, args: &[String]) -> bool {
+    let shards = flag_value(args, "--shards").unwrap_or(4);
+    let addr = string_flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let sc = serve_corpus(world);
+    let (pre, rest) = sc.corpus.split_at(sc.corpus.len() / 2);
+    let store = pse_serve::ShardedStore::new(sc.correspondences.clone(), shards);
+    store.ingest(&world.catalog, pre, &embedded_spec_provider());
+    let config = pse_serve::ServerConfig {
+        addr,
+        snapshot_path: Some(out_dir.join("serve.snapshot.json")),
+        ..Default::default()
+    };
+    let handle = match pse_serve::start(store, world.catalog.clone(), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return false;
+        }
+    };
+
+    // Materials for the driving client: a second-half ingest batch and the
+    // point-lookup paths of everything already served.
+    let batch = serde_json::to_string(&rest.to_vec()).expect("offers serialize");
+    let queries = query_paths(handle.store()).join("\n") + "\n";
+    if let Err(e) = std::fs::create_dir_all(out_dir)
+        .and_then(|_| std::fs::write(out_dir.join("serve_batch.json"), batch))
+        .and_then(|_| std::fs::write(out_dir.join("serve_queries.txt"), queries))
+    {
+        eprintln!("warning: could not write serve materials under {}: {e}", out_dir.display());
+    }
+    let bound = handle.addr().to_string();
+    if let Some(port_file) = string_flag(args, "--port-file") {
+        if let Err(e) = std::fs::write(&port_file, &bound) {
+            eprintln!("error: cannot write {port_file}: {e}");
+            let _ = handle.shutdown();
+            return false;
+        }
+    }
+    if !quiet {
+        eprintln!("# serving {shards} shards at {bound}; POST /shutdown to stop");
+    }
+    handle.wait_for_stop();
+    match handle.shutdown() {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("error: shutdown failed: {e}");
+            false
+        }
+    }
+}
+
+/// Merge one experiment's results into `BENCH_par.json` at the workspace
+/// root under `key`, preserving whatever else is there (the Criterion
+/// `paths` speedup table, its provenance header, other experiments).
+fn merge_into_bench_json<T: serde::Serialize>(key: &str, run: &T, quiet: bool) {
+    use serde::Value;
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
     let mut fields: Vec<(String, Value)> = match std::fs::read_to_string(path)
         .ok()
@@ -318,21 +401,43 @@ fn merge_incremental_into_bench_json(run: &IncrementalRun, quiet: bool) {
         ],
     };
     let entry = run.to_value();
-    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "incremental") {
+    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
         slot.1 = entry;
     } else {
-        fields.push(("incremental".to_string(), entry));
+        fields.push((key.to_string(), entry));
     }
     let out = serde_json::to_string_pretty(&Value::Object(fields))
         .expect("bench json serialization is infallible");
     match std::fs::write(path, out + "\n") {
         Ok(()) => {
             if !quiet {
-                eprintln!("# incremental results merged into {path}");
+                eprintln!("# {key} results merged into {path}");
             }
         }
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
+}
+
+/// The value after a `--flag`, parsed, or `None` when absent/unparsable.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    string_flag(args, flag).and_then(|v| v.parse().ok())
+}
+
+fn string_flag(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+    }
+    None
+}
+
+/// `--shards a,b,c` as a list (serve-bench); `None` when absent.
+fn shard_list(args: &[String]) -> Option<Vec<usize>> {
+    let raw = string_flag(args, "--shards")?;
+    let parsed: Vec<usize> = raw.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+    (!parsed.is_empty()).then_some(parsed)
 }
 
 fn batches(args: &[String]) -> usize {

@@ -52,6 +52,12 @@ const MATCH_COUNTERS: [&str; 2] = ["match.block.candidates", "match.block.skippe
 /// needs a Jaro–Winkler probe.
 const SOFTTFIDF_COUNTERS: [&str; 2] = ["softtfidf.jw_memo_hit", "softtfidf.jw_memo_miss"];
 
+/// Counters a run that exercised the HTTP serving layer (any `serve.*`
+/// span present) must additionally emit — the server seeds them at start,
+/// so even an all-200 run reports its 503/error counters at zero.
+const SERVE_COUNTERS: [&str; 4] =
+    ["serve.requests", "serve.http_200", "serve.backpressure_503", "serve.io_error"];
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -111,7 +117,8 @@ fn check(v: &Value) -> Vec<String> {
     let store_ran = span_paths.iter().any(|p| p.contains("store."));
     let match_ran = span_paths.iter().any(|p| p.contains("match.bootstrap"));
     let dumas_ran = span_paths.iter().any(|p| p.contains("baselines.dumas"));
-    check_counters(v, store_ran, match_ran, dumas_ran, &mut errs);
+    let serve_ran = span_paths.iter().any(|p| p.contains("serve."));
+    check_counters(v, store_ran, match_ran, dumas_ran, serve_ran, &mut errs);
     check_histograms(v, &mut errs);
     check_timelines(v, &mut errs);
     errs
@@ -177,6 +184,7 @@ fn check_counters(
     store_ran: bool,
     match_ran: bool,
     dumas_ran: bool,
+    serve_ran: bool,
     errs: &mut Vec<String>,
 ) {
     let counters = array(v, "counters", errs).to_vec();
@@ -195,6 +203,7 @@ fn check_counters(
         (store_ran, "store", &STORE_COUNTERS[..]),
         (match_ran, "match.bootstrap", &MATCH_COUNTERS[..]),
         (dumas_ran, "baselines.dumas", &SOFTTFIDF_COUNTERS[..]),
+        (serve_ran, "serve", &SERVE_COUNTERS[..]),
     ];
     for (ran, what, required_set) in conditional {
         if !ran {
@@ -435,6 +444,19 @@ mod tests {
             SOFTTFIDF_COUNTERS
                 .iter()
                 .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // And for the HTTP serving layer: a serve span without the seeded
+        // request/backpressure counters is an error.
+        let mut r = with_span("serve.request");
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter serve.requests missing")));
+        assert!(errs.iter().any(|e| e.contains("counter serve.backpressure_503 missing")));
+        r.counters.extend(
+            SERVE_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
         );
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());

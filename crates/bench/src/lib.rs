@@ -9,9 +9,14 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod serve_bench;
 
 pub use experiments::*;
-pub use scale::Scale;
+pub use scale::{ArgsError, Scale};
+pub use serve_bench::{
+    embedded_spec_provider, query_paths, render_serve_bench, run_serve_bench, serve_corpus,
+    ServeBenchRow, ServeBenchRun, ServeCorpus,
+};
 
 use pse_core::Offer;
 use pse_datagen::World;

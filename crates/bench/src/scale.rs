@@ -7,6 +7,40 @@
 
 use pse_datagen::WorldConfig;
 
+/// Why experiment arguments failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A value-taking flag appeared last with nothing after it.
+    MissingValue(String),
+    /// A value that did not parse, with the reason.
+    Invalid {
+        /// The offending input.
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A `--flag` no subcommand recognizes.
+    UnknownFlag(String),
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingValue(flag) => write!(f, "missing value for {flag}"),
+            Self::Invalid { input, reason } => write!(f, "cannot parse {input:?}: {reason}"),
+            Self::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl From<ArgsError> for String {
+    fn from(e: ArgsError) -> String {
+        e.to_string()
+    }
+}
+
 /// Scale knobs resolved from CLI arguments.
 #[derive(Debug, Clone)]
 pub struct Scale {
@@ -55,14 +89,16 @@ impl Scale {
     /// Recognized keys: `--offers`, `--merchants`, `--seed`,
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
     /// `--smoke`. The binary-level flags `--out DIR`, `--batches N`,
-    /// `--quiet`, `--obs` and `--verify-blocking` are accepted and ignored
-    /// here.
-    pub fn from_args(args: &[String]) -> Result<Self, String> {
+    /// `--workers N`, `--shards a,b,c`, `--requests N`, `--addr A`,
+    /// `--port-file P`, `--quiet`, `--obs` and `--verify-blocking` are
+    /// accepted and ignored here.
+    pub fn from_args(args: &[String]) -> Result<Self, ArgsError> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
-            let mut take = || it.next().cloned().ok_or_else(|| format!("missing value for {arg}"));
+            let mut take =
+                || it.next().cloned().ok_or_else(|| ArgsError::MissingValue(arg.clone()));
             match arg.as_str() {
                 "--offers" => scale.offers = parse(&take()?)?,
                 "--merchants" => scale.merchants = parse(&take()?)?,
@@ -74,16 +110,20 @@ impl Scale {
                     let parts: Vec<usize> =
                         v.split(',').map(parse::<usize>).collect::<Result<_, _>>()?;
                     if parts.len() != 4 {
-                        return Err("--leaves needs 4 comma-separated counts".into());
+                        return Err(ArgsError::Invalid {
+                            input: v,
+                            reason: "--leaves needs 4 comma-separated counts".into(),
+                        });
                     }
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
                 "--smoke" | "--quiet" | "--obs" | "--verify-blocking" => {}
-                "--out" | "--batches" => {
+                "--out" | "--batches" | "--workers" | "--shards" | "--requests" | "--addr"
+                | "--port-file" => {
                     take()?; // consumed by the binary, not the scale
                 }
                 other if other.starts_with("--") => {
-                    return Err(format!("unknown flag {other}"));
+                    return Err(ArgsError::UnknownFlag(other.to_string()));
                 }
                 _ => {}
             }
@@ -112,11 +152,11 @@ impl Scale {
     }
 }
 
-fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, ArgsError>
 where
     T::Err: std::fmt::Display,
 {
-    s.parse().map_err(|e| format!("cannot parse {s:?}: {e}"))
+    s.parse().map_err(|e| ArgsError::Invalid { input: s.to_string(), reason: format!("{e}") })
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! Serving-layer drivers: corpus/session plumbing for the `experiments
+//! serve` smoke target and the closed-loop `serve-bench` load generator
+//! whose p50/p99 latency and throughput per shard count are merged into
+//! `BENCH_par.json` under `"serve"`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use pse_core::{CorrespondenceSet, Offer, Spec};
+use pse_datagen::World;
+use pse_eval::report::TextTable;
+use pse_serve::{http_request, ServerConfig, ShardedStore};
+use pse_synthesis::{FnProvider, OfflineLearner, SpecProvider};
+use serde::{Deserialize, Serialize};
+
+/// Offers left unmatched by history with their extracted specifications
+/// materialized into `offer.spec` — the wire format `POST /ingest` uses
+/// (the server's provider reads the embedded spec, since landing pages
+/// are not available on the other side of an HTTP boundary).
+pub struct ServeCorpus {
+    /// Correspondences learned from the world's historical matches.
+    pub correspondences: CorrespondenceSet,
+    /// Unmatched offers with embedded specs, in world order.
+    pub corpus: Vec<Offer>,
+}
+
+/// Build the serving corpus via the honest HTML extraction path.
+pub fn serve_corpus(world: &World) -> ServeCorpus {
+    let provider = crate::html_provider(world);
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let corpus = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .map(|o| Offer { spec: provider.spec(o), ..o.clone() })
+        .collect();
+    ServeCorpus { correspondences: offline.correspondences, corpus }
+}
+
+/// The provider paired with embedded-spec offers on the serving side.
+pub fn embedded_spec_provider() -> FnProvider<impl Fn(&Offer) -> Spec + Sync> {
+    FnProvider(|o: &Offer| o.spec.clone())
+}
+
+/// A point-lookup path for every product currently served, in store
+/// order — the request mix for smokes and the load generator.
+pub fn query_paths(store: &ShardedStore) -> Vec<String> {
+    store
+        .products()
+        .iter()
+        .map(|p| {
+            format!(
+                "/product?category={}&attr={}&key={}",
+                p.category.0,
+                encode_query_value(&p.key_attribute),
+                encode_query_value(&p.key_value)
+            )
+        })
+        .collect()
+}
+
+/// Percent-encode one query value (everything but unreserved characters).
+fn encode_query_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+                out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+            }
+        }
+    }
+    out
+}
+
+/// One shard count's closed-loop measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchRow {
+    /// Shard count the store ran with.
+    pub shards: usize,
+    /// Requests that completed with HTTP 200.
+    pub requests: usize,
+    /// Requests that failed or returned a non-200 status.
+    pub errors: usize,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// Result of the closed-loop load run across shard counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchRun {
+    /// Concurrent client threads (and server worker threads).
+    pub workers: usize,
+    /// Requests issued per shard count.
+    pub requests_per_shard_count: usize,
+    /// Distinct products behind the query mix.
+    pub products: usize,
+    /// One row per shard count.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+/// Closed-loop load generation: for each shard count, ingest the whole
+/// corpus, start a server on an ephemeral port, and hammer it with
+/// `workers` client threads issuing point lookups until `requests`
+/// requests have been issued.
+pub fn run_serve_bench(
+    world: &World,
+    workers: usize,
+    requests: usize,
+    shard_counts: &[usize],
+) -> ServeBenchRun {
+    let workers = workers.max(1);
+    let sc = serve_corpus(world);
+    let mut rows = Vec::new();
+    let mut products = 0;
+    for &shards in shard_counts {
+        let store = ShardedStore::new(sc.correspondences.clone(), shards);
+        store.ingest(&world.catalog, &sc.corpus, &embedded_spec_provider());
+        let paths = query_paths(&store);
+        assert!(!paths.is_empty(), "serve-bench world must synthesize at least one product");
+        products = paths.len();
+        let config = ServerConfig { workers, ..ServerConfig::default() };
+        let handle = pse_serve::start(store, world.catalog.clone(), config)
+            .expect("serve-bench server starts");
+        let addr = handle.addr().to_string();
+        let next = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut lat = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests {
+                                break;
+                            }
+                            let path = &paths[i % paths.len()];
+                            let t = Instant::now();
+                            match http_request(&addr, "GET", path, None) {
+                                Ok((200, _)) => lat.push(t.elapsed().as_micros() as u64),
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            joins.into_iter().flat_map(|j| j.join().expect("load worker joins")).collect()
+        });
+        let wall = t0.elapsed();
+        handle.shutdown().expect("serve-bench server stops");
+        latencies.sort_unstable();
+        rows.push(ServeBenchRow {
+            shards,
+            requests: latencies.len(),
+            errors: errors.into_inner(),
+            p50_us: percentile(&latencies, 50),
+            p99_us: percentile(&latencies, 99),
+            throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+    ServeBenchRun { workers, requests_per_shard_count: requests, products, rows }
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        n => sorted[(n - 1) * pct / 100],
+    }
+}
+
+/// Render the load run as a text table.
+pub fn render_serve_bench(run: &ServeBenchRun) -> String {
+    let mut t = TextTable::new([
+        "Shards",
+        "Requests",
+        "Errors",
+        "p50 (us)",
+        "p99 (us)",
+        "Throughput (rps)",
+    ]);
+    for r in &run.rows {
+        t.row([
+            r.shards.to_string(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            format!("{:.0}", r.throughput_rps),
+        ]);
+    }
+    format!(
+        "Serving: closed-loop load, {} client threads, {} products\n{}",
+        run.workers,
+        run.products,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_values_are_percent_encoded() {
+        assert_eq!(encode_query_value("abc-123"), "abc-123");
+        assert_eq!(encode_query_value("a b&c=d"), "a%20b%26c%3Dd");
+    }
+
+    #[test]
+    fn percentiles_on_small_samples() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[5], 50), 5);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+    }
+}

@@ -102,16 +102,16 @@ impl WorldConfig {
         self.leaf_categories_per_top.iter().sum()
     }
 
-    /// Basic sanity checks; returns a description of the first problem.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Basic sanity checks; reports the first problem as a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.total_leaves() == 0 {
-            return Err("world must have at least one leaf category".into());
+            return Err(ConfigError::NoLeafCategories);
         }
         if self.products_per_category == 0 {
-            return Err("products_per_category must be positive".into());
+            return Err(ConfigError::ZeroProductsPerCategory);
         }
         if self.num_merchants == 0 {
-            return Err("num_merchants must be positive".into());
+            return Err(ConfigError::ZeroMerchants);
         }
         for (name, v) in [
             ("merchant_category_coverage", self.merchant_category_coverage),
@@ -125,10 +125,49 @@ impl WorldConfig {
             ("merchant_brand_coverage", self.merchant_brand_coverage),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be in [0, 1], got {v}"));
+                return Err(ConfigError::ProbabilityOutOfRange { name, value: v });
             }
         }
         Ok(())
+    }
+}
+
+/// Why a [`WorldConfig`] failed [`WorldConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Every top-level category has zero leaves.
+    NoLeafCategories,
+    /// `products_per_category` is zero.
+    ZeroProductsPerCategory,
+    /// `num_merchants` is zero.
+    ZeroMerchants,
+    /// A probability knob is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which knob.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoLeafCategories => write!(f, "world must have at least one leaf category"),
+            Self::ZeroProductsPerCategory => write!(f, "products_per_category must be positive"),
+            Self::ZeroMerchants => write!(f, "num_merchants must be positive"),
+            Self::ProbabilityOutOfRange { name, value } => {
+                write!(f, "{name} must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
     }
 }
 

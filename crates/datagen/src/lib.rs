@@ -38,7 +38,7 @@ pub mod truth;
 pub mod value;
 pub mod world;
 
-pub use config::WorldConfig;
+pub use config::{ConfigError, WorldConfig};
 pub use page::render_landing_page;
 pub use truth::GroundTruth;
 pub use world::World;

@@ -49,7 +49,7 @@ pub mod report;
 mod sink;
 
 pub use report::{
-    BucketEntry, ChunkSummary, CounterEntry, HistogramSummary, ObsReport, SpanSummary,
+    BucketEntry, ChunkSummary, CounterEntry, HistogramSummary, ObsReport, ReportError, SpanSummary,
     TimelineGroup, SCHEMA_VERSION,
 };
 

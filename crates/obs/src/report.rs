@@ -148,6 +148,81 @@ pub struct ObsReport {
     pub timelines: Vec<TimelineGroup>,
 }
 
+/// An internal inconsistency found by [`ObsReport::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A span aggregate with a zero call count.
+    SpanZeroCount {
+        /// Span path.
+        path: String,
+    },
+    /// A span whose min/max/total timings are mutually inconsistent.
+    SpanTimings {
+        /// Span path.
+        path: String,
+        /// Minimum recorded duration.
+        min_ns: u64,
+        /// Maximum recorded duration.
+        max_ns: u64,
+        /// Total recorded duration.
+        total_ns: u64,
+    },
+    /// Histogram bucket counts do not sum to the histogram count.
+    HistogramBucketSum {
+        /// Histogram name.
+        name: String,
+        /// Sum over the buckets.
+        bucket_total: u64,
+        /// The histogram's own count.
+        count: u64,
+    },
+    /// A non-empty histogram whose min exceeds its max.
+    HistogramMinMax {
+        /// Histogram name.
+        name: String,
+        /// Recorded minimum.
+        min: u64,
+        /// Recorded maximum.
+        max: u64,
+    },
+    /// A bucket boundary not in [`BUCKET_BOUNDS`].
+    HistogramUnknownBoundary {
+        /// Histogram name.
+        name: String,
+        /// The offending boundary.
+        boundary: u64,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SpanZeroCount { path } => write!(f, "span {path}: zero count"),
+            Self::SpanTimings { path, min_ns, max_ns, total_ns } => write!(
+                f,
+                "span {path}: inconsistent timings min={min_ns} max={max_ns} total={total_ns}"
+            ),
+            Self::HistogramBucketSum { name, bucket_total, count } => {
+                write!(f, "histogram {name}: buckets sum to {bucket_total}, count is {count}")
+            }
+            Self::HistogramMinMax { name, min, max } => {
+                write!(f, "histogram {name}: min {min} > max {max}")
+            }
+            Self::HistogramUnknownBoundary { name, boundary } => {
+                write!(f, "histogram {name}: unknown boundary {boundary}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<ReportError> for String {
+    fn from(e: ReportError) -> String {
+        e.to_string()
+    }
+}
+
 impl ObsReport {
     /// Serialize as pretty-printed JSON (the `OBS_REPORT.json` format).
     pub fn to_json(&self) -> String {
@@ -174,32 +249,42 @@ impl ObsReport {
     /// spans. (`u64` fields cannot encode NaN or negatives; the JSON-level
     /// validator in `obs_check` additionally rejects reports whose raw
     /// numbers are not non-negative integers.)
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ReportError> {
         for s in &self.spans {
             if s.count == 0 {
-                return Err(format!("span {}: zero count", s.path));
+                return Err(ReportError::SpanZeroCount { path: s.path.clone() });
             }
             if s.min_ns > s.max_ns || s.max_ns > s.total_ns {
-                return Err(format!(
-                    "span {}: inconsistent timings min={} max={} total={}",
-                    s.path, s.min_ns, s.max_ns, s.total_ns
-                ));
+                return Err(ReportError::SpanTimings {
+                    path: s.path.clone(),
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                    total_ns: s.total_ns,
+                });
             }
         }
         for h in &self.histograms {
             let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
             if bucket_total != h.count {
-                return Err(format!(
-                    "histogram {}: buckets sum to {bucket_total}, count is {}",
-                    h.name, h.count
-                ));
+                return Err(ReportError::HistogramBucketSum {
+                    name: h.name.clone(),
+                    bucket_total,
+                    count: h.count,
+                });
             }
             if h.count > 0 && h.min > h.max {
-                return Err(format!("histogram {}: min {} > max {}", h.name, h.min, h.max));
+                return Err(ReportError::HistogramMinMax {
+                    name: h.name.clone(),
+                    min: h.min,
+                    max: h.max,
+                });
             }
             for b in &h.buckets {
                 if b.le != 0 && !BUCKET_BOUNDS.contains(&b.le) {
-                    return Err(format!("histogram {}: unknown boundary {}", h.name, b.le));
+                    return Err(ReportError::HistogramUnknownBoundary {
+                        name: h.name.clone(),
+                        boundary: b.le,
+                    });
                 }
             }
         }

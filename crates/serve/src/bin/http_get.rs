@@ -1,0 +1,60 @@
+//! Minimal curl stand-in for smokes and CI: `http_get METHOD URL [BODY]`.
+//!
+//! `BODY` of `@path` reads the body from a file. Prints the response body
+//! to stdout; exits 0 on 2xx, 3 otherwise, 2 on usage/transport errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (method, url, body_arg) = match args.as_slice() {
+        [method, url] => (method.as_str(), url.as_str(), None),
+        [method, url, body] => (method.as_str(), url.as_str(), Some(body.as_str())),
+        _ => {
+            eprintln!("usage: http_get METHOD http://host:port/path [BODY|@bodyfile]");
+            return ExitCode::from(2);
+        }
+    };
+    let Some((addr, path)) = split_url(url) else {
+        eprintln!("http_get: cannot parse url {url:?} (expected http://host:port/path)");
+        return ExitCode::from(2);
+    };
+    let body = match body_arg {
+        Some(spec) if spec.starts_with('@') => match std::fs::read_to_string(&spec[1..]) {
+            Ok(contents) => Some(contents),
+            Err(e) => {
+                eprintln!("http_get: cannot read body file {}: {e}", &spec[1..]);
+                return ExitCode::from(2);
+            }
+        },
+        Some(inline) => Some(inline.to_string()),
+        None => None,
+    };
+    match pse_serve::http_request(&addr, method, &path, body.as_deref()) {
+        Ok((status, response_body)) => {
+            print!("{response_body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("http_get: {method} {url} -> {status}");
+                ExitCode::from(3)
+            }
+        }
+        Err(e) => {
+            eprintln!("http_get: {method} {url} failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn split_url(url: &str) -> Option<(String, String)> {
+    let rest = url.strip_prefix("http://")?;
+    let (addr, path) = match rest.split_once('/') {
+        Some((addr, path)) => (addr, format!("/{path}")),
+        None => (rest, "/".to_string()),
+    };
+    if addr.is_empty() {
+        return None;
+    }
+    Some((addr.to_string(), path))
+}

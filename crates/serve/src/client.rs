@@ -1,0 +1,91 @@
+//! A tiny blocking HTTP/1.1 client for tests, smokes, and the load
+//! generator: one request per connection, mirroring the server's
+//! `Connection: close` model.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// Issue one request to `addr` (`host:port`) and return
+/// `(status, body)`. `body` of `Some(..)` sends a `Content-Length` body
+/// (used with POST).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), ServeError> {
+    http_request_timeout(addr, method, path, body, Duration::from_secs(10))
+}
+
+/// [`http_request`] with an explicit per-socket timeout.
+pub fn http_request_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A server that rejects early (413/503) may respond and close before
+    // reading everything we send; treat a failed write as "the response
+    // may already be waiting" and attempt the read regardless.
+    let _ = stream.write_all(request.as_bytes());
+    let _ = stream.flush();
+    let mut raw = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        // Keep a partial response if one arrived before the error (an
+        // early close can RST away the tail but leave the status line).
+        if raw.is_empty() {
+            return Err(e.into());
+        }
+    }
+    let response = String::from_utf8_lossy(&raw);
+    parse_response(&response)
+}
+
+/// Split a raw response into status code and body.
+pub fn parse_response(response: &str) -> Result<(u16, String), ServeError> {
+    let status_line = response
+        .lines()
+        .next()
+        .ok_or_else(|| ServeError::BadResponse("empty response".to_string()))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ServeError::BadResponse(format!("bad status line {status_line:?}")))?;
+    let body = match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("").is_err());
+        assert!(parse_response("garbage with no status").is_err());
+    }
+}

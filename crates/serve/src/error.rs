@@ -1,0 +1,66 @@
+//! Typed errors for the serving layer.
+
+use pse_store::StoreError;
+
+/// Why a serve-layer operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The client sent something that is not a well-formed HTTP/1.1
+    /// request, or a body that is not valid JSON for the endpoint.
+    BadRequest(String),
+    /// The request body exceeded the configured size cap.
+    RequestTooLarge {
+        /// Bytes the client tried to send (as far as we read).
+        got: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// An underlying store operation failed (snapshot restore, …).
+    Store(StoreError),
+    /// The server did not respond with a parseable HTTP status line.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::RequestTooLarge { got, cap } => {
+                write!(f, "request too large: {got} bytes exceeds cap of {cap}")
+            }
+            Self::Store(e) => write!(f, "store error: {e}"),
+            Self::BadResponse(msg) => write!(f, "bad response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<ServeError> for String {
+    fn from(e: ServeError) -> String {
+        e.to_string()
+    }
+}

@@ -1,0 +1,263 @@
+//! A minimal HTTP/1.1 subset on blocking sockets: enough to parse one
+//! request per connection (`Connection: close` semantics) and write one
+//! response. No external dependencies, no chunked encoding, no keep-alive
+//! — every malformed input becomes a typed error the server maps to a 4xx
+//! instead of a worker panic.
+
+use std::io::{Read, Write};
+
+use crate::error::ServeError;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client, not normalized here).
+    pub method: String,
+    /// Path without the query string, percent-decoded per segment? No —
+    /// kept verbatim; cluster keys are normalized alphanumerics, so the
+    /// router only percent-decodes query values.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one request from the stream, enforcing `max_bytes` over header +
+/// body. Returns `RequestTooLarge` past the cap and `BadRequest` for
+/// anything that does not parse.
+pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request, ServeError> {
+    // Read until the blank line ending the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_bytes {
+            return Err(ServeError::RequestTooLarge { got: buf.len(), cap: max_bytes });
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed mid-header".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let header_text = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ServeError::BadRequest("header block is not UTF-8".into()))?
+        .to_string();
+    let mut lines = header_text.split("\r\n");
+    let request_line =
+        lines.next().ok_or_else(|| ServeError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ServeError::BadRequest("missing method".into()))?
+        .to_string();
+    let target =
+        parts.next().ok_or_else(|| ServeError::BadRequest("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ServeError::BadRequest("missing or unsupported HTTP version".into())),
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::BadRequest(format!("malformed header line {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ServeError::BadRequest("unparseable Content-Length".into()))?;
+        }
+    }
+
+    let body_start = header_end + 4; // past "\r\n\r\n"
+    if body_start.saturating_add(content_length) > max_bytes {
+        return Err(ServeError::RequestTooLarge {
+            got: body_start + content_length,
+            cap: max_bytes,
+        });
+    }
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Ok(Request { method, path, query, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decode a query string into pairs; `+` becomes space, `%XX` is decoded,
+/// undecodable sequences are kept verbatim.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    match b {
+        Some(c @ b'0'..=b'9') => Some(c - b'0'),
+        Some(c @ b'a'..=b'f') => Some(c - b'a' + 10),
+        Some(c @ b'A'..=b'F') => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(raw: &[u8]) -> Result<Request, ServeError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()), 4096)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = req(b"GET /product?category=3&attr=MPN&key=abc%20123 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/product");
+        assert_eq!(r.query_param("category"), Some("3"));
+        assert_eq!(r.query_param("key"), Some("abc 123"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = req(b"POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(matches!(req(b"\r\n\r\n"), Err(ServeError::BadRequest(_))));
+        assert!(matches!(req(b"GET /x\r\n\r\n"), Err(ServeError::BadRequest(_))));
+        assert!(matches!(req(b"GET /x SPDY/9\r\n\r\n"), Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn body_over_cap_is_too_large() {
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 10000\r\n\r\n";
+        let err = read_request(&mut std::io::Cursor::new(raw.to_vec()), 256).unwrap_err();
+        assert!(matches!(err, ServeError::RequestTooLarge { .. }));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b%2Fc"), "a b/c");
+        assert_eq!(percent_decode("100%"), "100%", "trailing percent kept verbatim");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex kept verbatim");
+    }
+
+    #[test]
+    fn response_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

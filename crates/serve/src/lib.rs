@@ -1,0 +1,34 @@
+//! Serving layer for the product store: the paper's Product Search
+//! Engine answers live queries while merchants stream offers in (PVLDB
+//! 4(7), Fig. 4); this crate puts the incremental [`pse_store`] behind a
+//! concurrent, sharded HTTP front — with zero external dependencies.
+//!
+//! Two layers:
+//!
+//! * **[`ShardedStore`]** — the cluster map partitioned by FNV-1a hash of
+//!   `(category, key attribute, normalized key value)` into `N` shards,
+//!   each behind its own `RwLock`. Reads take shared locks; an ingest
+//!   batch is reconciled once, partitioned, and re-fused per shard in
+//!   parallel via `pse-par`. All outputs (products, snapshots) are
+//!   byte-identical to a single [`pse_store::ProductStore`] fed the same
+//!   stream — see the `shard` module docs for why.
+//! * **[`server`]** — an HTTP/1.1 server on `std::net::TcpListener` with
+//!   a fixed worker pool and a bounded accept queue (503 on overload),
+//!   serving `GET /products/{category}`, `GET /product?...`,
+//!   `POST /ingest`, `POST /retract`, `GET /metrics`, `GET /healthz`,
+//!   and `POST /shutdown`; per-connection timeouts, a request-size cap,
+//!   panic-isolated handlers, and graceful drain + snapshot flush.
+//!
+//! The [`client`] module holds the matching minimal blocking client used
+//! by tests, the `http_get` bin, and the `serve-bench` load generator.
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod shard;
+
+pub use client::{http_request, http_request_timeout};
+pub use error::ServeError;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use shard::{shard_of, ShardedStore};

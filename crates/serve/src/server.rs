@@ -1,0 +1,364 @@
+//! The HTTP front: a fixed worker pool over a bounded accept queue.
+//!
+//! One acceptor thread pushes connections into an `mpsc::sync_channel`
+//! whose capacity is the backpressure bound — when the queue is full the
+//! acceptor answers `503 Service Unavailable` directly instead of letting
+//! latency grow without bound. Workers pull connections, parse one
+//! request each (`Connection: close`), and dispatch; a panicking handler
+//! is caught and turned into a 500, never a dead worker.
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or `POST /shutdown`) stops
+//! the acceptor, lets the workers drain every queued connection, joins
+//! all threads, and flushes a final snapshot when a snapshot path is
+//! configured.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pse_core::{Catalog, CategoryId, Offer, OfferId};
+use pse_synthesis::runtime::normalize_key;
+use pse_synthesis::FnProvider;
+
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, Request};
+use crate::shard::ShardedStore;
+
+/// Server knobs. `addr` of `"127.0.0.1:0"` binds an ephemeral port —
+/// read the real one from [`ServerHandle::addr`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it get 503.
+    pub queue_depth: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Cap on request size (header + body); larger requests get 413.
+    pub max_request_bytes: usize,
+    /// Where to flush a final snapshot on shutdown, if anywhere.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_bytes: 4 << 20,
+            snapshot_path: None,
+        }
+    }
+}
+
+struct Inner {
+    store: ShardedStore,
+    catalog: Catalog,
+    config: ServerConfig,
+    stop: AtomicBool,
+    queue_depth: AtomicUsize,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start serving `store` (with `catalog` supplying schemas for ingest
+/// re-fusion) on `config.addr`.
+pub fn start(
+    store: ShardedStore,
+    catalog: Catalog,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    for c in [
+        "serve.requests",
+        "serve.backpressure_503",
+        "serve.http_200",
+        "serve.http_400",
+        "serve.http_404",
+        "serve.http_500",
+        "serve.io_error",
+    ] {
+        pse_obs::seed(c);
+    }
+    let inner = Arc::new(Inner {
+        store,
+        catalog,
+        config: config.clone(),
+        stop: AtomicBool::new(false),
+        queue_depth: AtomicUsize::new(0),
+        addr,
+    });
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || worker_loop(&inner, &rx))
+        })
+        .collect();
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || accept_loop(&inner, &listener, &tx))
+    };
+    Ok(ServerHandle { inner, acceptor, workers })
+}
+
+impl ServerHandle {
+    /// The bound address (real port even when configured as `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The served store (concurrent reads are fine while serving).
+    pub fn store(&self) -> &ShardedStore {
+        &self.inner.store
+    }
+
+    /// Block until something (e.g. `POST /shutdown`) asks the server to
+    /// stop. Returns immediately if it already has.
+    pub fn wait_for_stop(&self) {
+        while !self.inner.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join every
+    /// thread, flush the final snapshot if configured, and hand back the
+    /// store.
+    pub fn shutdown(self) -> Result<ShardedStore, ServeError> {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in accept(); an error just
+        // means it already exited.
+        let _ = TcpStream::connect(self.inner.addr);
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let inner = Arc::into_inner(self.inner).expect("all server threads joined");
+        if let Some(path) = &inner.config.snapshot_path {
+            std::fs::write(path, inner.store.snapshot_json())?;
+        }
+        Ok(inner.store)
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a client racing shutdown).
+            break;
+        }
+        let depth = inner.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        pse_obs::observe("serve.queue_depth", depth as u64);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                pse_obs::incr("serve.backpressure_503");
+                count_status(503);
+                let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+                let _ = write_response(&mut stream, 503, "text/plain", b"accept queue full\n");
+                drain_unread(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // tx drops here; workers drain whatever is still queued, then exit.
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let next = rx.lock().expect("accept queue lock").recv();
+        let Ok(mut stream) = next else { break };
+        inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        handle_connection(inner, &mut stream);
+    }
+}
+
+fn count_status(status: u16) {
+    pse_obs::incr(match status {
+        200 => "serve.http_200",
+        400 => "serve.http_400",
+        404 => "serve.http_404",
+        405 => "serve.http_405",
+        413 => "serve.http_413",
+        500 => "serve.http_500",
+        503 => "serve.http_503",
+        _ => "serve.http_other",
+    });
+}
+
+fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
+    let _span = pse_obs::span("serve.request");
+    pse_obs::incr("serve.requests");
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    let mut request_incomplete = false;
+    let (status, content_type, body) = match read_request(stream, inner.config.max_request_bytes) {
+        Ok(request) => {
+            // A panicking handler must cost us a 500, not a worker.
+            match catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request))) {
+                Ok(response) => response,
+                Err(_) => (500, "text/plain", b"internal error\n".to_vec()),
+            }
+        }
+        Err(ServeError::RequestTooLarge { got, cap }) => {
+            request_incomplete = true;
+            (
+                413,
+                "text/plain",
+                format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes(),
+            )
+        }
+        Err(ServeError::Io(_)) => {
+            // Client vanished or timed out; nothing to write to.
+            pse_obs::incr("serve.io_error");
+            return;
+        }
+        Err(e) => (400, "text/plain", format!("{e}\n").into_bytes()),
+    };
+    count_status(status);
+    if write_response(stream, status, content_type, &body).is_err() {
+        pse_obs::incr("serve.io_error");
+    }
+    let _ = stream.flush();
+    if request_incomplete {
+        // The client is still sending; closing now would RST the socket
+        // and can destroy the buffered response before the client reads
+        // it. Swallow what is in flight so the close is a clean FIN.
+        drain_unread(stream);
+    }
+    pse_obs::observe("serve.request_us", started.elapsed().as_micros() as u64);
+}
+
+/// Read and discard whatever the peer already sent (briefly), so closing
+/// the socket does not reset it while the response is still in transit.
+fn drain_unread(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut budget = 1 << 20;
+    while budget > 0 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+}
+
+type Response = (u16, &'static str, Vec<u8>);
+
+fn dispatch(inner: &Inner, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
+        ("GET", "/metrics") => (200, "application/json", pse_obs::report().to_json().into_bytes()),
+        ("GET", "/product") => get_product(inner, request),
+        ("GET", path) if path.starts_with("/products/") => {
+            get_products(inner, &path["/products/".len()..])
+        }
+        ("POST", "/ingest") => post_ingest(inner, request),
+        ("POST", "/retract") => post_retract(inner, request),
+        ("POST", "/shutdown") => {
+            inner.stop.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it notices; error means it already did.
+            let _ = TcpStream::connect(inner.addr);
+            (200, "text/plain", b"shutting down\n".to_vec())
+        }
+        ("GET" | "POST", _) => (404, "text/plain", b"no such endpoint\n".to_vec()),
+        _ => (405, "text/plain", b"method not allowed\n".to_vec()),
+    }
+}
+
+fn get_products(inner: &Inner, raw_category: &str) -> Response {
+    let Ok(category) = raw_category.parse::<u32>() else {
+        return bad_request(format!("category must be an integer, got {raw_category:?}"));
+    };
+    let products = inner.store.products_in_category(CategoryId(category));
+    json_200(&products)
+}
+
+fn get_product(inner: &Inner, request: &Request) -> Response {
+    let (Some(category), Some(attr), Some(key)) =
+        (request.query_param("category"), request.query_param("attr"), request.query_param("key"))
+    else {
+        return bad_request("need category=<id>&attr=<name>&key=<value>".to_string());
+    };
+    let Ok(category) = category.parse::<u32>() else {
+        return bad_request(format!("category must be an integer, got {category:?}"));
+    };
+    let cluster_key = (CategoryId(category), attr.to_string(), normalize_key(key));
+    match inner.store.product_for(&cluster_key) {
+        Some(product) => json_200(&product),
+        None => (404, "text/plain", b"no such product\n".to_vec()),
+    }
+}
+
+fn post_ingest(inner: &Inner, request: &Request) -> Response {
+    let offers: Vec<Offer> = match parse_json_body(&request.body) {
+        Ok(offers) => offers,
+        Err(resp) => return resp,
+    };
+    pse_obs::add("serve.ingest_offers", offers.len() as u64);
+    let provider = FnProvider(|o: &Offer| o.spec.clone());
+    let stats = inner.store.ingest(&inner.catalog, &offers, &provider);
+    json_200(&stats)
+}
+
+fn post_retract(inner: &Inner, request: &Request) -> Response {
+    let ids: Vec<u64> = match parse_json_body(&request.body) {
+        Ok(ids) => ids,
+        Err(resp) => return resp,
+    };
+    let ids: Vec<OfferId> = ids.into_iter().map(OfferId).collect();
+    let stats = inner.store.retract(&inner.catalog, &ids);
+    json_200(&stats)
+}
+
+fn parse_json_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad_request("body is not UTF-8".to_string()))?;
+    serde_json::from_str(text).map_err(|e| bad_request(format!("body is not valid JSON: {}", e.0)))
+}
+
+fn json_200<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(json) => (200, "application/json", json.into_bytes()),
+        Err(e) => (500, "text/plain", format!("serialization failed: {}\n", e.0).into_bytes()),
+    }
+}
+
+fn bad_request(message: String) -> Response {
+    (400, "text/plain", format!("{message}\n").into_bytes())
+}

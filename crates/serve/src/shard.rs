@@ -1,0 +1,271 @@
+//! A sharded front over [`ProductStore`]: the cluster map partitioned by
+//! FNV-1a hash of the cluster key, each shard behind its own `RwLock`.
+//!
+//! Concurrent readers of different products never contend (shared read
+//! locks, usually on different shards), and an ingest batch takes the
+//! write lock of only the shards its clusters hash to — shards re-fuse in
+//! parallel via `pse-par`.
+//!
+//! # Equivalence to the single store
+//!
+//! Every observable output is byte-identical to one [`ProductStore`] fed
+//! the same stream:
+//!
+//! - an offer's cluster key is a pure function of the offer (shared
+//!   [`KeyAttributes::route`]), and the shard is a pure function of the
+//!   key, so sharding never changes cluster contents or member order;
+//! - reads merge shard outputs back into cluster-key order, which is the
+//!   single store's `BTreeMap` iteration order;
+//! - [`ShardedStore::snapshot_json`] merges the disjoint shards into one
+//!   `ProductStore` before serializing, so the snapshot is the *same
+//!   bytes* regardless of shard count — a 4-shard server can restore an
+//!   8-shard snapshot and vice versa.
+//!
+//! The property is pinned by proptests in `tests/sharded_equivalence.rs`
+//! over arbitrary ingest/retract interleavings at 1/2/4/8 shards.
+
+use std::sync::{Mutex, RwLock};
+
+use pse_core::{Catalog, CategoryId, CorrespondenceSet, Offer, OfferId};
+use pse_store::{ClusterKey, IngestStats, ProductStore, StoreError};
+use pse_synthesis::runtime::{reconcile_batch, KeyAttributes};
+use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
+
+/// 64-bit FNV-1a over a byte stream.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Which of `n_shards` shards a cluster key lives in: FNV-1a over
+/// `(category, key attribute, normalized key value)` with `0xff`
+/// separators (no field concatenation can collide across boundaries,
+/// since the hashed strings never contain `0xff` after normalization).
+pub fn shard_of(key: &ClusterKey, n_shards: usize) -> usize {
+    let mut h = fnv1a(FNV_OFFSET, &key.0 .0.to_le_bytes());
+    h = fnv1a(h, &[0xff]);
+    h = fnv1a(h, key.1.as_bytes());
+    h = fnv1a(h, &[0xff]);
+    h = fnv1a(h, key.2.as_bytes());
+    (h % n_shards.max(1) as u64) as usize
+}
+
+/// A shard-partitioned product store safe to share across server worker
+/// threads (`&self` ingest/retract/read). See the module docs for the
+/// equivalence guarantee.
+pub struct ShardedStore {
+    correspondences: CorrespondenceSet,
+    config: RuntimeConfig,
+    /// Routing table derived from `config.key_attributes`.
+    keys: KeyAttributes,
+    shards: Vec<RwLock<ProductStore>>,
+}
+
+impl ShardedStore {
+    /// Empty sharded store with the default pipeline configuration.
+    pub fn new(correspondences: CorrespondenceSet, n_shards: usize) -> Self {
+        Self::with_config(correspondences, RuntimeConfig::default(), n_shards)
+    }
+
+    /// Empty sharded store with a custom pipeline configuration.
+    pub fn with_config(
+        correspondences: CorrespondenceSet,
+        config: RuntimeConfig,
+        n_shards: usize,
+    ) -> Self {
+        let n = n_shards.max(1);
+        let keys = KeyAttributes::new(&config.key_attributes);
+        let shards = (0..n)
+            .map(|_| {
+                RwLock::new(ProductStore::with_config(correspondences.clone(), config.clone()))
+            })
+            .collect();
+        Self { correspondences, config, keys, shards }
+    }
+
+    /// Wrap an existing single store, splitting its clusters across
+    /// `n_shards` shards.
+    pub fn from_store(store: ProductStore, n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        let correspondences = store.correspondences().clone();
+        let config = store.config().clone();
+        let keys = KeyAttributes::new(&config.key_attributes);
+        let shards =
+            store.split_by(n, |key| shard_of(key, n)).into_iter().map(RwLock::new).collect();
+        Self { correspondences, config, keys, shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The pipeline configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The correspondence set in use.
+    pub fn correspondences(&self) -> &CorrespondenceSet {
+        &self.correspondences
+    }
+
+    /// Offers currently held, summed over shards.
+    pub fn offer_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("shard lock").offer_count()).sum()
+    }
+
+    /// Clusters currently held, summed over shards.
+    pub fn cluster_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("shard lock").cluster_count()).sum()
+    }
+
+    /// Ingest a batch: reconcile once (in parallel, order-preserving),
+    /// partition the reconciled offers by target shard, then let the
+    /// touched shards route and re-fuse concurrently. Takes `&self`; only
+    /// the shards the batch actually hashes to are write-locked.
+    pub fn ingest<P: SpecProvider>(
+        &self,
+        catalog: &Catalog,
+        offers: &[Offer],
+        provider: &P,
+    ) -> IngestStats {
+        let _span = pse_obs::span("store.ingest");
+        pse_obs::add("store.ingest", offers.len() as u64);
+        let reconciled = reconcile_batch(offers, &self.correspondences, provider);
+        let n = self.shards.len();
+        let mut parts: Vec<Vec<ReconciledOffer>> = (0..n).map(|_| Vec::new()).collect();
+        for r in reconciled {
+            // Offers the router drops here would be dropped identically by
+            // any shard; routing again inside the shard is cheap and keeps
+            // `ProductStore::ingest_reconciled` the single source of truth.
+            let Some((attr, value)) = self.keys.route(&r) else { continue };
+            let key = (r.category, attr, value);
+            parts[shard_of(&key, n)].push(r);
+        }
+        let work: Vec<(usize, Mutex<Option<Vec<ReconciledOffer>>>)> =
+            parts.into_iter().enumerate().map(|(i, batch)| (i, Mutex::new(Some(batch)))).collect();
+        let stats: Vec<IngestStats> = pse_par::par_map(&work, |(i, slot)| {
+            let batch = slot.lock().expect("batch slot").take().unwrap_or_default();
+            if batch.is_empty() {
+                return IngestStats::default();
+            }
+            self.shards[*i].write().expect("shard lock").ingest_reconciled(catalog, batch)
+        });
+        let mut total = stats.into_iter().fold(IngestStats::default(), merge_stats);
+        total.offers_in = offers.len();
+        total
+    }
+
+    /// Remove offers by id, re-fusing affected clusters. Each shard owns
+    /// the index for its own offers, so the retraction is broadcast; a
+    /// shard that knows none of the ids does nothing.
+    pub fn retract(&self, catalog: &Catalog, ids: &[OfferId]) -> IngestStats {
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        let stats: Vec<IngestStats> = pse_par::par_map(&idx, |&i| {
+            self.shards[i].write().expect("shard lock").retract(catalog, ids)
+        });
+        let mut total = stats.into_iter().fold(IngestStats::default(), merge_stats);
+        total.offers_in = ids.len();
+        total
+    }
+
+    /// Current products in cluster-key order — the exact sequence the
+    /// single store (and `RuntimePipeline::process`) would emit.
+    pub fn products(&self) -> Vec<SynthesizedProduct> {
+        let mut keyed: Vec<(ClusterKey, SynthesizedProduct)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read().expect("shard lock");
+            keyed.extend(guard.products_keyed().map(|(k, p)| (k.clone(), p.clone())));
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Products of one category, in cluster-key order.
+    pub fn products_in_category(&self, category: CategoryId) -> Vec<SynthesizedProduct> {
+        let mut keyed: Vec<(ClusterKey, SynthesizedProduct)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read().expect("shard lock");
+            keyed.extend(
+                guard
+                    .products_keyed()
+                    .filter(|(k, _)| k.0 == category)
+                    .map(|(k, p)| (k.clone(), p.clone())),
+            );
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// The product for one cluster key — a single-shard read lock.
+    pub fn product_for(&self, key: &ClusterKey) -> Option<SynthesizedProduct> {
+        let shard = &self.shards[shard_of(key, self.shards.len())];
+        shard.read().expect("shard lock").product_for(key).cloned()
+    }
+
+    /// Merge the shards into one store and snapshot it — byte-identical
+    /// to the snapshot of a single [`ProductStore`] fed the same stream,
+    /// whatever the shard count.
+    pub fn snapshot_json(&self) -> String {
+        self.to_store().snapshot_json()
+    }
+
+    /// Rebuild from a snapshot (either a single store's or a sharded
+    /// store's — they are the same format), splitting into `n_shards`.
+    pub fn restore_json(json: &str, n_shards: usize) -> Result<Self, StoreError> {
+        Ok(Self::from_store(ProductStore::restore_json(json)?, n_shards))
+    }
+
+    /// Collapse into one single-threaded store (cluster state moves, no
+    /// re-fusion).
+    pub fn to_store(&self) -> ProductStore {
+        let mut merged =
+            ProductStore::with_config(self.correspondences.clone(), self.config.clone());
+        for shard in &self.shards {
+            merged.absorb(shard.read().expect("shard lock").clone());
+        }
+        merged
+    }
+
+    /// Offer counts per shard (balance diagnostics; `/metrics` extra).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().expect("shard lock").offer_count()).collect()
+    }
+}
+
+fn merge_stats(mut acc: IngestStats, s: IngestStats) -> IngestStats {
+    acc.offers_in += s.offers_in;
+    acc.offers_routed += s.offers_routed;
+    acc.clusters_dirty += s.clusters_dirty;
+    acc.refused += s.refused;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let key = (CategoryId(3), "MPN".to_string(), "abc123".to_string());
+        for n in 1..=8 {
+            let s = shard_of(&key, n);
+            assert!(s < n);
+            assert_eq!(s, shard_of(&key, n), "deterministic");
+        }
+        assert_eq!(shard_of(&key, 1), 0);
+    }
+
+    #[test]
+    fn shard_of_separates_field_boundaries() {
+        // ("ab", "c") and ("a", "bc") must not collide by construction.
+        let a = (CategoryId(0), "ab".to_string(), "c".to_string());
+        let b = (CategoryId(0), "a".to_string(), "bc".to_string());
+        let ha = (0..64).map(|n| shard_of(&a, n + 1)).collect::<Vec<_>>();
+        let hb = (0..64).map(|n| shard_of(&b, n + 1)).collect::<Vec<_>>();
+        assert_ne!(ha, hb);
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end exercises of the HTTP layer (ISSUE 5 tentpole, layer 2):
+//! lifecycle, every endpoint, robustness (400/404/413, raw-socket
+//! garbage), deliberate backpressure 503, and graceful shutdown with
+//! snapshot flush.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use pse_core::{CorrespondenceSet, Offer, Spec};
+use pse_datagen::{World, WorldConfig};
+use pse_serve::{http_request, ServerConfig, ShardedStore};
+use pse_store::ProductStore;
+use pse_synthesis::{ExtractingProvider, FnProvider, OfflineLearner, SpecProvider};
+
+struct Fixture {
+    world: World,
+    correspondences: CorrespondenceSet,
+    corpus: Vec<Offer>,
+}
+
+/// Like the equivalence fixture, but with specs materialized INTO the
+/// offers, because the HTTP ingest path serializes offers as JSON and the
+/// server's provider reads `offer.spec`.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny());
+        let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+        let offline = OfflineLearner::new().learn(
+            &world.catalog,
+            &world.offers,
+            &world.historical,
+            &provider,
+        );
+        let specs: HashMap<u64, Spec> =
+            world.offers.iter().map(|o| (o.id.0, provider.spec(o))).collect();
+        let corpus: Vec<Offer> = world
+            .offers
+            .iter()
+            .filter(|o| world.historical.product_of(o.id).is_none())
+            .map(|o| Offer { spec: specs[&o.id.0].clone(), ..o.clone() })
+            .collect();
+        Fixture { world, correspondences: offline.correspondences, corpus }
+    })
+}
+
+fn spec_provider() -> FnProvider<impl Fn(&Offer) -> Spec + Sync> {
+    FnProvider(|o: &Offer| o.spec.clone())
+}
+
+fn addr_of(handle: &pse_serve::ServerHandle) -> String {
+    handle.addr().to_string()
+}
+
+#[test]
+fn endpoints_end_to_end() {
+    let f = fixture();
+    let (first_half, second_half) = f.corpus.split_at(f.corpus.len() / 2);
+    let store = ShardedStore::new(f.correspondences.clone(), 4);
+    store.ingest(&f.world.catalog, first_half, &spec_provider());
+    let handle = pse_serve::start(store, f.world.catalog.clone(), ServerConfig::default())
+        .expect("server starts");
+    let addr = addr_of(&handle);
+
+    let (status, body) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, _) = http_request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+
+    // Ingest the second half over HTTP; the response is IngestStats.
+    let batch = serde_json::to_string(&second_half.to_vec()).unwrap();
+    let (status, stats) = http_request(&addr, "POST", "/ingest", Some(&batch)).unwrap();
+    assert_eq!(status, 200, "ingest failed: {stats}");
+    assert!(stats.contains("offers_routed"));
+
+    // The served store must now equal one sequential store over the
+    // whole corpus.
+    let mut reference = ProductStore::new(f.correspondences.clone());
+    reference.ingest(&f.world.catalog, &f.corpus, &spec_provider());
+    let expected = reference.products();
+    assert_eq!(
+        serde_json::to_string(&handle.store().products()).unwrap(),
+        serde_json::to_string(&expected).unwrap()
+    );
+
+    // Category listing equals the store's own per-category view.
+    let category = expected[0].category;
+    let (status, listed) =
+        http_request(&addr, "GET", &format!("/products/{}", category.0), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        listed,
+        serde_json::to_string(&handle.store().products_in_category(category)).unwrap()
+    );
+
+    // Point lookup of a known product.
+    let p = &expected[0];
+    let path =
+        format!("/product?category={}&attr={}&key={}", p.category.0, p.key_attribute, p.key_value);
+    let (status, got) = http_request(&addr, "GET", &path, None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(got, serde_json::to_string(p).unwrap());
+
+    // Retract that product's offers over HTTP; the lookup 404s after.
+    let ids: Vec<u64> = p.offers.iter().map(|o| o.0).collect();
+    let (status, _) =
+        http_request(&addr, "POST", "/retract", Some(&serde_json::to_string(&ids).unwrap()))
+            .unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = http_request(&addr, "GET", &path, None).unwrap();
+    assert_eq!(status, 404);
+
+    // Robustness: 404s, 400s, and 405s, never a dead worker.
+    assert_eq!(http_request(&addr, "GET", "/nope", None).unwrap().0, 404);
+    assert_eq!(http_request(&addr, "GET", "/products/banana", None).unwrap().0, 400);
+    assert_eq!(http_request(&addr, "GET", "/product?category=1", None).unwrap().0, 400);
+    assert_eq!(http_request(&addr, "POST", "/ingest", Some("not json")).unwrap().0, 400);
+    assert_eq!(http_request(&addr, "PUT", "/healthz", None).unwrap().0, 405);
+
+    // Raw-socket garbage gets a 400, not a hung or panicked worker.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+    drop(raw);
+
+    // The server still answers afterwards.
+    assert_eq!(http_request(&addr, "GET", "/healthz", None).unwrap().0, 200);
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn request_size_cap_gives_413() {
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 2);
+    let config = ServerConfig { max_request_bytes: 512, ..ServerConfig::default() };
+    let handle = pse_serve::start(store, f.world.catalog.clone(), config).unwrap();
+    let addr = addr_of(&handle);
+    let big = "x".repeat(2048);
+    let (status, _) = http_request(&addr, "POST", "/ingest", Some(&big)).unwrap();
+    assert_eq!(status, 413);
+    assert_eq!(http_request(&addr, "GET", "/healthz", None).unwrap().0, 200);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn overload_gets_backpressure_503() {
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 1);
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    };
+    let handle = pse_serve::start(store, f.world.catalog.clone(), config).unwrap();
+    let addr = addr_of(&handle);
+
+    // Occupy the only worker and the whole queue with connections that
+    // send nothing; the next connection must be rejected with 503. The
+    // stalls are staggered so the worker dequeues the first before the
+    // second lands in the queue slot.
+    let stall_a = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let stall_b = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let (status, _) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 503, "queue full must answer 503, not hang");
+
+    // Releasing the stalled connections restores service.
+    drop(stall_a);
+    drop(stall_b);
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(http_request(&addr, "GET", "/healthz", None).unwrap().0, 200);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_flushes_snapshot_and_http_shutdown_stops() {
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 4);
+    store.ingest(&f.world.catalog, &f.corpus, &spec_provider());
+    let expected_snapshot = store.snapshot_json();
+    let snapshot_path =
+        std::env::temp_dir().join(format!("pse_serve_test_{}.snapshot.json", std::process::id()));
+    let config = ServerConfig { snapshot_path: Some(snapshot_path.clone()), ..Default::default() };
+    let handle = pse_serve::start(store, f.world.catalog.clone(), config).unwrap();
+    let addr = addr_of(&handle);
+
+    let (status, _) = http_request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    handle.wait_for_stop();
+    let store = handle.shutdown().expect("clean shutdown");
+
+    let flushed = std::fs::read_to_string(&snapshot_path).expect("snapshot flushed");
+    assert_eq!(flushed, expected_snapshot, "flush must be the merged single-store snapshot");
+    // And it restores into a working sharded store.
+    let restored = ShardedStore::restore_json(&flushed, 2).unwrap();
+    assert_eq!(
+        serde_json::to_string(&restored.products()).unwrap(),
+        serde_json::to_string(&store.products()).unwrap()
+    );
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    // The port actually closed.
+    assert!(http_request(&addr, "GET", "/healthz", None).is_err());
+}

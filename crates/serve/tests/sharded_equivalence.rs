@@ -1,0 +1,210 @@
+//! ShardedStore ≡ ProductStore (ISSUE 5 tentpole, layer 1): at 1, 2, 4,
+//! and 8 shards, for arbitrary ingest/retract interleavings, the sharded
+//! store's products and snapshot are byte-identical to a single
+//! `ProductStore` fed the same operation stream — and snapshots written
+//! at one shard count restore at any other.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use pse_core::{CorrespondenceSet, Offer, OfferId, Spec};
+use pse_datagen::{World, WorldConfig};
+use pse_serve::{shard_of, ShardedStore};
+use pse_store::ProductStore;
+use pse_synthesis::runtime::{reconcile_batch, KeyAttributes};
+use pse_synthesis::{ExtractingProvider, FnProvider, OfflineLearner, RuntimeConfig, SpecProvider};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Fixture {
+    world: World,
+    correspondences: CorrespondenceSet,
+    corpus: Vec<Offer>,
+    specs: HashMap<u64, Spec>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny());
+        let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+        let offline = OfflineLearner::new().learn(
+            &world.catalog,
+            &world.offers,
+            &world.historical,
+            &provider,
+        );
+        let corpus: Vec<Offer> = world
+            .offers
+            .iter()
+            .filter(|o| world.historical.product_of(o.id).is_none())
+            .cloned()
+            .collect();
+        assert!(corpus.len() >= 20, "tiny world must leave a usable unmatched corpus");
+        let specs = corpus.iter().map(|o| (o.id.0, provider.spec(o))).collect();
+        Fixture { world, correspondences: offline.correspondences, corpus, specs }
+    })
+}
+
+fn provider(f: &Fixture) -> FnProvider<impl Fn(&Offer) -> Spec + Sync + '_> {
+    FnProvider(move |o: &Offer| f.specs[&o.id.0].clone())
+}
+
+fn products_json(products: &[pse_synthesis::SynthesizedProduct]) -> String {
+    serde_json::to_string_pretty(&products.to_vec()).expect("products serialize")
+}
+
+/// One interleaved operation stream: ingest the batch, then retract the
+/// listed already-ingested offers.
+struct Step {
+    batch: std::ops::Range<usize>,
+    retract: Vec<OfferId>,
+}
+
+/// Turn proptest's raw integers into a concrete interleaving: `raw_cuts`
+/// partition the corpus into ingest batches; after batch `i`,
+/// `raw_retracts[i]` (mod ingested-so-far) offers get retracted, picked
+/// deterministically across everything ingested up to that point
+/// (including some already-retracted ids — retracting twice must be a
+/// no-op on both sides).
+fn steps(f: &Fixture, raw_cuts: Vec<usize>, raw_retracts: Vec<usize>) -> Vec<Step> {
+    let n = f.corpus.len();
+    let mut cuts: Vec<usize> = raw_cuts.into_iter().map(|c| c % (n + 1)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(n);
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, cut) in cuts.into_iter().enumerate() {
+        let ingested = &f.corpus[..cut];
+        let want = raw_retracts.get(i).copied().unwrap_or(0) % (ingested.len() + 1);
+        let retract: Vec<OfferId> =
+            (0..want).map(|j| ingested[(j * 7 + i * 3) % ingested.len()].id).collect();
+        out.push(Step { batch: start..cut, retract });
+        start = cut;
+    }
+    out
+}
+
+fn run_reference(f: &Fixture, steps: &[Step]) -> ProductStore {
+    let mut store = ProductStore::new(f.correspondences.clone());
+    for step in steps {
+        store.ingest(&f.world.catalog, &f.corpus[step.batch.clone()], &provider(f));
+        store.retract(&f.world.catalog, &step.retract);
+    }
+    store
+}
+
+fn run_sharded(f: &Fixture, steps: &[Step], n_shards: usize) -> ShardedStore {
+    let store = ShardedStore::new(f.correspondences.clone(), n_shards);
+    for step in steps {
+        store.ingest(&f.world.catalog, &f.corpus[step.batch.clone()], &provider(f));
+        store.retract(&f.world.catalog, &step.retract);
+    }
+    store
+}
+
+proptest! {
+    #[test]
+    fn sharded_matches_single_store_for_arbitrary_interleavings(
+        raw_cuts in prop::collection::vec(0usize..10_000, 0..4),
+        raw_retracts in prop::collection::vec(0usize..7, 0..5),
+    ) {
+        let f = fixture();
+        let steps = steps(f, raw_cuts, raw_retracts);
+        let reference = run_reference(f, &steps);
+        let expected_products = products_json(&reference.products());
+        let expected_snapshot = reference.snapshot_json();
+        for n_shards in SHARD_COUNTS {
+            let sharded = run_sharded(f, &steps, n_shards);
+            prop_assert_eq!(
+                &products_json(&sharded.products()),
+                &expected_products,
+                "products at {} shards",
+                n_shards
+            );
+            prop_assert_eq!(
+                &sharded.snapshot_json(),
+                &expected_snapshot,
+                "snapshot at {} shards",
+                n_shards
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_restore_across_shard_counts(raw_cut in 0usize..10_000) {
+        let f = fixture();
+        let n = f.corpus.len();
+        let cut = raw_cut % (n + 1);
+        // Write the snapshot mid-stream at one shard count, restore at
+        // another, finish the stream, and compare against the single
+        // store that never went through a snapshot.
+        let mut reference = ProductStore::new(f.correspondences.clone());
+        reference.ingest(&f.world.catalog, &f.corpus, &provider(f));
+        let expected = products_json(&reference.products());
+        for (write_shards, read_shards) in [(1, 8), (4, 2), (8, 1), (2, 4)] {
+            let first = ShardedStore::new(f.correspondences.clone(), write_shards);
+            first.ingest(&f.world.catalog, &f.corpus[..cut], &provider(f));
+            let restored = ShardedStore::restore_json(&first.snapshot_json(), read_shards)
+                .expect("sharded snapshot restores");
+            prop_assert_eq!(restored.n_shards(), read_shards);
+            restored.ingest(&f.world.catalog, &f.corpus[cut..], &provider(f));
+            prop_assert_eq!(
+                &products_json(&restored.products()),
+                &expected,
+                "{} -> {} shards, cut {}",
+                write_shards,
+                read_shards,
+                cut
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_shard_disjoint_ingest_matches_sequential() {
+    // Four threads ingest cluster-disjoint slices of the corpus through
+    // the same `&ShardedStore` at once; because no cluster spans two
+    // batches, the result must equal one sequential ingest of the
+    // concatenation regardless of thread interleaving.
+    let f = fixture();
+    let config = RuntimeConfig::default();
+    let keys = KeyAttributes::new(&config.key_attributes);
+    let reconciled = reconcile_batch(&f.corpus, &f.correspondences, &provider(f));
+    let route_of: HashMap<u64, usize> = reconciled
+        .iter()
+        .filter_map(|r| {
+            let (attr, value) = keys.route(r)?;
+            Some((r.offer.0, shard_of(&(r.category, attr, value), 4)))
+        })
+        .collect();
+    let mut batches: Vec<Vec<Offer>> = vec![Vec::new(); 4];
+    for offer in &f.corpus {
+        // Unroutable offers can go anywhere; both sides drop them.
+        let slot = route_of.get(&offer.id.0).copied().unwrap_or(0);
+        batches[slot].push(offer.clone());
+    }
+
+    let mut sequential = ProductStore::new(f.correspondences.clone());
+    for batch in &batches {
+        sequential.ingest(&f.world.catalog, batch, &provider(f));
+    }
+
+    let concurrent = ShardedStore::new(f.correspondences.clone(), 4);
+    std::thread::scope(|scope| {
+        for batch in &batches {
+            scope.spawn(|| {
+                concurrent.ingest(&f.world.catalog, batch, &provider(f));
+            });
+        }
+    });
+
+    assert_eq!(
+        products_json(&concurrent.products()),
+        products_json(&sequential.products()),
+        "thread interleaving must not affect cluster-disjoint ingests"
+    );
+    assert_eq!(concurrent.snapshot_json(), sequential.snapshot_json());
+}

@@ -41,6 +41,41 @@ use serde::{Deserialize, Serialize};
 /// Snapshot format version; bumped on incompatible layout changes.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
+/// Why a store operation failed. Implements `std::error::Error`; a
+/// `From<StoreError> for String` bridge is kept for one release so callers
+/// still holding `Result<_, String>` migrate with a `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The snapshot was not valid JSON for the expected layout.
+    Json(String),
+    /// The snapshot was written by an incompatible store version.
+    UnsupportedVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads ([`SNAPSHOT_VERSION`]).
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(msg) => write!(f, "snapshot parse error: {msg}"),
+            Self::UnsupportedVersion { found, expected } => {
+                write!(f, "snapshot version {found} unsupported (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for String {
+    fn from(e: StoreError) -> String {
+        e.to_string()
+    }
+}
+
 /// Identity of a cluster: `(category, key attribute, normalized key value)`.
 /// `BTreeMap` iteration over this key reproduces the batch pipeline's
 /// cluster output order exactly.
@@ -83,6 +118,7 @@ struct Snapshot {
 
 /// A persistent product catalog maintained incrementally from offer
 /// batches. See the crate docs for the batch-equivalence guarantee.
+#[derive(Debug, Clone)]
 pub struct ProductStore {
     correspondences: CorrespondenceSet,
     config: RuntimeConfig,
@@ -144,21 +180,49 @@ impl ProductStore {
         let _span = pse_obs::span("store.ingest");
         pse_obs::add("store.ingest", offers.len() as u64);
         let reconciled = reconcile_batch(offers, &self.correspondences, provider);
+        let mut stats = self.ingest_reconciled(catalog, reconciled);
+        stats.offers_in = offers.len();
+        stats
+    }
+
+    /// Ingest offers that are already reconciled (the second half of
+    /// [`ProductStore::ingest`]): route each to its cluster and re-fuse
+    /// only the touched clusters. This is the entry point sharded fronts
+    /// use — they reconcile a batch once, partition the reconciled offers
+    /// by cluster key, and feed each shard its slice, which yields the
+    /// same cluster contents as ingesting the whole batch into one store.
+    ///
+    /// `offers_in` in the returned stats equals the reconciled count; the
+    /// offer-level wrapper overwrites it with the raw batch size.
+    pub fn ingest_reconciled(
+        &mut self,
+        catalog: &Catalog,
+        reconciled: Vec<ReconciledOffer>,
+    ) -> IngestStats {
+        let offers_in = reconciled.len();
         let mut dirty: BTreeSet<ClusterKey> = BTreeSet::new();
         let mut offers_routed = 0;
+        let mut clusters_formed = 0u64;
         for r in reconciled {
             let Some((attr, value)) = self.keys.route(&r) else { continue };
             let key = (r.category, attr, value);
             self.offer_index.insert(r.offer, key.clone());
-            let state = self.clusters.entry(key.clone()).or_default();
+            let state = match self.clusters.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    clusters_formed += 1;
+                    slot.insert(ClusterState::default())
+                }
+                std::collections::btree_map::Entry::Occupied(slot) => slot.into_mut(),
+            };
             state.members.push(r);
             state.dirty = true;
             dirty.insert(key);
             offers_routed += 1;
         }
+        pse_obs::add("runtime.clusters_formed", clusters_formed);
         pse_obs::add("store.clusters_dirty", dirty.len() as u64);
         let refused = self.refuse(catalog, &dirty);
-        IngestStats { offers_in: offers.len(), offers_routed, clusters_dirty: dirty.len(), refused }
+        IngestStats { offers_in, offers_routed, clusters_dirty: dirty.len(), refused }
     }
 
     /// Remove offers by id, re-fusing the affected clusters. Unknown ids
@@ -220,6 +284,10 @@ impl ProductStore {
         drop(refuse_span);
         let refused = work.len();
         pse_obs::add("store.refused", refused as u64);
+        pse_obs::add(
+            "runtime.values_fused",
+            fused.iter().flatten().map(|p| p.spec.len() as u64).sum::<u64>(),
+        );
         for ((key, cluster), product) in work.into_iter().zip(fused) {
             let state = self.clusters.get_mut(&key).expect("cluster vanished during refuse");
             state.members = cluster.members;
@@ -232,11 +300,64 @@ impl ProductStore {
     /// Current products, in the exact order `RuntimePipeline::process`
     /// would emit them for the concatenated stream.
     pub fn products(&self) -> Vec<SynthesizedProduct> {
+        self.products_keyed().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// Current products with their cluster keys, in key order. The
+    /// borrowing primitive behind [`ProductStore::products`] and the
+    /// per-category / per-key lookups.
+    pub fn products_keyed(&self) -> impl Iterator<Item = (&ClusterKey, &SynthesizedProduct)> {
         self.clusters
-            .values()
-            .filter(|s| s.members.len() >= self.config.min_cluster_size)
-            .filter_map(|s| s.fused.clone())
-            .collect()
+            .iter()
+            .filter(|(_, s)| s.members.len() >= self.config.min_cluster_size)
+            .filter_map(|(k, s)| s.fused.as_ref().map(|p| (k, p)))
+    }
+
+    /// The product synthesized for one cluster key, if any.
+    pub fn product_for(&self, key: &ClusterKey) -> Option<&SynthesizedProduct> {
+        let state = self.clusters.get(key)?;
+        if state.members.len() < self.config.min_cluster_size {
+            return None;
+        }
+        state.fused.as_ref()
+    }
+
+    /// Products of one category, in cluster-key order.
+    pub fn products_in_category(&self, category: CategoryId) -> Vec<SynthesizedProduct> {
+        self.products_keyed().filter(|(k, _)| k.0 == category).map(|(_, p)| p.clone()).collect()
+    }
+
+    /// Split this store into `n` disjoint stores, sending each cluster to
+    /// the store `route(key)` picks (values are taken modulo `n`). Every
+    /// piece keeps the full configuration and correspondence set; cluster
+    /// state moves without re-fusion. Inverse of [`ProductStore::absorb`].
+    pub fn split_by(self, n: usize, route: impl Fn(&ClusterKey) -> usize) -> Vec<ProductStore> {
+        assert!(n > 0, "cannot split into zero stores");
+        let mut pieces: Vec<ProductStore> = (0..n)
+            .map(|_| ProductStore::with_config(self.correspondences.clone(), self.config.clone()))
+            .collect();
+        for (key, state) in self.clusters {
+            let piece = &mut pieces[route(&key) % n];
+            for m in &state.members {
+                piece.offer_index.insert(m.offer, key.clone());
+            }
+            piece.clusters.insert(key, state);
+        }
+        pieces
+    }
+
+    /// Move every cluster of `other` into this store. Intended for merging
+    /// disjoint shards back into one store (snapshot export); a cluster key
+    /// present in both stores panics, because merging overlapping member
+    /// lists cannot preserve stream order.
+    pub fn absorb(&mut self, other: ProductStore) {
+        for (key, state) in other.clusters {
+            for m in &state.members {
+                self.offer_index.insert(m.offer, key.clone());
+            }
+            let previous = self.clusters.insert(key, state);
+            assert!(previous.is_none(), "absorb: overlapping cluster key");
+        }
     }
 
     /// Serialize the store to JSON. Restoring the snapshot and snapshotting
@@ -255,14 +376,14 @@ impl ProductStore {
     }
 
     /// Rebuild a store from a [`ProductStore::snapshot_json`] string.
-    pub fn restore_json(json: &str) -> Result<Self, String> {
+    pub fn restore_json(json: &str) -> Result<Self, StoreError> {
         let _span = pse_obs::span("store.restore");
-        let snapshot: Snapshot = serde_json::from_str(json).map_err(|e| e.0)?;
+        let snapshot: Snapshot = serde_json::from_str(json).map_err(|e| StoreError::Json(e.0))?;
         if snapshot.schema_version != SNAPSHOT_VERSION {
-            return Err(format!(
-                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
-                snapshot.schema_version
-            ));
+            return Err(StoreError::UnsupportedVersion {
+                found: snapshot.schema_version,
+                expected: SNAPSHOT_VERSION,
+            });
         }
         let keys = KeyAttributes::new(&snapshot.config.key_attributes);
         let mut offer_index = BTreeMap::new();
@@ -288,7 +409,7 @@ mod tests {
         AttributeCorrespondence, AttributeDef, AttributeKind, CategorySchema, MerchantId, Spec,
         Taxonomy,
     };
-    use pse_synthesis::{FnProvider, RuntimePipeline};
+    use pse_synthesis::{FnProvider, Pipeline};
 
     fn setup() -> (Catalog, CorrespondenceSet, Vec<Offer>) {
         let mut tax = Taxonomy::new();
@@ -360,7 +481,12 @@ mod tests {
     #[test]
     fn single_batch_matches_process() {
         let (catalog, set, offers) = setup();
-        let one_shot = RuntimePipeline::new(set.clone()).process(&catalog, &offers, &provider());
+        let one_shot = Pipeline::builder()
+            .catalog(catalog.clone())
+            .correspondences(set.clone())
+            .build()
+            .unwrap()
+            .process(&offers, &provider());
         let mut store = ProductStore::new(set);
         store.ingest(&catalog, &offers, &provider());
         assert_eq!(products_json(&store.products()), products_json(&one_shot.products));
@@ -369,7 +495,12 @@ mod tests {
     #[test]
     fn split_batches_match_process() {
         let (catalog, set, offers) = setup();
-        let one_shot = RuntimePipeline::new(set.clone()).process(&catalog, &offers, &provider());
+        let one_shot = Pipeline::builder()
+            .catalog(catalog.clone())
+            .correspondences(set.clone())
+            .build()
+            .unwrap()
+            .process(&offers, &provider());
         for split in 0..=offers.len() {
             let mut store = ProductStore::new(set.clone());
             store.ingest(&catalog, &offers[..split], &provider());
@@ -467,18 +598,71 @@ mod tests {
         let (_, set, _) = setup();
         let store = ProductStore::new(set);
         let snap = store.snapshot_json().replace("\"schema_version\": 1", "\"schema_version\": 99");
-        assert!(ProductStore::restore_json(&snap).is_err());
+        assert_eq!(
+            ProductStore::restore_json(&snap).err(),
+            Some(StoreError::UnsupportedVersion { found: 99, expected: SNAPSHOT_VERSION })
+        );
+    }
+
+    #[test]
+    fn garbage_snapshot_is_a_json_error() {
+        let err = ProductStore::restore_json("not json").unwrap_err();
+        assert!(matches!(err, StoreError::Json(_)));
+        let as_string: String = err.into();
+        assert!(as_string.contains("snapshot parse error"));
+    }
+
+    #[test]
+    fn split_then_absorb_is_identity() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set.clone());
+        store.ingest(&catalog, &offers, &provider());
+        let snap = store.snapshot_json();
+        for n in [1usize, 2, 3, 8] {
+            let pieces = store.clone().split_by(n, |key| key.2.len());
+            assert_eq!(pieces.len(), n);
+            let total: usize = pieces.iter().map(|p| p.offer_count()).sum();
+            assert_eq!(total, store.offer_count());
+            let mut merged = ProductStore::with_config(set.clone(), store.config().clone());
+            for piece in pieces {
+                merged.absorb(piece);
+            }
+            assert_eq!(merged.snapshot_json(), snap, "split into {n} and merged back");
+        }
+    }
+
+    #[test]
+    fn keyed_lookups_agree_with_products() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let products = store.products();
+        assert!(!products.is_empty());
+        let keys: Vec<ClusterKey> = store.products_keyed().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), products.len());
+        for (key, product) in keys.iter().zip(&products) {
+            assert_eq!(
+                serde_json::to_string(store.product_for(key).unwrap()).unwrap(),
+                serde_json::to_string(product).unwrap()
+            );
+        }
+        let cat = offers[0].category.unwrap();
+        assert_eq!(store.products_in_category(cat).len(), products.len());
+        assert!(store.products_in_category(CategoryId(4242)).is_empty());
+        assert!(store.product_for(&(CategoryId(4242), "MPN".into(), "zzz".into())).is_none());
     }
 
     #[test]
     fn min_cluster_size_applies_at_read_time() {
         let (catalog, set, offers) = setup();
         let config = RuntimeConfig { min_cluster_size: 2, ..RuntimeConfig::default() };
-        let one_shot = RuntimePipeline::with_config(set.clone(), config.clone()).process(
-            &catalog,
-            &offers,
-            &provider(),
-        );
+        let one_shot = Pipeline::builder()
+            .catalog(catalog.clone())
+            .correspondences(set.clone())
+            .runtime_config(config.clone())
+            .build()
+            .unwrap()
+            .process(&offers, &provider());
         let mut store = ProductStore::with_config(set, config);
         // One offer at a time: the abc123 cluster only crosses the
         // threshold on the second batch.

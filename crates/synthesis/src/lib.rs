@@ -23,13 +23,25 @@
 pub mod category;
 pub mod matching;
 pub mod offline;
+pub mod pipeline;
 pub mod provider;
 pub mod runtime;
 
 pub use matching::{MatcherConfig, TitleMatcher};
 pub use offline::{OfflineConfig, OfflineLearner, OfflineOutcome, OfflineStats, ScoredCandidate};
+pub use pipeline::{Pipeline, PipelineBuildError, PipelineBuilder};
 pub use provider::{ExtractingProvider, FnProvider, SpecProvider};
 pub use runtime::{
     fuse_cluster, reconcile_batch, Cluster, FusedValue, FusionStrategy, KeyAttributes,
     ReconciledOffer, RuntimeConfig, RuntimePipeline, SynthesisResult, SynthesizedProduct,
 };
+
+/// The types every pipeline consumer imports: `use pse_synthesis::prelude::*;`.
+pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineBuildError, PipelineBuilder};
+    pub use crate::provider::{ExtractingProvider, FnProvider, SpecProvider};
+    pub use crate::runtime::{
+        FusionStrategy, KeyAttributes, ReconciledOffer, RuntimeConfig, RuntimePipeline,
+        SynthesisResult, SynthesizedProduct,
+    };
+}

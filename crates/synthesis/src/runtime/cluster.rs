@@ -45,11 +45,21 @@ pub struct KeyAttributes {
 
 impl KeyAttributes {
     /// Pre-normalize a preference list (first present-and-usable wins).
-    pub fn new(key_attributes: &[String]) -> Self {
+    /// Accepts anything yielding string-likes: `&[String]`, `["MPN", "UPC"]`,
+    /// an iterator of `&str`, … — mirroring `pse_core::spec`.
+    pub fn new<I, S>(key_attributes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         Self {
             attrs: key_attributes
-                .iter()
-                .map(|k| (k.clone(), normalize_attribute_name(k)))
+                .into_iter()
+                .map(|k| {
+                    let k: String = k.into();
+                    let normalized = normalize_attribute_name(&k);
+                    (k, normalized)
+                })
                 .collect(),
         }
     }
@@ -195,7 +205,7 @@ mod tests {
 
     #[test]
     fn route_matches_cluster_membership() {
-        let keys = KeyAttributes::new(&["MPN".to_string(), "UPC".to_string()]);
+        let keys = KeyAttributes::new(["MPN", "UPC"]);
         let offer = ro(0, 0, &[("MPN", "HDT-725050"), ("UPC", "111")]);
         assert_eq!(keys.route(&offer), Some(("MPN".to_string(), "hdt725050".to_string())));
         let fallthrough = ro(1, 0, &[("MPN", "--"), ("UPC", "111")]);

@@ -82,12 +82,16 @@ impl SynthesisResult {
 /// sequences (and therefore identical products) for the same input.
 ///
 /// Emits the `runtime.offers_in` / `runtime.drop.*` / `runtime.pairs_*` /
-/// `runtime.offers_reconciled` counters; callers own the enclosing span.
+/// `runtime.offers_reconciled` counters and opens a `runtime.reconcile`
+/// span nested under whatever span the caller holds (so the pipeline path
+/// stays `runtime.process.runtime.reconcile` while the store ingest path
+/// reports `store.ingest.runtime.reconcile`).
 pub fn reconcile_batch<P: SpecProvider>(
     offers: &[Offer],
     correspondences: &CorrespondenceSet,
     provider: &P,
 ) -> Vec<ReconciledOffer> {
+    let _span = pse_obs::span("runtime.reconcile");
     pse_obs::add("runtime.offers_in", offers.len() as u64);
     let reconciled: Vec<ReconciledOffer> = pse_par::par_map_chunked(offers, 16, |offer| {
         let Some(category) = offer.category else {
@@ -195,9 +199,7 @@ impl RuntimePipeline {
         // Extraction + reconciliation is per-offer work; fan it out and
         // keep offer order, so clustering sees the same sequence at any
         // thread count.
-        let reconcile_span = pse_obs::span("runtime.reconcile");
         let reconciled = reconcile_batch(offers, &self.correspondences, provider);
-        drop(reconcile_span);
         let offers_reconciled = reconciled.len();
 
         let cluster_span = pse_obs::span("runtime.cluster");

@@ -6,7 +6,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --workspace -- -D warnings
+# new_without_default stays named even though -D warnings already covers
+# it: every `new()` constructor in the workspace API must keep a Default.
+cargo clippy --workspace -- -D warnings -D clippy::new-without-default
 cargo fmt --check
 
 # Observability smoke: one instrumented pipeline run must produce an
@@ -28,6 +30,37 @@ cargo run --release -q -p pse-bench --bin experiments -- \
 # obs_check run validates the store.* spans and counters in the report.
 PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
     incremental --smoke --quiet --obs --batches 4 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+
+# Serving smoke: start the sharded HTTP server on an ephemeral port, drive
+# it over real sockets (healthz, a second-half ingest, point lookups, then
+# graceful shutdown with a snapshot flush), and validate the serve.* spans
+# and counters in the observability report.
+rm -f target/check-results/serve.port
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    serve --smoke --quiet --obs --shards 4 \
+    --port-file target/check-results/serve.port --out target/check-results &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 150); do
+    [ -s target/check-results/serve.port ] && break
+    sleep 0.2
+done
+[ -s target/check-results/serve.port ] || {
+    echo "serve smoke: server never wrote its port file" >&2
+    exit 1
+}
+ADDR="$(cat target/check-results/serve.port)"
+http_get() { cargo run --release -q -p pse-serve --bin http_get -- "$@"; }
+http_get GET "http://$ADDR/healthz"
+http_get POST "http://$ADDR/ingest" @target/check-results/serve_batch.json >/dev/null
+head -3 target/check-results/serve_queries.txt | while read -r q; do
+    http_get GET "http://$ADDR$q" >/dev/null
+done
+http_get GET "http://$ADDR/metrics" >/dev/null
+http_get POST "http://$ADDR/shutdown" >/dev/null
+wait "$SERVE_PID"
+test -s target/check-results/serve.snapshot.json
 cargo run --release -q -p pse-bench --bin obs_check
 
 echo "tier-1 gate: all green"

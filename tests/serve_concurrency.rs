@@ -1,0 +1,138 @@
+//! Concurrency smoke for the HTTP serving layer (ISSUE 5): one server on
+//! an ephemeral port, 8 client threads mixing reads and ingests. No
+//! request may come back with a 5xx other than a deliberate
+//! backpressure 503 (retried), no worker may die, and the final served
+//! state must equal a sequential replay of the same batches into a single
+//! `ProductStore`.
+//!
+//! The ingest batches are cluster-disjoint (no product cluster spans two
+//! threads' batches), so the final state is independent of the arrival
+//! interleaving — which is exactly what makes "equals sequential replay"
+//! a meaningful assertion under concurrency.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use product_synthesis::core::{CorrespondenceSet, Offer, Spec};
+use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::serve::{http_request, shard_of, ServerConfig, ShardedStore};
+use product_synthesis::store::ProductStore;
+use product_synthesis::synthesis::runtime::{reconcile_batch, KeyAttributes};
+use product_synthesis::synthesis::{
+    ExtractingProvider, FnProvider, OfflineLearner, RuntimeConfig, SpecProvider,
+};
+
+const CLIENT_THREADS: usize = 8;
+
+struct Fixture {
+    world: World,
+    correspondences: CorrespondenceSet,
+    /// Cluster-disjoint ingest batches, one per client thread, with specs
+    /// materialized into the offers (the `POST /ingest` wire format).
+    batches: Vec<Vec<Offer>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny());
+        let provider = ExtractingProvider::new(|o: &Offer| world.landing_page(o.id));
+        let offline = OfflineLearner::new().learn(
+            &world.catalog,
+            &world.offers,
+            &world.historical,
+            &provider,
+        );
+        let corpus: Vec<Offer> = world
+            .offers
+            .iter()
+            .filter(|o| world.historical.product_of(o.id).is_none())
+            .map(|o| Offer { spec: provider.spec(o), ..o.clone() })
+            .collect();
+        assert!(corpus.len() >= 20, "tiny world must leave a usable unmatched corpus");
+
+        // Partition by cluster key so no cluster spans two batches: offers
+        // of one cluster always land with the same thread.
+        let keys = KeyAttributes::new(&RuntimeConfig::default().key_attributes);
+        let reconciled = reconcile_batch(&corpus, &offline.correspondences, &spec_provider());
+        let slot_of: HashMap<u64, usize> = reconciled
+            .iter()
+            .filter_map(|r| {
+                let (attr, value) = keys.route(r)?;
+                Some((r.offer.0, shard_of(&(r.category, attr, value), CLIENT_THREADS)))
+            })
+            .collect();
+        let mut batches: Vec<Vec<Offer>> = vec![Vec::new(); CLIENT_THREADS];
+        for offer in &corpus {
+            let slot = slot_of.get(&offer.id.0).copied().unwrap_or(0);
+            batches[slot].push(offer.clone());
+        }
+        Fixture { world, correspondences: offline.correspondences, batches }
+    })
+}
+
+fn spec_provider() -> FnProvider<impl Fn(&Offer) -> Spec + Sync> {
+    FnProvider(|o: &Offer| o.spec.clone())
+}
+
+#[test]
+fn concurrent_clients_reach_the_sequential_state() {
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 4);
+    let handle =
+        product_synthesis::serve::start(store, f.world.catalog.clone(), ServerConfig::default())
+            .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // 8 clients: each interleaves reads with ingesting its own batch in
+    // two halves, retrying on deliberate backpressure 503s.
+    std::thread::scope(|scope| {
+        for (i, batch) in f.batches.iter().enumerate() {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let read = |path: &str| {
+                    let (status, body) =
+                        http_request(&addr, "GET", path, None).expect("read request completes");
+                    assert!(
+                        matches!(status, 200 | 404 | 503),
+                        "unexpected status {status} for GET {path}: {body}"
+                    );
+                };
+                let ingest = |offers: &[Offer]| {
+                    let body = serde_json::to_string(&offers.to_vec()).expect("offers serialize");
+                    loop {
+                        let (status, reply) = http_request(&addr, "POST", "/ingest", Some(&body))
+                            .expect("ingest request completes");
+                        match status {
+                            200 => break,
+                            503 => std::thread::sleep(Duration::from_millis(10)),
+                            other => panic!("ingest must not fail: {other} {reply}"),
+                        }
+                    }
+                };
+                read("/healthz");
+                let (first, second) = batch.split_at(batch.len() / 2);
+                ingest(first);
+                read(&format!("/products/{}", i + 1));
+                read("/product?category=1&attr=MPN&key=nonexistent-key");
+                ingest(second);
+                read("/metrics");
+            });
+        }
+    });
+
+    // Sequential replay of the same batches into one single-threaded
+    // store must produce the exact served state.
+    let mut sequential = ProductStore::new(f.correspondences.clone());
+    for batch in &f.batches {
+        sequential.ingest(&f.world.catalog, batch, &spec_provider());
+    }
+    let served = handle.shutdown().expect("clean shutdown");
+    assert_eq!(
+        serde_json::to_string(&served.products()).expect("products serialize"),
+        serde_json::to_string(&sequential.products()).expect("products serialize"),
+        "concurrent HTTP ingest must equal the sequential replay"
+    );
+    assert_eq!(served.snapshot_json(), sequential.snapshot_json());
+}
