@@ -5,6 +5,7 @@
 //!             [--leaves a,b,c,d] [--products-per-category N]
 //!             [--match-error-rate R] [--smoke] [--out DIR]
 //!             [--quiet] [--obs] [--batches N] [--verify-blocking]
+//!             [--read-heavy]
 //!
 //! Subcommands:
 //!   table2    end-to-end quality (Table 2)
@@ -23,7 +24,10 @@
 //!                (default 4) issue --requests N point lookups (default
 //!                2000) against servers at 1/2/4/8 shards (--shards
 //!                a,b,c); p50/p99 latency and throughput are merged into
-//!                BENCH_par.json under "serve"
+//!                BENCH_par.json under "serve". With --read-heavy the mix
+//!                becomes 99% GET /products/{category} (served from the
+//!                snapshot response cache) and 1% churn writes; results
+//!                are merged under "serve_readheavy"
 //!   fig6      classifier vs single-feature baselines (Figure 6)
 //!   fig7      with vs without historical matches (Figure 7)
 //!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
@@ -53,8 +57,8 @@ use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, embedded_spec_provider, extension_name_features,
     fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_serve_bench,
-    run_end_to_end, run_incremental, run_serve_bench, serve_corpus, table2, table3, table4,
-    verify_blocking, EndToEnd, Scale,
+    run_end_to_end, run_incremental, run_serve_bench, run_serve_bench_read_heavy, serve_corpus,
+    table2, table3, table4, verify_blocking, EndToEnd, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -223,9 +227,15 @@ fn dispatch(
             let workers = flag_value(args, "--workers").unwrap_or(4);
             let requests = flag_value(args, "--requests").unwrap_or(2000);
             let shard_counts = shard_list(args).unwrap_or_else(|| vec![1, 2, 4, 8]);
-            let run = run_serve_bench(world, workers, requests, &shard_counts);
+            let read_heavy = args.iter().any(|a| a == "--read-heavy");
+            let (run, key) = if read_heavy {
+                let run = run_serve_bench_read_heavy(world, workers, requests, &shard_counts);
+                (run, "serve_readheavy")
+            } else {
+                (run_serve_bench(world, workers, requests, &shard_counts), "serve")
+            };
             println!("{}", render_serve_bench(&run));
-            merge_into_bench_json("serve", &run, quiet);
+            merge_into_bench_json(key, &run, quiet);
             true
         }
         "table2" => {

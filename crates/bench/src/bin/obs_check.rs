@@ -54,9 +54,19 @@ const SOFTTFIDF_COUNTERS: [&str; 2] = ["softtfidf.jw_memo_hit", "softtfidf.jw_me
 
 /// Counters a run that exercised the HTTP serving layer (any `serve.*`
 /// span present) must additionally emit — the server seeds them at start,
-/// so even an all-200 run reports its 503/error counters at zero.
-const SERVE_COUNTERS: [&str; 4] =
-    ["serve.requests", "serve.http_200", "serve.backpressure_503", "serve.io_error"];
+/// so even an all-200 run reports its 503/error counters at zero. The
+/// `serve.cache.*` trio tracks the snapshot response cache: one hit or
+/// miss per `GET /products/{category}`, and the categories whose cached
+/// bodies each publish rebuilt.
+const SERVE_COUNTERS: [&str; 7] = [
+    "serve.requests",
+    "serve.http_200",
+    "serve.backpressure_503",
+    "serve.io_error",
+    "serve.cache.hit",
+    "serve.cache.miss",
+    "serve.cache.invalidated",
+];
 
 fn main() -> ExitCode {
     let path = std::env::args()

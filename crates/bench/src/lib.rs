@@ -14,8 +14,8 @@ pub mod serve_bench;
 pub use experiments::*;
 pub use scale::{ArgsError, Scale};
 pub use serve_bench::{
-    embedded_spec_provider, query_paths, render_serve_bench, run_serve_bench, serve_corpus,
-    ServeBenchRow, ServeBenchRun, ServeCorpus,
+    embedded_spec_provider, query_paths, render_serve_bench, run_serve_bench,
+    run_serve_bench_read_heavy, serve_corpus, ServeBenchRow, ServeBenchRun, ServeCorpus,
 };
 
 use pse_core::Offer;

@@ -117,7 +117,7 @@ impl Scale {
                     }
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
-                "--smoke" | "--quiet" | "--obs" | "--verify-blocking" => {}
+                "--smoke" | "--quiet" | "--obs" | "--verify-blocking" | "--read-heavy" => {}
                 "--out" | "--batches" | "--workers" | "--shards" | "--requests" | "--addr"
                 | "--port-file" => {
                     take()?; // consumed by the binary, not the scale

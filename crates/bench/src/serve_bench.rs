@@ -83,10 +83,13 @@ fn encode_query_value(s: &str) -> String {
 pub struct ServeBenchRow {
     /// Shard count the store ran with.
     pub shards: usize,
-    /// Requests that completed with HTTP 200.
+    /// Read requests that completed with HTTP 200.
     pub requests: usize,
     /// Requests that failed or returned a non-200 status.
     pub errors: usize,
+    /// Write requests (`POST /ingest` / `POST /retract`) that completed
+    /// with HTTP 200 — zero for the pure point-lookup mix.
+    pub writes: usize,
     /// Median request latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds.
@@ -167,9 +170,130 @@ pub fn run_serve_bench(
             shards,
             requests: latencies.len(),
             errors: errors.into_inner(),
+            writes: 0,
             p50_us: percentile(&latencies, 50),
             p99_us: percentile(&latencies, 99),
             throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+    ServeBenchRun { workers, requests_per_shard_count: requests, products, rows }
+}
+
+/// The 99/1 read-heavy mix (ISSUE 6): 99% `GET /products/{category}` —
+/// answered straight from the published snapshot's response cache — and
+/// 1% streaming-sized writes: each write ingests or retracts one small
+/// rotating window of a churn pool (ingest then retract of the same
+/// window, so store growth is bounded), continuously invalidating and
+/// rebuilding the cache while the readers hammer it. Latency percentiles
+/// are over the reads; completed writes are counted per row; throughput
+/// covers both.
+pub fn run_serve_bench_read_heavy(
+    world: &World,
+    workers: usize,
+    requests: usize,
+    shard_counts: &[usize],
+) -> ServeBenchRun {
+    let workers = workers.max(1);
+    let sc = serve_corpus(world);
+    // The tail tenth of the corpus is the churn pool; the rest is the
+    // stable bulk the readers see. Writes rotate over WINDOW-offer
+    // chunks of the pool so each write is a realistic streaming batch,
+    // not a bulk reload.
+    const WINDOW: usize = 10;
+    let pool_len = (sc.corpus.len() / 10).max(1);
+    let (bulk, pool) = sc.corpus.split_at(sc.corpus.len() - pool_len);
+    let ingest_bodies: Vec<String> = pool
+        .chunks(WINDOW)
+        .map(|w| serde_json::to_string(&w.to_vec()).expect("offers serialize"))
+        .collect();
+    let retract_bodies: Vec<String> = pool
+        .chunks(WINDOW)
+        .map(|w| {
+            let ids: Vec<u64> = w.iter().map(|o| o.id.0).collect();
+            serde_json::to_string(&ids).expect("ids serialize")
+        })
+        .collect();
+    assert!(
+        ingest_bodies.iter().all(|b| b.len() < (1 << 20) - 4096),
+        "one churn window must fit the server's 1 MiB request cap"
+    );
+    let mut rows = Vec::new();
+    let mut products = 0;
+    for &shards in shard_counts {
+        let store = ShardedStore::new(sc.correspondences.clone(), shards);
+        store.ingest(&world.catalog, bulk, &embedded_spec_provider());
+        let served = store.products();
+        assert!(!served.is_empty(), "serve-bench world must synthesize at least one product");
+        products = served.len();
+        let mut categories: Vec<u32> = served.iter().map(|p| p.category.0).collect();
+        categories.dedup();
+        let paths: Vec<String> = categories.iter().map(|c| format!("/products/{c}")).collect();
+        let config = ServerConfig { workers, ..ServerConfig::default() };
+        let handle = pse_serve::start(store, world.catalog.clone(), config)
+            .expect("serve-bench server starts");
+        let addr = handle.addr().to_string();
+        let next = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        let writes = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut lat = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests {
+                                break;
+                            }
+                            if i % 100 == 99 {
+                                // The 1%: ingest one churn window, then
+                                // retract the same window, then move on
+                                // to the next window of the pool.
+                                let nth = i / 100;
+                                let window = (nth / 2) % ingest_bodies.len();
+                                let (path, body) = if nth.is_multiple_of(2) {
+                                    ("/ingest", ingest_bodies[window].as_str())
+                                } else {
+                                    ("/retract", retract_bodies[window].as_str())
+                                };
+                                match http_request(&addr, "POST", path, Some(body)) {
+                                    Ok((200, _)) => {
+                                        writes.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    _ => {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            } else {
+                                let path = &paths[i % paths.len()];
+                                let t = Instant::now();
+                                match http_request(&addr, "GET", path, None) {
+                                    Ok((200, _)) => lat.push(t.elapsed().as_micros() as u64),
+                                    _ => {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            joins.into_iter().flat_map(|j| j.join().expect("load worker joins")).collect()
+        });
+        let wall = t0.elapsed();
+        handle.shutdown().expect("serve-bench server stops");
+        latencies.sort_unstable();
+        let writes = writes.into_inner();
+        rows.push(ServeBenchRow {
+            shards,
+            requests: latencies.len(),
+            errors: errors.into_inner(),
+            writes,
+            p50_us: percentile(&latencies, 50),
+            p99_us: percentile(&latencies, 99),
+            throughput_rps: (latencies.len() + writes) as f64 / wall.as_secs_f64().max(1e-9),
         });
     }
     ServeBenchRun { workers, requests_per_shard_count: requests, products, rows }
@@ -186,7 +310,8 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
 pub fn render_serve_bench(run: &ServeBenchRun) -> String {
     let mut t = TextTable::new([
         "Shards",
-        "Requests",
+        "Reads",
+        "Writes",
         "Errors",
         "p50 (us)",
         "p99 (us)",
@@ -196,6 +321,7 @@ pub fn render_serve_bench(run: &ServeBenchRun) -> String {
         t.row([
             r.shards.to_string(),
             r.requests.to_string(),
+            r.writes.to_string(),
             r.errors.to_string(),
             r.p50_us.to_string(),
             r.p99_us.to_string(),

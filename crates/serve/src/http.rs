@@ -5,8 +5,57 @@
 //! instead of a worker panic.
 
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 use crate::error::ServeError;
+
+/// A response body: bytes a handler built for this request, or a shared
+/// pre-serialized buffer from the snapshot response cache — either way
+/// written to the socket without copying.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Handler-owned bytes.
+    Owned(Vec<u8>),
+    /// A shared cache buffer (`Arc` clone, no copy).
+    Shared(Arc<[u8]>),
+    /// A shared cached JSON string (`Arc` clone, no copy) — the
+    /// snapshot's per-product serialization.
+    SharedStr(Arc<str>),
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            Self::Owned(v) => v,
+            Self::Shared(b) => b,
+            Self::SharedStr(s) => s.as_bytes(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        Self::Owned(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(b: Arc<[u8]>) -> Self {
+        Self::Shared(b)
+    }
+}
+
+impl From<Arc<str>> for Body {
+    fn from(s: Arc<str>) -> Self {
+        Self::SharedStr(s)
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(b: &[u8]) -> Self {
+        Self::Owned(b.to_vec())
+    }
+}
 
 /// One parsed request.
 #[derive(Debug)]

@@ -3,21 +3,28 @@
 //! 4(7), Fig. 4); this crate puts the incremental [`pse_store`] behind a
 //! concurrent, sharded HTTP front — with zero external dependencies.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * **[`ShardedStore`]** — the cluster map partitioned by FNV-1a hash of
-//!   `(category, key attribute, normalized key value)` into `N` shards,
-//!   each behind its own `RwLock`. Reads take shared locks; an ingest
-//!   batch is reconciled once, partitioned, and re-fused per shard in
-//!   parallel via `pse-par`. All outputs (products, snapshots) are
-//!   byte-identical to a single [`pse_store::ProductStore`] fed the same
-//!   stream — see the `shard` module docs for why.
+//!   `(category, key attribute, normalized key value)` into `N` shards.
+//!   Writers are serialized per shard; readers never touch a shard lock
+//!   or a serializer — they load an immutable published [`snapshot`]
+//!   (MVCC) that includes pre-serialized `GET /products/{category}`
+//!   response bodies, invalidated precisely by the dirty-cluster delta
+//!   each ingest/retract reports. All outputs (products, snapshots,
+//!   cached responses) are byte-identical to a single
+//!   [`pse_store::ProductStore`] fed the same stream — see the `shard`
+//!   module docs for why.
+//! * **[`snapshot`]** — the immutable read-model types: per-shard
+//!   snapshots with per-product cached JSON, the whole-store snapshot
+//!   with its response cache, and the swap cell readers load it from.
 //! * **[`server`]** — an HTTP/1.1 server on `std::net::TcpListener` with
 //!   a fixed worker pool and a bounded accept queue (503 on overload),
 //!   serving `GET /products/{category}`, `GET /product?...`,
 //!   `POST /ingest`, `POST /retract`, `GET /metrics`, `GET /healthz`,
-//!   and `POST /shutdown`; per-connection timeouts, a request-size cap,
-//!   panic-isolated handlers, and graceful drain + snapshot flush.
+//!   and `POST /shutdown`; per-connection timeouts, a 1 MiB request-size
+//!   cap (413), panic-isolated handlers, and graceful drain + snapshot
+//!   flush.
 //!
 //! The [`client`] module holds the matching minimal blocking client used
 //! by tests, the `http_get` bin, and the `serve-bench` load generator.
@@ -27,8 +34,10 @@ pub mod error;
 pub mod http;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
 
 pub use client::{http_request, http_request_timeout};
 pub use error::ServeError;
+pub use http::Body;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::{shard_of, ShardedStore};

@@ -27,7 +27,7 @@ use pse_synthesis::runtime::normalize_key;
 use pse_synthesis::FnProvider;
 
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, Body, Request};
 use crate::shard::ShardedStore;
 
 /// Server knobs. `addr` of `"127.0.0.1:0"` binds an ephemeral port —
@@ -45,6 +45,7 @@ pub struct ServerConfig {
     /// Per-connection write timeout.
     pub write_timeout: Duration,
     /// Cap on request size (header + body); larger requests get 413.
+    /// Defaults to 1 MiB (the documented cap).
     pub max_request_bytes: usize,
     /// Where to flush a final snapshot on shutdown, if anywhere.
     pub snapshot_path: Option<PathBuf>,
@@ -58,7 +59,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
-            max_request_bytes: 4 << 20,
+            max_request_bytes: 1 << 20,
             snapshot_path: None,
         }
     }
@@ -98,6 +99,9 @@ pub fn start(
         "serve.http_404",
         "serve.http_500",
         "serve.io_error",
+        "serve.cache.hit",
+        "serve.cache.miss",
+        "serve.cache.invalidated",
     ] {
         pse_obs::seed(c);
     }
@@ -231,7 +235,7 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
             // A panicking handler must cost us a 500, not a worker.
             match catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request))) {
                 Ok(response) => response,
-                Err(_) => (500, "text/plain", b"internal error\n".to_vec()),
+                Err(_) => (500, "text/plain", b"internal error\n".to_vec().into()),
             }
         }
         Err(ServeError::RequestTooLarge { got, cap }) => {
@@ -239,7 +243,7 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
             (
                 413,
                 "text/plain",
-                format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes(),
+                format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes().into(),
             )
         }
         Err(ServeError::Io(_)) => {
@@ -247,10 +251,10 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
             pse_obs::incr("serve.io_error");
             return;
         }
-        Err(e) => (400, "text/plain", format!("{e}\n").into_bytes()),
+        Err(e) => (400, "text/plain", format!("{e}\n").into_bytes().into()),
     };
     count_status(status);
-    if write_response(stream, status, content_type, &body).is_err() {
+    if write_response(stream, status, content_type, body.as_ref()).is_err() {
         pse_obs::incr("serve.io_error");
     }
     let _ = stream.flush();
@@ -278,12 +282,14 @@ fn drain_unread(stream: &mut TcpStream) {
     }
 }
 
-type Response = (u16, &'static str, Vec<u8>);
+type Response = (u16, &'static str, Body);
 
 fn dispatch(inner: &Inner, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec()),
-        ("GET", "/metrics") => (200, "application/json", pse_obs::report().to_json().into_bytes()),
+        ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec().into()),
+        ("GET", "/metrics") => {
+            (200, "application/json", pse_obs::report().to_json().into_bytes().into())
+        }
         ("GET", "/product") => get_product(inner, request),
         ("GET", path) if path.starts_with("/products/") => {
             get_products(inner, &path["/products/".len()..])
@@ -294,10 +300,10 @@ fn dispatch(inner: &Inner, request: &Request) -> Response {
             inner.stop.store(true, Ordering::SeqCst);
             // Wake the acceptor so it notices; error means it already did.
             let _ = TcpStream::connect(inner.addr);
-            (200, "text/plain", b"shutting down\n".to_vec())
+            (200, "text/plain", b"shutting down\n".to_vec().into())
         }
-        ("GET" | "POST", _) => (404, "text/plain", b"no such endpoint\n".to_vec()),
-        _ => (405, "text/plain", b"method not allowed\n".to_vec()),
+        ("GET" | "POST", _) => (404, "text/plain", b"no such endpoint\n".to_vec().into()),
+        _ => (405, "text/plain", b"method not allowed\n".to_vec().into()),
     }
 }
 
@@ -305,8 +311,10 @@ fn get_products(inner: &Inner, raw_category: &str) -> Response {
     let Ok(category) = raw_category.parse::<u32>() else {
         return bad_request(format!("category must be an integer, got {raw_category:?}"));
     };
-    let products = inner.store.products_in_category(CategoryId(category));
-    json_200(&products)
+    // The hot path: one snapshot load, one map lookup, shared bytes —
+    // no shard lock, no per-request serialization. Byte-identical to
+    // `json_200(&inner.store.products_in_category(..))`.
+    (200, "application/json", inner.store.products_response(CategoryId(category)).into())
 }
 
 fn get_product(inner: &Inner, request: &Request) -> Response {
@@ -319,9 +327,11 @@ fn get_product(inner: &Inner, request: &Request) -> Response {
         return bad_request(format!("category must be an integer, got {category:?}"));
     };
     let cluster_key = (CategoryId(category), attr.to_string(), normalize_key(key));
-    match inner.store.product_for(&cluster_key) {
-        Some(product) => json_200(&product),
-        None => (404, "text/plain", b"no such product\n".to_vec()),
+    // Like `get_products`, served from the snapshot's cached per-product
+    // JSON — byte-identical to `json_200(&inner.store.product_for(..))`.
+    match inner.store.product_response(&cluster_key) {
+        Some(json) => (200, "application/json", json.into()),
+        None => (404, "text/plain", b"no such product\n".to_vec().into()),
     }
 }
 
@@ -354,11 +364,13 @@ fn parse_json_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
 
 fn json_200<T: serde::Serialize>(value: &T) -> Response {
     match serde_json::to_string(value) {
-        Ok(json) => (200, "application/json", json.into_bytes()),
-        Err(e) => (500, "text/plain", format!("serialization failed: {}\n", e.0).into_bytes()),
+        Ok(json) => (200, "application/json", json.into_bytes().into()),
+        Err(e) => {
+            (500, "text/plain", format!("serialization failed: {}\n", e.0).into_bytes().into())
+        }
     }
 }
 
 fn bad_request(message: String) -> Response {
-    (400, "text/plain", format!("{message}\n").into_bytes())
+    (400, "text/plain", format!("{message}\n").into_bytes().into())
 }

@@ -1,10 +1,33 @@
-//! A sharded front over [`ProductStore`]: the cluster map partitioned by
-//! FNV-1a hash of the cluster key, each shard behind its own `RwLock`.
+//! A sharded front over [`ProductStore`] with an MVCC read path: the
+//! cluster map partitioned by FNV-1a hash of the cluster key, writers
+//! serialized per shard, readers served from immutable published
+//! snapshots ([`StoreSnapshot`]).
 //!
-//! Concurrent readers of different products never contend (shared read
-//! locks, usually on different shards), and an ingest batch takes the
-//! write lock of only the shards its clusters hash to — shards re-fuse in
-//! parallel via `pse-par`.
+//! # Write path: build aside, publish with one swap
+//!
+//! An ingest batch is reconciled once, partitioned by cluster key, and
+//! applied to the touched shards in parallel (`pse-par`). Each shard
+//! task, under that shard's writer lock, applies the store mutation,
+//! takes a fresh version number, and builds the successor
+//! [`ShardSnapshot`] from the previous one — carrying untouched entries
+//! forward by `Arc` clone and re-serializing exactly the dirty-cluster
+//! delta the store reports. When every task is done, one publish step
+//! (serialized by a publish lock) splices the new shard snapshots into
+//! the published [`StoreSnapshot`], rebuilds the response bodies of
+//! exactly the categories whose entries changed (pointer diff), and
+//! installs the whole thing with a single pointer swap.
+//!
+//! # Read path: no locks held, no serializer run
+//!
+//! Readers load the published snapshot (one refcount increment via
+//! [`SnapshotCell`]) and then operate on immutable data: `products()`,
+//! `products_in_category()`, and `product_for()` see one consistent
+//! point in time, and [`ShardedStore::products_response`] answers the
+//! hot `GET /products/{category}` with pre-serialized shared bytes. A
+//! multi-shard batch becomes visible all at once or not at all — the
+//! torn cross-shard read the old sequential-lock read path allowed is
+//! impossible by construction (pinned by
+//! `concurrent_reader_never_observes_partial_batch`).
 //!
 //! # Equivalence to the single store
 //!
@@ -15,7 +38,8 @@
 //!   [`KeyAttributes::route`]), and the shard is a pure function of the
 //!   key, so sharding never changes cluster contents or member order;
 //! - reads merge shard outputs back into cluster-key order, which is the
-//!   single store's `BTreeMap` iteration order;
+//!   single store's `BTreeMap` iteration order, and cached response
+//!   bodies join per-product JSON exactly as the serializer would;
 //! - [`ShardedStore::snapshot_json`] merges the disjoint shards into one
 //!   `ProductStore` before serializing, so the snapshot is the *same
 //!   bytes* regardless of shard count — a 4-shard server can restore an
@@ -24,12 +48,19 @@
 //! The property is pinned by proptests in `tests/sharded_equivalence.rs`
 //! over arbitrary ingest/retract interleavings at 1/2/4/8 shards.
 
-use std::sync::{Mutex, RwLock};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use pse_core::{Catalog, CategoryId, CorrespondenceSet, Offer, OfferId};
 use pse_store::{ClusterKey, IngestStats, ProductStore, StoreError};
 use pse_synthesis::runtime::{reconcile_batch, KeyAttributes};
 use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
+
+use crate::snapshot::{
+    category_response, changed_categories, empty_response, ShardSnapshot, SnapshotCell,
+    StoreSnapshot,
+};
 
 /// 64-bit FNV-1a over a byte stream.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -43,6 +74,9 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 /// `(category, key attribute, normalized key value)` with `0xff`
 /// separators (no field concatenation can collide across boundaries,
 /// since the hashed strings never contain `0xff` after normalization).
+/// One shard's write result: its delta stats plus, when the shard's
+/// snapshot changed, the replacement to publish as `(shard index, snapshot)`.
+type ShardWrite = (IngestStats, Option<(usize, Arc<ShardSnapshot>)>);
 pub fn shard_of(key: &ClusterKey, n_shards: usize) -> usize {
     let mut h = fnv1a(FNV_OFFSET, &key.0 .0.to_le_bytes());
     h = fnv1a(h, &[0xff]);
@@ -52,15 +86,32 @@ pub fn shard_of(key: &ClusterKey, n_shards: usize) -> usize {
     (h % n_shards.max(1) as u64) as usize
 }
 
+/// One shard's writer state: the mutable store plus the latest snapshot
+/// *built* for this shard (which may be newer than the published one
+/// while a publish is pending). Successors are always built from
+/// `latest`, never from the published snapshot, so concurrent same-shard
+/// writers each carry the other's changes forward.
+struct ShardWriter {
+    store: ProductStore,
+    latest: Arc<ShardSnapshot>,
+}
+
 /// A shard-partitioned product store safe to share across server worker
 /// threads (`&self` ingest/retract/read). See the module docs for the
-/// equivalence guarantee.
+/// snapshot protocol and the equivalence guarantee.
 pub struct ShardedStore {
     correspondences: CorrespondenceSet,
     config: RuntimeConfig,
     /// Routing table derived from `config.key_attributes`.
     keys: KeyAttributes,
-    shards: Vec<RwLock<ProductStore>>,
+    shards: Vec<RwLock<ShardWriter>>,
+    /// The snapshot readers load; replaced wholesale on publish.
+    published: SnapshotCell,
+    /// Serializes publishers (snapshot *construction* stays parallel).
+    publish_lock: Mutex<()>,
+    /// Source of per-shard snapshot versions, taken under the shard's
+    /// writer lock so versions order consistently with mutations.
+    versions: AtomicU64,
 }
 
 impl ShardedStore {
@@ -76,13 +127,10 @@ impl ShardedStore {
         n_shards: usize,
     ) -> Self {
         let n = n_shards.max(1);
-        let keys = KeyAttributes::new(&config.key_attributes);
-        let shards = (0..n)
-            .map(|_| {
-                RwLock::new(ProductStore::with_config(correspondences.clone(), config.clone()))
-            })
+        let stores = (0..n)
+            .map(|_| ProductStore::with_config(correspondences.clone(), config.clone()))
             .collect();
-        Self { correspondences, config, keys, shards }
+        Self::from_shard_stores(correspondences, config, stores)
     }
 
     /// Wrap an existing single store, splitting its clusters across
@@ -91,10 +139,41 @@ impl ShardedStore {
         let n = n_shards.max(1);
         let correspondences = store.correspondences().clone();
         let config = store.config().clone();
+        let stores = store.split_by(n, |key| shard_of(key, n));
+        Self::from_shard_stores(correspondences, config, stores)
+    }
+
+    fn from_shard_stores(
+        correspondences: CorrespondenceSet,
+        config: RuntimeConfig,
+        stores: Vec<ProductStore>,
+    ) -> Self {
         let keys = KeyAttributes::new(&config.key_attributes);
-        let shards =
-            store.split_by(n, |key| shard_of(key, n)).into_iter().map(RwLock::new).collect();
-        Self { correspondences, config, keys, shards }
+        let snapshots: Vec<Arc<ShardSnapshot>> = stores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Arc::new(ShardSnapshot::from_store(i as u64 + 1, s)))
+            .collect();
+        let categories: BTreeSet<CategoryId> =
+            snapshots.iter().flat_map(|s| s.clusters.keys().map(|k| k.0)).collect();
+        let responses =
+            categories.into_iter().map(|c| (c, category_response(&snapshots, c))).collect();
+        let versions = AtomicU64::new(snapshots.len() as u64);
+        let shards = stores
+            .into_iter()
+            .zip(&snapshots)
+            .map(|(store, snap)| RwLock::new(ShardWriter { store, latest: Arc::clone(snap) }))
+            .collect();
+        let published = SnapshotCell::new(Arc::new(StoreSnapshot { shards: snapshots, responses }));
+        Self {
+            correspondences,
+            config,
+            keys,
+            shards,
+            published,
+            publish_lock: Mutex::new(()),
+            versions,
+        }
     }
 
     /// Number of shards.
@@ -112,20 +191,28 @@ impl ShardedStore {
         &self.correspondences
     }
 
-    /// Offers currently held, summed over shards.
+    /// Offers currently held, summed over shards (writer-side view).
     pub fn offer_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("shard lock").offer_count()).sum()
+        self.shards.iter().map(|s| s.read().expect("shard lock").store.offer_count()).sum()
     }
 
-    /// Clusters currently held, summed over shards.
+    /// Clusters currently held, summed over shards (writer-side view).
     pub fn cluster_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("shard lock").cluster_count()).sum()
+        self.shards.iter().map(|s| s.read().expect("shard lock").store.cluster_count()).sum()
+    }
+
+    /// The currently published read snapshot. Every read made through
+    /// one snapshot is consistent with every other; requests should load
+    /// it once and answer entirely from it.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.published.load()
     }
 
     /// Ingest a batch: reconcile once (in parallel, order-preserving),
-    /// partition the reconciled offers by target shard, then let the
-    /// touched shards route and re-fuse concurrently. Takes `&self`; only
-    /// the shards the batch actually hashes to are write-locked.
+    /// partition the reconciled offers by target shard, apply and build
+    /// successor snapshots on the touched shards concurrently, then
+    /// publish everything with one pointer swap. Takes `&self`; only the
+    /// shards the batch actually hashes to take their writer lock.
     pub fn ingest<P: SpecProvider>(
         &self,
         catalog: &Catalog,
@@ -145,65 +232,165 @@ impl ShardedStore {
             let key = (r.category, attr, value);
             parts[shard_of(&key, n)].push(r);
         }
-        let work: Vec<(usize, Mutex<Option<Vec<ReconciledOffer>>>)> =
-            parts.into_iter().enumerate().map(|(i, batch)| (i, Mutex::new(Some(batch)))).collect();
-        let stats: Vec<IngestStats> = pse_par::par_map(&work, |(i, slot)| {
+        let work: Vec<(usize, Mutex<Option<Vec<ReconciledOffer>>>)> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(i, batch)| (i, Mutex::new(Some(batch))))
+            .collect();
+        let results: Vec<ShardWrite> = pse_par::par_map(&work, |(i, slot)| {
             let batch = slot.lock().expect("batch slot").take().unwrap_or_default();
-            if batch.is_empty() {
-                return IngestStats::default();
-            }
-            self.shards[*i].write().expect("shard lock").ingest_reconciled(catalog, batch)
+            let mut writer = self.shards[*i].write().expect("shard lock");
+            let delta = writer.store.ingest_reconciled_delta(catalog, batch);
+            let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (*i, s));
+            (delta.stats, update)
         });
-        let mut total = stats.into_iter().fold(IngestStats::default(), merge_stats);
+        let mut updates = Vec::new();
+        let mut total = IngestStats::default();
+        for (stats, update) in results {
+            total = merge_stats(total, stats);
+            updates.extend(update);
+        }
+        self.publish(updates);
         total.offers_in = offers.len();
         total
     }
 
     /// Remove offers by id, re-fusing affected clusters. Each shard owns
-    /// the index for its own offers, so the retraction is broadcast; a
-    /// shard that knows none of the ids does nothing.
+    /// the index for its own offers, so every shard is *probed* — but
+    /// only under its cheap reader lock; a shard owning none of the ids
+    /// takes no writer lock, mutates nothing, and keeps its published
+    /// snapshot pointer-identical.
     pub fn retract(&self, catalog: &Catalog, ids: &[OfferId]) -> IngestStats {
         let idx: Vec<usize> = (0..self.shards.len()).collect();
-        let stats: Vec<IngestStats> = pse_par::par_map(&idx, |&i| {
-            self.shards[i].write().expect("shard lock").retract(catalog, ids)
+        let results: Vec<ShardWrite> = pse_par::par_map(&idx, |&i| {
+            if !self.shards[i].read().expect("shard lock").store.owns_any(ids) {
+                return (IngestStats::default(), None);
+            }
+            let mut writer = self.shards[i].write().expect("shard lock");
+            let delta = writer.store.retract_delta(catalog, ids);
+            let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (i, s));
+            (delta.stats, update)
         });
-        let mut total = stats.into_iter().fold(IngestStats::default(), merge_stats);
+        let mut updates = Vec::new();
+        let mut total = IngestStats::default();
+        for (stats, update) in results {
+            total = merge_stats(total, stats);
+            updates.extend(update);
+        }
+        self.publish(updates);
         total.offers_in = ids.len();
         total
     }
 
+    /// Build the successor snapshot for one shard under its held writer
+    /// lock. Returns `None` when the operation touched nothing (the
+    /// snapshot stays pointer-stable).
+    fn rebuild_snapshot(
+        &self,
+        writer: &mut ShardWriter,
+        dirty: &[ClusterKey],
+    ) -> Option<Arc<ShardSnapshot>> {
+        if dirty.is_empty() {
+            return None;
+        }
+        let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
+        let snap = Arc::new(writer.latest.rebuilt(version, &writer.store, dirty));
+        writer.latest = Arc::clone(&snap);
+        Some(snap)
+    }
+
+    /// Splice `updates` into the published snapshot and swap it in.
+    /// Serialized by the publish lock; a snapshot older than what is
+    /// already live (a concurrent same-shard writer published past us)
+    /// is skipped — its changes are already included in the newer one.
+    /// Response bodies are rebuilt for exactly the categories whose
+    /// entries changed, found by pointer diff, and counted as
+    /// `serve.cache.invalidated`.
+    fn publish(&self, updates: Vec<(usize, Arc<ShardSnapshot>)>) {
+        if updates.is_empty() {
+            return;
+        }
+        let _guard = self.publish_lock.lock().expect("publish lock");
+        let current = self.published.load();
+        let mut shards = current.shards.clone();
+        let mut dirty_categories: BTreeSet<CategoryId> = BTreeSet::new();
+        for (i, snap) in updates {
+            if snap.version <= shards[i].version {
+                continue;
+            }
+            changed_categories(&shards[i], &snap, &mut dirty_categories);
+            shards[i] = snap;
+        }
+        if dirty_categories.is_empty() {
+            return;
+        }
+        let mut responses = current.responses.clone();
+        for &category in &dirty_categories {
+            responses.insert(category, category_response(&shards, category));
+        }
+        pse_obs::add("serve.cache.invalidated", dirty_categories.len() as u64);
+        self.published.swap(Arc::new(StoreSnapshot { shards, responses }));
+    }
+
     /// Current products in cluster-key order — the exact sequence the
-    /// single store (and `RuntimePipeline::process`) would emit.
+    /// single store (and `RuntimePipeline::process`) would emit. Reads
+    /// one published snapshot; no locks are held while merging.
     pub fn products(&self) -> Vec<SynthesizedProduct> {
-        let mut keyed: Vec<(ClusterKey, SynthesizedProduct)> = Vec::new();
-        for shard in &self.shards {
-            let guard = shard.read().expect("shard lock");
-            keyed.extend(guard.products_keyed().map(|(k, p)| (k.clone(), p.clone())));
-        }
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        keyed.into_iter().map(|(_, p)| p).collect()
+        let snap = self.published.load();
+        let mut keyed: Vec<(&ClusterKey, &SynthesizedProduct)> = snap
+            .shards
+            .iter()
+            .flat_map(|s| s.clusters.iter().map(|(k, e)| (k, &e.product)))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(b.0));
+        keyed.into_iter().map(|(_, p)| p.clone()).collect()
     }
 
-    /// Products of one category, in cluster-key order.
+    /// Products of one category, in cluster-key order, from one
+    /// published snapshot.
     pub fn products_in_category(&self, category: CategoryId) -> Vec<SynthesizedProduct> {
-        let mut keyed: Vec<(ClusterKey, SynthesizedProduct)> = Vec::new();
-        for shard in &self.shards {
-            let guard = shard.read().expect("shard lock");
-            keyed.extend(
-                guard
-                    .products_keyed()
-                    .filter(|(k, _)| k.0 == category)
-                    .map(|(k, p)| (k.clone(), p.clone())),
-            );
-        }
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        keyed.into_iter().map(|(_, p)| p).collect()
+        let snap = self.published.load();
+        let mut keyed: Vec<(&ClusterKey, &SynthesizedProduct)> = snap
+            .shards
+            .iter()
+            .flat_map(|s| s.category_entries(category).map(|(k, e)| (k, &e.product)))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(b.0));
+        keyed.into_iter().map(|(_, p)| p.clone()).collect()
     }
 
-    /// The product for one cluster key — a single-shard read lock.
+    /// The pre-serialized `GET /products/{category}` body: an atomic
+    /// snapshot load plus a map lookup — no lock, no serializer.
+    /// Byte-identical to `serde_json::to_string(&products_in_category)`.
+    pub fn products_response(&self, category: CategoryId) -> Arc<[u8]> {
+        let snap = self.published.load();
+        match snap.responses.get(&category) {
+            Some(body) => {
+                pse_obs::incr("serve.cache.hit");
+                Arc::clone(body)
+            }
+            None => {
+                pse_obs::incr("serve.cache.miss");
+                empty_response()
+            }
+        }
+    }
+
+    /// The product for one cluster key, from one published snapshot.
     pub fn product_for(&self, key: &ClusterKey) -> Option<SynthesizedProduct> {
-        let shard = &self.shards[shard_of(key, self.shards.len())];
-        shard.read().expect("shard lock").product_for(key).cloned()
+        let snap = self.published.load();
+        let shard = &snap.shards[shard_of(key, snap.shards.len())];
+        shard.clusters.get(key).map(|e| e.product.clone())
+    }
+
+    /// The pre-serialized `GET /product?...` body for one cluster key:
+    /// the snapshot's cached per-product JSON — no lock, no serializer.
+    /// Byte-identical to `serde_json::to_string(&product_for(key))`.
+    pub fn product_response(&self, key: &ClusterKey) -> Option<Arc<str>> {
+        let snap = self.published.load();
+        let shard = &snap.shards[shard_of(key, snap.shards.len())];
+        shard.clusters.get(key).map(|e| Arc::clone(&e.json))
     }
 
     /// Merge the shards into one store and snapshot it — byte-identical
@@ -220,19 +407,20 @@ impl ShardedStore {
     }
 
     /// Collapse into one single-threaded store (cluster state moves, no
-    /// re-fusion).
+    /// re-fusion). Reads the writer-side stores shard by shard; callers
+    /// should quiesce writers first (the server does this on shutdown).
     pub fn to_store(&self) -> ProductStore {
         let mut merged =
             ProductStore::with_config(self.correspondences.clone(), self.config.clone());
         for shard in &self.shards {
-            merged.absorb(shard.read().expect("shard lock").clone());
+            merged.absorb(shard.read().expect("shard lock").store.clone());
         }
         merged
     }
 
     /// Offer counts per shard (balance diagnostics; `/metrics` extra).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.read().expect("shard lock").offer_count()).collect()
+        self.shards.iter().map(|s| s.read().expect("shard lock").store.offer_count()).collect()
     }
 }
 

@@ -1,0 +1,275 @@
+//! Immutable read-model types for the MVCC serving path.
+//!
+//! A [`ShardSnapshot`] is one shard's visible products frozen at a
+//! version: a cluster-key-ordered map of [`ProductEntry`] values, each
+//! carrying the product *and* its pre-serialized JSON. Snapshots are
+//! never mutated — an ingest/retract builds a successor by cloning the
+//! map and replacing only the entries its dirty-cluster delta names, so
+//! untouched entries keep their `Arc` identity across versions.
+//!
+//! A [`StoreSnapshot`] is the whole store frozen at one instant: the
+//! per-shard snapshots plus a category → pre-assembled response-body
+//! cache. Readers obtain it from a [`SnapshotCell`] with a single
+//! refcount increment and then see a fully consistent state — either all
+//! of a published batch or none of it — which is what closes the torn
+//! cross-shard read the per-shard-lock read path allowed.
+//!
+//! Entry `Arc` identity doubles as the invalidation signal: the
+//! publisher diffs the old and new shard snapshots pointer-by-pointer
+//! ([`changed_categories`]) and rebuilds exactly the category bodies
+//! whose entries changed. Because the vendored `serde_json` serializes a
+//! `Vec<T>` as the compact `[` + `,`-joined elements + `]`, joining the
+//! cached per-product JSON strings reproduces
+//! `serde_json::to_string(&products_in_category(c))` byte for byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use pse_core::CategoryId;
+use pse_store::{ClusterKey, ProductStore};
+use pse_synthesis::SynthesizedProduct;
+
+/// One visible product with its serialization cached.
+#[derive(Debug)]
+pub struct ProductEntry {
+    /// The synthesized product.
+    pub product: SynthesizedProduct,
+    /// `serde_json::to_string(&product)`, serialized once at publish.
+    pub json: Arc<str>,
+}
+
+impl ProductEntry {
+    fn new(product: SynthesizedProduct) -> Arc<Self> {
+        let json =
+            serde_json::to_string(&product).expect("product serialization is infallible").into();
+        Arc::new(Self { product, json })
+    }
+}
+
+/// One shard's visible products, frozen at a version.
+#[derive(Debug, Default)]
+pub struct ShardSnapshot {
+    /// Strictly increasing across successive snapshots of one shard;
+    /// the publisher never replaces a snapshot with an older version.
+    pub version: u64,
+    /// Visible products (fused, at or above `min_cluster_size`) in
+    /// cluster-key order.
+    pub clusters: BTreeMap<ClusterKey, Arc<ProductEntry>>,
+}
+
+impl ShardSnapshot {
+    /// Snapshot every visible product of `store` (initial build).
+    pub fn from_store(version: u64, store: &ProductStore) -> Self {
+        let clusters = store
+            .products_keyed()
+            .map(|(k, p)| (k.clone(), ProductEntry::new(p.clone())))
+            .collect();
+        Self { version, clusters }
+    }
+
+    /// Build the successor snapshot: carry every entry forward by `Arc`
+    /// clone and re-resolve only the `dirty` keys against the store —
+    /// re-serializing a changed product, dropping a vanished one.
+    pub fn rebuilt(&self, version: u64, store: &ProductStore, dirty: &[ClusterKey]) -> Self {
+        let mut clusters = self.clusters.clone();
+        for key in dirty {
+            match store.product_for(key) {
+                Some(p) => {
+                    clusters.insert(key.clone(), ProductEntry::new(p.clone()));
+                }
+                None => {
+                    clusters.remove(key);
+                }
+            }
+        }
+        Self { version, clusters }
+    }
+
+    /// This shard's entries for one category, in cluster-key order.
+    pub fn category_entries(
+        &self,
+        category: CategoryId,
+    ) -> impl Iterator<Item = (&ClusterKey, &Arc<ProductEntry>)> {
+        self.clusters
+            .range((category, String::new(), String::new())..)
+            .take_while(move |(k, _)| k.0 == category)
+    }
+}
+
+/// The whole store frozen at one instant: per-shard snapshots plus the
+/// pre-assembled `GET /products/{category}` response bodies.
+#[derive(Debug, Default)]
+pub struct StoreSnapshot {
+    /// One snapshot per shard, index-aligned with the shard vector.
+    pub shards: Vec<Arc<ShardSnapshot>>,
+    /// Category → full response body (the compact JSON array of the
+    /// category's products in cluster-key order). Categories that never
+    /// had a visible product are absent; readers serve
+    /// [`empty_response`] for them.
+    pub responses: BTreeMap<CategoryId, Arc<[u8]>>,
+}
+
+/// The shared `[]` body served for categories with no cached response.
+pub fn empty_response() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(&b"[]"[..])))
+}
+
+/// Assemble one category's response body from the shard snapshots:
+/// merge the (disjoint) per-shard entries into cluster-key order and
+/// join their cached JSON — byte-identical to serializing the product
+/// vector.
+pub fn category_response(shards: &[Arc<ShardSnapshot>], category: CategoryId) -> Arc<[u8]> {
+    let mut entries: Vec<(&ClusterKey, &Arc<ProductEntry>)> =
+        shards.iter().flat_map(|s| s.category_entries(category)).collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut body = Vec::with_capacity(
+        2 + entries.iter().map(|(_, e)| e.json.len() + 1).sum::<usize>().saturating_sub(1),
+    );
+    body.push(b'[');
+    for (i, (_, e)) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push(b',');
+        }
+        body.extend_from_slice(e.json.as_bytes());
+    }
+    body.push(b']');
+    body.into()
+}
+
+/// Collect into `out` every category whose entries differ between two
+/// snapshots of the same shard. Carry-forward preserves `Arc` identity
+/// for untouched entries, so a pointer walk finds exactly the changed,
+/// added, and removed clusters regardless of which writer published
+/// first.
+pub fn changed_categories(
+    old: &ShardSnapshot,
+    new: &ShardSnapshot,
+    out: &mut BTreeSet<CategoryId>,
+) {
+    let mut a = old.clusters.iter().peekable();
+    let mut b = new.clusters.iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some((ka, ea)), Some((kb, eb))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    out.insert(ka.0);
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    out.insert(kb.0);
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    if !Arc::ptr_eq(ea, eb) {
+                        out.insert(ka.0);
+                    }
+                    a.next();
+                    b.next();
+                }
+            },
+            (Some((ka, _)), None) => {
+                out.insert(ka.0);
+                a.next();
+            }
+            (None, Some((kb, _))) => {
+                out.insert(kb.0);
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+/// The swap cell readers load the current [`StoreSnapshot`] from.
+///
+/// Zero-dependency stand-in for `ArcSwap`: the read-side critical
+/// section is a single refcount increment under a shared lock, and the
+/// only exclusive hold is the pointer store in [`SnapshotCell::swap`] —
+/// readers never wait on snapshot *construction*, which happens entirely
+/// off to the side.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    cell: RwLock<Arc<StoreSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding `initial`.
+    pub fn new(initial: Arc<StoreSnapshot>) -> Self {
+        Self { cell: RwLock::new(initial) }
+    }
+
+    /// The current snapshot (one refcount increment).
+    pub fn load(&self) -> Arc<StoreSnapshot> {
+        Arc::clone(&self.cell.read().expect("snapshot cell lock"))
+    }
+
+    /// Publish `next` (one pointer store under the exclusive lock).
+    pub fn swap(&self, next: Arc<StoreSnapshot>) {
+        *self.cell.write().expect("snapshot cell lock") = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cat: u32, key: &str, json: &str) -> (ClusterKey, Arc<ProductEntry>) {
+        let product = SynthesizedProduct {
+            category: CategoryId(cat),
+            key_attribute: "MPN".into(),
+            key_value: key.into(),
+            spec: pse_core::Spec::default(),
+            offers: Vec::new(),
+        };
+        (
+            (CategoryId(cat), "MPN".into(), key.into()),
+            Arc::new(ProductEntry { product, json: json.into() }),
+        )
+    }
+
+    fn snap(version: u64, entries: Vec<(ClusterKey, Arc<ProductEntry>)>) -> ShardSnapshot {
+        ShardSnapshot { version, clusters: entries.into_iter().collect() }
+    }
+
+    #[test]
+    fn category_response_merges_shards_in_key_order() {
+        let (k1, e1) = entry(1, "aaa", "{\"a\":1}");
+        let (k2, e2) = entry(1, "bbb", "{\"b\":2}");
+        let (k3, e3) = entry(2, "ccc", "{\"c\":3}");
+        let shards =
+            vec![Arc::new(snap(1, vec![(k2, e2), (k3, e3)])), Arc::new(snap(1, vec![(k1, e1)]))];
+        assert_eq!(&category_response(&shards, CategoryId(1))[..], b"[{\"a\":1},{\"b\":2}]");
+        assert_eq!(&category_response(&shards, CategoryId(2))[..], b"[{\"c\":3}]");
+        assert_eq!(&category_response(&shards, CategoryId(9))[..], b"[]");
+        assert_eq!(&empty_response()[..], b"[]");
+    }
+
+    #[test]
+    fn changed_categories_walks_pointer_identity() {
+        let (k1, e1) = entry(1, "aaa", "{}");
+        let (k2, e2) = entry(2, "bbb", "{}");
+        let (k3, e3) = entry(3, "ccc", "{}");
+        let old = snap(1, vec![(k1.clone(), Arc::clone(&e1)), (k2.clone(), e2)]);
+        // Category 1 carried forward (same Arc), category 2 replaced,
+        // category 3 added.
+        let (_, e2b) = entry(2, "bbb", "{}");
+        let new = snap(2, vec![(k1, e1), (k2, e2b), (k3, e3)]);
+        let mut out = BTreeSet::new();
+        changed_categories(&old, &new, &mut out);
+        assert_eq!(out, BTreeSet::from([CategoryId(2), CategoryId(3)]));
+        // Removal is also a change.
+        let mut out = BTreeSet::new();
+        changed_categories(&new, &old, &mut out);
+        assert_eq!(out, BTreeSet::from([CategoryId(2), CategoryId(3)]));
+    }
+
+    #[test]
+    fn snapshot_cell_swaps_atomically() {
+        let cell = SnapshotCell::new(Arc::new(StoreSnapshot::default()));
+        let first = cell.load();
+        assert!(Arc::ptr_eq(&first, &cell.load()));
+        cell.swap(Arc::new(StoreSnapshot::default()));
+        assert!(!Arc::ptr_eq(&first, &cell.load()));
+    }
+}

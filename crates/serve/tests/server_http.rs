@@ -146,6 +146,56 @@ fn request_size_cap_gives_413() {
     handle.shutdown().unwrap();
 }
 
+/// The documented cap is 1 MiB, and it is a strict boundary: a request
+/// totaling exactly `max_request_bytes` is served, one byte more is 413
+/// (ISSUE 6 satellite — `ServerConfig::default` used to say 4 MiB while
+/// every doc said 1 MiB).
+#[test]
+fn request_size_cap_boundary_is_exactly_one_mib() {
+    const CAP: usize = 1 << 20;
+    assert_eq!(ServerConfig::default().max_request_bytes, CAP, "default cap is 1 MiB");
+
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 2);
+    let handle = pse_serve::start(store, f.world.catalog.clone(), ServerConfig::default()).unwrap();
+    let addr = addr_of(&handle);
+
+    let header = |content_length: usize| {
+        format!("POST /ingest HTTP/1.1\r\nContent-Length: {content_length}\r\n\r\n")
+    };
+    // Solve for the body size that makes header + body total exactly CAP
+    // (the header length depends on the digits of Content-Length).
+    let mut body_len = CAP;
+    for _ in 0..4 {
+        body_len = CAP - header(body_len).len();
+    }
+    let exact = header(body_len);
+    assert_eq!(exact.len() + body_len, CAP);
+
+    // Exactly at the cap: read fully and dispatched (400: not JSON), not 413.
+    let status = raw_roundtrip(&addr, &exact, &vec![b'x'; body_len]);
+    assert_eq!(status, 400, "a request of exactly the cap must be served");
+
+    // One byte over: rejected with 413 straight from the header.
+    let status = raw_roundtrip(&addr, &header(body_len + 1), b"");
+    assert_eq!(status, 413, "one byte past the cap must be 413");
+
+    assert_eq!(http_request(&addr, "GET", "/healthz", None).unwrap().0, 200);
+    handle.shutdown().unwrap();
+}
+
+/// Write a raw request and return the response status code.
+fn raw_roundtrip(addr: &str, header: &str, body: &[u8]) -> u16 {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(header.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    let text = String::from_utf8_lossy(&reply);
+    text.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("response has a status line")
+}
+
 #[test]
 fn overload_gets_backpressure_503() {
     let f = fixture();

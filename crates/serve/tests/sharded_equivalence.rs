@@ -116,6 +116,10 @@ proptest! {
         let reference = run_reference(f, &steps);
         let expected_products = products_json(&reference.products());
         let expected_snapshot = reference.snapshot_json();
+        // Every category the reference has ever seen, plus one absent.
+        let mut categories: Vec<u32> = reference.products().iter().map(|p| p.category.0).collect();
+        categories.dedup();
+        categories.push(4_242_424);
         for n_shards in SHARD_COUNTS {
             let sharded = run_sharded(f, &steps, n_shards);
             prop_assert_eq!(
@@ -130,6 +134,22 @@ proptest! {
                 "snapshot at {} shards",
                 n_shards
             );
+            // The cached response bodies must be byte-identical to what
+            // the pre-MVCC locked path produced: a fresh serialization
+            // of the category's products.
+            for &cat in &categories {
+                let category = pse_core::CategoryId(cat);
+                let expected = serde_json::to_string(&reference.products_in_category(category))
+                    .expect("products serialize");
+                let body = sharded.products_response(category);
+                prop_assert_eq!(
+                    std::str::from_utf8(&body).expect("response is UTF-8"),
+                    expected.as_str(),
+                    "cached response for category {} at {} shards",
+                    cat,
+                    n_shards
+                );
+            }
         }
     }
 
@@ -161,6 +181,132 @@ proptest! {
             );
         }
     }
+}
+
+/// Regression guard for the torn cross-shard read (ISSUE 6): a reader
+/// racing a multi-shard ingest/retract cycle must only ever observe the
+/// pre-batch state or the post-batch state of a category — never a
+/// partial batch where some of its clusters are visible and others are
+/// not. The pre-MVCC implementation acquired shard read locks
+/// sequentially, so a concurrent ingest landing between two shard reads
+/// produced exactly such a torn view.
+#[test]
+fn concurrent_reader_never_observes_partial_batch() {
+    const N_SHARDS: usize = 4;
+    const CYCLES: usize = 300;
+    let f = fixture();
+    let config = RuntimeConfig::default();
+    let keys = KeyAttributes::new(&config.key_attributes);
+    let reconciled = reconcile_batch(&f.corpus, &f.correspondences, &provider(f));
+
+    // Pick a category whose clusters span at least two shards at
+    // N_SHARDS, so one batch for that category always crosses shards.
+    let mut shards_of_category: HashMap<u32, std::collections::HashSet<usize>> = HashMap::new();
+    let mut category_of_offer: HashMap<u64, u32> = HashMap::new();
+    for r in &reconciled {
+        let Some((attr, value)) = keys.route(r) else { continue };
+        let shard = shard_of(&(r.category, attr, value), N_SHARDS);
+        shards_of_category.entry(r.category.0).or_default().insert(shard);
+        category_of_offer.insert(r.offer.0, r.category.0);
+    }
+    let (&category, _) = shards_of_category
+        .iter()
+        .find(|(_, shards)| shards.len() >= 2)
+        .expect("tiny world must have a category spanning two shards");
+    let batch: Vec<Offer> = f
+        .corpus
+        .iter()
+        .filter(|o| category_of_offer.get(&o.id.0) == Some(&category))
+        .cloned()
+        .collect();
+    let ids: Vec<OfferId> = batch.iter().map(|o| o.id).collect();
+    assert!(batch.len() >= 2, "cross-shard batch needs at least two offers");
+
+    let store = ShardedStore::new(f.correspondences.clone(), N_SHARDS);
+    store.ingest(&f.world.catalog, &batch, &provider(f));
+    let full = products_json(&store.products_in_category(pse_core::CategoryId(category)));
+    store.retract(&f.world.catalog, &ids);
+    let empty = products_json(&store.products_in_category(pse_core::CategoryId(category)));
+    assert_ne!(full, empty, "the batch must be observable");
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut torn = Vec::new();
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                let seen =
+                    products_json(&store.products_in_category(pse_core::CategoryId(category)));
+                if seen != full && seen != empty {
+                    torn.push(seen);
+                    if torn.len() >= 3 {
+                        break;
+                    }
+                }
+            }
+            torn
+        });
+        for _ in 0..CYCLES {
+            store.ingest(&f.world.catalog, &batch, &provider(f));
+            store.retract(&f.world.catalog, &ids);
+            if reader.is_finished() {
+                break;
+            }
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        let torn = reader.join().expect("reader thread joins");
+        assert!(
+            torn.is_empty(),
+            "reader observed {} torn cross-shard view(s); first: {}",
+            torn.len(),
+            torn[0]
+        );
+    });
+}
+
+/// Retract must only take write paths on shards that own at least one of
+/// the ids (ISSUE 6 satellite): untouched shards keep their published
+/// snapshot `Arc` pointer-identical, and a retract of only-unknown ids
+/// leaves the whole published `StoreSnapshot` untouched.
+#[test]
+fn retract_leaves_unowned_shards_pointer_equal() {
+    const N_SHARDS: usize = 8;
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), N_SHARDS);
+    store.ingest(&f.world.catalog, &f.corpus, &provider(f));
+
+    // Group the ingested offers by owning shard and retract one shard's.
+    let config = RuntimeConfig::default();
+    let keys = KeyAttributes::new(&config.key_attributes);
+    let reconciled = reconcile_batch(&f.corpus, &f.correspondences, &provider(f));
+    let mut by_shard: HashMap<usize, Vec<OfferId>> = HashMap::new();
+    for r in &reconciled {
+        let Some((attr, value)) = keys.route(r) else { continue };
+        by_shard.entry(shard_of(&(r.category, attr, value), N_SHARDS)).or_default().push(r.offer);
+    }
+    assert!(by_shard.len() >= 2, "corpus must populate at least two shards");
+    let (&target, ids) = by_shard.iter().next().expect("a populated shard");
+
+    let before = store.snapshot();
+    let stats = store.retract(&f.world.catalog, ids);
+    assert_eq!(stats.offers_routed, ids.len());
+    let after = store.snapshot();
+    assert!(!std::sync::Arc::ptr_eq(&before, &after), "the batch must republish");
+    for i in 0..N_SHARDS {
+        let same = std::sync::Arc::ptr_eq(&before.shards[i], &after.shards[i]);
+        if i == target {
+            assert!(!same, "the owning shard must get a new snapshot");
+        } else {
+            assert!(same, "shard {i} owns none of the ids; its snapshot must be untouched");
+        }
+    }
+
+    // Unknown ids touch no shard at all: not even a new StoreSnapshot.
+    let stats = store.retract(&f.world.catalog, &[OfferId(u64::MAX), OfferId(u64::MAX - 1)]);
+    assert_eq!(stats.offers_routed, 0);
+    assert!(
+        std::sync::Arc::ptr_eq(&after, &store.snapshot()),
+        "a no-op retract must not republish"
+    );
 }
 
 #[test]

@@ -107,6 +107,21 @@ pub struct IngestStats {
     pub refused: usize,
 }
 
+/// One ingest/retract's outcome with the precise set of clusters it
+/// touched — what an MVCC front (`pse-serve`) needs to rebuild only the
+/// affected entries of an immutable read snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct IngestDelta {
+    /// The batch-level numbers ([`IngestStats`] semantics unchanged).
+    pub stats: IngestStats,
+    /// Every cluster whose visible product may have changed, in key
+    /// order: clusters that gained or lost members, including clusters
+    /// that vanished entirely (retraction of the last member). This is a
+    /// superset of `stats.clusters_dirty`, which counts only clusters
+    /// that still exist.
+    pub dirty: Vec<ClusterKey>,
+}
+
 /// The serialized form of a store (see [`ProductStore::snapshot_json`]).
 #[derive(Serialize, Deserialize)]
 struct Snapshot {
@@ -167,6 +182,22 @@ impl ProductStore {
         self.clusters.values().map(|s| s.members.len()).sum()
     }
 
+    /// Register every gated `store.*` counter at zero. Called from each
+    /// span-emitting entry point so any run that shows a `store.*` span
+    /// also reports the full counter set (`obs_check` enforces this),
+    /// even when the run never snapshots or refuses an offer.
+    fn seed_obs_counters() {
+        for c in [
+            "store.ingest",
+            "store.clusters_dirty",
+            "store.refused",
+            "store.retracted",
+            "store.snapshot",
+        ] {
+            pse_obs::seed(c);
+        }
+    }
+
     /// Ingest a batch: reconcile (in parallel, order-preserving), route
     /// each offer to its cluster, and re-fuse only the clusters this batch
     /// touched. Offers without a category, with no mapped pairs, or with no
@@ -199,6 +230,18 @@ impl ProductStore {
         catalog: &Catalog,
         reconciled: Vec<ReconciledOffer>,
     ) -> IngestStats {
+        self.ingest_reconciled_delta(catalog, reconciled).stats
+    }
+
+    /// [`ProductStore::ingest_reconciled`] with the exact dirty-cluster
+    /// set attached — the invalidation signal the serving layer's
+    /// snapshot/response cache consumes.
+    pub fn ingest_reconciled_delta(
+        &mut self,
+        catalog: &Catalog,
+        reconciled: Vec<ReconciledOffer>,
+    ) -> IngestDelta {
+        Self::seed_obs_counters();
         let offers_in = reconciled.len();
         let mut dirty: BTreeSet<ClusterKey> = BTreeSet::new();
         let mut offers_routed = 0;
@@ -222,14 +265,25 @@ impl ProductStore {
         pse_obs::add("runtime.clusters_formed", clusters_formed);
         pse_obs::add("store.clusters_dirty", dirty.len() as u64);
         let refused = self.refuse(catalog, &dirty);
-        IngestStats { offers_in, offers_routed, clusters_dirty: dirty.len(), refused }
+        let stats = IngestStats { offers_in, offers_routed, clusters_dirty: dirty.len(), refused };
+        IngestDelta { stats, dirty: dirty.into_iter().collect() }
     }
 
     /// Remove offers by id, re-fusing the affected clusters. Unknown ids
     /// are ignored. A cluster whose last member is retracted disappears.
     pub fn retract(&mut self, catalog: &Catalog, ids: &[OfferId]) -> IngestStats {
+        self.retract_delta(catalog, ids).stats
+    }
+
+    /// [`ProductStore::retract`] with the exact dirty-cluster set
+    /// attached. Unlike `stats.clusters_dirty`, the delta also lists
+    /// clusters that vanished (last member retracted), because their
+    /// disappearance invalidates cached reads just as surely.
+    pub fn retract_delta(&mut self, catalog: &Catalog, ids: &[OfferId]) -> IngestDelta {
         let _span = pse_obs::span("store.retract");
+        Self::seed_obs_counters();
         let mut dirty: BTreeSet<ClusterKey> = BTreeSet::new();
+        let mut vanished: BTreeSet<ClusterKey> = BTreeSet::new();
         let mut removed = 0;
         for id in ids {
             let Some(key) = self.offer_index.remove(id) else { continue };
@@ -238,6 +292,7 @@ impl ProductStore {
             removed += 1;
             if state.members.is_empty() {
                 self.clusters.remove(&key);
+                vanished.insert(key);
             } else {
                 state.dirty = true;
                 dirty.insert(key);
@@ -246,12 +301,21 @@ impl ProductStore {
         pse_obs::add("store.retracted", removed as u64);
         pse_obs::add("store.clusters_dirty", dirty.len() as u64);
         let refused = self.refuse(catalog, &dirty);
-        IngestStats {
+        let stats = IngestStats {
             offers_in: ids.len(),
             offers_routed: removed,
             clusters_dirty: dirty.len(),
             refused,
-        }
+        };
+        dirty.append(&mut vanished);
+        IngestDelta { stats, dirty: dirty.into_iter().collect() }
+    }
+
+    /// Whether any of `ids` is currently held by this store — the cheap
+    /// read-side probe a sharded front uses to skip shards a retraction
+    /// cannot touch.
+    pub fn owns_any(&self, ids: &[OfferId]) -> bool {
+        ids.iter().any(|id| self.offer_index.contains_key(id))
     }
 
     /// Re-fuse the given dirty clusters (in parallel, order-preserving);
@@ -365,6 +429,7 @@ impl ProductStore {
     /// deterministic).
     pub fn snapshot_json(&self) -> String {
         let _span = pse_obs::span("store.snapshot");
+        Self::seed_obs_counters();
         pse_obs::incr("store.snapshot");
         let snapshot = Snapshot {
             schema_version: SNAPSHOT_VERSION,
@@ -378,6 +443,7 @@ impl ProductStore {
     /// Rebuild a store from a [`ProductStore::snapshot_json`] string.
     pub fn restore_json(json: &str) -> Result<Self, StoreError> {
         let _span = pse_obs::span("store.restore");
+        Self::seed_obs_counters();
         let snapshot: Snapshot = serde_json::from_str(json).map_err(|e| StoreError::Json(e.0))?;
         if snapshot.schema_version != SNAPSHOT_VERSION {
             return Err(StoreError::UnsupportedVersion {
@@ -650,6 +716,53 @@ mod tests {
         assert_eq!(store.products_in_category(cat).len(), products.len());
         assert!(store.products_in_category(CategoryId(4242)).is_empty());
         assert!(store.product_for(&(CategoryId(4242), "MPN".into(), "zzz".into())).is_none());
+    }
+
+    #[test]
+    fn ingest_delta_lists_exactly_the_touched_clusters() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set.clone());
+        let reconciled = reconcile_batch(&offers, &set, &provider());
+        let delta = store.ingest_reconciled_delta(&catalog, reconciled);
+        assert_eq!(delta.stats.clusters_dirty, 3);
+        assert_eq!(delta.dirty.len(), 3, "one key per touched cluster");
+        let keys: Vec<ClusterKey> = store.products_keyed().map(|(k, _)| k.clone()).collect();
+        assert_eq!(delta.dirty, keys, "dirty keys come back in cluster-key order");
+        // A second batch touching one existing cluster reports only it.
+        let more =
+            vec![mk(10, 0, offers[0].category.unwrap(), &[("MPN", "abc123"), ("RPM", "7200 rpm")])];
+        let reconciled = reconcile_batch(&more, &set, &provider());
+        let delta = store.ingest_reconciled_delta(&catalog, reconciled);
+        assert_eq!(delta.dirty.len(), 1);
+        assert_eq!(delta.dirty[0].2, "abc123");
+    }
+
+    #[test]
+    fn retract_delta_includes_vanished_clusters() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        // OfferId(2) is the xyz999 singleton: retracting it removes the
+        // cluster, which must still show up in the delta (the cached
+        // response for its category is stale) even though the stats count
+        // only clusters that survive.
+        let delta = store.retract_delta(&catalog, &[OfferId(2)]);
+        assert_eq!(delta.stats.clusters_dirty, 0);
+        assert_eq!(delta.dirty.len(), 1);
+        assert_eq!(delta.dirty[0].2, "xyz999");
+        assert!(store.product_for(&delta.dirty[0]).is_none());
+    }
+
+    #[test]
+    fn owns_any_probes_the_offer_index() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        assert!(store.owns_any(&[OfferId(999), OfferId(0)]));
+        assert!(!store.owns_any(&[OfferId(999), OfferId(3)]), "noise-only offer never routed");
+        assert!(!store.owns_any(&[]));
+        store.retract(&catalog, &[OfferId(0)]);
+        assert!(!store.owns_any(&[OfferId(0)]));
     }
 
     #[test]

@@ -63,4 +63,12 @@ wait "$SERVE_PID"
 test -s target/check-results/serve.snapshot.json
 cargo run --release -q -p pse-bench --bin obs_check
 
+# Read-heavy smoke: the 99/1 serve-bench mix hammers the snapshot response
+# cache (GET /products/{category}) while churn writes invalidate it; the
+# obs_check run validates the gated serve.cache.* counters in the report.
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    serve-bench --read-heavy --smoke --quiet --obs \
+    --workers 4 --requests 400 --shards 4 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+
 echo "tier-1 gate: all green"
