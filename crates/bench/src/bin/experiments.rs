@@ -27,7 +27,12 @@
 //!                BENCH_par.json under "serve". With --read-heavy the mix
 //!                becomes 99% GET /products/{category} (served from the
 //!                snapshot response cache) and 1% churn writes; results
-//!                are merged under "serve_readheavy"
+//!                are merged under "serve_readheavy". With --obs-overhead
+//!                the point-lookup mix runs twice — observability off,
+//!                then on (tracing + RED metrics + flight recorder) — at
+//!                the first --shards count, and the comparison is merged
+//!                under "serve_obs_overhead" with a documented ≤10% p50
+//!                budget
 //!   fig6      classifier vs single-feature baselines (Figure 6)
 //!   fig7      with vs without historical matches (Figure 7)
 //!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
@@ -56,9 +61,10 @@ use std::process::ExitCode;
 use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, embedded_spec_provider, extension_name_features,
-    fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_serve_bench,
-    run_end_to_end, run_incremental, run_serve_bench, run_serve_bench_read_heavy, serve_corpus,
-    table2, table3, table4, verify_blocking, EndToEnd, Scale,
+    fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_obs_overhead,
+    render_serve_bench, run_end_to_end, run_incremental, run_serve_bench,
+    run_serve_bench_obs_overhead, run_serve_bench_read_heavy, serve_corpus, table2, table3, table4,
+    verify_blocking, EndToEnd, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -228,6 +234,20 @@ fn dispatch(
             let requests = flag_value(args, "--requests").unwrap_or(2000);
             let shard_counts = shard_list(args).unwrap_or_else(|| vec![1, 2, 4, 8]);
             let read_heavy = args.iter().any(|a| a == "--read-heavy");
+            if args.iter().any(|a| a == "--obs-overhead") {
+                let shards = shard_counts[0];
+                let run = run_serve_bench_obs_overhead(world, workers, requests, shards);
+                println!("{}", render_obs_overhead(&run));
+                merge_into_bench_json("serve_obs_overhead", &run, quiet);
+                if !run.within_budget {
+                    // The 1-CPU smoke host is noisy; flag loudly, fail soft.
+                    eprintln!(
+                        "warning: obs p50 overhead {:+.1}% exceeds the {:.0}% budget",
+                        run.p50_overhead_pct, run.budget_pct
+                    );
+                }
+                return true;
+            }
             let (run, key) = if read_heavy {
                 let run = run_serve_bench_read_heavy(world, workers, requests, &shard_counts);
                 (run, "serve_readheavy")

@@ -54,19 +54,31 @@ const SOFTTFIDF_COUNTERS: [&str; 2] = ["softtfidf.jw_memo_hit", "softtfidf.jw_me
 
 /// Counters a run that exercised the HTTP serving layer (any `serve.*`
 /// span present) must additionally emit — the server seeds them at start,
-/// so even an all-200 run reports its 503/error counters at zero. The
+/// so even an all-200 run reports the full per-status set at zero and the
+/// counter set never depends on which requests happened to arrive. The
 /// `serve.cache.*` trio tracks the snapshot response cache: one hit or
 /// miss per `GET /products/{category}`, and the categories whose cached
 /// bodies each publish rebuilt.
-const SERVE_COUNTERS: [&str; 7] = [
+const SERVE_COUNTERS: [&str; 14] = [
     "serve.requests",
     "serve.http_200",
+    "serve.http_400",
+    "serve.http_404",
+    "serve.http_405",
+    "serve.http_413",
+    "serve.http_500",
+    "serve.http_503",
+    "serve.http_other",
     "serve.backpressure_503",
     "serve.io_error",
     "serve.cache.hit",
     "serve.cache.miss",
     "serve.cache.invalidated",
 ];
+
+/// Histograms a serving run must emit: whole-request latency and the
+/// accept-queue depth sampled at every accepted connection.
+const SERVE_HISTOGRAMS: [&str; 2] = ["serve.request_us", "serve.queue_depth"];
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -130,6 +142,7 @@ fn check(v: &Value) -> Vec<String> {
     let serve_ran = span_paths.iter().any(|p| p.contains("serve."));
     check_counters(v, store_ran, match_ran, dumas_ran, serve_ran, &mut errs);
     check_histograms(v, &mut errs);
+    check_serve_endpoints(v, serve_ran, &mut errs);
     check_timelines(v, &mut errs);
     errs
 }
@@ -251,6 +264,79 @@ fn check_histograms(v: &Value, errs: &mut Vec<String>) {
             errs.push(format!("{ctx}: bucket counts sum to {bucket_total}, expected {count}"));
         }
     }
+}
+
+/// Per-endpoint RED consistency for serving runs. The server records,
+/// for every request it handles, exactly one `serve.endpoint.<e>.us`
+/// histogram observation and one `serve.endpoint.<e>.requests` increment,
+/// paired with the global `serve.requests` increment — so in a quiesced
+/// report each endpoint histogram count equals its request counter, every
+/// endpoint carries an errors counter of at most its requests, and the
+/// per-endpoint request counters sum exactly to `serve.requests`.
+/// (Acceptor-level backpressure 503s touch neither side of the ledger.)
+/// Also demands the serving histograms ([`SERVE_HISTOGRAMS`]) exist.
+fn check_serve_endpoints(v: &Value, serve_ran: bool, errs: &mut Vec<String>) {
+    if !serve_ran {
+        return;
+    }
+    // Shape errors (non-array fields) are already reported by
+    // check_counters/check_histograms; swallow them here.
+    let mut shape_errs = Vec::new();
+    let histograms = array(v, "histograms", &mut shape_errs).to_vec();
+    let counters = array(v, "counters", &mut shape_errs).to_vec();
+    let mut new_errs = Vec::new();
+    let counter_value = |name: &str| -> Option<u64> {
+        counters.iter().find(|c| str_field(c, "name") == name).and_then(|c| match c.get("value") {
+            Some(&Value::U64(n)) => Some(n),
+            _ => None,
+        })
+    };
+    for required in SERVE_HISTOGRAMS {
+        if !histograms.iter().any(|h| str_field(h, "name") == required) {
+            new_errs.push(format!("serve spans present but histogram {required} missing"));
+        }
+    }
+    let mut endpoint_requests_total = 0u64;
+    for c in &counters {
+        let name = str_field(c, "name");
+        if name.starts_with("serve.endpoint.") && name.ends_with(".requests") {
+            endpoint_requests_total += counter_value(name).unwrap_or(0);
+        }
+    }
+    for h in &histograms {
+        let name = str_field(h, "name").to_string();
+        let Some(endpoint) =
+            name.strip_prefix("serve.endpoint.").and_then(|r| r.strip_suffix(".us"))
+        else {
+            continue;
+        };
+        let ctx = format!("endpoint {endpoint}");
+        let count = require_u64(h, "count", &ctx, &mut new_errs);
+        let requests_name = format!("serve.endpoint.{endpoint}.requests");
+        match counter_value(&requests_name) {
+            Some(requests) if requests == count => {}
+            Some(requests) => new_errs.push(format!(
+                "{ctx}: histogram {name} count {count} != counter {requests_name} {requests}"
+            )),
+            None => new_errs.push(format!("{ctx}: counter {requests_name} missing")),
+        }
+        let errors_name = format!("serve.endpoint.{endpoint}.errors");
+        match counter_value(&errors_name) {
+            Some(errors) if errors <= count => {}
+            Some(errors) => new_errs
+                .push(format!("{ctx}: {errors_name} {errors} exceeds request count {count}")),
+            None => new_errs.push(format!("{ctx}: counter {errors_name} missing")),
+        }
+    }
+    if let Some(total) = counter_value("serve.requests") {
+        if endpoint_requests_total != total {
+            new_errs.push(format!(
+                "serve.endpoint.*.requests sum to {endpoint_requests_total}, \
+                 but serve.requests is {total}"
+            ));
+        }
+    }
+    errs.extend(new_errs);
 }
 
 fn check_timelines(v: &Value, errs: &mut Vec<String>) {
@@ -459,17 +545,125 @@ mod tests {
         assert_eq!(check(&v), Vec::<String>::new());
 
         // And for the HTTP serving layer: a serve span without the seeded
-        // request/backpressure counters is an error.
+        // request/backpressure counters (including the full per-status
+        // set) or the serving histograms is an error.
         let mut r = with_span("serve.request");
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         let errs = check(&v);
         assert!(errs.iter().any(|e| e.contains("counter serve.requests missing")));
         assert!(errs.iter().any(|e| e.contains("counter serve.backpressure_503 missing")));
+        assert!(errs.iter().any(|e| e.contains("counter serve.http_405 missing")));
+        assert!(errs.iter().any(|e| e.contains("counter serve.http_413 missing")));
+        assert!(errs.iter().any(|e| e.contains("counter serve.http_other missing")));
+        assert!(errs.iter().any(|e| e.contains("histogram serve.request_us missing")));
+        assert!(errs.iter().any(|e| e.contains("histogram serve.queue_depth missing")));
         r.counters.extend(
             SERVE_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
         );
+        r.histograms.extend(SERVE_HISTOGRAMS.iter().map(|n| pse_obs::HistogramSummary {
+            name: n.to_string(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }));
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn serve_endpoint_red_consistency_enforced() {
+        // Start from a passing serving report...
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = STAGE_PREFIXES
+            .iter()
+            .map(|p| format!("{p}stage"))
+            .chain(["serve.request".to_string()])
+            .map(|path| pse_obs::SpanSummary {
+                path,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .chain(SERVE_COUNTERS.iter())
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 })
+            .collect();
+        r.histograms = SERVE_HISTOGRAMS
+            .iter()
+            .map(|n| pse_obs::HistogramSummary {
+                name: n.to_string(),
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
+            })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "runtime.reconcile".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        // ...with one consistent endpoint: 3 requests, 3 observations.
+        r.counters.iter_mut().find(|c| c.name == "serve.requests").unwrap().value = 3;
+        r.counters.push(pse_obs::CounterEntry {
+            name: "serve.endpoint.products.requests".into(),
+            value: 3,
+        });
+        r.counters.push(pse_obs::CounterEntry {
+            name: "serve.endpoint.products.errors".into(),
+            value: 0,
+        });
+        r.histograms.push(pse_obs::HistogramSummary {
+            name: "serve.endpoint.products.us".into(),
+            count: 3,
+            sum: 30,
+            min: 5,
+            max: 15,
+            buckets: vec![pse_obs::BucketEntry { le: 16, count: 3 }],
+        });
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // A histogram count that disagrees with the request counter fails.
+        let mut broken = r.clone();
+        broken.histograms.last_mut().unwrap().count = 2;
+        broken.histograms.last_mut().unwrap().buckets[0].count = 2;
+        let v: Value = serde_json::from_str(&broken.to_json()).unwrap();
+        assert!(check(&v).iter().any(|e| e.contains("count 2 != counter")));
+
+        // Endpoint counters that do not sum to serve.requests fail.
+        let mut broken = r.clone();
+        broken.counters.iter_mut().find(|c| c.name == "serve.requests").unwrap().value = 5;
+        let v: Value = serde_json::from_str(&broken.to_json()).unwrap();
+        assert!(check(&v)
+            .iter()
+            .any(|e| e.contains("serve.endpoint.*.requests sum to 3, but serve.requests is 5")));
+
+        // A missing errors counter fails.
+        let mut broken = r.clone();
+        broken.counters.retain(|c| c.name != "serve.endpoint.products.errors");
+        let v: Value = serde_json::from_str(&broken.to_json()).unwrap();
+        assert!(check(&v)
+            .iter()
+            .any(|e| e.contains("counter serve.endpoint.products.errors missing")));
     }
 
     #[test]

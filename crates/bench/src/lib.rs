@@ -14,8 +14,9 @@ pub mod serve_bench;
 pub use experiments::*;
 pub use scale::{ArgsError, Scale};
 pub use serve_bench::{
-    embedded_spec_provider, query_paths, render_serve_bench, run_serve_bench,
-    run_serve_bench_read_heavy, serve_corpus, ServeBenchRow, ServeBenchRun, ServeCorpus,
+    embedded_spec_provider, query_paths, render_obs_overhead, render_serve_bench, run_serve_bench,
+    run_serve_bench_obs_overhead, run_serve_bench_read_heavy, serve_corpus, ObsOverheadRun,
+    ServeBenchRow, ServeBenchRun, ServeCorpus, OBS_OVERHEAD_BUDGET_PCT,
 };
 
 use pse_core::Offer;

@@ -90,8 +90,9 @@ impl Scale {
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
     /// `--smoke`. The binary-level flags `--out DIR`, `--batches N`,
     /// `--workers N`, `--shards a,b,c`, `--requests N`, `--addr A`,
-    /// `--port-file P`, `--quiet`, `--obs` and `--verify-blocking` are
-    /// accepted and ignored here.
+    /// `--port-file P`, `--quiet`, `--obs`, `--obs-overhead`,
+    /// `--read-heavy` and `--verify-blocking` are accepted and ignored
+    /// here.
     pub fn from_args(args: &[String]) -> Result<Self, ArgsError> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
@@ -117,7 +118,8 @@ impl Scale {
                     }
                     scale.leaves = [parts[0], parts[1], parts[2], parts[3]];
                 }
-                "--smoke" | "--quiet" | "--obs" | "--verify-blocking" | "--read-heavy" => {}
+                "--smoke" | "--quiet" | "--obs" | "--obs-overhead" | "--verify-blocking"
+                | "--read-heavy" => {}
                 "--out" | "--batches" | "--workers" | "--shards" | "--requests" | "--addr"
                 | "--port-file" => {
                     take()?; // consumed by the binary, not the scale

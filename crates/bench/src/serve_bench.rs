@@ -299,6 +299,91 @@ pub fn run_serve_bench_read_heavy(
     ServeBenchRun { workers, requests_per_shard_count: requests, products, rows }
 }
 
+/// The documented tracing-overhead budget: p50 of the point-lookup mix
+/// with observability (tracing + RED metrics + flight recorder) on may
+/// regress at most this much over observability off.
+pub const OBS_OVERHEAD_BUDGET_PCT: f64 = 10.0;
+
+/// The obs-on vs obs-off comparison merged into `BENCH_par.json` under
+/// `"serve_obs_overhead"`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsOverheadRun {
+    /// Concurrent client threads (and server worker threads).
+    pub workers: usize,
+    /// Requests issued per run.
+    pub requests: usize,
+    /// The point-lookup mix with observability off.
+    pub obs_off: ServeBenchRow,
+    /// The same mix with observability on (tracing, endpoint histograms,
+    /// flight recorder all live).
+    pub obs_on: ServeBenchRow,
+    /// p50 regression, percent (negative = obs-on measured faster).
+    pub p50_overhead_pct: f64,
+    /// p99 regression, percent.
+    pub p99_overhead_pct: f64,
+    /// The budget `p50_overhead_pct` is held to.
+    pub budget_pct: f64,
+    /// Whether the p50 regression stayed within the budget.
+    pub within_budget: bool,
+}
+
+/// Measure the serving-path cost of observability: run the point-lookup
+/// mix twice against identical stores — first with instrumentation off,
+/// then with it on — and compare latency percentiles. The caller's
+/// enabled-state is restored afterwards, so a surrounding `--obs` run
+/// still writes its report.
+pub fn run_serve_bench_obs_overhead(
+    world: &World,
+    workers: usize,
+    requests: usize,
+    shards: usize,
+) -> ObsOverheadRun {
+    let was_enabled = pse_obs::enabled();
+    pse_obs::set_enabled(false);
+    let off = run_serve_bench(world, workers, requests, &[shards]).rows.remove(0);
+    pse_obs::set_enabled(true);
+    let on = run_serve_bench(world, workers, requests, &[shards]).rows.remove(0);
+    pse_obs::set_enabled(was_enabled);
+    let pct = |on: u64, off: u64| (on as f64 - off as f64) / (off as f64).max(1.0) * 100.0;
+    let p50_overhead_pct = pct(on.p50_us, off.p50_us);
+    let p99_overhead_pct = pct(on.p99_us, off.p99_us);
+    ObsOverheadRun {
+        workers,
+        requests,
+        obs_off: off,
+        obs_on: on,
+        p50_overhead_pct,
+        p99_overhead_pct,
+        budget_pct: OBS_OVERHEAD_BUDGET_PCT,
+        within_budget: p50_overhead_pct <= OBS_OVERHEAD_BUDGET_PCT,
+    }
+}
+
+/// Render the overhead comparison as a text table.
+pub fn render_obs_overhead(run: &ObsOverheadRun) -> String {
+    let mut t =
+        TextTable::new(["Mode", "Reads", "Errors", "p50 (us)", "p99 (us)", "Throughput (rps)"]);
+    for (mode, r) in [("obs off", &run.obs_off), ("obs on", &run.obs_on)] {
+        t.row([
+            mode.to_string(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            format!("{:.0}", r.throughput_rps),
+        ]);
+    }
+    format!(
+        "Serving: observability overhead, {} client threads, {} requests/run\n{}\np50 overhead {:+.1}% (budget {:.0}%), p99 overhead {:+.1}%",
+        run.workers,
+        run.requests,
+        t.render(),
+        run.p50_overhead_pct,
+        run.budget_pct,
+        run.p99_overhead_pct
+    )
+}
+
 fn percentile(sorted: &[u64], pct: usize) -> u64 {
     match sorted.len() {
         0 => 0,

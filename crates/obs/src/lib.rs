@@ -47,10 +47,15 @@
 pub mod hist;
 pub mod report;
 mod sink;
+pub mod trace;
 
 pub use report::{
     BucketEntry, ChunkSummary, CounterEntry, HistogramSummary, ObsReport, ReportError, SpanSummary,
     TimelineGroup, SCHEMA_VERSION,
+};
+pub use trace::{
+    start_request_trace, DebugRequests, FlightRecorder, RecorderConfig, RequestTrace,
+    RequestTraceGuard, TraceId, TraceSpan, TraceSummary,
 };
 
 use std::cell::{Cell, RefCell};
@@ -70,7 +75,7 @@ fn global_sink() -> &'static Sink {
 
 /// Monotonic nanoseconds since the first observability call in this
 /// process (the epoch all span/timeline timestamps share).
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = EPOCH.get_or_init(Instant::now);
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -138,6 +143,8 @@ fn current_path() -> Option<String> {
 pub struct SpanGuard {
     path: Option<String>,
     start_ns: u64,
+    /// A request trace was active at entry; report the exit to it too.
+    traced: bool,
 }
 
 impl Drop for SpanGuard {
@@ -147,6 +154,9 @@ impl Drop for SpanGuard {
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });
+            if self.traced {
+                trace::span_exit(&path, self.start_ns, dur);
+            }
             global_sink().record_span(path, dur);
         }
     }
@@ -154,17 +164,20 @@ impl Drop for SpanGuard {
 
 /// Enter a span named `name`, nested under the currently active span (or
 /// the inherited `pse-par` caller path). Returns the RAII guard that
-/// records the timing on drop.
+/// records the timing on drop. When a request trace is active on this
+/// thread ([`start_request_trace`]), the closed span is also appended to
+/// that request's span tree.
 pub fn span(name: &str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { path: None, start_ns: 0 };
+        return SpanGuard { path: None, start_ns: 0, traced: false };
     }
     let path = match current_path() {
         Some(parent) => format!("{parent}.{name}"),
         None => name.to_string(),
     };
     SPAN_STACK.with(|s| s.borrow_mut().push(path.clone()));
-    SpanGuard { path: Some(path), start_ns: now_ns() }
+    let traced = trace::span_enter();
+    SpanGuard { path: Some(path), start_ns: now_ns(), traced }
 }
 
 /// `span!("name")` — sugar for [`span`] that keeps call sites compact.
@@ -218,6 +231,9 @@ pub fn observe(name: &str, value: u64) {
 #[derive(Debug)]
 pub struct ParCall {
     label: Arc<str>,
+    /// The caller's request-trace context, if one was active — workers
+    /// install it so their spans land in the same request's span tree.
+    trace: Option<trace::TraceCtx>,
 }
 
 /// Capture the current span path as the label for a parallel call about to
@@ -228,16 +244,18 @@ pub fn par_call() -> Option<Arc<ParCall>> {
         return None;
     }
     let label: Arc<str> = current_path().unwrap_or_else(|| "par".to_string()).into();
-    Some(Arc::new(ParCall { label }))
+    Some(Arc::new(ParCall { label, trace: trace::current_ctx() }))
 }
 
 impl ParCall {
     /// Enter one chunk of this parallel call on the current (worker)
-    /// thread: inherits the caller's span path, tags the thread with its
-    /// worker index, and records a timeline event on drop.
+    /// thread: inherits the caller's span path and request trace, tags
+    /// the thread with its worker index, and records a timeline event on
+    /// drop.
     pub fn chunk(&self, worker: usize, chunk: usize, items: usize) -> ChunkGuard {
         let prev_inherited = INHERITED.with(|i| i.replace(Some(self.label.clone())));
         let prev_worker = WORKER.with(|w| w.replace(worker as u64));
+        let prev_trace = trace::install(self.trace.as_ref());
         ChunkGuard {
             label: self.label.clone(),
             worker: worker as u64,
@@ -246,6 +264,7 @@ impl ParCall {
             start_ns: now_ns(),
             prev_inherited,
             prev_worker,
+            prev_trace,
         }
     }
 }
@@ -261,6 +280,7 @@ pub struct ChunkGuard {
     start_ns: u64,
     prev_inherited: Option<Arc<str>>,
     prev_worker: u64,
+    prev_trace: Option<trace::ActiveTrace>,
 }
 
 impl Drop for ChunkGuard {
@@ -276,6 +296,7 @@ impl Drop for ChunkGuard {
         });
         INHERITED.with(|i| *i.borrow_mut() = self.prev_inherited.take());
         WORKER.with(|w| w.set(self.prev_worker));
+        trace::restore(self.prev_trace.take());
     }
 }
 

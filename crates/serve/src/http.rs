@@ -68,6 +68,9 @@ pub struct Request {
     pub path: String,
     /// Decoded `key=value` pairs from the query string, in order.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs in wire order, names verbatim,
+    /// values trimmed. Look up with [`Request::header`].
+    pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
 }
@@ -76,6 +79,11 @@ impl Request {
     /// First query value for `name`, if present.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First header value for `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 }
 
@@ -119,6 +127,7 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request,
     }
 
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -132,6 +141,7 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request,
                 .parse()
                 .map_err(|_| ServeError::BadRequest("unparseable Content-Length".into()))?;
         }
+        headers.push((name.to_string(), value.trim().to_string()));
     }
 
     let body_start = header_end + 4; // past "\r\n\r\n"
@@ -155,7 +165,7 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request,
         Some((p, q)) => (p.to_string(), parse_query(q)),
         None => (target.to_string(), Vec::new()),
     };
-    Ok(Request { method, path, query, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -262,6 +272,16 @@ mod tests {
         assert_eq!(r.query_param("category"), Some("3"));
         assert_eq!(r.query_param("key"), Some("abc 123"));
         assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn headers_are_captured_case_insensitively() {
+        let r =
+            req(b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Pse-Trace-Id:  00ff  \r\n\r\n").unwrap();
+        assert_eq!(r.header("x-pse-trace-id"), Some("00ff"), "trimmed, any case");
+        assert_eq!(r.header("X-PSE-TRACE-ID"), Some("00ff"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("absent"), None);
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //!   cap (413), panic-isolated handlers, and graceful drain + snapshot
 //!   flush.
 //!
+//! When observability is on (`PSE_OBS=1`), every request is traced into
+//! a per-request span tree (parse → route → handler stages, including
+//! spans from `pse-par` workers the handler fans out to), identified by
+//! the `X-Pse-Trace-Id` request header when the caller sends one. A
+//! [`pse_obs::FlightRecorder`] keeps the recent window plus every
+//! request over a slowness threshold, served at `GET /debug/requests`
+//! and `GET /debug/trace/{id}`; per-endpoint RED metrics
+//! (`serve.endpoint.<name>.{requests,errors,us}`) land in `/metrics`.
+//! None of it changes a response byte — the determinism tests pin
+//! tracing on vs off byte-identical on every product endpoint.
+//!
 //! The [`client`] module holds the matching minimal blocking client used
 //! by tests, the `http_get` bin, and the `serve-bench` load generator.
 

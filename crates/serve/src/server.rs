@@ -23,6 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pse_core::{Catalog, CategoryId, Offer, OfferId};
+use pse_obs::{FlightRecorder, RecorderConfig, TraceId};
 use pse_synthesis::runtime::normalize_key;
 use pse_synthesis::FnProvider;
 
@@ -49,6 +50,9 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Where to flush a final snapshot on shutdown, if anywhere.
     pub snapshot_path: Option<PathBuf>,
+    /// Flight-recorder sizing: the rotating recent window and the
+    /// always-keep-slowest tail-sampling set behind `GET /debug/requests`.
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +65,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_request_bytes: 1 << 20,
             snapshot_path: None,
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -72,6 +77,7 @@ struct Inner {
     stop: AtomicBool,
     queue_depth: AtomicUsize,
     addr: SocketAddr,
+    recorder: FlightRecorder,
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
@@ -91,19 +97,30 @@ pub fn start(
 ) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Seed every counter the record path can emit, so the counter set in
+    // a report is a function of the server running, not of which
+    // requests happened to arrive (`obs_check` requires the full set).
     for c in [
         "serve.requests",
         "serve.backpressure_503",
         "serve.http_200",
         "serve.http_400",
         "serve.http_404",
+        "serve.http_405",
+        "serve.http_413",
         "serve.http_500",
+        "serve.http_503",
+        "serve.http_other",
         "serve.io_error",
         "serve.cache.hit",
         "serve.cache.miss",
         "serve.cache.invalidated",
     ] {
         pse_obs::seed(c);
+    }
+    for (_, m) in &ENDPOINTS {
+        pse_obs::seed(m.requests);
+        pse_obs::seed(m.errors);
     }
     let inner = Arc::new(Inner {
         store,
@@ -112,6 +129,7 @@ pub fn start(
         stop: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
         addr,
+        recorder: FlightRecorder::new(config.recorder.clone()),
     });
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -223,41 +241,140 @@ fn count_status(status: u16) {
     });
 }
 
+/// The RED-metric names for one routed endpoint, precomputed so the
+/// request path never formats a metric name.
+struct EndpointMetrics {
+    requests: &'static str,
+    errors: &'static str,
+    us: &'static str,
+}
+
+macro_rules! endpoint {
+    ($label:literal) => {
+        (
+            $label,
+            EndpointMetrics {
+                requests: concat!("serve.endpoint.", $label, ".requests"),
+                errors: concat!("serve.endpoint.", $label, ".errors"),
+                us: concat!("serve.endpoint.", $label, ".us"),
+            },
+        )
+    };
+}
+
+/// Every label [`route_label`] can produce, plus the non-routable
+/// outcomes: `invalid` (unparseable or oversized request head) and `io`
+/// (client vanished before a request could be read).
+const ENDPOINTS: [(&str, EndpointMetrics); 12] = [
+    endpoint!("healthz"),
+    endpoint!("metrics"),
+    endpoint!("products"),
+    endpoint!("product"),
+    endpoint!("ingest"),
+    endpoint!("retract"),
+    endpoint!("shutdown"),
+    endpoint!("debug_requests"),
+    endpoint!("debug_trace"),
+    endpoint!("other"),
+    endpoint!("invalid"),
+    endpoint!("io"),
+];
+
+fn endpoint_metrics(label: &str) -> &'static EndpointMetrics {
+    ENDPOINTS.iter().find(|(l, _)| *l == label).map(|(_, m)| m).unwrap_or(&ENDPOINTS[9].1)
+    // "other"
+}
+
+/// The metrics/span label a request routes to (every arm of [`dispatch`]).
+fn route_label(request: &Request) -> &'static str {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/product") => "product",
+        ("GET", path) if path.starts_with("/products/") => "products",
+        ("GET", "/debug/requests") => "debug_requests",
+        ("GET", path) if path.starts_with("/debug/trace/") => "debug_trace",
+        ("POST", "/ingest") => "ingest",
+        ("POST", "/retract") => "retract",
+        ("POST", "/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// One endpoint RED observation: exactly one per handled request, paired
+/// with the `serve.requests` increment at request start — `obs_check`
+/// verifies the per-endpoint request counters sum back to it. Errors are
+/// server-side failures: 5xx, or status 0 (client gone mid-read).
+fn record_endpoint(label: &str, status: u16, started: &Instant) {
+    if !pse_obs::enabled() {
+        return;
+    }
+    let m = endpoint_metrics(label);
+    pse_obs::incr(m.requests);
+    if status >= 500 || status == 0 {
+        pse_obs::incr(m.errors);
+    }
+    pse_obs::observe(m.us, started.elapsed().as_micros() as u64);
+}
+
 fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
+    let mut trace = pse_obs::start_request_trace(None);
     let _span = pse_obs::span("serve.request");
     pse_obs::incr("serve.requests");
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
     let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
     let mut request_incomplete = false;
-    let (status, content_type, body) = match read_request(stream, inner.config.max_request_bytes) {
+    let parsed = {
+        let _parse = pse_obs::span("parse");
+        read_request(stream, inner.config.max_request_bytes)
+    };
+    let (endpoint, (status, content_type, body)) = match parsed {
         Ok(request) => {
-            // A panicking handler must cost us a 500, not a worker.
-            match catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request))) {
-                Ok(response) => response,
-                Err(_) => (500, "text/plain", b"internal error\n".to_vec().into()),
+            // Adopt the caller's trace identity so cross-process traces
+            // (a future router fanning out to shard nodes) stitch by id.
+            if let Some(id) = request.header("x-pse-trace-id").and_then(TraceId::from_hex) {
+                trace.set_id(id);
             }
+            let endpoint = route_label(&request);
+            // A panicking handler must cost us a 500, not a worker.
+            let response =
+                match catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request, endpoint))) {
+                    Ok(response) => response,
+                    Err(_) => (500, "text/plain", b"internal error\n".to_vec().into()),
+                };
+            (endpoint, response)
         }
         Err(ServeError::RequestTooLarge { got, cap }) => {
             request_incomplete = true;
             (
-                413,
-                "text/plain",
-                format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes().into(),
+                "invalid",
+                (
+                    413,
+                    "text/plain",
+                    format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes().into(),
+                ),
             )
         }
         Err(ServeError::Io(_)) => {
             // Client vanished or timed out; nothing to write to.
             pse_obs::incr("serve.io_error");
+            record_endpoint("io", 0, &started);
+            if let Some(t) = trace.finish("io", 0) {
+                inner.recorder.record(t);
+            }
             return;
         }
-        Err(e) => (400, "text/plain", format!("{e}\n").into_bytes().into()),
+        Err(e) => ("invalid", (400, "text/plain", format!("{e}\n").into_bytes().into())),
     };
     count_status(status);
-    if write_response(stream, status, content_type, body.as_ref()).is_err() {
-        pse_obs::incr("serve.io_error");
+    {
+        let _write = pse_obs::span("write");
+        if write_response(stream, status, content_type, body.as_ref()).is_err() {
+            pse_obs::incr("serve.io_error");
+        }
+        let _ = stream.flush();
     }
-    let _ = stream.flush();
     if request_incomplete {
         // The client is still sending; closing now would RST the socket
         // and can destroy the buffered response before the client reads
@@ -265,6 +382,10 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
         drain_unread(stream);
     }
     pse_obs::observe("serve.request_us", started.elapsed().as_micros() as u64);
+    record_endpoint(endpoint, status, &started);
+    if let Some(t) = trace.finish(endpoint, status) {
+        inner.recorder.record(t);
+    }
 }
 
 /// Read and discard whatever the peer already sent (briefly), so closing
@@ -284,7 +405,9 @@ fn drain_unread(stream: &mut TcpStream) {
 
 type Response = (u16, &'static str, Body);
 
-fn dispatch(inner: &Inner, request: &Request) -> Response {
+fn dispatch(inner: &Inner, request: &Request, endpoint: &'static str) -> Response {
+    // The route stage of the request span tree: `serve.request.<endpoint>`.
+    let _route = pse_obs::span(endpoint);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec().into()),
         ("GET", "/metrics") => {
@@ -293,6 +416,12 @@ fn dispatch(inner: &Inner, request: &Request) -> Response {
         ("GET", "/product") => get_product(inner, request),
         ("GET", path) if path.starts_with("/products/") => {
             get_products(inner, &path["/products/".len()..])
+        }
+        ("GET", "/debug/requests") => {
+            (200, "application/json", inner.recorder.requests_json().into_bytes().into())
+        }
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            get_debug_trace(inner, &path["/debug/trace/".len()..])
         }
         ("POST", "/ingest") => post_ingest(inner, request),
         ("POST", "/retract") => post_retract(inner, request),
@@ -314,6 +443,7 @@ fn get_products(inner: &Inner, raw_category: &str) -> Response {
     // The hot path: one snapshot load, one map lookup, shared bytes —
     // no shard lock, no per-request serialization. Byte-identical to
     // `json_200(&inner.store.products_in_category(..))`.
+    let _probe = pse_obs::span("cache_probe");
     (200, "application/json", inner.store.products_response(CategoryId(category)).into())
 }
 
@@ -329,16 +459,30 @@ fn get_product(inner: &Inner, request: &Request) -> Response {
     let cluster_key = (CategoryId(category), attr.to_string(), normalize_key(key));
     // Like `get_products`, served from the snapshot's cached per-product
     // JSON — byte-identical to `json_200(&inner.store.product_for(..))`.
+    let _lookup = pse_obs::span("lookup");
     match inner.store.product_response(&cluster_key) {
         Some(json) => (200, "application/json", json.into()),
         None => (404, "text/plain", b"no such product\n".to_vec().into()),
     }
 }
 
+fn get_debug_trace(inner: &Inner, raw_id: &str) -> Response {
+    let Some(id) = TraceId::from_hex(raw_id) else {
+        return bad_request(format!("trace id must be 1-16 hex digits, got {raw_id:?}"));
+    };
+    match inner.recorder.trace_json(id) {
+        Some(json) => (200, "application/json", json.into_bytes().into()),
+        None => (404, "text/plain", b"no such trace\n".to_vec().into()),
+    }
+}
+
 fn post_ingest(inner: &Inner, request: &Request) -> Response {
-    let offers: Vec<Offer> = match parse_json_body(&request.body) {
-        Ok(offers) => offers,
-        Err(resp) => return resp,
+    let offers: Vec<Offer> = {
+        let _parse = pse_obs::span("parse_body");
+        match parse_json_body(&request.body) {
+            Ok(offers) => offers,
+            Err(resp) => return resp,
+        }
     };
     pse_obs::add("serve.ingest_offers", offers.len() as u64);
     let provider = FnProvider(|o: &Offer| o.spec.clone());
@@ -347,9 +491,12 @@ fn post_ingest(inner: &Inner, request: &Request) -> Response {
 }
 
 fn post_retract(inner: &Inner, request: &Request) -> Response {
-    let ids: Vec<u64> = match parse_json_body(&request.body) {
-        Ok(ids) => ids,
-        Err(resp) => return resp,
+    let ids: Vec<u64> = {
+        let _parse = pse_obs::span("parse_body");
+        match parse_json_body(&request.body) {
+            Ok(ids) => ids,
+            Err(resp) => return resp,
+        }
     };
     let ids: Vec<OfferId> = ids.into_iter().map(OfferId).collect();
     let stats = inner.store.retract(&inner.catalog, &ids);

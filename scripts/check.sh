@@ -58,6 +58,22 @@ head -3 target/check-results/serve_queries.txt | while read -r q; do
     http_get GET "http://$ADDR$q" >/dev/null
 done
 http_get GET "http://$ADDR/metrics" >/dev/null
+# Flight recorder over real sockets: the requests above must be visible
+# in /debug/requests, and one of their ids must resolve via /debug/trace.
+DEBUG_JSON="$(http_get GET "http://$ADDR/debug/requests")"
+printf '%s' "$DEBUG_JSON" | grep -q '"recorded":' || {
+    echo "serve smoke: /debug/requests returned no recorder state" >&2
+    exit 1
+}
+TRACE_ID="$(printf '%s' "$DEBUG_JSON" | sed -n 's/.*"id":"\([0-9a-f]\{1,16\}\)".*/\1/p' | head -1)"
+[ -n "$TRACE_ID" ] || {
+    echo "serve smoke: /debug/requests listed no trace ids" >&2
+    exit 1
+}
+http_get GET "http://$ADDR/debug/trace/$TRACE_ID" | grep -q '"spans":' || {
+    echo "serve smoke: /debug/trace/$TRACE_ID returned no span tree" >&2
+    exit 1
+}
 http_get POST "http://$ADDR/shutdown" >/dev/null
 wait "$SERVE_PID"
 test -s target/check-results/serve.snapshot.json
@@ -69,6 +85,15 @@ cargo run --release -q -p pse-bench --bin obs_check
 PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
     serve-bench --read-heavy --smoke --quiet --obs \
     --workers 4 --requests 400 --shards 4 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+
+# Observability-overhead smoke: the point-lookup mix twice, obs off then
+# on (request tracing + endpoint histograms + flight recorder live); the
+# comparison lands in BENCH_par.json under "serve_obs_overhead" and the
+# obs_check run validates the per-endpoint RED consistency rules.
+cargo run --release -q -p pse-bench --bin experiments -- \
+    serve-bench --obs-overhead --smoke --quiet --obs \
+    --workers 4 --requests 600 --shards 4 --out target/check-results
 cargo run --release -q -p pse-bench --bin obs_check
 
 echo "tier-1 gate: all green"

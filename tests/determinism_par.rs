@@ -61,6 +61,43 @@ fn observability_does_not_change_outputs() {
     assert!(report.span("offline.learn").is_some());
     assert!(report.span("runtime.process").is_some());
     assert!(report.counter("runtime.offers_in").unwrap_or(0) > 0);
+
+    // The serving layer honors the same contract: request tracing, the
+    // per-endpoint latency histograms and the flight recorder all record
+    // on the side — product-endpoint responses are byte-identical with
+    // observability off vs on.
+    let provider =
+        pse_synthesis::ExtractingProvider::new(|o: &pse_core::Offer| world.landing_page(o.id));
+    let offline =
+        OfflineLearner::new().learn(&world.catalog, &world.offers, &world.historical, &provider);
+    let unmatched: Vec<pse_core::Offer> = world
+        .offers
+        .iter()
+        .filter(|o| world.historical.product_of(o.id).is_none())
+        .cloned()
+        .collect();
+    let store = pse_serve::ShardedStore::new(offline.correspondences, 2);
+    store.ingest(&world.catalog, &unmatched, &provider);
+    let handle = pse_serve::start(store, world.catalog.clone(), pse_serve::ServerConfig::default())
+        .expect("server starts");
+    let addr = handle.addr().to_string();
+    let p = &handle.store().products()[0];
+    let paths = [
+        "/healthz".to_string(),
+        format!("/products/{}", p.category.0),
+        format!("/product?category={}&attr={}&key={}", p.category.0, p.key_attribute, p.key_value),
+        "/nope".to_string(),
+    ];
+    let fetch = |path: &String| pse_serve::http_request(&addr, "GET", path, None).unwrap();
+    let responses_off: Vec<(u16, String)> = paths.iter().map(fetch).collect();
+    pse_obs::set_enabled(true);
+    let responses_on: Vec<(u16, String)> = paths.iter().map(fetch).collect();
+    pse_obs::set_enabled(false);
+    pse_obs::reset();
+    for ((path, off), on) in paths.iter().zip(&responses_off).zip(&responses_on) {
+        assert_eq!(off, on, "observability changed the serve response for {path}");
+    }
+    handle.shutdown().expect("clean shutdown");
 }
 
 #[test]
