@@ -19,7 +19,23 @@
 //!             (default 127.0.0.1:0), write the bound address to
 //!             --port-file plus driving materials (serve_batch.json,
 //!             serve_queries.txt) under --out, and block until a client
-//!             POSTs /shutdown — the CI serving smoke
+//!             POSTs /shutdown — the CI serving smoke. With --wal-dir DIR
+//!             the server runs durably (WAL at DIR/wal.log, segments at
+//!             DIR/segments, compaction threshold --compact-bytes,
+//!             default 8 MiB); when DIR already holds durable state the
+//!             pre-ingest is skipped and the served state is whatever
+//!             recovery rebuilt — the restart leg of the crash drill
+//!   wal-replay   read-only recovery oracle over --wal-dir: rebuild the
+//!                store from manifest + segments + WAL tail without
+//!                touching the directory, then write snapshot.json,
+//!                categories.txt, and per-category cat_<id>.json under
+//!                --out/drill_expected for the crash drill to compare
+//!                against the restarted server's responses
+//!   snapshot-bench  durability bench: churn the Table-2 corpus through
+//!                   the WAL + incremental segmented snapshots, then race
+//!                   restoring the final state from the JSON oracle vs
+//!                   from segments; merged into BENCH_par.json under
+//!                   "durability"
 //!   serve-bench  closed-loop load generator: --workers K client threads
 //!                (default 4) issue --requests N point lookups (default
 //!                2000) against servers at 1/2/4/8 shards (--shards
@@ -55,16 +71,16 @@
 //! matcher's inverted-index candidate blocking against the exhaustive scan
 //! over every world offer and fails the run on any disagreement.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, embedded_spec_provider, extension_name_features,
     fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_obs_overhead,
-    render_serve_bench, run_end_to_end, run_incremental, run_serve_bench,
-    run_serve_bench_obs_overhead, run_serve_bench_read_heavy, serve_corpus, table2, table3, table4,
-    verify_blocking, EndToEnd, Scale,
+    render_serve_bench, render_snapshot_bench, run_end_to_end, run_incremental, run_serve_bench,
+    run_serve_bench_obs_overhead, run_serve_bench_read_heavy, run_snapshot_bench, serve_corpus,
+    table2, table3, table4, verify_blocking, EndToEnd, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -72,7 +88,7 @@ use pse_eval::correspondence::LabeledCurve;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|wal-replay|snapshot-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -229,6 +245,25 @@ fn dispatch(
             run.equal
         }
         "serve" => run_serve(world, out_dir, quiet, args),
+        "wal-replay" => run_wal_replay(world, out_dir, quiet, args),
+        "snapshot-bench" => {
+            let shards = flag_value(args, "--shards").unwrap_or(4);
+            let dir = out_dir.join("snapshot_bench");
+            let run = run_snapshot_bench(world, shards, batches, &dir);
+            println!("{}", render_snapshot_bench(&run));
+            merge_into_bench_json("durability", &run, quiet);
+            if !run.equal {
+                eprintln!("error: restore paths diverged from the live store");
+            }
+            if !run.segmented_restore_faster {
+                // Timing on a noisy 1-CPU smoke host; flag loudly, fail soft.
+                eprintln!(
+                    "warning: segmented restore ({} ns) did not beat JSON restore ({} ns)",
+                    run.segmented_restore_ns, run.json_restore_ns
+                );
+            }
+            run.equal
+        }
         "serve-bench" => {
             let workers = flag_value(args, "--workers").unwrap_or(4);
             let requests = flag_value(args, "--requests").unwrap_or(2000);
@@ -366,13 +401,27 @@ fn figure(
 fn run_serve(world: &World, out_dir: &PathBuf, quiet: bool, args: &[String]) -> bool {
     let shards = flag_value(args, "--shards").unwrap_or(4);
     let addr = string_flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let wal_dir = string_flag(args, "--wal-dir").map(PathBuf::from);
     let sc = serve_corpus(world);
     let (pre, rest) = sc.corpus.split_at(sc.corpus.len() / 2);
     let store = pse_serve::ShardedStore::new(sc.correspondences.clone(), shards);
-    store.ingest(&world.catalog, pre, &embedded_spec_provider());
+    // On a durable restart the seed is discarded for the recovered disk
+    // state anyway; skip the pre-ingest so the served state is exactly
+    // what recovery rebuilt (the restart leg of the crash drill).
+    let durable_state_exists = wal_dir.as_ref().is_some_and(|d| {
+        d.join("segments").join("manifest.json").exists() || d.join("wal.log").exists()
+    });
+    if !durable_state_exists {
+        store.ingest(&world.catalog, pre, &embedded_spec_provider());
+    } else if !quiet {
+        eprintln!("# durable state found; skipping pre-ingest, serving recovered state");
+    }
     let config = pse_serve::ServerConfig {
         addr,
         snapshot_path: Some(out_dir.join("serve.snapshot.json")),
+        wal_path: wal_dir.as_ref().map(|d| d.join("wal.log")),
+        snapshot_dir: wal_dir.as_ref().map(|d| d.join("segments")),
+        compaction_threshold_bytes: flag_value(args, "--compact-bytes").unwrap_or(8 << 20),
         ..Default::default()
     };
     let handle = match pse_serve::start(store, world.catalog.clone(), config) {
@@ -412,6 +461,73 @@ fn run_serve(world: &World, out_dir: &PathBuf, quiet: bool, args: &[String]) -> 
             false
         }
     }
+}
+
+/// The crash-drill oracle: recover the durable directory read-only (no
+/// truncation, no WAL rotation — the crashed dir stays inspectable) and
+/// write what a correctly restarted server must serve, byte for byte.
+fn run_wal_replay(world: &World, out_dir: &Path, quiet: bool, args: &[String]) -> bool {
+    let Some(dir) = string_flag(args, "--wal-dir").map(PathBuf::from) else {
+        eprintln!("error: wal-replay requires --wal-dir DIR");
+        return false;
+    };
+    let sc = serve_corpus(world);
+    let dcfg = pse_wal::DurabilityConfig {
+        wal_path: dir.join("wal.log"),
+        snapshot_dir: dir.join("segments"),
+        compaction_threshold_bytes: u64::MAX,
+    };
+    let recovered = match pse_wal::recover(&dcfg, &world.catalog, || {
+        pse_store::ProductStore::new(sc.correspondences.clone())
+    }) {
+        Ok(Some((store, stats))) => {
+            if !quiet {
+                eprintln!(
+                    "# recovered {} segments + {} WAL records ({} torn bytes discarded)",
+                    stats.segments_loaded, stats.wal_records_replayed, stats.torn_bytes
+                );
+            }
+            store
+        }
+        Ok(None) => {
+            eprintln!("error: no durable state under {}", dir.display());
+            return false;
+        }
+        Err(e) => {
+            eprintln!("error: recovery failed: {e}");
+            return false;
+        }
+    };
+    let expected = out_dir.join("drill_expected");
+    let mut categories: Vec<u32> = recovered.products().iter().map(|p| p.category.0).collect();
+    categories.sort_unstable();
+    categories.dedup();
+    let write_all = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&expected)?;
+        std::fs::write(expected.join("snapshot.json"), recovered.snapshot_json())?;
+        let lines = categories.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n") + "\n";
+        std::fs::write(expected.join("categories.txt"), lines)?;
+        for c in &categories {
+            let body =
+                serde_json::to_string(&recovered.products_in_category(pse_core::CategoryId(*c)))
+                    .expect("products serialize");
+            std::fs::write(expected.join(format!("cat_{c}.json")), body)?;
+        }
+        Ok(())
+    };
+    if let Err(e) = write_all() {
+        eprintln!("error: cannot write {}: {e}", expected.display());
+        return false;
+    }
+    if !quiet {
+        eprintln!(
+            "# oracle for {} categories ({} products) written to {}",
+            categories.len(),
+            recovered.products().len(),
+            expected.display()
+        );
+    }
+    true
 }
 
 /// Merge one experiment's results into `BENCH_par.json` at the workspace

@@ -22,6 +22,11 @@ use serde::Value;
 /// Every stage of the pipeline must appear in at least one span path.
 /// Spans nest (`extract.page` ends up under `runtime.reconcile` when the
 /// provider extracts inside a worker), so this is a substring match.
+///
+/// Exception: a run that recovered durable state (`wal.recover` span
+/// present) and then received no live ingests legitimately never runs
+/// the runtime pipeline — recovery replays already-reconciled batches —
+/// so the `runtime.` stage (span and counters) is waived for it.
 const STAGE_PREFIXES: [&str; 5] = ["datagen.", "extract.", "offline.", "runtime.", "experiments."];
 
 /// Counters every experiments run is expected to emit.
@@ -59,7 +64,7 @@ const SOFTTFIDF_COUNTERS: [&str; 2] = ["softtfidf.jw_memo_hit", "softtfidf.jw_me
 /// `serve.cache.*` trio tracks the snapshot response cache: one hit or
 /// miss per `GET /products/{category}`, and the categories whose cached
 /// bodies each publish rebuilt.
-const SERVE_COUNTERS: [&str; 14] = [
+const SERVE_COUNTERS: [&str; 15] = [
     "serve.requests",
     "serve.http_200",
     "serve.http_400",
@@ -71,6 +76,7 @@ const SERVE_COUNTERS: [&str; 14] = [
     "serve.http_other",
     "serve.backpressure_503",
     "serve.io_error",
+    "serve.accept_error",
     "serve.cache.hit",
     "serve.cache.miss",
     "serve.cache.invalidated",
@@ -79,6 +85,18 @@ const SERVE_COUNTERS: [&str; 14] = [
 /// Histograms a serving run must emit: whole-request latency and the
 /// accept-queue depth sampled at every accepted connection.
 const SERVE_HISTOGRAMS: [&str; 2] = ["serve.request_us", "serve.queue_depth"];
+
+/// Counters a run that exercised the durability layer (any `wal.*` span
+/// present — open, recover, append, or snapshot) must additionally emit;
+/// both `recover` and `open` seed the full set.
+const WAL_COUNTERS: [&str; 4] =
+    ["wal.append", "wal.bytes", "snapshot.segments_written", "snapshot.segments_skipped"];
+
+/// Histogram required when the WAL was opened for appending (span
+/// `wal.open` present): open fsyncs at least once, so the fsync latency
+/// histogram must exist. Recover-only runs (the `wal-replay` oracle)
+/// never fsync and are exempt.
+const WAL_FSYNC_HISTOGRAM: &str = "wal.fsync_us";
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -131,7 +149,16 @@ fn check(v: &Value) -> Vec<String> {
     }
 
     let span_paths = check_spans(v, &mut errs);
+    // A recovered server that received no live ingests replays
+    // already-reconciled batches: the runtime pipeline never runs, and
+    // demanding its spans/counters would reject every restart-after-crash
+    // report (see STAGE_PREFIXES).
+    let runtime_waived = span_paths.iter().any(|p| p.contains("wal.recover"))
+        && !span_paths.iter().any(|p| p.contains("runtime."));
     for prefix in STAGE_PREFIXES {
+        if runtime_waived && prefix == "runtime." {
+            continue;
+        }
         if !span_paths.iter().any(|p| p.contains(prefix)) {
             errs.push(format!("no span covers stage {prefix}*"));
         }
@@ -140,11 +167,36 @@ fn check(v: &Value) -> Vec<String> {
     let match_ran = span_paths.iter().any(|p| p.contains("match.bootstrap"));
     let dumas_ran = span_paths.iter().any(|p| p.contains("baselines.dumas"));
     let serve_ran = span_paths.iter().any(|p| p.contains("serve."));
-    check_counters(v, store_ran, match_ran, dumas_ran, serve_ran, &mut errs);
+    let wal_ran = span_paths.iter().any(|p| p.contains("wal."));
+    let wal_opened = span_paths.iter().any(|p| p.contains("wal.open"));
+    check_counters(
+        v,
+        store_ran,
+        match_ran,
+        dumas_ran,
+        serve_ran,
+        wal_ran,
+        runtime_waived,
+        &mut errs,
+    );
     check_histograms(v, &mut errs);
     check_serve_endpoints(v, serve_ran, &mut errs);
+    check_wal_histograms(v, wal_opened, &mut errs);
     check_timelines(v, &mut errs);
     errs
+}
+
+/// The fsync-latency histogram must exist whenever the WAL was opened
+/// for appending (see [`WAL_FSYNC_HISTOGRAM`]).
+fn check_wal_histograms(v: &Value, wal_opened: bool, errs: &mut Vec<String>) {
+    if !wal_opened {
+        return;
+    }
+    let mut shape_errs = Vec::new();
+    let histograms = array(v, "histograms", &mut shape_errs);
+    if !histograms.iter().any(|h| str_field(h, "name") == WAL_FSYNC_HISTOGRAM) {
+        errs.push(format!("wal.open span present but histogram {WAL_FSYNC_HISTOGRAM} missing"));
+    }
 }
 
 /// A named numeric field that must be a non-negative JSON integer — the
@@ -202,12 +254,15 @@ fn check_spans(v: &Value, errs: &mut Vec<String>) -> Vec<String> {
     paths
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_counters(
     v: &Value,
     store_ran: bool,
     match_ran: bool,
     dumas_ran: bool,
     serve_ran: bool,
+    wal_ran: bool,
+    runtime_waived: bool,
     errs: &mut Vec<String>,
 ) {
     let counters = array(v, "counters", errs).to_vec();
@@ -218,6 +273,9 @@ fn check_counters(
         names.push(name);
     }
     for required in REQUIRED_COUNTERS {
+        if runtime_waived && required.starts_with("runtime.") {
+            continue;
+        }
         if !names.iter().any(|n| n == required) {
             errs.push(format!("missing required counter {required}"));
         }
@@ -227,6 +285,7 @@ fn check_counters(
         (match_ran, "match.bootstrap", &MATCH_COUNTERS[..]),
         (dumas_ran, "baselines.dumas", &SOFTTFIDF_COUNTERS[..]),
         (serve_ran, "serve", &SERVE_COUNTERS[..]),
+        (wal_ran, "wal", &WAL_COUNTERS[..]),
     ];
     for (ran, what, required_set) in conditional {
         if !ran {
@@ -570,6 +629,151 @@ mod tests {
         }));
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn wal_counters_and_fsync_histogram_gated_on_wal_spans() {
+        let with_span = |extra_span: &str| {
+            let mut r = pse_obs::ObsReport {
+                schema_version: pse_obs::SCHEMA_VERSION,
+                enabled: true,
+                git_commit: "deadbeef".into(),
+                threads: 2,
+                ..Default::default()
+            };
+            r.spans = STAGE_PREFIXES
+                .iter()
+                .map(|p| format!("{p}stage"))
+                .chain([extra_span.to_string()])
+                .map(|path| pse_obs::SpanSummary {
+                    path,
+                    count: 1,
+                    total_ns: 10,
+                    min_ns: 10,
+                    max_ns: 10,
+                })
+                .collect();
+            r.counters = REQUIRED_COUNTERS
+                .iter()
+                .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+                .collect();
+            r.timelines = vec![pse_obs::TimelineGroup {
+                label: "runtime.reconcile".into(),
+                calls: 1,
+                chunks: vec![pse_obs::ChunkSummary {
+                    worker: 0,
+                    chunk: 0,
+                    items: 5,
+                    start_ns: 0,
+                    dur_ns: 3,
+                }],
+            }];
+            r
+        };
+
+        // A recover-only run: WAL counters demanded, fsync histogram not
+        // (recovery is read-only and never fsyncs).
+        let mut r = with_span("experiments.drill.wal.recover");
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter wal.append missing")));
+        assert!(errs.iter().any(|e| e.contains("counter snapshot.segments_written missing")));
+        assert!(!errs.iter().any(|e| e.contains("wal.fsync_us")), "recover-only run is exempt");
+        r.counters.extend(
+            WAL_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // A run that opened the WAL for appending must also report fsync
+        // latency (open fsyncs at least once).
+        let mut r = with_span("wal.open");
+        r.counters.extend(
+            WAL_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
+        );
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("histogram wal.fsync_us missing")));
+        r.histograms.push(pse_obs::HistogramSummary {
+            name: "wal.fsync_us".into(),
+            count: 1,
+            sum: 40,
+            min: 40,
+            max: 40,
+            buckets: vec![pse_obs::BucketEntry { le: 64, count: 1 }],
+        });
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn runtime_stage_waived_for_recovered_runs_without_live_ingests() {
+        // A restart-after-crash report: datagen/extract/offline/experiments
+        // spans present (the driver still builds the world and learns
+        // correspondences), wal.recover present, but no runtime.* spans or
+        // counters — recovery replayed already-reconciled batches.
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = STAGE_PREFIXES
+            .iter()
+            .filter(|p| **p != "runtime.")
+            .map(|p| format!("{p}stage"))
+            .chain(["experiments.restart.wal.recover".to_string()])
+            .map(|path| pse_obs::SpanSummary {
+                path,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .filter(|n| !n.starts_with("runtime."))
+            .chain(WAL_COUNTERS.iter())
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "offline.candidates".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // Without the wal.recover span the same report is rejected: a
+        // non-recovered run must exercise the runtime pipeline.
+        let mut no_recover = r.clone();
+        no_recover.spans.retain(|s| !s.path.contains("wal.recover"));
+        let v: Value = serde_json::from_str(&no_recover.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("no span covers stage runtime.")));
+        assert!(errs.iter().any(|e| e.contains("missing required counter runtime.offers_in")));
+
+        // A recovered run that also handled live ingests (runtime spans
+        // present) gets no waiver — the counters are demanded again.
+        let mut live = r.clone();
+        live.spans.push(pse_obs::SpanSummary {
+            path: "runtime.reconcile".into(),
+            count: 1,
+            total_ns: 10,
+            min_ns: 10,
+            max_ns: 10,
+        });
+        let v: Value = serde_json::from_str(&live.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("missing required counter runtime.offers_in")));
     }
 
     #[test]

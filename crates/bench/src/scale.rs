@@ -90,9 +90,9 @@ impl Scale {
     /// `--products-per-category`, `--match-error-rate`, `--leaves a,b,c,d`,
     /// `--smoke`. The binary-level flags `--out DIR`, `--batches N`,
     /// `--workers N`, `--shards a,b,c`, `--requests N`, `--addr A`,
-    /// `--port-file P`, `--quiet`, `--obs`, `--obs-overhead`,
-    /// `--read-heavy` and `--verify-blocking` are accepted and ignored
-    /// here.
+    /// `--port-file P`, `--wal-dir D`, `--compact-bytes N`, `--quiet`,
+    /// `--obs`, `--obs-overhead`, `--read-heavy` and `--verify-blocking`
+    /// are accepted and ignored here.
     pub fn from_args(args: &[String]) -> Result<Self, ArgsError> {
         let mut scale =
             if args.iter().any(|a| a == "--smoke") { Self::smoke() } else { Self::default() };
@@ -121,7 +121,7 @@ impl Scale {
                 "--smoke" | "--quiet" | "--obs" | "--obs-overhead" | "--verify-blocking"
                 | "--read-heavy" => {}
                 "--out" | "--batches" | "--workers" | "--shards" | "--requests" | "--addr"
-                | "--port-file" => {
+                | "--port-file" | "--wal-dir" | "--compact-bytes" => {
                     take()?; // consumed by the binary, not the scale
                 }
                 other if other.starts_with("--") => {

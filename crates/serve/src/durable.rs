@@ -1,0 +1,101 @@
+//! The durable write path: `pse-wal` glued to [`ShardedStore`].
+//!
+//! Every mutation goes log-then-apply under one [`Mutex<Durability>`]:
+//! the WAL append (which fsyncs) happens while the mutex is held, and
+//! the in-memory apply happens before it is released — so the log order
+//! equals the apply order, and a record is on disk before its effects
+//! are visible to readers. The same mutex serializes snapshots, which
+//! therefore capture exactly the state produced by the records logged
+//! so far (never a half-logged batch).
+//!
+//! Lock order is always durability mutex → shard locks, never the
+//! inverse, so the write path cannot deadlock against compaction.
+
+use std::sync::Mutex;
+
+use pse_core::{Catalog, Offer, OfferId};
+use pse_store::{IngestStats, ProductStore};
+use pse_synthesis::SpecProvider;
+use pse_wal::{Durability, DurabilityConfig, RecoveryStats, SnapshotStats, WalRecord};
+
+use crate::error::ServeError;
+use crate::shard::ShardedStore;
+
+/// Open the durable state under `dcfg`, preferring disk over `seed`:
+/// when the directory holds a previous incarnation's segments or WAL,
+/// the recovered store wins and `seed` is dropped; a fresh directory
+/// keeps `seed` and immediately writes a full snapshot of it, so
+/// pre-loaded state survives a crash before the first ingest. A WAL
+/// tail that had to be replayed is folded into fresh segments right
+/// away, keeping startup state and disk state in lockstep.
+pub fn open_durable(
+    dcfg: DurabilityConfig,
+    catalog: &Catalog,
+    seed: ShardedStore,
+) -> Result<(ShardedStore, Durability, RecoveryStats), ServeError> {
+    let n_shards = seed.n_shards();
+    let empty = || ProductStore::with_config(seed.correspondences().clone(), seed.config().clone());
+    let (recovered, mut dur, stats) = Durability::open(dcfg, catalog, empty)?;
+    let store = match recovered {
+        Some(disk) => ShardedStore::from_store(disk, n_shards),
+        None => seed,
+    };
+    if dur.needs_initial_snapshot() || stats.wal_records_replayed > 0 {
+        durable_snapshot(&store, &mut dur)?;
+    }
+    Ok((store, dur, stats))
+}
+
+/// Ingest a batch durably: reconcile once, log the *reconciled* offers
+/// (replay needs no `SpecProvider`), fsync, then apply to the shards and
+/// mark the touched segments dirty.
+pub fn durable_ingest<P: SpecProvider>(
+    store: &ShardedStore,
+    durability: &Mutex<Durability>,
+    catalog: &Catalog,
+    offers: &[Offer],
+    provider: &P,
+) -> Result<IngestStats, ServeError> {
+    let _span = pse_obs::span("store.ingest");
+    pse_obs::add("store.ingest", offers.len() as u64);
+    let reconciled = store.reconcile(offers, provider);
+    let mut dur = durability.lock().expect("durability lock");
+    let record = WalRecord::Ingest(reconciled);
+    dur.log(&record)?;
+    let WalRecord::Ingest(reconciled) = record else { unreachable!() };
+    let write = store.ingest_reconciled(catalog, reconciled);
+    dur.mark_dirty(write.dirty_shards);
+    let mut stats = write.stats;
+    stats.offers_in = offers.len();
+    Ok(stats)
+}
+
+/// Retract offers durably: log, fsync, apply, mark dirty.
+pub fn durable_retract(
+    store: &ShardedStore,
+    durability: &Mutex<Durability>,
+    catalog: &Catalog,
+    ids: &[OfferId],
+) -> Result<IngestStats, ServeError> {
+    let mut dur = durability.lock().expect("durability lock");
+    dur.log(&WalRecord::Retract(ids.to_vec()))?;
+    let write = store.retract_write(catalog, ids);
+    dur.mark_dirty(write.dirty_shards);
+    let mut stats = write.stats;
+    stats.offers_in = ids.len();
+    Ok(stats)
+}
+
+/// Fold the WAL into segments: write an incremental snapshot (dirty
+/// shards only) and rotate the log. The caller must hold no shard locks
+/// and have exclusive access to `dur` — the compaction thread and
+/// shutdown both call this with the durability mutex held (or owned),
+/// which keeps new writes out until the fold commits.
+pub fn durable_snapshot(
+    store: &ShardedStore,
+    dur: &mut Durability,
+) -> Result<SnapshotStats, ServeError> {
+    Ok(dur.write_snapshot(store.n_shards(), store.config(), store.correspondences(), |i| {
+        store.shard_clusters_value(i)
+    })?)
+}

@@ -1,6 +1,7 @@
 //! Typed errors for the serving layer.
 
 use pse_store::StoreError;
+use pse_wal::WalError;
 
 /// Why a serve-layer operation failed.
 #[derive(Debug)]
@@ -21,6 +22,8 @@ pub enum ServeError {
     Store(StoreError),
     /// The server did not respond with a parseable HTTP status line.
     BadResponse(String),
+    /// The durability layer failed (WAL append, snapshot write, recovery).
+    Durability(WalError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -33,6 +36,7 @@ impl std::fmt::Display for ServeError {
             }
             Self::Store(e) => write!(f, "store error: {e}"),
             Self::BadResponse(msg) => write!(f, "bad response: {msg}"),
+            Self::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl std::error::Error for ServeError {
         match self {
             Self::Io(e) => Some(e),
             Self::Store(e) => Some(e),
+            Self::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -56,6 +61,12 @@ impl From<std::io::Error> for ServeError {
 impl From<StoreError> for ServeError {
     fn from(e: StoreError) -> Self {
         Self::Store(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        Self::Durability(e)
     }
 }
 

@@ -126,7 +126,7 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request,
         _ => return Err(ServeError::BadRequest("missing or unsupported HTTP version".into())),
     }
 
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -136,13 +136,27 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> Result<Request,
             return Err(ServeError::BadRequest(format!("malformed header line {line:?}")));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            let parsed: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| ServeError::BadRequest("unparseable Content-Length".into()))?;
+            // RFC 7230 §3.3.2: duplicates carrying the same value may be
+            // accepted as that value; differing values make the message
+            // length ambiguous (request-smuggling vector) and MUST be
+            // rejected. The old code let the last duplicate win.
+            match content_length {
+                None => content_length = Some(parsed),
+                Some(previous) if previous == parsed => {}
+                Some(previous) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "conflicting Content-Length headers: {previous} then {parsed}"
+                    )));
+                }
+            }
         }
         headers.push((name.to_string(), value.trim().to_string()));
     }
+    let content_length = content_length.unwrap_or(0);
 
     let body_start = header_end + 4; // past "\r\n\r\n"
     if body_start.saturating_add(content_length) > max_bytes {
@@ -302,6 +316,40 @@ mod tests {
         ));
         assert!(matches!(
             req(b"POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_content_length_same_value_is_accepted() {
+        let r = req(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn conflicting_content_length_is_rejected() {
+        let err = req(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!")
+            .unwrap_err();
+        let ServeError::BadRequest(msg) = err else { panic!("want BadRequest, got {err:?}") };
+        assert!(msg.contains("conflicting Content-Length"), "{msg}");
+        // Case-insensitive and order-independent: the larger value first
+        // must not win either (the old last-wins bug read 5 here and
+        // left a stray byte on the wire).
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\ncontent-length: 6\r\nCONTENT-LENGTH: 5\r\n\r\nhello!"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn empty_content_length_is_rejected() {
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nContent-Length:\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nContent-Length:   \r\n\r\n"),
             Err(ServeError::BadRequest(_))
         ));
     }

@@ -37,10 +37,19 @@
 //! None of it changes a response byte — the determinism tests pin
 //! tracing on vs off byte-identical on every product endpoint.
 //!
+//! When [`ServerConfig`] sets both `wal_path` and `snapshot_dir`, the
+//! [`durable`] module puts `pse-wal` under the write path: every
+//! ingest/retract is appended to the write-ahead log and fsynced before
+//! it is applied (log-then-apply under one mutex), a background thread
+//! folds a grown log into segmented binary snapshots (only dirty shards
+//! are rewritten), and startup recovers segments + WAL tail — so a
+//! SIGKILL at any moment loses nothing that was acknowledged.
+//!
 //! The [`client`] module holds the matching minimal blocking client used
 //! by tests, the `http_get` bin, and the `serve-bench` load generator.
 
 pub mod client;
+pub mod durable;
 pub mod error;
 pub mod http;
 pub mod server;
@@ -48,7 +57,8 @@ pub mod shard;
 pub mod snapshot;
 
 pub use client::{http_request, http_request_timeout};
+pub use durable::{durable_ingest, durable_retract, durable_snapshot, open_durable};
 pub use error::ServeError;
 pub use http::Body;
 pub use server::{start, ServerConfig, ServerHandle};
-pub use shard::{shard_of, ShardedStore};
+pub use shard::{shard_of, ShardedStore, ShardedWrite};

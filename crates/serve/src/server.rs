@@ -18,7 +18,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -26,7 +26,9 @@ use pse_core::{Catalog, CategoryId, Offer, OfferId};
 use pse_obs::{FlightRecorder, RecorderConfig, TraceId};
 use pse_synthesis::runtime::normalize_key;
 use pse_synthesis::FnProvider;
+use pse_wal::{Durability, DurabilityConfig};
 
+use crate::durable::{durable_ingest, durable_retract, durable_snapshot, open_durable};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, Body, Request};
 use crate::shard::ShardedStore;
@@ -50,6 +52,18 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Where to flush a final snapshot on shutdown, if anywhere.
     pub snapshot_path: Option<PathBuf>,
+    /// Write-ahead log file. Durability is on iff this *and*
+    /// `snapshot_dir` are both set: every ingest/retract is logged and
+    /// fsynced before it is applied, and startup recovers from
+    /// segments + WAL (disk state wins over the store passed to
+    /// [`start`]).
+    pub wal_path: Option<PathBuf>,
+    /// Directory for segmented binary snapshots (manifest + one segment
+    /// per shard). See `wal_path`.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Fold the WAL into fresh segments (background compaction) once it
+    /// holds more than this many record bytes.
+    pub compaction_threshold_bytes: u64,
     /// Flight-recorder sizing: the rotating recent window and the
     /// always-keep-slowest tail-sampling set behind `GET /debug/requests`.
     pub recorder: RecorderConfig,
@@ -65,6 +79,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_request_bytes: 1 << 20,
             snapshot_path: None,
+            wal_path: None,
+            snapshot_dir: None,
+            compaction_threshold_bytes: 8 << 20,
             recorder: RecorderConfig::default(),
         }
     }
@@ -78,6 +95,12 @@ struct Inner {
     queue_depth: AtomicUsize,
     addr: SocketAddr,
     recorder: FlightRecorder,
+    /// The durability context when WAL + snapshot dir are configured.
+    /// Lock order: this mutex before any shard lock, never after.
+    durability: Option<Mutex<Durability>>,
+    /// Wakes the compaction thread: `true` = a writer saw the WAL cross
+    /// the compaction threshold.
+    compact: (Mutex<bool>, Condvar),
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
@@ -86,6 +109,7 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 /// Start serving `store` (with `catalog` supplying schemas for ingest
@@ -115,6 +139,7 @@ pub fn start(
         "serve.cache.hit",
         "serve.cache.miss",
         "serve.cache.invalidated",
+        "serve.accept_error",
     ] {
         pse_obs::seed(c);
     }
@@ -122,6 +147,18 @@ pub fn start(
         pse_obs::seed(m.requests);
         pse_obs::seed(m.errors);
     }
+    let (store, durability) = match (&config.wal_path, &config.snapshot_dir) {
+        (Some(wal_path), Some(snapshot_dir)) => {
+            let dcfg = DurabilityConfig {
+                wal_path: wal_path.clone(),
+                snapshot_dir: snapshot_dir.clone(),
+                compaction_threshold_bytes: config.compaction_threshold_bytes,
+            };
+            let (store, dur, _stats) = open_durable(dcfg, &catalog, store)?;
+            (store, Some(Mutex::new(dur)))
+        }
+        _ => (store, None),
+    };
     let inner = Arc::new(Inner {
         store,
         catalog,
@@ -130,6 +167,8 @@ pub fn start(
         queue_depth: AtomicUsize::new(0),
         addr,
         recorder: FlightRecorder::new(config.recorder.clone()),
+        durability,
+        compact: (Mutex::new(false), Condvar::new()),
     });
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -144,7 +183,49 @@ pub fn start(
         let inner = Arc::clone(&inner);
         std::thread::spawn(move || accept_loop(&inner, &listener, &tx))
     };
-    Ok(ServerHandle { inner, acceptor, workers })
+    let compactor = inner.durability.is_some().then(|| {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || compaction_loop(&inner))
+    });
+    Ok(ServerHandle { inner, acceptor, workers, compactor })
+}
+
+/// Background WAL compaction: wait until a writer signals the threshold
+/// was crossed (or shutdown), then fold the log into fresh segments.
+/// Holding the durability mutex across the fold keeps writers out, so
+/// the snapshot captures exactly the logged records. Errors are left for
+/// shutdown's final snapshot to surface — the WAL still has every record.
+fn compaction_loop(inner: &Inner) {
+    let Some(durability) = &inner.durability else { return };
+    let (flag, cvar) = &inner.compact;
+    loop {
+        let mut pending = flag.lock().expect("compact flag");
+        while !*pending && !inner.stop.load(Ordering::SeqCst) {
+            let (next, _) =
+                cvar.wait_timeout(pending, Duration::from_millis(200)).expect("compact flag");
+            pending = next;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return; // shutdown writes the final snapshot itself
+        }
+        *pending = false;
+        drop(pending);
+        let mut dur = durability.lock().expect("durability lock");
+        if dur.wants_compaction() {
+            let _ = durable_snapshot(&inner.store, &mut dur);
+        }
+    }
+}
+
+/// Signal the compaction thread when the WAL has outgrown its threshold.
+fn maybe_compact(inner: &Inner) {
+    let Some(durability) = &inner.durability else { return };
+    if !durability.lock().expect("durability lock").wants_compaction() {
+        return;
+    }
+    let (flag, cvar) = &inner.compact;
+    *flag.lock().expect("compact flag") = true;
+    cvar.notify_one();
 }
 
 impl ServerHandle {
@@ -171,6 +252,7 @@ impl ServerHandle {
     /// store.
     pub fn shutdown(self) -> Result<ShardedStore, ServeError> {
         self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.compact.1.notify_one();
         // Wake the acceptor if it is blocked in accept(); an error just
         // means it already exited.
         let _ = TcpStream::connect(self.inner.addr);
@@ -178,22 +260,51 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        if let Some(c) = self.compactor {
+            let _ = c.join();
+        }
         let inner = Arc::into_inner(self.inner).expect("all server threads joined");
+        if let Some(durability) = inner.durability {
+            // Final fold: every logged record lands in segments, so the
+            // next start replays an empty WAL tail.
+            let mut dur = durability.into_inner().expect("durability lock");
+            durable_snapshot(&inner.store, &mut dur)?;
+        }
         if let Some(path) = &inner.config.snapshot_path {
-            std::fs::write(path, inner.store.snapshot_json())?;
+            // Stage-and-rename: a crash mid-write must leave the previous
+            // snapshot intact, never a torn file at the final path.
+            pse_wal::atomic_write(path, inner.store.snapshot_json().as_bytes())?;
         }
         Ok(inner.store)
     }
 }
 
+/// Backoff schedule for persistent `accept()` errors (EMFILE, ENOBUFS…):
+/// doubling from 1ms, capped at 250ms so recovery is never slow, reset
+/// on the next successful accept. Without it a persistent error spins
+/// the acceptor hot at 100% CPU.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+fn next_accept_backoff(current: Duration) -> Duration {
+    current.saturating_mul(2).min(ACCEPT_BACKOFF_CAP)
+}
+
 fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    let mut backoff = ACCEPT_BACKOFF_START;
     loop {
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_START;
+                stream
+            }
             Err(_) => {
                 if inner.stop.load(Ordering::SeqCst) {
                     break;
                 }
+                pse_obs::incr("serve.accept_error");
+                std::thread::sleep(backoff);
+                backoff = next_accept_backoff(backoff);
                 continue;
             }
         };
@@ -486,7 +597,18 @@ fn post_ingest(inner: &Inner, request: &Request) -> Response {
     };
     pse_obs::add("serve.ingest_offers", offers.len() as u64);
     let provider = FnProvider(|o: &Offer| o.spec.clone());
-    let stats = inner.store.ingest(&inner.catalog, &offers, &provider);
+    let stats = match &inner.durability {
+        Some(durability) => {
+            match durable_ingest(&inner.store, durability, &inner.catalog, &offers, &provider) {
+                Ok(stats) => {
+                    maybe_compact(inner);
+                    stats
+                }
+                Err(e) => return durability_failed(e),
+            }
+        }
+        None => inner.store.ingest(&inner.catalog, &offers, &provider),
+    };
     json_200(&stats)
 }
 
@@ -499,8 +621,23 @@ fn post_retract(inner: &Inner, request: &Request) -> Response {
         }
     };
     let ids: Vec<OfferId> = ids.into_iter().map(OfferId).collect();
-    let stats = inner.store.retract(&inner.catalog, &ids);
+    let stats = match &inner.durability {
+        Some(durability) => match durable_retract(&inner.store, durability, &inner.catalog, &ids) {
+            Ok(stats) => {
+                maybe_compact(inner);
+                stats
+            }
+            Err(e) => return durability_failed(e),
+        },
+        None => inner.store.retract(&inner.catalog, &ids),
+    };
     json_200(&stats)
+}
+
+/// A write we could not make durable is a server-side failure: the
+/// record never hit the log, so the store was not mutated either.
+fn durability_failed(e: ServeError) -> Response {
+    (500, "text/plain", format!("{e}\n").into_bytes().into())
 }
 
 fn parse_json_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
@@ -520,4 +657,21 @@ fn json_200<T: serde::Serialize>(value: &T) -> Response {
 
 fn bad_request(message: String) -> Response {
     (400, "text/plain", format!("{message}\n").into_bytes().into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_to_a_cap() {
+        let mut d = ACCEPT_BACKOFF_START;
+        let mut schedule = Vec::new();
+        for _ in 0..12 {
+            schedule.push(d.as_millis());
+            d = next_accept_backoff(d);
+        }
+        assert_eq!(schedule[..9], [1, 2, 4, 8, 16, 32, 64, 128, 250]);
+        assert!(schedule[9..].iter().all(|&ms| ms == 250), "capped, never grows past 250ms");
+    }
 }

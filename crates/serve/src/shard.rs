@@ -77,6 +77,16 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 /// One shard's write result: its delta stats plus, when the shard's
 /// snapshot changed, the replacement to publish as `(shard index, snapshot)`.
 type ShardWrite = (IngestStats, Option<(usize, Arc<ShardSnapshot>)>);
+
+/// A completed sharded write: the merged batch stats plus the indices of
+/// the shards the batch actually changed — the incremental-snapshot
+/// layer (`pse-wal`) marks exactly these segments dirty.
+pub struct ShardedWrite {
+    /// Merged per-shard ingest/retract stats.
+    pub stats: IngestStats,
+    /// Shards whose cluster state changed (sorted, deduplicated).
+    pub dirty_shards: Vec<usize>,
+}
 pub fn shard_of(key: &ClusterKey, n_shards: usize) -> usize {
     let mut h = fnv1a(FNV_OFFSET, &key.0 .0.to_le_bytes());
     h = fnv1a(h, &[0xff]);
@@ -221,7 +231,35 @@ impl ShardedStore {
     ) -> IngestStats {
         let _span = pse_obs::span("store.ingest");
         pse_obs::add("store.ingest", offers.len() as u64);
-        let reconciled = reconcile_batch(offers, &self.correspondences, provider);
+        let reconciled = self.reconcile(offers, provider);
+        let mut write = self.ingest_reconciled(catalog, reconciled);
+        write.stats.offers_in = offers.len();
+        write.stats
+    }
+
+    /// Reconcile a raw batch against this store's correspondence set
+    /// (the first half of [`ShardedStore::ingest`]). The durable write
+    /// path reconciles once, logs the reconciled offers to the WAL, and
+    /// then applies them via [`ShardedStore::ingest_reconciled`] — so
+    /// replay never needs the `SpecProvider`.
+    pub fn reconcile<P: SpecProvider>(
+        &self,
+        offers: &[Offer],
+        provider: &P,
+    ) -> Vec<ReconciledOffer> {
+        reconcile_batch(offers, &self.correspondences, provider)
+    }
+
+    /// Apply already-reconciled offers (the second half of
+    /// [`ShardedStore::ingest`]): partition by target shard, apply and
+    /// build successor snapshots concurrently, publish with one swap.
+    /// `stats.offers_in` counts only the offers that routed to a shard;
+    /// the offer-level wrapper overwrites it with the raw batch size.
+    pub fn ingest_reconciled(
+        &self,
+        catalog: &Catalog,
+        reconciled: Vec<ReconciledOffer>,
+    ) -> ShardedWrite {
         let n = self.shards.len();
         let mut parts: Vec<Vec<ReconciledOffer>> = (0..n).map(|_| Vec::new()).collect();
         for r in reconciled {
@@ -245,15 +283,7 @@ impl ShardedStore {
             let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (*i, s));
             (delta.stats, update)
         });
-        let mut updates = Vec::new();
-        let mut total = IngestStats::default();
-        for (stats, update) in results {
-            total = merge_stats(total, stats);
-            updates.extend(update);
-        }
-        self.publish(updates);
-        total.offers_in = offers.len();
-        total
+        self.finish_write(results)
     }
 
     /// Remove offers by id, re-fusing affected clusters. Each shard owns
@@ -262,6 +292,14 @@ impl ShardedStore {
     /// takes no writer lock, mutates nothing, and keeps its published
     /// snapshot pointer-identical.
     pub fn retract(&self, catalog: &Catalog, ids: &[OfferId]) -> IngestStats {
+        let mut write = self.retract_write(catalog, ids);
+        write.stats.offers_in = ids.len();
+        write.stats
+    }
+
+    /// [`ShardedStore::retract`] with the changed-shard indices attached
+    /// (`stats.offers_in` is left at 0; the wrapper sets it).
+    pub fn retract_write(&self, catalog: &Catalog, ids: &[OfferId]) -> ShardedWrite {
         let idx: Vec<usize> = (0..self.shards.len()).collect();
         let results: Vec<ShardWrite> = pse_par::par_map(&idx, |&i| {
             if !self.shards[i].read().expect("shard lock").store.owns_any(ids) {
@@ -272,15 +310,21 @@ impl ShardedStore {
             let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (i, s));
             (delta.stats, update)
         });
+        self.finish_write(results)
+    }
+
+    /// Merge per-shard results, publish the changed snapshots, and
+    /// report which shards changed.
+    fn finish_write(&self, results: Vec<ShardWrite>) -> ShardedWrite {
         let mut updates = Vec::new();
         let mut total = IngestStats::default();
         for (stats, update) in results {
             total = merge_stats(total, stats);
             updates.extend(update);
         }
+        let dirty_shards: Vec<usize> = updates.iter().map(|(i, _)| *i).collect();
         self.publish(updates);
-        total.offers_in = ids.len();
-        total
+        ShardedWrite { stats: total, dirty_shards }
     }
 
     /// Build the successor snapshot for one shard under its held writer
@@ -416,6 +460,13 @@ impl ShardedStore {
             merged.absorb(shard.read().expect("shard lock").store.clone());
         }
         merged
+    }
+
+    /// One shard's cluster map as a serialization-ready [`Value`] — the
+    /// payload of that shard's binary snapshot segment. Reads the
+    /// writer-side store under the shard's reader lock.
+    pub fn shard_clusters_value(&self, shard: usize) -> serde::Value {
+        self.shards[shard].read().expect("shard lock").store.clusters_value()
     }
 
     /// Offer counts per shard (balance diagnostics; `/metrics` extra).

@@ -196,6 +196,49 @@ fn raw_roundtrip(addr: &str, header: &str, body: &[u8]) -> u16 {
     text.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("response has a status line")
 }
 
+/// RFC 7230 §3.3.2 at the socket level (ISSUE 8 satellite): duplicate
+/// `Content-Length` headers carrying the same value are fine;
+/// conflicting or empty values are 400, never last-wins (the old parser
+/// read the body with the last duplicate's length — a request-smuggling
+/// shape).
+#[test]
+fn duplicate_content_length_over_the_wire() {
+    let f = fixture();
+    let store = ShardedStore::new(f.correspondences.clone(), 1);
+    let handle = pse_serve::start(store, f.world.catalog.clone(), ServerConfig::default()).unwrap();
+    let addr = addr_of(&handle);
+
+    // Same value twice: the request is read and dispatched (an empty
+    // ingest batch is a 200).
+    let status = raw_roundtrip(
+        &addr,
+        "POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n",
+        b"[]",
+    );
+    assert_eq!(status, 200, "duplicate-same Content-Length must be accepted");
+
+    // Conflicting values: 400 regardless of order or casing.
+    let status = raw_roundtrip(
+        &addr,
+        "POST /ingest HTTP/1.1\r\nContent-Length: 2\r\ncontent-length: 3\r\n\r\n",
+        b"[]x",
+    );
+    assert_eq!(status, 400, "conflicting Content-Length must be rejected");
+    let status = raw_roundtrip(
+        &addr,
+        "POST /ingest HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 2\r\n\r\n",
+        b"[]x",
+    );
+    assert_eq!(status, 400, "larger-first conflict must not win either");
+
+    // Empty value: 400.
+    let status = raw_roundtrip(&addr, "POST /ingest HTTP/1.1\r\nContent-Length:\r\n\r\n", b"");
+    assert_eq!(status, 400, "empty Content-Length must be rejected");
+
+    assert_eq!(http_request(&addr, "GET", "/healthz", None).unwrap().0, 200);
+    handle.shutdown().unwrap();
+}
+
 #[test]
 fn overload_gets_backpressure_503() {
     let f = fixture();
@@ -247,6 +290,12 @@ fn shutdown_flushes_snapshot_and_http_shutdown_stops() {
 
     let flushed = std::fs::read_to_string(&snapshot_path).expect("snapshot flushed");
     assert_eq!(flushed, expected_snapshot, "flush must be the merged single-store snapshot");
+    // The flush is stage-and-rename (ISSUE 8 satellite): no staging
+    // remnant may survive a successful shutdown.
+    assert!(
+        !pse_wal::tmp_sibling(&snapshot_path).exists(),
+        "no .tmp staging file may remain after shutdown"
+    );
     // And it restores into a working sharded store.
     let restored = ShardedStore::restore_json(&flushed, 2).unwrap();
     assert_eq!(

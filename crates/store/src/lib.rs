@@ -55,6 +55,10 @@ pub enum StoreError {
         /// Version this build reads ([`SNAPSHOT_VERSION`]).
         expected: u32,
     },
+    /// The snapshot parsed but describes an impossible store — e.g. one
+    /// offer claimed by two different clusters. Restoring it silently
+    /// would let corruption masquerade as a healthy catalog.
+    CorruptSnapshot(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for StoreError {
             Self::UnsupportedVersion { found, expected } => {
                 write!(f, "snapshot version {found} unsupported (expected {expected})")
             }
+            Self::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
 }
@@ -441,6 +446,9 @@ impl ProductStore {
     }
 
     /// Rebuild a store from a [`ProductStore::snapshot_json`] string.
+    /// A snapshot that parses but lists one offer in two different
+    /// clusters is rejected as [`StoreError::CorruptSnapshot`] — an
+    /// impossible state for a store maintained through `ingest`/`retract`.
     pub fn restore_json(json: &str) -> Result<Self, StoreError> {
         let _span = pse_obs::span("store.restore");
         Self::seed_obs_counters();
@@ -452,12 +460,7 @@ impl ProductStore {
             });
         }
         let keys = KeyAttributes::new(&snapshot.config.key_attributes);
-        let mut offer_index = BTreeMap::new();
-        for (key, state) in &snapshot.clusters {
-            for m in &state.members {
-                offer_index.insert(m.offer, key.clone());
-            }
-        }
+        let offer_index = Self::index_clusters(&snapshot.clusters)?;
         Ok(Self {
             correspondences: snapshot.correspondences,
             config: snapshot.config,
@@ -465,6 +468,69 @@ impl ProductStore {
             clusters: snapshot.clusters,
             offer_index,
         })
+    }
+
+    /// Build the offer → cluster reverse index, rejecting any offer that
+    /// appears in two *different* clusters (the same offer listed twice
+    /// in one cluster is a legitimate re-ingest, not corruption).
+    fn index_clusters(
+        clusters: &BTreeMap<ClusterKey, ClusterState>,
+    ) -> Result<BTreeMap<OfferId, ClusterKey>, StoreError> {
+        let mut index = BTreeMap::new();
+        for (key, state) in clusters {
+            for m in &state.members {
+                if let Some(previous) = index.insert(m.offer, key.clone()) {
+                    if previous != *key {
+                        return Err(StoreError::CorruptSnapshot(format!(
+                            "offer {} is claimed by two clusters: {previous:?} and {key:?}",
+                            m.offer.0
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(index)
+    }
+
+    /// Re-run the [`StoreError::CorruptSnapshot`] screen over the
+    /// current cluster state — applied after a WAL replay lands on a
+    /// restored store, where segment corruption could otherwise hide.
+    pub fn validate_offer_index(&self) -> Result<(), StoreError> {
+        Self::index_clusters(&self.clusters).map(|_| ())
+    }
+
+    /// Export the cluster map as a serde `Value` tree — what a segmented
+    /// binary snapshot persists per shard. The inverse is
+    /// [`ProductStore::from_cluster_parts`].
+    pub fn clusters_value(&self) -> serde::Value {
+        self.clusters.to_value()
+    }
+
+    /// Rebuild a store from disjoint cluster-map parts (one per shard,
+    /// each a [`ProductStore::clusters_value`] tree) plus the config and
+    /// correspondences a snapshot's meta blob carries. Rejects a cluster
+    /// key present in two parts, and the same offer-in-two-clusters
+    /// corruption `restore_json` screens for.
+    pub fn from_cluster_parts(
+        config: RuntimeConfig,
+        correspondences: CorrespondenceSet,
+        parts: impl IntoIterator<Item = serde::Value>,
+    ) -> Result<Self, StoreError> {
+        let mut clusters: BTreeMap<ClusterKey, ClusterState> = BTreeMap::new();
+        for part in parts {
+            let map: BTreeMap<ClusterKey, ClusterState> =
+                serde::Deserialize::from_value(&part).map_err(|e| StoreError::Json(e.0))?;
+            for (key, state) in map {
+                if clusters.insert(key.clone(), state).is_some() {
+                    return Err(StoreError::CorruptSnapshot(format!(
+                        "cluster {key:?} appears in two segments"
+                    )));
+                }
+            }
+        }
+        let keys = KeyAttributes::new(&config.key_attributes);
+        let offer_index = Self::index_clusters(&clusters)?;
+        Ok(Self { correspondences, config, keys, clusters, offer_index })
     }
 }
 
@@ -676,6 +742,73 @@ mod tests {
         assert!(matches!(err, StoreError::Json(_)));
         let as_string: String = err.into();
         assert!(as_string.contains("snapshot parse error"));
+    }
+
+    #[test]
+    fn duplicate_offer_across_clusters_is_corrupt() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let mut snap: Snapshot = serde_json::from_str(&store.snapshot_json()).unwrap();
+        let keys: Vec<ClusterKey> = snap.clusters.keys().cloned().collect();
+        assert!(keys.len() >= 2);
+        // Corruption: the first cluster's first member also claimed by
+        // the second cluster.
+        let stray = snap.clusters[&keys[0]].members[0].clone();
+        snap.clusters.get_mut(&keys[1]).unwrap().members.push(stray);
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let err = ProductStore::restore_json(&json).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptSnapshot(_)), "got {err:?}");
+        assert!(err.to_string().contains("claimed by two clusters"));
+    }
+
+    #[test]
+    fn duplicate_offer_within_one_cluster_is_a_legitimate_reingest() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set);
+        store.ingest(&catalog, &offers, &provider());
+        let mut snap: Snapshot = serde_json::from_str(&store.snapshot_json()).unwrap();
+        let key = snap.clusters.keys().next().unwrap().clone();
+        let dup = snap.clusters[&key].members[0].clone();
+        snap.clusters.get_mut(&key).unwrap().members.push(dup);
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        assert!(
+            ProductStore::restore_json(&json).is_ok(),
+            "same-cluster duplicate is not corruption"
+        );
+    }
+
+    #[test]
+    fn cluster_parts_roundtrip_matches_the_json_oracle() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set.clone());
+        store.ingest(&catalog, &offers, &provider());
+        let rebuilt = ProductStore::from_cluster_parts(
+            store.config().clone(),
+            set.clone(),
+            [store.clusters_value()],
+        )
+        .unwrap();
+        assert_eq!(rebuilt.snapshot_json(), store.snapshot_json());
+        rebuilt.validate_offer_index().unwrap();
+        // Split parts (as per-shard segments would be) rebuild identically.
+        let pieces = store.clone().split_by(3, |key| key.2.len());
+        let parts: Vec<serde::Value> = pieces.iter().map(|p| p.clusters_value()).collect();
+        let merged = ProductStore::from_cluster_parts(store.config().clone(), set, parts).unwrap();
+        assert_eq!(merged.snapshot_json(), store.snapshot_json());
+    }
+
+    #[test]
+    fn overlapping_cluster_parts_are_corrupt() {
+        let (catalog, set, offers) = setup();
+        let mut store = ProductStore::new(set.clone());
+        store.ingest(&catalog, &offers, &provider());
+        let part = store.clusters_value();
+        let err =
+            ProductStore::from_cluster_parts(store.config().clone(), set, [part.clone(), part])
+                .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptSnapshot(_)), "got {err:?}");
+        assert!(err.to_string().contains("two segments"));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Segmented snapshot files and the manifest binding them.
+//!
+//! A snapshot is a set of files in the snapshot directory:
+//!
+//! ```text
+//! manifest.json            committed last, atomically — THE commit point
+//! meta-<snap>.bin          codec(SnapshotMeta): config + correspondences
+//! seg-<shard>-<snap>.bin   codec(shard's BTreeMap<ClusterKey, ClusterState>)
+//! ```
+//!
+//! Segment and meta files are content-addressed by snapshot id, so an
+//! incremental snapshot can *reuse* a clean shard's existing file by
+//! keeping its manifest entry — nothing is rewritten in place, ever. The
+//! manifest records each file's byte length and FNV-1a checksum; loads
+//! verify both. Files no longer referenced by the committed manifest are
+//! garbage-collected afterwards.
+
+use std::path::Path;
+
+use pse_core::CorrespondenceSet;
+use pse_synthesis::RuntimeConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::{codec, WalError};
+
+/// Version of the manifest/meta/segment layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest inside the snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One snapshot file the manifest references, with its integrity data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentEntry {
+    /// Shard index this segment holds.
+    pub shard: usize,
+    /// File name inside the snapshot directory.
+    pub file: String,
+    /// Exact byte length.
+    pub bytes: u64,
+    /// FNV-1a checksum of the file contents.
+    pub fnv: u64,
+}
+
+/// The snapshot commit record: which files form the catalog state and
+/// which WAL generation/offset continues it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Layout version ([`FORMAT_VERSION`]).
+    pub schema_version: u32,
+    /// Monotone snapshot counter (names the segment files).
+    pub snapshot_id: u64,
+    /// WAL generation whose records continue this snapshot. A WAL file
+    /// stamped with any other generation is already folded in (or
+    /// superseded) and must not be replayed on top.
+    pub wal_gen: u64,
+    /// Offset in that WAL where replay starts (the header length).
+    pub wal_offset: u64,
+    /// The meta blob: pipeline config + correspondence set.
+    pub meta_file: String,
+    /// Meta blob byte length.
+    pub meta_bytes: u64,
+    /// Meta blob FNV-1a checksum.
+    pub meta_fnv: u64,
+    /// One entry per shard, in shard order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+/// What the meta blob decodes to: everything a store needs besides its
+/// clusters. Serialized through the same derived impls as the JSON
+/// snapshot, so no representation can drift between the two formats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// Layout version ([`FORMAT_VERSION`]).
+    pub schema_version: u32,
+    /// The store's pipeline configuration.
+    pub config: RuntimeConfig,
+    /// The store's correspondence set.
+    pub correspondences: CorrespondenceSet,
+}
+
+/// Read and validate the manifest; `Ok(None)` when none exists (a fresh
+/// directory).
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, WalError> {
+    let text = match std::fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| WalError::Corrupt(format!("manifest: {}", e.0)))?;
+    if manifest.schema_version != FORMAT_VERSION {
+        return Err(WalError::Corrupt(format!(
+            "manifest version {} unsupported (expected {FORMAT_VERSION})",
+            manifest.schema_version
+        )));
+    }
+    Ok(Some(manifest))
+}
+
+/// Commit a manifest atomically (temp + fsync + rename + dir fsync).
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), WalError> {
+    let json = serde_json::to_string_pretty(manifest)
+        .unwrap_or_else(|e| panic!("manifest serialization is infallible: {}", e.0));
+    crate::atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+    Ok(())
+}
+
+/// Write one snapshot blob atomically; returns its FNV-1a checksum.
+pub fn write_blob(dir: &Path, name: &str, bytes: &[u8]) -> Result<u64, WalError> {
+    crate::atomic_write(&dir.join(name), bytes)?;
+    Ok(codec::fnv1a(bytes))
+}
+
+/// Read one snapshot blob, verifying its recorded length and checksum.
+pub fn read_blob(dir: &Path, name: &str, bytes: u64, fnv: u64) -> Result<Vec<u8>, WalError> {
+    let data = std::fs::read(dir.join(name))?;
+    if data.len() as u64 != bytes {
+        return Err(WalError::Corrupt(format!(
+            "{name}: {} bytes on disk, manifest says {bytes}",
+            data.len()
+        )));
+    }
+    let sum = codec::fnv1a(&data);
+    if sum != fnv {
+        return Err(WalError::Corrupt(format!(
+            "{name}: checksum {sum:#x} does not match manifest {fnv:#x}"
+        )));
+    }
+    Ok(data)
+}
+
+/// Delete snapshot blobs (`seg-*`/`meta-*`) the committed manifest no
+/// longer references. Safe to crash during: unreferenced files are
+/// inert, and the next snapshot sweeps again. Returns how many files
+/// were removed.
+pub fn gc(dir: &Path, manifest: &Manifest) -> Result<usize, WalError> {
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_blob = name.starts_with("seg-") || name.starts_with("meta-");
+        if !is_blob || name.ends_with(".tmp") {
+            continue;
+        }
+        let referenced =
+            name == manifest.meta_file || manifest.segments.iter().any(|s| s.file == name);
+        if !referenced {
+            std::fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Segment file name for one shard of one snapshot.
+pub fn segment_file_name(shard: usize, snapshot_id: u64) -> String {
+    format!("seg-{shard:04}-{snapshot_id:08}.bin")
+}
+
+/// Meta blob file name for one snapshot.
+pub fn meta_file_name(snapshot_id: u64) -> String {
+    format!("meta-{snapshot_id:08}.bin")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pse-wal-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn manifest_with(segments: Vec<SegmentEntry>, meta_file: &str) -> Manifest {
+        Manifest {
+            schema_version: FORMAT_VERSION,
+            snapshot_id: 1,
+            wal_gen: 1,
+            wal_offset: crate::WAL_HEADER_LEN,
+            meta_file: meta_file.to_string(),
+            meta_bytes: 0,
+            meta_fnv: codec::fnv1a(b""),
+            segments,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_missing_is_none() {
+        let dir = tmp("manifest");
+        assert!(read_manifest(&dir).unwrap().is_none());
+        let m = manifest_with(
+            vec![SegmentEntry { shard: 0, file: "seg-0000-00000001.bin".into(), bytes: 3, fnv: 9 }],
+            "meta-00000001.bin",
+        );
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsupported_manifest_version_is_corrupt() {
+        let dir = tmp("version");
+        let mut m = manifest_with(Vec::new(), "meta-00000001.bin");
+        m.schema_version = 99;
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), json).unwrap();
+        assert!(matches!(read_manifest(&dir), Err(WalError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blob_verification_catches_length_and_checksum_drift() {
+        let dir = tmp("blob");
+        let fnv = write_blob(&dir, "seg-0000-00000001.bin", b"payload").unwrap();
+        assert_eq!(read_blob(&dir, "seg-0000-00000001.bin", 7, fnv).unwrap(), b"payload");
+        assert!(matches!(
+            read_blob(&dir, "seg-0000-00000001.bin", 8, fnv),
+            Err(WalError::Corrupt(_))
+        ));
+        assert!(matches!(
+            read_blob(&dir, "seg-0000-00000001.bin", 7, fnv ^ 1),
+            Err(WalError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced_blobs() {
+        let dir = tmp("gc");
+        write_blob(&dir, "seg-0000-00000001.bin", b"old").unwrap();
+        write_blob(&dir, "seg-0000-00000002.bin", b"new").unwrap();
+        write_blob(&dir, "meta-00000001.bin", b"oldmeta").unwrap();
+        write_blob(&dir, "meta-00000002.bin", b"newmeta").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        let m = manifest_with(
+            vec![SegmentEntry {
+                shard: 0,
+                file: "seg-0000-00000002.bin".into(),
+                bytes: 3,
+                fnv: codec::fnv1a(b"new"),
+            }],
+            "meta-00000002.bin",
+        );
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(gc(&dir, &m).unwrap(), 2, "stale seg + stale meta");
+        assert!(dir.join("seg-0000-00000002.bin").exists());
+        assert!(dir.join("meta-00000002.bin").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert!(!dir.join("seg-0000-00000001.bin").exists());
+        assert!(!dir.join("meta-00000001.bin").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

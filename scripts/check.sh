@@ -96,4 +96,75 @@ cargo run --release -q -p pse-bench --bin experiments -- \
     --workers 4 --requests 600 --shards 4 --out target/check-results
 cargo run --release -q -p pse-bench --bin obs_check
 
+# Crash drill: serve durably (WAL + segmented snapshots), ingest over the
+# wire, then SIGKILL the server — no graceful shutdown, no JSON snapshot.
+# The read-only wal-replay oracle rebuilds what the crashed directory
+# proves was committed, the restarted server recovers from the same
+# directory, and every /products/{category} response must be
+# byte-identical to the oracle's.
+rm -rf target/check-results/drill-wal target/check-results/drill_expected
+rm -f target/check-results/drill.port target/check-results/drill-restart.port
+cargo run --release -q -p pse-bench --bin experiments -- \
+    serve --smoke --quiet --wal-dir target/check-results/drill-wal \
+    --compact-bytes 65536 --shards 4 \
+    --port-file target/check-results/drill.port --out target/check-results &
+DRILL_PID=$!
+trap 'kill -9 "$DRILL_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 150); do
+    [ -s target/check-results/drill.port ] && break
+    sleep 0.2
+done
+[ -s target/check-results/drill.port ] || {
+    echo "crash drill: server never wrote its port file" >&2
+    exit 1
+}
+ADDR="$(cat target/check-results/drill.port)"
+http_get POST "http://$ADDR/ingest" @target/check-results/serve_batch.json >/dev/null
+http_get GET "http://$ADDR/healthz" >/dev/null
+kill -9 "$DRILL_PID"
+wait "$DRILL_PID" 2>/dev/null || true
+
+cargo run --release -q -p pse-bench --bin experiments -- \
+    wal-replay --smoke --quiet --wal-dir target/check-results/drill-wal \
+    --out target/check-results
+test -s target/check-results/drill_expected/categories.txt
+
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    serve --smoke --quiet --obs --wal-dir target/check-results/drill-wal \
+    --compact-bytes 65536 --shards 4 \
+    --port-file target/check-results/drill-restart.port --out target/check-results &
+DRILL_PID=$!
+for _ in $(seq 1 150); do
+    [ -s target/check-results/drill-restart.port ] && break
+    sleep 0.2
+done
+[ -s target/check-results/drill-restart.port ] || {
+    echo "crash drill: restarted server never wrote its port file" >&2
+    exit 1
+}
+ADDR="$(cat target/check-results/drill-restart.port)"
+while read -r c; do
+    http_get GET "http://$ADDR/products/$c" > target/check-results/drill_got.json
+    cmp -s target/check-results/drill_got.json \
+        "target/check-results/drill_expected/cat_$c.json" || {
+        echo "crash drill: /products/$c diverged from the wal-replay oracle" >&2
+        exit 1
+    }
+done < target/check-results/drill_expected/categories.txt
+http_get POST "http://$ADDR/shutdown" >/dev/null
+wait "$DRILL_PID"
+cargo run --release -q -p pse-bench --bin obs_check
+
+# Durability bench: WAL churn + incremental segmented snapshots, then the
+# restore race; results land in BENCH_par.json under "durability", and the
+# segmented restore must actually beat the JSON restore.
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    snapshot-bench --smoke --quiet --obs --batches 4 --shards 4 \
+    --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+grep -q '"segmented_restore_faster": true' BENCH_par.json || {
+    echo "durability bench: segmented restore was not faster than JSON" >&2
+    exit 1
+}
+
 echo "tier-1 gate: all green"

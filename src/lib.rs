@@ -51,3 +51,4 @@ pub use pse_serve as serve;
 pub use pse_store as store;
 pub use pse_synthesis as synthesis;
 pub use pse_text as text;
+pub use pse_wal as wal;
