@@ -36,6 +36,17 @@
 //!                   restoring the final state from the JSON oracle vs
 //!                   from segments; merged into BENCH_par.json under
 //!                   "durability"
+//!   ingest-bench  paper-scale ingest: stream --offers N (millions are
+//!                 fine — the generator is constant-memory) through the
+//!                 durable write path, group commit (--group-size,
+//!                 --group-wait-us, --workers writer threads, --batch-size
+//!                 offers per commit) vs the per-batch-fsync baseline
+//!                 (--baseline-offers cap); optional --scenario
+//!                 flash-sale|merchant-churn|retraction-waves|mixed
+//!                 reshapes the load; ends with a recovery drill over the
+//!                 unfolded WAL tail; sustained offers/sec, p99 commit
+//!                 latency, and peak RSS merge into BENCH_par.json under
+//!                 "ingest_scale"
 //!   serve-bench  closed-loop load generator: --workers K client threads
 //!                (default 4) issue --requests N point lookups (default
 //!                2000) against servers at 1/2/4/8 shards (--shards
@@ -88,7 +99,7 @@ use pse_eval::correspondence::LabeledCurve;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|wal-replay|snapshot-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|wal-replay|snapshot-bench|ingest-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -106,6 +117,15 @@ fn main() -> ExitCode {
     };
     let out_dir = out_dir(rest);
     let batches = batches(rest);
+
+    // ingest-bench streams its offers from a WorldBase and only needs a
+    // small materialized world internally — branch before the eager
+    // full-scale build above would materialize a million offers.
+    if cmd == "ingest-bench" {
+        let ok = run_ingest_bench_cmd(&scale, &out_dir, quiet, rest);
+        write_obs_report(quiet);
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     if !quiet {
         eprintln!(
@@ -176,6 +196,56 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `experiments ingest-bench`: the paper-scale durable-ingest bench —
+/// an OfferStream (constant-memory datagen) through the group-commit
+/// write path vs the per-batch-fsync baseline, plus a recovery drill.
+/// Results merge into BENCH_par.json under "ingest_scale".
+fn run_ingest_bench_cmd(
+    scale: &pse_bench::Scale,
+    out_dir: &Path,
+    quiet: bool,
+    args: &[String],
+) -> bool {
+    let defaults = pse_bench::IngestBenchOpts::default();
+    let opts = pse_bench::IngestBenchOpts {
+        batch_size: flag_value(args, "--batch-size").unwrap_or(defaults.batch_size),
+        writers: flag_value(args, "--workers").unwrap_or(defaults.writers),
+        baseline_offers: flag_value(args, "--baseline-offers").unwrap_or(defaults.baseline_offers),
+        group_size: flag_value(args, "--group-size").unwrap_or(defaults.group_size),
+        group_wait_us: flag_value(args, "--group-wait-us").unwrap_or(defaults.group_wait_us),
+        scenario: string_flag(args, "--scenario").unwrap_or(defaults.scenario),
+        shards: flag_value(args, "--shards").unwrap_or(defaults.shards),
+        compact_bytes: flag_value(args, "--compact-bytes").unwrap_or(defaults.compact_bytes),
+    };
+    if pse_datagen::Scenario::parse(&opts.scenario).is_none() {
+        eprintln!(
+            "error: unknown scenario {:?} (want steady, flash-sale, merchant-churn, \
+             retraction-waves, or mixed)",
+            opts.scenario
+        );
+        return false;
+    }
+    let t = std::time::Instant::now();
+    let run = pse_bench::run_ingest_bench(scale, &opts, &out_dir.join("ingest_bench"));
+    println!("{}", pse_bench::render_ingest_bench(&run));
+    merge_into_bench_json("ingest_scale", &run, quiet);
+    if !quiet {
+        eprintln!("# ingest-bench finished in {:.1?}", t.elapsed());
+    }
+    if !run.recovery_equal {
+        eprintln!("error: recovered state diverged from the live store");
+    }
+    if !run.group_commit_faster {
+        // Timing on a noisy 1-CPU smoke host; flag loudly, fail soft.
+        eprintln!(
+            "warning: group commit ({:.0} offers/s) did not beat the per-batch-fsync \
+             baseline ({:.0} offers/s)",
+            run.grouped.offers_per_sec, run.baseline.offers_per_sec
+        );
+    }
+    run.recovery_equal
 }
 
 /// `--verify-blocking`: compare the title matcher's blocked and naive
@@ -476,6 +546,7 @@ fn run_wal_replay(world: &World, out_dir: &Path, quiet: bool, args: &[String]) -
         wal_path: dir.join("wal.log"),
         snapshot_dir: dir.join("segments"),
         compaction_threshold_bytes: u64::MAX,
+        group: Default::default(),
     };
     let recovered = match pse_wal::recover(&dcfg, &world.catalog, || {
         pse_store::ProductStore::new(sc.correspondences.clone())

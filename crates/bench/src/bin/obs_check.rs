@@ -27,6 +27,13 @@ use serde::Value;
 /// present) and then received no live ingests legitimately never runs
 /// the runtime pipeline — recovery replays already-reconciled batches —
 /// so the `runtime.` stage (span and counters) is waived for it.
+///
+/// Second exception: the ingest-scale bench (`ingest_bench.*` spans)
+/// streams offers straight into the runtime write path; the offline
+/// phases (page rendering, extraction, candidate mining) never run, so
+/// the `datagen.` / `extract.` / `offline.` stages and their counters
+/// are waived for it — `runtime.` and `experiments.` coverage is still
+/// required in full.
 const STAGE_PREFIXES: [&str; 5] = ["datagen.", "extract.", "offline.", "runtime.", "experiments."];
 
 /// Counters every experiments run is expected to emit.
@@ -98,6 +105,12 @@ const WAL_COUNTERS: [&str; 4] =
 /// never fsync and are exempt.
 const WAL_FSYNC_HISTOGRAM: &str = "wal.fsync_us";
 
+/// Group-commit distributions — commits covered per sync and per-commit
+/// wait — seeded at zero by both `Durability::open` and `recover`, so
+/// any run that touched the durability layer must report them even if
+/// no grouped sync ever fired.
+const WAL_GROUP_HISTOGRAMS: [&str; 2] = ["wal.group_size", "wal.group_wait_us"];
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -155,8 +168,14 @@ fn check(v: &Value) -> Vec<String> {
     // report (see STAGE_PREFIXES).
     let runtime_waived = span_paths.iter().any(|p| p.contains("wal.recover"))
         && !span_paths.iter().any(|p| p.contains("runtime."));
+    // The ingest-scale bench never runs the offline phases (see
+    // STAGE_PREFIXES): waive their stages and counters for its reports.
+    let offline_waived = span_paths.iter().any(|p| p.contains("ingest_bench."));
     for prefix in STAGE_PREFIXES {
         if runtime_waived && prefix == "runtime." {
+            continue;
+        }
+        if offline_waived && matches!(prefix, "datagen." | "extract." | "offline.") {
             continue;
         }
         if !span_paths.iter().any(|p| p.contains(prefix)) {
@@ -177,24 +196,32 @@ fn check(v: &Value) -> Vec<String> {
         serve_ran,
         wal_ran,
         runtime_waived,
+        offline_waived,
         &mut errs,
     );
     check_histograms(v, &mut errs);
     check_serve_endpoints(v, serve_ran, &mut errs);
-    check_wal_histograms(v, wal_opened, &mut errs);
+    check_wal_histograms(v, wal_ran, wal_opened, &mut errs);
     check_timelines(v, &mut errs);
     errs
 }
 
-/// The fsync-latency histogram must exist whenever the WAL was opened
-/// for appending (see [`WAL_FSYNC_HISTOGRAM`]).
-fn check_wal_histograms(v: &Value, wal_opened: bool, errs: &mut Vec<String>) {
-    if !wal_opened {
+/// The group-commit histograms must exist whenever the durability layer
+/// ran at all ([`WAL_GROUP_HISTOGRAMS`]); the fsync-latency histogram
+/// additionally whenever the WAL was opened for appending
+/// ([`WAL_FSYNC_HISTOGRAM`]).
+fn check_wal_histograms(v: &Value, wal_ran: bool, wal_opened: bool, errs: &mut Vec<String>) {
+    if !wal_ran {
         return;
     }
     let mut shape_errs = Vec::new();
     let histograms = array(v, "histograms", &mut shape_errs);
-    if !histograms.iter().any(|h| str_field(h, "name") == WAL_FSYNC_HISTOGRAM) {
+    for required in WAL_GROUP_HISTOGRAMS {
+        if !histograms.iter().any(|h| str_field(h, "name") == required) {
+            errs.push(format!("wal spans present but histogram {required} missing"));
+        }
+    }
+    if wal_opened && !histograms.iter().any(|h| str_field(h, "name") == WAL_FSYNC_HISTOGRAM) {
         errs.push(format!("wal.open span present but histogram {WAL_FSYNC_HISTOGRAM} missing"));
     }
 }
@@ -263,6 +290,7 @@ fn check_counters(
     serve_ran: bool,
     wal_ran: bool,
     runtime_waived: bool,
+    offline_waived: bool,
     errs: &mut Vec<String>,
 ) {
     let counters = array(v, "counters", errs).to_vec();
@@ -274,6 +302,9 @@ fn check_counters(
     }
     for required in REQUIRED_COUNTERS {
         if runtime_waived && required.starts_with("runtime.") {
+            continue;
+        }
+        if offline_waived && !required.starts_with("runtime.") {
             continue;
         }
         if !names.iter().any(|n| n == required) {
@@ -485,6 +516,62 @@ mod tests {
     }
 
     #[test]
+    fn offline_stages_waived_for_ingest_bench_reports() {
+        // An ingest-bench report streams offers straight into the runtime
+        // write path: no datagen/extract/offline spans or counters, and
+        // obs_check must not demand them — runtime coverage still is.
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = ["experiments.ingest_bench", "ingest_bench.grouped", "runtime.reconcile"]
+            .iter()
+            .map(|p| pse_obs::SpanSummary {
+                path: p.to_string(),
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .filter(|n| n.starts_with("runtime."))
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "runtime.reconcile".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+
+        // Dropping the runtime counters must still be flagged: the waiver
+        // covers only the offline phases.
+        let mut r2 = v.clone();
+        if let Value::Object(fields) = &mut r2 {
+            for (k, val) in fields.iter_mut() {
+                if k == "counters" {
+                    *val = Value::Array(Vec::new());
+                }
+            }
+        }
+        let errs = check(&r2);
+        assert!(errs.iter().any(|e| e.contains("missing required counter runtime.offers_in")));
+        assert!(!errs.iter().any(|e| e.contains("datagen")));
+    }
+
+    #[test]
     fn store_counters_required_only_when_store_spans_present() {
         // Without store spans, store counters are not demanded.
         assert_eq!(check(&good_report()), Vec::<String>::new());
@@ -671,17 +758,30 @@ mod tests {
             r
         };
 
-        // A recover-only run: WAL counters demanded, fsync histogram not
+        let zero_histogram = |n: &&str| pse_obs::HistogramSummary {
+            name: n.to_string(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+
+        // A recover-only run: WAL counters and the group-commit
+        // histograms demanded (recover seeds both), fsync histogram not
         // (recovery is read-only and never fsyncs).
         let mut r = with_span("experiments.drill.wal.recover");
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         let errs = check(&v);
         assert!(errs.iter().any(|e| e.contains("counter wal.append missing")));
         assert!(errs.iter().any(|e| e.contains("counter snapshot.segments_written missing")));
+        assert!(errs.iter().any(|e| e.contains("histogram wal.group_size missing")));
+        assert!(errs.iter().any(|e| e.contains("histogram wal.group_wait_us missing")));
         assert!(!errs.iter().any(|e| e.contains("wal.fsync_us")), "recover-only run is exempt");
         r.counters.extend(
             WAL_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
         );
+        r.histograms.extend(WAL_GROUP_HISTOGRAMS.iter().map(zero_histogram));
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());
 
@@ -691,6 +791,7 @@ mod tests {
         r.counters.extend(
             WAL_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
         );
+        r.histograms.extend(WAL_GROUP_HISTOGRAMS.iter().map(zero_histogram));
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         let errs = check(&v);
         assert!(errs.iter().any(|e| e.contains("histogram wal.fsync_us missing")));
@@ -737,6 +838,17 @@ mod tests {
             .filter(|n| !n.starts_with("runtime."))
             .chain(WAL_COUNTERS.iter())
             .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 })
+            .collect();
+        r.histograms = WAL_GROUP_HISTOGRAMS
+            .iter()
+            .map(|n| pse_obs::HistogramSummary {
+                name: n.to_string(),
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
+            })
             .collect();
         r.timelines = vec![pse_obs::TimelineGroup {
             label: "offline.candidates".into(),

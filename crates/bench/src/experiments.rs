@@ -772,30 +772,27 @@ pub fn run_snapshot_bench(
         snapshot_dir: dir.join("segments"),
         // Folds are explicit in this bench; never auto-compact.
         compaction_threshold_bytes: u64::MAX,
+        group: Default::default(),
     };
     let seed = ShardedStore::new(sc.correspondences.clone(), shards);
-    let (store, dur, _) =
+    let (store, ctx, _) =
         open_durable(dcfg.clone(), &world.catalog, seed).expect("open a fresh durable dir");
-    let durability = std::sync::Mutex::new(dur);
 
     let batches = batches.max(1);
     let (bulk, churn) = sc.corpus.split_at(sc.corpus.len() * 3 / 4);
-    durable_ingest(&store, &durability, &world.catalog, bulk, &provider).expect("bulk ingest");
+    durable_ingest(&store, &ctx, &world.catalog, bulk, &provider).expect("bulk ingest");
     // A couple of retractions so the log carries both record kinds.
     let ids: Vec<pse_core::OfferId> = bulk.iter().take(2).map(|o| o.id).collect();
-    durable_retract(&store, &durability, &world.catalog, &ids).expect("bulk retract");
-    let mut dur = durability.into_inner().expect("durability mutex");
-    durable_snapshot(&store, &mut dur).expect("bulk fold");
+    durable_retract(&store, &ctx, &world.catalog, &ids).expect("bulk retract");
+    durable_snapshot(&store, &ctx).expect("bulk fold");
 
-    let durability = std::sync::Mutex::new(dur);
     let chunk = churn.len().div_ceil(batches).max(1);
     let mut rows = Vec::new();
     for (i, batch) in churn.chunks(chunk).enumerate() {
-        durable_ingest(&store, &durability, &world.catalog, batch, &provider)
-            .expect("churn ingest");
-        let mut dur = durability.lock().expect("durability lock");
-        let wal_bytes = dur.wal_len() - pse_wal::WAL_HEADER_LEN;
-        let stats = durable_snapshot(&store, &mut dur).expect("incremental fold");
+        durable_ingest(&store, &ctx, &world.catalog, batch, &provider).expect("churn ingest");
+        let wal_bytes =
+            ctx.durability().lock().expect("durability lock").wal_len() - pse_wal::WAL_HEADER_LEN;
+        let stats = durable_snapshot(&store, &ctx).expect("incremental fold");
         rows.push(SnapshotBenchRow {
             batch: i,
             offers: batch.len(),
@@ -805,11 +802,10 @@ pub fn run_snapshot_bench(
             bytes_written: stats.bytes_written,
         });
     }
-    let mut dur = durability.into_inner().expect("durability mutex");
     // A no-op fold reports the total bytes the committed manifest
     // references; then close the WAL before the restore race.
-    let segment_bytes = durable_snapshot(&store, &mut dur).expect("final fold").total_bytes;
-    drop(dur);
+    let segment_bytes = durable_snapshot(&store, &ctx).expect("final fold").total_bytes;
+    drop(ctx);
 
     let expected = store.snapshot_json();
     let json_path = dir.join("snapshot.json");

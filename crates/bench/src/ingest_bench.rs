@@ -1,0 +1,591 @@
+//! Paper-scale ingest bench: the streaming generator driving the
+//! durable write path at a million offers, group commit vs the
+//! per-batch-fsync baseline.
+//!
+//! Two legs over the same offer stream, each into a fresh durable
+//! directory:
+//!
+//! * **serial** — `durable_ingest_serial`, one writer, one fsync per
+//!   batch while the durability mutex is held: exactly the pre-group-
+//!   commit write path, measured on a capped prefix of the stream so
+//!   the leg stays short.
+//! * **grouped** — `durable_ingest` from `--workers` threads sharing
+//!   one [`OfferStream`]: commits stage concurrently, one leader
+//!   fsyncs each group, applies retire through the turnstile in log
+//!   order. Runs the full `--offers` count.
+//!
+//! Offers come from a [`WorldBase`] + [`OfferStream`] — constant
+//! generator memory regardless of offer count — with page specs
+//! embedded per batch via [`WorldBase::page_spec_for`] (the wire form
+//! `POST /ingest` uses; pages don't cross HTTP boundaries).
+//! Correspondences are learned once from a small materialized world on
+//! the same seed, which shares the catalog and merchant vocabularies
+//! with the stream by construction.
+//!
+//! After the grouped leg the bench runs a recovery drill: drop the
+//! durability context with the WAL tail unfolded, recover the
+//! directory fresh, and demand the recovered snapshot equal the live
+//! store byte for byte — the group-commit invariant (apply order ==
+//! log order) checked at full scale. Peak RSS (`VmHWM`) is recorded so
+//! regressions in streaming memory show up in `BENCH_par.json`.
+//!
+//! [`OfferStream`]: pse_datagen::OfferStream
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pse_core::Offer;
+use pse_datagen::{Scenario, World, WorldBase};
+use pse_eval::report::TextTable;
+use pse_serve::{
+    durable_ingest, durable_ingest_serial, durable_retract, durable_snapshot, open_durable,
+    DurableCtx, ShardedStore,
+};
+use pse_wal::{DurabilityConfig, GroupCommitConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::Scale;
+
+/// Knobs of the ingest bench, resolved from CLI flags.
+#[derive(Debug, Clone)]
+pub struct IngestBenchOpts {
+    /// Offers per ingest batch (`--batch-size`).
+    pub batch_size: usize,
+    /// Concurrent writer threads in the grouped leg (`--workers`).
+    pub writers: usize,
+    /// Offer cap for the serial baseline leg (`--baseline-offers`).
+    pub baseline_offers: usize,
+    /// Group-commit quorum (`--group-size`).
+    pub group_size: usize,
+    /// Group-commit bounded wait, microseconds (`--group-wait-us`).
+    pub group_wait_us: u64,
+    /// Named load scenario (`--scenario`).
+    pub scenario: String,
+    /// Store shards (`--shards`).
+    pub shards: usize,
+    /// WAL compaction threshold in bytes (`--compact-bytes`).
+    pub compact_bytes: u64,
+}
+
+impl Default for IngestBenchOpts {
+    fn default() -> Self {
+        Self {
+            // Small per-commit batches are the regime group commit
+            // exists for: each commit is fsync-dominated, so sharing one
+            // sync across a group is the whole win. Larger --batch-size
+            // values amortize the fsync in the app layer instead and
+            // flatten the comparison.
+            batch_size: 4,
+            writers: 8,
+            baseline_offers: 50_000,
+            group_size: GroupCommitConfig::default().group_size,
+            // Several times the per-commit CPU cost, so a group can
+            // actually fill while the leader waits; the serve-path
+            // default (500 us) optimizes commit latency instead.
+            group_wait_us: 2_000,
+            scenario: "steady".to_string(),
+            shards: 4,
+            compact_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One leg's measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestLegRow {
+    /// `serial` (per-batch fsync baseline) or `grouped` (group commit).
+    pub leg: String,
+    /// Offers ingested.
+    pub offers: usize,
+    /// Ingest commits (batches) issued.
+    pub commits: usize,
+    /// Writer threads.
+    pub writers: usize,
+    /// Offer ids retracted by scenario waves.
+    pub retractions: usize,
+    /// Wall-clock for the leg, milliseconds.
+    pub elapsed_ms: u64,
+    /// Sustained durable-ingest throughput.
+    pub offers_per_sec: f64,
+    /// Median commit latency (stage → durable → applied), microseconds.
+    pub p50_commit_us: u64,
+    /// 99th-percentile commit latency, microseconds.
+    pub p99_commit_us: u64,
+}
+
+/// Result of `experiments ingest-bench`, merged into `BENCH_par.json`
+/// under `"ingest_scale"`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestScaleRun {
+    /// Offers the grouped leg streamed.
+    pub offers: usize,
+    /// Offer cap of the serial baseline leg.
+    pub baseline_offers: usize,
+    /// Offers per ingest batch.
+    pub batch_size: usize,
+    /// Writer threads in the grouped leg.
+    pub writers: usize,
+    /// Group-commit quorum.
+    pub group_size: usize,
+    /// Group-commit bounded wait, microseconds.
+    pub group_wait_us: u64,
+    /// Load scenario name.
+    pub scenario: String,
+    /// Store shards.
+    pub shards: usize,
+    /// Products served after the grouped leg.
+    pub products: usize,
+    /// The per-batch-fsync baseline.
+    pub baseline: IngestLegRow,
+    /// The group-commit leg.
+    pub grouped: IngestLegRow,
+    /// Grouped throughput over baseline throughput.
+    pub speedup: f64,
+    /// Whether group commit beat the per-batch-fsync baseline.
+    pub group_commit_faster: bool,
+    /// Process peak RSS after both legs, kilobytes (`VmHWM`).
+    pub peak_rss_kb: u64,
+    /// Segments the recovery drill loaded.
+    pub recovered_segments: usize,
+    /// WAL records the recovery drill replayed (tail left unfolded on
+    /// purpose — a fold would make this zero and the drill vacuous).
+    pub recovered_wal_records: usize,
+    /// The recovered snapshot equals the live store byte for byte.
+    pub recovery_equal: bool,
+}
+
+/// Run the ingest bench. `dir` is wiped and reused for both legs'
+/// durable directories.
+pub fn run_ingest_bench(scale: &Scale, opts: &IngestBenchOpts, dir: &Path) -> IngestScaleRun {
+    let _span = pse_obs::span("experiments.ingest_bench");
+    let scenario = Scenario::parse(&opts.scenario)
+        .unwrap_or_else(|| panic!("unknown scenario {:?}", opts.scenario));
+
+    // Correspondences from a small materialized world on the same seed:
+    // `num_offers` feeds no setup decision, so the small world shares
+    // catalog, merchants, and vocabularies with the stream exactly.
+    let mut cfg = scale.world_config();
+    cfg.num_offers = cfg.num_offers.min(4_000);
+    let world = World::generate(cfg.clone());
+    let correspondences = crate::serve_corpus(&world).correspondences;
+    let base = WorldBase::generate(cfg);
+
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("ingest-bench dir");
+
+    let baseline_offers = opts.baseline_offers.min(scale.offers).max(1);
+    flush_writeback();
+    let baseline = run_serial_leg(
+        &world,
+        &base,
+        &correspondences,
+        scenario,
+        baseline_offers,
+        opts,
+        &dir.join("serial"),
+    );
+    dump_leg_obs("serial");
+    flush_writeback();
+
+    let grouped_dir = dir.join("grouped");
+    let (grouped, store, dcfg) = run_grouped_leg(
+        &world,
+        &base,
+        &correspondences,
+        scenario,
+        scale.offers,
+        opts,
+        &grouped_dir,
+    );
+
+    dump_leg_obs("grouped");
+
+    // Recovery drill: the grouped leg's context was dropped with its
+    // WAL tail unfolded; a fresh open must replay it to the same bytes.
+    let live = store.snapshot_json();
+    let seed = ShardedStore::new(correspondences.clone(), opts.shards);
+    let (recovered, rctx, rstats) =
+        open_durable(dcfg, &world.catalog, seed).expect("recovery drill open");
+    let recovery_equal = recovered.snapshot_json() == live;
+    drop(rctx);
+
+    let speedup = grouped.offers_per_sec / baseline.offers_per_sec.max(f64::MIN_POSITIVE);
+    IngestScaleRun {
+        offers: scale.offers,
+        baseline_offers,
+        batch_size: opts.batch_size.max(1),
+        writers: opts.writers.max(1),
+        group_size: opts.group_size,
+        group_wait_us: opts.group_wait_us,
+        scenario: opts.scenario.clone(),
+        shards: opts.shards,
+        products: store.products().len(),
+        baseline,
+        grouped,
+        speedup,
+        group_commit_faster: speedup > 1.0,
+        peak_rss_kb: peak_rss_kb(),
+        recovered_segments: rstats.segments_loaded,
+        recovered_wal_records: rstats.wal_records_replayed,
+        recovery_equal,
+    }
+}
+
+/// Flush accumulated dirty pages before a measured leg so neither leg
+/// starts by paying the previous leg's writeback debt inside its own
+/// fsyncs (the legs run back to back and each writes hundreds of MB).
+/// Best-effort: a missing `sync` binary just skips the leveling.
+fn flush_writeback() {
+    let _ = std::process::Command::new("sync").status();
+}
+
+/// With observability on (`PSE_OBS=1` or `--obs`), print the leg's WAL
+/// histograms — fsync cost, realized group size, group wait — and reset
+/// the sink so the next leg's numbers start clean. Off by default: the
+/// measured legs should not pay the instrumentation tax unasked.
+fn dump_leg_obs(leg: &str) {
+    if !pse_obs::enabled() {
+        return;
+    }
+    let report = pse_obs::report();
+    let mut line = format!("# obs[{leg}]");
+    for h in &report.histograms {
+        if h.name.starts_with("wal.") {
+            let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+            line.push_str(&format!("  {} n={} mean={:.0} max={}", h.name, h.count, mean, h.max));
+        }
+    }
+    eprintln!("{line}");
+    // The write path's cost centers, so a slow leg is attributable at a
+    // glance: commit CPU (ingest/reconcile/refuse/stage) vs fold time.
+    const COST_CENTERS: [&str; 6] = [
+        "store.ingest",
+        "runtime.reconcile",
+        "store.refuse",
+        "wal.stage",
+        "store.snapshot",
+        "wal.snapshot",
+    ];
+    let mut line = format!("# obs[{leg}]");
+    for s in &report.spans {
+        if let Some(name) = COST_CENTERS.iter().find(|n| s.path.ends_with(*n)) {
+            let mean_us = s.total_ns as f64 / s.count.max(1) as f64 / 1_000.0;
+            line.push_str(&format!(
+                "  {} n={} mean={:.0}us total={:.1}s",
+                name,
+                s.count,
+                mean_us,
+                s.total_ns as f64 / 1e9
+            ));
+        }
+    }
+    eprintln!("{line}");
+    pse_obs::reset();
+}
+
+fn durability_config(dir: &Path, opts: &IngestBenchOpts) -> DurabilityConfig {
+    DurabilityConfig {
+        wal_path: dir.join("wal.log"),
+        snapshot_dir: dir.join("segments"),
+        compaction_threshold_bytes: opts.compact_bytes.max(1),
+        group: GroupCommitConfig {
+            group_size: opts.group_size.max(1),
+            group_wait: Duration::from_micros(opts.group_wait_us),
+        },
+    }
+}
+
+/// Pull one batch, embed its page specs, and return it with its wave
+/// retractions. Generation work happens outside the stream lock so
+/// writer threads only serialize on the (cheap) RNG walk.
+fn pull_batch(
+    stream: &Mutex<pse_datagen::OfferStream<'_>>,
+    base: &WorldBase,
+    batch_size: usize,
+) -> Option<(Vec<Offer>, Vec<pse_core::OfferId>)> {
+    let batch = stream.lock().expect("offer stream").next_batch(batch_size)?;
+    let offers = batch
+        .offers
+        .into_iter()
+        .map(|so| {
+            let spec = base.page_spec_for(&so.offer, so.product);
+            Offer { spec, ..so.offer }
+        })
+        .collect();
+    Some((offers, batch.retractions))
+}
+
+/// The background fold, mirroring the server's compaction loop: poll
+/// `wants_compaction` until the writers finish, folding the WAL into
+/// segments whenever it crosses the threshold — so the grouped leg
+/// exercises WAL rotation (and committer re-arming) under load.
+fn compaction_loop(store: &ShardedStore, ctx: &DurableCtx, done: &AtomicBool) {
+    while !done.load(Ordering::Relaxed) {
+        let wants = ctx.durability().lock().expect("durability lock").wants_compaction();
+        if wants {
+            let _ = durable_snapshot(store, ctx);
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn run_serial_leg(
+    world: &World,
+    base: &WorldBase,
+    correspondences: &pse_core::CorrespondenceSet,
+    scenario: Scenario,
+    offers: usize,
+    opts: &IngestBenchOpts,
+    dir: &Path,
+) -> IngestLegRow {
+    let _span = pse_obs::span("ingest_bench.serial");
+    std::fs::create_dir_all(dir).expect("serial leg dir");
+    let dcfg = durability_config(dir, opts);
+    let seed = ShardedStore::new(correspondences.clone(), opts.shards);
+    let (store, ctx, _) = open_durable(dcfg, &world.catalog, seed).expect("serial leg open");
+    let provider = crate::embedded_spec_provider();
+
+    let stream = Mutex::new(base.stream_scenario(offers, scenario));
+    let mut latencies = Vec::new();
+    let mut ingested = 0usize;
+    let mut retracted = 0usize;
+    let done = AtomicBool::new(false);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| compaction_loop(&store, &ctx, &done));
+        while let Some((batch, waves)) = pull_batch(&stream, base, opts.batch_size.max(1)) {
+            let t = Instant::now();
+            durable_ingest_serial(&store, &ctx, &world.catalog, &batch, &provider)
+                .expect("serial ingest");
+            latencies.push(t.elapsed().as_micros() as u64);
+            ingested += batch.len();
+            if !waves.is_empty() {
+                // Single-threaded, so interleaving the turnstile-using
+                // retract path with the serial ingest path is safe: the
+                // turnstile only sequences concurrent commits.
+                retracted += waves.len();
+                durable_retract(&store, &ctx, &world.catalog, &waves).expect("serial retract");
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+    drop(ctx);
+    leg_row("serial", ingested, retracted, 1, elapsed, latencies)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_grouped_leg(
+    world: &World,
+    base: &WorldBase,
+    correspondences: &pse_core::CorrespondenceSet,
+    scenario: Scenario,
+    offers: usize,
+    opts: &IngestBenchOpts,
+    dir: &Path,
+) -> (IngestLegRow, ShardedStore, DurabilityConfig) {
+    let _span = pse_obs::span("ingest_bench.grouped");
+    std::fs::create_dir_all(dir).expect("grouped leg dir");
+    let dcfg = durability_config(dir, opts);
+    let seed = ShardedStore::new(correspondences.clone(), opts.shards);
+    let (store, ctx, _) =
+        open_durable(dcfg.clone(), &world.catalog, seed).expect("grouped leg open");
+    let provider = crate::embedded_spec_provider();
+
+    let writers = opts.writers.max(1);
+    let stream = Mutex::new(base.stream_scenario(offers, scenario));
+    let ingested = AtomicUsize::new(0);
+    let retracted = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let all_latencies = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| compaction_loop(&store, &ctx, &done));
+        let mut handles = Vec::new();
+        for _ in 0..writers {
+            handles.push(s.spawn(|| {
+                let mut local = Vec::new();
+                while let Some((batch, waves)) = pull_batch(&stream, base, opts.batch_size.max(1)) {
+                    let t = Instant::now();
+                    durable_ingest(&store, &ctx, &world.catalog, &batch, &provider)
+                        .expect("grouped ingest");
+                    local.push(t.elapsed().as_micros() as u64);
+                    ingested.fetch_add(batch.len(), Ordering::Relaxed);
+                    if !waves.is_empty() {
+                        // Best-effort revocation: a wave id whose ingest
+                        // is still in flight on another writer no-ops
+                        // and the offer survives — load shape, not an
+                        // oracle. Recovery equality below is the oracle.
+                        retracted.fetch_add(waves.len(), Ordering::Relaxed);
+                        durable_retract(&store, &ctx, &world.catalog, &waves)
+                            .expect("grouped retract");
+                    }
+                }
+                all_latencies.lock().expect("latencies").extend(local);
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+    // Drop the context with the WAL tail unfolded: the recovery drill
+    // must replay real records, not just load folded segments.
+    drop(ctx);
+
+    let latencies = all_latencies.into_inner().expect("latencies");
+    let row = leg_row(
+        "grouped",
+        ingested.into_inner(),
+        retracted.into_inner(),
+        writers,
+        elapsed,
+        latencies,
+    );
+    (row, store, dcfg)
+}
+
+fn leg_row(
+    leg: &str,
+    offers: usize,
+    retractions: usize,
+    writers: usize,
+    elapsed: Duration,
+    mut latencies: Vec<u64>,
+) -> IngestLegRow {
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    IngestLegRow {
+        leg: leg.to_string(),
+        offers,
+        commits: latencies.len(),
+        writers,
+        retractions,
+        elapsed_ms: elapsed.as_millis() as u64,
+        offers_per_sec: offers as f64 / secs,
+        p50_commit_us: pct(0.50),
+        p99_commit_us: pct(0.99),
+    }
+}
+
+/// The process's peak resident set in kilobytes, from `/proc` (0 when
+/// unavailable, e.g. off Linux).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Render the ingest bench as a text table plus the verdict lines.
+pub fn render_ingest_bench(run: &IngestScaleRun) -> String {
+    let mut t = TextTable::new([
+        "Leg",
+        "Offers",
+        "Commits",
+        "Writers",
+        "Retractions",
+        "Elapsed ms",
+        "Offers/s",
+        "p50 us",
+        "p99 us",
+    ]);
+    for r in [&run.baseline, &run.grouped] {
+        t.row(vec![
+            r.leg.clone(),
+            r.offers.to_string(),
+            r.commits.to_string(),
+            r.writers.to_string(),
+            r.retractions.to_string(),
+            r.elapsed_ms.to_string(),
+            format!("{:.0}", r.offers_per_sec),
+            r.p50_commit_us.to_string(),
+            r.p99_commit_us.to_string(),
+        ]);
+    }
+    format!(
+        "Ingest at scale: streaming datagen → durable write path \
+         ({} offers, batch {}, {} shards, scenario {})\n{}\
+         group commit (size {}, wait {} us): {:.2}x vs per-batch fsync · \
+         faster: {} · products: {} · peak RSS: {} MiB · \
+         recovery: {} segments + {} WAL records, byte-identical: {}",
+        run.offers,
+        run.batch_size,
+        run.shards,
+        run.scenario,
+        t.render(),
+        run.group_size,
+        run.group_wait_us,
+        run.speedup,
+        if run.group_commit_faster { "yes" } else { "NO" },
+        run.products,
+        run.peak_rss_kb / 1024,
+        run.recovered_segments,
+        run.recovered_wal_records,
+        if run.recovery_equal { "yes" } else { "NO — MISMATCH" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rates_are_sane() {
+        let row = leg_row("serial", 100, 0, 1, Duration::from_millis(200), (1..=100u64).collect());
+        assert_eq!(row.p50_commit_us, 50);
+        assert_eq!(row.p99_commit_us, 99);
+        assert_eq!(row.commits, 100);
+        assert!((row.offers_per_sec - 500.0).abs() < 1.0, "{}", row.offers_per_sec);
+    }
+
+    #[test]
+    fn peak_rss_reads_proc() {
+        // On Linux this must be a positive number of kilobytes.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+
+    #[test]
+    fn small_end_to_end_run_recovers_byte_identically() {
+        let scale = Scale {
+            offers: 600,
+            merchants: 12,
+            leaves: [1, 2, 1, 1],
+            products_per_category: 12,
+            ..Scale::default()
+        };
+        let opts = IngestBenchOpts {
+            batch_size: 8,
+            writers: 4,
+            baseline_offers: 200,
+            scenario: "mixed".to_string(),
+            shards: 2,
+            ..IngestBenchOpts::default()
+        };
+        let dir = std::env::temp_dir().join(format!("pse_ingest_bench_{}", std::process::id()));
+        let run = run_ingest_bench(&scale, &opts, &dir);
+        assert_eq!(run.grouped.offers, 600);
+        assert_eq!(run.baseline.offers, 200);
+        assert!(run.grouped.commits >= 600 / 8);
+        assert!(run.recovery_equal, "recovered state must equal the live store");
+        assert!(run.products > 0);
+        let rendered = render_ingest_bench(&run);
+        assert!(rendered.contains("grouped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

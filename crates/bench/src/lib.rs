@@ -8,10 +8,15 @@
 //! or series the paper reports.
 
 pub mod experiments;
+pub mod ingest_bench;
 pub mod scale;
 pub mod serve_bench;
 
 pub use experiments::*;
+pub use ingest_bench::{
+    peak_rss_kb, render_ingest_bench, run_ingest_bench, IngestBenchOpts, IngestLegRow,
+    IngestScaleRun,
+};
 pub use scale::{ArgsError, Scale};
 pub use serve_bench::{
     embedded_spec_provider, query_paths, render_obs_overhead, render_serve_bench, run_serve_bench,

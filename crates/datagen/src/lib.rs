@@ -33,6 +33,7 @@
 pub mod config;
 pub mod merchant_vocab;
 pub mod page;
+pub mod stream;
 pub mod templates;
 pub mod truth;
 pub mod value;
@@ -40,5 +41,8 @@ pub mod world;
 
 pub use config::{ConfigError, WorldConfig};
 pub use page::render_landing_page;
+pub use stream::{
+    FlashSale, MerchantChurn, OfferStream, RetractionWave, Scenario, StreamBatch, StreamedOffer,
+};
 pub use truth::GroundTruth;
-pub use world::World;
+pub use world::{World, WorldBase};

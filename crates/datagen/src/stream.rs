@@ -1,0 +1,451 @@
+//! Constant-memory offer streaming for paper-scale ingest.
+//!
+//! [`World::generate`] materializes every offer in `Vec`s — fine at
+//! test scale, hopeless at the paper's 856,781 offers and beyond. An
+//! [`OfferStream`] walks the same per-offer RNG sequence the
+//! materializer uses, yielding offers in batches without retaining any
+//! of them: memory is the [`WorldBase`] scaffold plus one batch,
+//! independent of how many offers the stream produces.
+//!
+//! Determinism contract (pinned by proptests in `world.rs`):
+//!
+//! * a drained stream of `config.num_offers` offers equals
+//!   [`World::generate`]'s `offers` byte for byte — `generate` *is* a
+//!   drained stream, so this holds by construction;
+//! * batch size never changes the sequence — `next_batch(1)` chained
+//!   and `next_batch(10_000)` chained concatenate to the same offers;
+//! * a stream may run past `config.num_offers` (the offer count feeds
+//!   no setup decision), so million-offer runs reuse small-world
+//!   configs and stay prefix-compatible with them.
+//!
+//! A [`Scenario`] reshapes the load for ingest benchmarks — flash-sale
+//! bursts that concentrate offers on one hot category (shard hot
+//! spots), merchant churn that rotates the active merchant set
+//! (vocabulary cold starts), and retraction waves that revoke a slice
+//! of a just-emitted window (tombstone pressure). All knobs are off by
+//! default, and the default scenario is exactly the materializer's
+//! distribution.
+//!
+//! [`World::generate`]: crate::world::World::generate
+
+use pse_core::{MerchantId, Offer, OfferId, ProductId, Spec};
+use rand::{rngs::StdRng, RngExt};
+
+use crate::value::weighted_index;
+use crate::world::{offer_price, offer_title, slug, WorldBase};
+
+/// Periodic demand spike: every `period` offers, the first `burst` of
+/// them land on a single rotating hot category instead of the skewed
+/// steady-state category distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashSale {
+    /// Cycle length in offers.
+    pub period: usize,
+    /// Offers at the start of each cycle that hit the hot category.
+    pub burst: usize,
+}
+
+/// Merchant onboarding/offboarding: the active merchant set is a
+/// rotating window — each `window` offers, it advances by one merchant,
+/// so merchants continually come online and drop offline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MerchantChurn {
+    /// Offers between advances of the active window.
+    pub window: usize,
+    /// Fraction of all merchants online at any moment.
+    pub online_fraction: f64,
+}
+
+/// Periodic retractions: after every `every` offers, a wave revokes
+/// `fraction` of the window just emitted (evenly strided offer ids —
+/// arithmetic, no RNG, so waves never perturb the offer sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetractionWave {
+    /// Offers between waves.
+    pub every: usize,
+    /// Fraction of each window to retract.
+    pub fraction: f64,
+}
+
+/// Load shape of an [`OfferStream`]. `Scenario::default()` leaves every
+/// knob off and reproduces [`World::generate`]'s distribution exactly.
+///
+/// [`World::generate`]: crate::world::World::generate
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Scenario {
+    /// Flash-sale bursts onto one hot category.
+    pub flash_sale: Option<FlashSale>,
+    /// Merchant onboarding/offboarding churn.
+    pub merchant_churn: Option<MerchantChurn>,
+    /// Periodic retraction waves.
+    pub retraction_wave: Option<RetractionWave>,
+}
+
+impl Scenario {
+    /// Parse a named scenario for CLI use: `steady` (default),
+    /// `flash-sale`, `merchant-churn`, `retraction-waves`, or `mixed`
+    /// (all three). Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Self> {
+        let flash = FlashSale { period: 5_000, burst: 1_500 };
+        let churn = MerchantChurn { window: 2_000, online_fraction: 0.6 };
+        let waves = RetractionWave { every: 50_000, fraction: 0.1 };
+        match name {
+            "steady" => Some(Self::default()),
+            "flash-sale" => Some(Self { flash_sale: Some(flash), ..Self::default() }),
+            "merchant-churn" => Some(Self { merchant_churn: Some(churn), ..Self::default() }),
+            "retraction-waves" => Some(Self { retraction_wave: Some(waves), ..Self::default() }),
+            "mixed" => Some(Self {
+                flash_sale: Some(flash),
+                merchant_churn: Some(churn),
+                retraction_wave: Some(waves),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One streamed offer plus the ground truth the materializer would have
+/// recorded for it: the true product, the (possibly erroneous)
+/// historical match, and whether its landing page renders as bullets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedOffer {
+    /// The offer, byte-identical to the materializer's.
+    pub offer: Offer,
+    /// The true product (what `truth.offer_product` would record).
+    pub product: ProductId,
+    /// The historical match, if the offer carries one.
+    pub historical: Option<ProductId>,
+    /// Whether the landing page renders specs as bullets.
+    pub bullet: bool,
+}
+
+/// One batch from an [`OfferStream`]: new offers, plus the offer ids a
+/// retraction wave revoked while the batch was being emitted (empty
+/// unless the scenario enables waves).
+#[derive(Debug, Clone, Default)]
+pub struct StreamBatch {
+    /// Offers in stream order.
+    pub offers: Vec<StreamedOffer>,
+    /// Offer ids retracted by waves that completed inside this batch.
+    pub retractions: Vec<OfferId>,
+}
+
+/// A constant-memory iterator over the offers of a [`WorldBase`]. See
+/// the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct OfferStream<'a> {
+    base: &'a WorldBase,
+    rng: StdRng,
+    next: usize,
+    limit: usize,
+    scenario: Scenario,
+    /// Categories with at least one covering merchant — the flash-sale
+    /// hot-category rotation draws from these so a burst can always be
+    /// served.
+    hot_categories: Vec<usize>,
+    churn_pool: Vec<usize>,
+}
+
+impl<'a> OfferStream<'a> {
+    pub(crate) fn new(base: &'a WorldBase, total: usize, scenario: Scenario) -> Self {
+        let hot_categories = if scenario.flash_sale.is_some() {
+            (0..base.categories.len()).filter(|&ci| !base.merchants_of_cat[ci].is_empty()).collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            base,
+            rng: base.offer_loop_rng(),
+            next: 0,
+            limit: total,
+            scenario,
+            hot_categories,
+            churn_pool: Vec::new(),
+        }
+    }
+
+    /// Offers emitted so far (also the id of the next offer).
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Total offers this stream will emit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Offers still to come.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.next
+    }
+
+    /// Emit up to `max` offers (and any retraction wave completing
+    /// within them), or `None` once the stream is exhausted. The offer
+    /// sequence is invariant under `max`.
+    pub fn next_batch(&mut self, max: usize) -> Option<StreamBatch> {
+        if self.next >= self.limit {
+            return None;
+        }
+        let start = self.next;
+        let count = max.max(1).min(self.limit - start);
+        let mut offers = Vec::with_capacity(count);
+        for _ in 0..count {
+            offers.push(self.next_offer());
+        }
+        Some(StreamBatch { offers, retractions: self.retractions_between(start, self.next) })
+    }
+
+    /// The per-offer draws, in exactly the order the materializer makes
+    /// them: category → merchant → product → price → title → feed spec
+    /// → historical match → bullet flag. Scenario overrides substitute
+    /// *which values are drawn from* without adding or removing draws,
+    /// so a scenario stream is as deterministic as a steady one.
+    fn next_offer(&mut self) -> StreamedOffer {
+        let base = self.base;
+        let oi = self.next;
+        self.next += 1;
+
+        let mut ci = weighted_index(&base.cat_weights, &mut self.rng);
+        if let Some(fs) = self.scenario.flash_sale {
+            if fs.period > 0 && oi % fs.period < fs.burst && !self.hot_categories.is_empty() {
+                ci = self.hot_categories[(oi / fs.period) % self.hot_categories.len()];
+            }
+        }
+        let info = &base.categories[ci];
+        let ms = &base.merchants_of_cat[ci];
+        let pool: &[usize] = match self.scenario.merchant_churn {
+            Some(ch) if ch.window > 0 => {
+                let n = base.merchants.len();
+                let online =
+                    ((n as f64) * ch.online_fraction.clamp(0.0, 1.0)).ceil().max(1.0) as usize;
+                let epoch = oi / ch.window;
+                self.churn_pool.clear();
+                self.churn_pool.extend(ms.iter().copied().filter(|&mi| (mi + epoch) % n < online));
+                // A category whose merchants are all offline still gets
+                // served (offers always have a merchant); the window
+                // just biases who serves it.
+                if self.churn_pool.is_empty() {
+                    ms
+                } else {
+                    &self.churn_pool
+                }
+            }
+            _ => ms,
+        };
+        let mi = pool[self.rng.random_range(0..pool.len())];
+        let merchant = MerchantId::from_index(mi);
+
+        // Pick a product from the merchant's assortment, with zipf-ish
+        // popularity by catalog rank.
+        let eligible = &base.assortments[&(merchant, info.id)];
+        let w: Vec<f64> = eligible
+            .iter()
+            .map(|pid| {
+                let rank = pid.index() % base.config.products_per_category;
+                base.product_weights.get(rank).copied().unwrap_or(1e-3)
+            })
+            .collect();
+        let pid = eligible[weighted_index(&w, &mut self.rng)];
+        let product = base.catalog.product(pid);
+
+        let offer_id = OfferId::from_index(oi);
+        let price_cents = offer_price(pid, mi, &mut self.rng);
+        let title = offer_title(&product.title, &mut self.rng);
+
+        // Feeds carry little structured data (paper Fig. 3): usually no
+        // specification at all, occasionally one or two pairs.
+        let vocab = &base.vocabs[&(merchant, info.id)];
+        let mut feed_spec = Spec::new();
+        if self.rng.random_bool(0.2) {
+            if let Some(surface) = vocab.merchant_name("Brand") {
+                if let Some(v) = product.spec.get("Brand") {
+                    feed_spec.push(surface, v);
+                }
+            }
+        }
+
+        let offer = Offer {
+            id: offer_id,
+            merchant,
+            price_cents,
+            image_url: Some(format!("https://img.example.com/{oi}.jpg")),
+            category: Some(info.id),
+            url: format!("https://www.{}.example.com/product/{oi}", slug(&base.merchants[mi].name)),
+            title,
+            spec: feed_spec,
+        };
+
+        let historical = if self.rng.random_bool(base.config.historical_fraction) {
+            let in_cat = &base.cat_products[ci];
+            let matched = if self.rng.random_bool(base.config.match_error_rate) && in_cat.len() > 1
+            {
+                // Wrong product in the same category.
+                loop {
+                    let wrong = in_cat[self.rng.random_range(0..in_cat.len())];
+                    if wrong != pid {
+                        break wrong;
+                    }
+                }
+            } else {
+                pid
+            };
+            Some(matched)
+        } else {
+            None
+        };
+        let bullet = self.rng.random_bool(base.config.bullet_page_probability);
+
+        StreamedOffer { offer, product: pid, historical, bullet }
+    }
+
+    /// Retractions from waves whose window boundary falls in
+    /// `(start, end]`: each wave revokes an even stride of the window
+    /// it closes. Pure arithmetic on offer ids — no RNG draws, so waves
+    /// cannot perturb the offer sequence.
+    fn retractions_between(&self, start: usize, end: usize) -> Vec<OfferId> {
+        let Some(wave) = self.scenario.retraction_wave else { return Vec::new() };
+        if wave.every == 0 || wave.fraction <= 0.0 {
+            return Vec::new();
+        }
+        let step = ((1.0 / wave.fraction.min(1.0)).round() as usize).max(1);
+        let mut out = Vec::new();
+        let mut boundary = (start / wave.every + 1) * wave.every;
+        while boundary <= end {
+            let mut i = boundary - wave.every;
+            while i < boundary {
+                out.push(OfferId::from_index(i));
+                i += step;
+            }
+            boundary += wave.every;
+        }
+        out
+    }
+}
+
+/// Per-offer iteration (retraction waves are only surfaced by
+/// [`OfferStream::next_batch`]; `next()` skips them).
+impl Iterator for OfferStream<'_> {
+    type Item = StreamedOffer;
+
+    fn next(&mut self) -> Option<StreamedOffer> {
+        if self.next >= self.limit {
+            return None;
+        }
+        Some(self.next_offer())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn base() -> WorldBase {
+        WorldBase::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn stream_equals_materialized_world() {
+        let b = base();
+        let w = World::generate(WorldConfig::tiny());
+        let streamed: Vec<StreamedOffer> = b.stream(w.offers.len()).collect();
+        assert_eq!(streamed.len(), w.offers.len());
+        for (so, o) in streamed.iter().zip(&w.offers) {
+            assert_eq!(&so.offer, o);
+            assert_eq!(so.product, w.truth.product_of(o.id));
+            assert_eq!(so.historical, w.historical.product_of(o.id));
+            assert_eq!(so.bullet, w.truth.is_bullet_page(o.id));
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_the_sequence() {
+        let b = base();
+        let mut small = b.stream(100);
+        let mut big = b.stream(100);
+        let mut from_small = Vec::new();
+        while let Some(batch) = small.next_batch(7) {
+            from_small.extend(batch.offers);
+        }
+        let from_big = big.next_batch(100).expect("non-empty").offers;
+        assert_eq!(from_small, from_big);
+    }
+
+    #[test]
+    fn stream_extends_past_config_num_offers() {
+        let b = base();
+        let n = b.config().num_offers;
+        let extended: Vec<StreamedOffer> = b.stream(n + 50).collect();
+        assert_eq!(extended.len(), n + 50);
+        let prefix: Vec<StreamedOffer> = b.stream(n).collect();
+        assert_eq!(&extended[..n], &prefix[..]);
+        assert_eq!(extended[n].offer.id, OfferId::from_index(n));
+    }
+
+    #[test]
+    fn page_spec_for_matches_world_page_spec() {
+        let b = base();
+        let w = World::generate(WorldConfig::tiny());
+        for so in b.stream(20) {
+            assert_eq!(b.page_spec_for(&so.offer, so.product), w.page_spec(so.offer.id));
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_serveable() {
+        let scenario = Scenario::parse("mixed").expect("known scenario");
+        let b = base();
+        let a: Vec<StreamedOffer> = b.stream_scenario(200, scenario).collect();
+        let c: Vec<StreamedOffer> = b.stream_scenario(200, scenario).collect();
+        assert_eq!(a, c);
+        for so in &a {
+            let cat = so.offer.category.expect("category set");
+            assert!(b.category_info(cat).is_some(), "scenario offers reference real categories");
+            assert_eq!(b.catalog().product(so.product).category, cat);
+        }
+    }
+
+    #[test]
+    fn flash_sale_concentrates_bursts() {
+        let fs = FlashSale { period: 50, burst: 40 };
+        let scenario = Scenario { flash_sale: Some(fs), ..Scenario::default() };
+        let b = base();
+        let offers: Vec<StreamedOffer> = b.stream_scenario(50, scenario).collect();
+        let burst_cats: std::collections::HashSet<_> =
+            offers[..40].iter().map(|so| so.offer.category).collect();
+        assert_eq!(burst_cats.len(), 1, "every burst offer hits the one hot category");
+    }
+
+    #[test]
+    fn retraction_waves_revoke_prior_offers_only() {
+        let wave = RetractionWave { every: 64, fraction: 0.25 };
+        let scenario = Scenario { retraction_wave: Some(wave), ..Scenario::default() };
+        let b = base();
+        let mut stream = b.stream_scenario(300, scenario);
+        let mut emitted = 0usize;
+        let mut retracted = Vec::new();
+        while let Some(batch) = stream.next_batch(37) {
+            for id in &batch.retractions {
+                assert!(id.index() < emitted + batch.offers.len(), "retractions lag emission");
+            }
+            emitted += batch.offers.len();
+            retracted.extend(batch.retractions);
+        }
+        // 300/64 = 4 complete windows, 64 * 0.25 = 16 ids each.
+        assert_eq!(retracted.len(), 4 * 16);
+        let unique: std::collections::HashSet<_> = retracted.iter().copied().collect();
+        assert_eq!(unique.len(), retracted.len(), "waves never retract an id twice");
+    }
+
+    #[test]
+    fn unknown_scenario_name_rejected() {
+        assert!(Scenario::parse("warp-speed").is_none());
+        assert_eq!(Scenario::parse("steady"), Some(Scenario::default()));
+    }
+}

@@ -14,12 +14,13 @@ use serde::{Deserialize, Serialize};
 use crate::config::WorldConfig;
 use crate::merchant_vocab::MerchantVocab;
 use crate::page::{render_landing_page, PageStyle};
+use crate::stream::OfferStream;
 use crate::templates::{
     attribute_pool, category_names, procedural_attribute, universal_attributes, AttrTemplate,
     TopLevel,
 };
 use crate::truth::GroundTruth;
-use crate::value::{weighted_index, ValueGen};
+use crate::value::ValueGen;
 
 /// Per-leaf-category generation data kept alongside the catalog.
 #[derive(Debug, Clone)]
@@ -73,13 +74,42 @@ pub struct World {
     sloppiness: Vec<f64>,
 }
 
-impl World {
-    /// Generate a world from `config`.
+/// Everything [`World::generate`] builds *before* the first offer: the
+/// taxonomy, catalog, merchants, vocabularies, assortments, and the
+/// sampling tables the offer loop draws from — plus the RNG state
+/// captured at the exact point the offer loop would begin.
+///
+/// Memory is `O(categories × products + merchants)` and independent of
+/// `num_offers`, which is what makes million-offer [`OfferStream`]s
+/// cheap: the base is built once and each stream walks the per-offer
+/// RNG forward in constant space. Streaming `config.num_offers` offers
+/// from the base and materializing [`World::generate`] produce
+/// byte-identical offers by construction — `generate` *is* a drained
+/// stream.
+#[derive(Debug, Clone)]
+pub struct WorldBase {
+    pub(crate) config: WorldConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) merchants: Vec<Merchant>,
+    pub(crate) categories: Vec<CategoryInfo>,
+    pub(crate) category_index: HashMap<CategoryId, usize>,
+    pub(crate) vocabs: HashMap<(MerchantId, CategoryId), MerchantVocab>,
+    pub(crate) sloppiness: Vec<f64>,
+    pub(crate) assortments: HashMap<(MerchantId, CategoryId), Vec<ProductId>>,
+    pub(crate) cat_weights: Vec<f64>,
+    pub(crate) merchants_of_cat: Vec<Vec<usize>>,
+    pub(crate) product_weights: Vec<f64>,
+    pub(crate) cat_products: Vec<Vec<ProductId>>,
+    rng: StdRng,
+}
+
+impl WorldBase {
+    /// Build the world scaffold from `config`.
     ///
     /// # Panics
     /// Panics when `config.validate()` fails.
     pub fn generate(config: WorldConfig) -> Self {
-        let _obs = pse_obs::span("datagen.generate");
+        let _obs = pse_obs::span("datagen.world_base");
         config.validate().expect("invalid world configuration");
         let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -247,83 +277,134 @@ impl World {
             .map(|r| 1.0 / ((r + 1) as f64).powf(config.popularity_skew))
             .collect();
 
-        let mut offers = Vec::with_capacity(config.num_offers);
-        let mut historical = HistoricalMatches::new();
-        let mut truth = GroundTruth::default();
         let cat_products: Vec<Vec<ProductId>> = categories
             .iter()
             .map(|info| catalog.products_in(info.id).map(|p| p.id).collect())
             .collect();
 
-        for oi in 0..config.num_offers {
-            let ci = weighted_index(&cat_weights, &mut rng);
-            let info = &categories[ci];
-            let ms = &merchants_of_cat[ci];
-            let mi = ms[rng.random_range(0..ms.len())];
-            let merchant = MerchantId::from_index(mi);
+        Self {
+            config,
+            catalog,
+            merchants,
+            categories,
+            category_index,
+            vocabs,
+            sloppiness,
+            assortments,
+            cat_weights,
+            merchants_of_cat,
+            product_weights,
+            cat_products,
+            rng,
+        }
+    }
 
-            // Pick a product from the merchant's assortment, with zipf-ish
-            // popularity by catalog rank.
-            let eligible = &assortments[&(merchant, info.id)];
-            let w: Vec<f64> = eligible
-                .iter()
-                .map(|pid| {
-                    let rank = pid.index() % config.products_per_category;
-                    product_weights.get(rank).copied().unwrap_or(1e-3)
-                })
-                .collect();
-            let pid = eligible[weighted_index(&w, &mut rng)];
-            let product = catalog.product(pid);
+    /// The generation configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
 
-            let offer_id = OfferId::from_index(oi);
-            let price_cents = offer_price(pid, mi, &mut rng);
-            let title = offer_title(&product.title, &mut rng);
+    /// The catalog (taxonomy + products).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
 
-            // Feeds carry little structured data (paper Fig. 3): usually no
-            // specification at all, occasionally one or two pairs.
-            let vocab = &vocabs[&(merchant, info.id)];
-            let mut feed_spec = Spec::new();
-            if rng.random_bool(0.2) {
-                if let Some(surface) = vocab.merchant_name("Brand") {
-                    if let Some(v) = product.spec.get("Brand") {
-                        feed_spec.push(surface, v);
-                    }
+    /// All merchants.
+    pub fn merchants(&self) -> &[Merchant] {
+        &self.merchants
+    }
+
+    /// Info for one category id (leaf categories only).
+    pub fn category_info(&self, id: CategoryId) -> Option<&CategoryInfo> {
+        self.category_index.get(&id).map(|i| &self.categories[*i])
+    }
+
+    /// Stream `total` offers with the default (steady) scenario. The
+    /// first `min(total, config.num_offers)` offers are byte-identical
+    /// to [`World::generate`] on the same config; `total` may exceed
+    /// `config.num_offers` — the stream just keeps walking the RNG.
+    pub fn stream(&self, total: usize) -> OfferStream<'_> {
+        self.stream_scenario(total, crate::stream::Scenario::default())
+    }
+
+    /// Stream `total` offers under a load-shape [`Scenario`]
+    /// (flash-sale bursts, merchant churn, retraction waves).
+    ///
+    /// [`Scenario`]: crate::stream::Scenario
+    pub fn stream_scenario(
+        &self,
+        total: usize,
+        scenario: crate::stream::Scenario,
+    ) -> OfferStream<'_> {
+        OfferStream::new(self, total, scenario)
+    }
+
+    /// The RNG state at the start of the offer loop (cloned per stream).
+    pub(crate) fn offer_loop_rng(&self) -> StdRng {
+        self.rng.clone()
+    }
+
+    /// The merchant-formatted specification on the landing page of a
+    /// streamed offer whose true product is `product`. Matches
+    /// [`World::page_spec`] for the same offer — deterministic per
+    /// offer id, independent of stream position or batch size.
+    pub fn page_spec_for(&self, offer: &Offer, product: ProductId) -> Spec {
+        let cat = offer.category.expect("generated offers always carry a category");
+        let info = &self.categories[self.category_index[&cat]];
+        let vocab = &self.vocabs[&(offer.merchant, cat)];
+        derive_page_spec(
+            &self.config,
+            info,
+            vocab,
+            self.sloppiness[offer.merchant.index()],
+            self.catalog.product(product),
+            offer.id,
+        )
+    }
+}
+
+impl World {
+    /// Generate a world from `config`: build the [`WorldBase`] scaffold,
+    /// then drain an [`OfferStream`] of `config.num_offers` offers into
+    /// the materialized vectors. Streaming and materializing are
+    /// byte-identical by construction — this *is* the stream.
+    ///
+    /// # Panics
+    /// Panics when `config.validate()` fails.
+    pub fn generate(config: WorldConfig) -> Self {
+        let _obs = pse_obs::span("datagen.generate");
+        let base = WorldBase::generate(config);
+        let num_offers = base.config.num_offers;
+
+        let mut offers = Vec::with_capacity(num_offers);
+        let mut historical = HistoricalMatches::new();
+        let mut truth = GroundTruth::default();
+        let mut stream = base.stream(num_offers);
+        while let Some(batch) = stream.next_batch(1024) {
+            for so in batch.offers {
+                truth.offer_product.push(so.product);
+                if let Some(matched) = so.historical {
+                    historical.insert(so.offer.id, matched);
                 }
-            }
-
-            offers.push(Offer {
-                id: offer_id,
-                merchant,
-                price_cents,
-                image_url: Some(format!("https://img.example.com/{oi}.jpg")),
-                category: Some(info.id),
-                url: format!("https://www.{}.example.com/product/{oi}", slug(&merchants[mi].name)),
-                title,
-                spec: feed_spec,
-            });
-            truth.offer_product.push(pid);
-
-            if rng.random_bool(config.historical_fraction) {
-                let in_cat = &cat_products[ci];
-                let matched = if rng.random_bool(config.match_error_rate) && in_cat.len() > 1 {
-                    // Wrong product in the same category.
-                    loop {
-                        let wrong = in_cat[rng.random_range(0..in_cat.len())];
-                        if wrong != pid {
-                            break wrong;
-                        }
-                    }
-                } else {
-                    pid
-                };
-                historical.insert(offer_id, matched);
-            }
-            if rng.random_bool(config.bullet_page_probability) {
-                truth.bullet_offers.insert(offer_id);
+                if so.bullet {
+                    truth.bullet_offers.insert(so.offer.id);
+                }
+                offers.push(so.offer);
             }
         }
+        drop(stream);
+        let WorldBase {
+            config,
+            catalog,
+            merchants,
+            categories,
+            category_index,
+            vocabs,
+            sloppiness,
+            ..
+        } = base;
 
-        // 5. Ground-truth attribute map from the vocabularies.
+        // Ground-truth attribute map from the vocabularies.
         for ((merchant, cat_id), vocab) in &vocabs {
             let info = &categories[category_index[cat_id]];
             for t in &info.templates {
@@ -383,30 +464,14 @@ impl World {
         let info = &self.categories[self.category_index[&cat]];
         let vocab = &self.vocabs[&(o.merchant, cat)];
         let product = self.catalog.product(self.truth.product_of(offer));
-        let mut rng = self.offer_rng(offer, 0xA11CE);
-
-        let mut spec = Spec::new();
-        for (t, weights) in info.templates.iter().zip(&info.weights) {
-            if !vocab.exposes(&t.name) {
-                continue;
-            }
-            let Some(canonical) = product.spec.get(&t.name) else { continue };
-            let corruption = (self.config.value_corruption_rate
-                * self.sloppiness[o.merchant.index()])
-            .clamp(0.0, 0.5);
-            let canonical = if rng.random_bool(corruption) {
-                vocab.corrupt_value(&t.gen, weights, &mut rng)
-            } else {
-                canonical.to_string()
-            };
-            let surface = vocab.merchant_name(&t.name).expect("exposed implies named");
-            spec.push(surface, vocab.format_value(&t.name, &canonical, &t.gen));
-        }
-        for (junk_name, menu) in vocab.junk_attributes() {
-            let v = &menu[rng.random_range(0..menu.len())];
-            spec.push(junk_name.clone(), v.clone());
-        }
-        spec
+        derive_page_spec(
+            &self.config,
+            info,
+            vocab,
+            self.sloppiness[o.merchant.index()],
+            product,
+            offer,
+        )
     }
 
     /// Derive the page specifications of many offers at once, fanning the
@@ -459,14 +524,50 @@ impl World {
     }
 
     fn offer_rng(&self, offer: OfferId, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(
-            self.config
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(offer.0)
-                .wrapping_add(salt),
-        )
+        offer_rng(self.config.seed, offer, salt)
     }
+}
+
+/// The page-spec derivation shared by [`World::page_spec`] (materialized
+/// worlds) and [`WorldBase::page_spec_for`] (streamed offers): apply the
+/// merchant vocabulary to the true product's spec, with per-merchant
+/// sloppiness-scaled value corruption and appended junk attributes.
+/// Seeded per offer id, so it is identical wherever the offer came from.
+fn derive_page_spec(
+    config: &WorldConfig,
+    info: &CategoryInfo,
+    vocab: &MerchantVocab,
+    sloppiness: f64,
+    product: &pse_core::Product,
+    offer: OfferId,
+) -> Spec {
+    let mut rng = offer_rng(config.seed, offer, 0xA11CE);
+    let mut spec = Spec::new();
+    for (t, weights) in info.templates.iter().zip(&info.weights) {
+        if !vocab.exposes(&t.name) {
+            continue;
+        }
+        let Some(canonical) = product.spec.get(&t.name) else { continue };
+        let corruption = (config.value_corruption_rate * sloppiness).clamp(0.0, 0.5);
+        let canonical = if rng.random_bool(corruption) {
+            vocab.corrupt_value(&t.gen, weights, &mut rng)
+        } else {
+            canonical.to_string()
+        };
+        let surface = vocab.merchant_name(&t.name).expect("exposed implies named");
+        spec.push(surface, vocab.format_value(&t.name, &canonical, &t.gen));
+    }
+    for (junk_name, menu) in vocab.junk_attributes() {
+        let v = &menu[rng.random_range(0..menu.len())];
+        spec.push(junk_name.clone(), v.clone());
+    }
+    spec
+}
+
+fn offer_rng(seed: u64, offer: OfferId, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(offer.0).wrapping_add(salt),
+    )
 }
 
 fn generate_category<R: Rng + ?Sized>(
@@ -544,14 +645,18 @@ fn canonical_menu(gen: &ValueGen) -> Vec<String> {
     }
 }
 
-fn offer_price<R: Rng + ?Sized>(product: ProductId, merchant: usize, rng: &mut R) -> u64 {
+pub(crate) fn offer_price<R: Rng + ?Sized>(
+    product: ProductId,
+    merchant: usize,
+    rng: &mut R,
+) -> u64 {
     // Stable base price per product, with a per-offer merchant wiggle.
     let base = 1_000 + (product.0.wrapping_mul(2_654_435_761) % 90_000);
     let factor = 0.9 + (merchant % 10) as f64 / 50.0 + rng.random::<f64>() * 0.06;
     (base as f64 * factor) as u64
 }
 
-fn offer_title<R: Rng + ?Sized>(product_title: &str, rng: &mut R) -> String {
+pub(crate) fn offer_title<R: Rng + ?Sized>(product_title: &str, rng: &mut R) -> String {
     match rng.random_range(0..5u8) {
         0 => format!("{product_title} - NEW"),
         1 => format!("{product_title} with Free Shipping"),
@@ -581,7 +686,7 @@ fn merchant_name(i: usize) -> String {
     }
 }
 
-fn slug(name: &str) -> String {
+pub(crate) fn slug(name: &str) -> String {
     name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase()
 }
 

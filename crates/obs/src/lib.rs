@@ -216,6 +216,17 @@ pub fn incr(name: &str) {
     }
 }
 
+/// Materialize the named histogram with zero samples (if new) without
+/// recording anything — the histogram analogue of [`seed`]. Use at the
+/// start of a stage whose distributions may legitimately stay empty, so
+/// reports (and report checkers) always see the histogram when the stage
+/// ran.
+pub fn seed_histogram(name: &str) {
+    if enabled() {
+        global_sink().seed_histogram(name);
+    }
+}
+
 /// Record one value into the named fixed-bucket histogram.
 pub fn observe(name: &str, value: u64) {
     if enabled() {

@@ -78,6 +78,13 @@ impl Sink {
         }
     }
 
+    pub fn seed_histogram(&self, name: &str) {
+        let mut hists = self.histograms.lock().expect("histogram sink poisoned");
+        if !hists.contains_key(name) {
+            hists.insert(name.to_string(), Histogram::default());
+        }
+    }
+
     pub fn record_histogram(&self, name: &str, value: u64) {
         let mut hists = self.histograms.lock().expect("histogram sink poisoned");
         if let Some(h) = hists.get_mut(name) {

@@ -57,7 +57,10 @@ pub mod shard;
 pub mod snapshot;
 
 pub use client::{http_request, http_request_timeout};
-pub use durable::{durable_ingest, durable_retract, durable_snapshot, open_durable};
+pub use durable::{
+    durable_ingest, durable_ingest_serial, durable_retract, durable_snapshot, open_durable,
+    DurableCtx,
+};
 pub use error::ServeError;
 pub use http::Body;
 pub use server::{start, ServerConfig, ServerHandle};

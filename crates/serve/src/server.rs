@@ -26,9 +26,9 @@ use pse_core::{Catalog, CategoryId, Offer, OfferId};
 use pse_obs::{FlightRecorder, RecorderConfig, TraceId};
 use pse_synthesis::runtime::normalize_key;
 use pse_synthesis::FnProvider;
-use pse_wal::{Durability, DurabilityConfig};
+use pse_wal::DurabilityConfig;
 
-use crate::durable::{durable_ingest, durable_retract, durable_snapshot, open_durable};
+use crate::durable::{durable_ingest, durable_retract, durable_snapshot, open_durable, DurableCtx};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, Body, Request};
 use crate::shard::ShardedStore;
@@ -95,9 +95,10 @@ struct Inner {
     queue_depth: AtomicUsize,
     addr: SocketAddr,
     recorder: FlightRecorder,
-    /// The durability context when WAL + snapshot dir are configured.
-    /// Lock order: this mutex before any shard lock, never after.
-    durability: Option<Mutex<Durability>>,
+    /// The durable write path when WAL + snapshot dir are configured.
+    /// Lock order: snapshot gate → durability mutex → shard locks,
+    /// never any other order (see `durable` module docs).
+    durability: Option<DurableCtx>,
     /// Wakes the compaction thread: `true` = a writer saw the WAL cross
     /// the compaction threshold.
     compact: (Mutex<bool>, Condvar),
@@ -153,9 +154,10 @@ pub fn start(
                 wal_path: wal_path.clone(),
                 snapshot_dir: snapshot_dir.clone(),
                 compaction_threshold_bytes: config.compaction_threshold_bytes,
+                group: Default::default(),
             };
-            let (store, dur, _stats) = open_durable(dcfg, &catalog, store)?;
-            (store, Some(Mutex::new(dur)))
+            let (store, ctx, _stats) = open_durable(dcfg, &catalog, store)?;
+            (store, Some(ctx))
         }
         _ => (store, None),
     };
@@ -196,7 +198,7 @@ pub fn start(
 /// the snapshot captures exactly the logged records. Errors are left for
 /// shutdown's final snapshot to surface — the WAL still has every record.
 fn compaction_loop(inner: &Inner) {
-    let Some(durability) = &inner.durability else { return };
+    let Some(ctx) = &inner.durability else { return };
     let (flag, cvar) = &inner.compact;
     loop {
         let mut pending = flag.lock().expect("compact flag");
@@ -210,17 +212,16 @@ fn compaction_loop(inner: &Inner) {
         }
         *pending = false;
         drop(pending);
-        let mut dur = durability.lock().expect("durability lock");
-        if dur.wants_compaction() {
-            let _ = durable_snapshot(&inner.store, &mut dur);
+        if ctx.durability().lock().expect("durability lock").wants_compaction() {
+            let _ = durable_snapshot(&inner.store, ctx);
         }
     }
 }
 
 /// Signal the compaction thread when the WAL has outgrown its threshold.
 fn maybe_compact(inner: &Inner) {
-    let Some(durability) = &inner.durability else { return };
-    if !durability.lock().expect("durability lock").wants_compaction() {
+    let Some(ctx) = &inner.durability else { return };
+    if !ctx.durability().lock().expect("durability lock").wants_compaction() {
         return;
     }
     let (flag, cvar) = &inner.compact;
@@ -264,11 +265,10 @@ impl ServerHandle {
             let _ = c.join();
         }
         let inner = Arc::into_inner(self.inner).expect("all server threads joined");
-        if let Some(durability) = inner.durability {
+        if let Some(ctx) = &inner.durability {
             // Final fold: every logged record lands in segments, so the
             // next start replays an empty WAL tail.
-            let mut dur = durability.into_inner().expect("durability lock");
-            durable_snapshot(&inner.store, &mut dur)?;
+            durable_snapshot(&inner.store, ctx)?;
         }
         if let Some(path) = &inner.config.snapshot_path {
             // Stage-and-rename: a crash mid-write must leave the previous

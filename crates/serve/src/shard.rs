@@ -58,8 +58,7 @@ use pse_synthesis::runtime::{reconcile_batch, KeyAttributes};
 use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
 
 use crate::snapshot::{
-    category_response, changed_categories, empty_response, ShardSnapshot, SnapshotCell,
-    StoreSnapshot,
+    changed_categories, empty_response, ResponseSlot, ShardSnapshot, SnapshotCell, StoreSnapshot,
 };
 
 /// 64-bit FNV-1a over a byte stream.
@@ -76,7 +75,10 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 /// since the hashed strings never contain `0xff` after normalization).
 /// One shard's write result: its delta stats plus, when the shard's
 /// snapshot changed, the replacement to publish as `(shard index, snapshot)`.
-type ShardWrite = (IngestStats, Option<(usize, Arc<ShardSnapshot>)>);
+type ShardWrite = (IngestStats, Option<ShardUpdate>);
+
+/// A replacement snapshot for one shard, ready to publish.
+pub(crate) type ShardUpdate = (usize, Arc<ShardSnapshot>);
 
 /// A completed sharded write: the merged batch stats plus the indices of
 /// the shards the batch actually changed — the incremental-snapshot
@@ -165,9 +167,9 @@ impl ShardedStore {
             .map(|(i, s)| Arc::new(ShardSnapshot::from_store(i as u64 + 1, s)))
             .collect();
         let categories: BTreeSet<CategoryId> =
-            snapshots.iter().flat_map(|s| s.clusters.keys().map(|k| k.0)).collect();
+            snapshots.iter().flat_map(|s| s.categories.keys().copied()).collect();
         let responses =
-            categories.into_iter().map(|c| (c, category_response(&snapshots, c))).collect();
+            categories.into_iter().map(|c| (c, Arc::new(ResponseSlot::default()))).collect();
         let versions = AtomicU64::new(snapshots.len() as u64);
         let shards = stores
             .into_iter()
@@ -260,15 +262,63 @@ impl ShardedStore {
         catalog: &Catalog,
         reconciled: Vec<ReconciledOffer>,
     ) -> ShardedWrite {
+        let (write, updates) = self.ingest_reconciled_unpublished(catalog, reconciled);
+        self.publish_updates(updates);
+        write
+    }
+
+    /// [`ShardedStore::ingest_reconciled`] minus the publish step: the
+    /// shard stores mutate and successor snapshots are built, but nothing
+    /// becomes visible to readers until the returned updates go through
+    /// [`ShardedStore::publish_updates`]. The durable write path's
+    /// combiner applies a whole commit group this way and publishes once.
+    pub(crate) fn ingest_reconciled_unpublished(
+        &self,
+        catalog: &Catalog,
+        reconciled: Vec<ReconciledOffer>,
+    ) -> (ShardedWrite, Vec<ShardUpdate>) {
         let n = self.shards.len();
-        let mut parts: Vec<Vec<ReconciledOffer>> = (0..n).map(|_| Vec::new()).collect();
-        for r in reconciled {
-            // Offers the router drops here would be dropped identically by
-            // any shard; routing again inside the shard is cheap and keeps
-            // `ProductStore::ingest_reconciled` the single source of truth.
-            let Some((attr, value)) = self.keys.route(&r) else { continue };
-            let key = (r.category, attr, value);
-            parts[shard_of(&key, n)].push(r);
+        // Route once, count, then drain into exactly-sized buckets — no
+        // per-shard Vec growth and no allocation for shards the batch
+        // never touches. Offers the router drops here would be dropped
+        // identically by any shard; routing again inside the shard is
+        // cheap and keeps `ProductStore::ingest_reconciled` the single
+        // source of truth.
+        let routes: Vec<Option<usize>> = reconciled
+            .iter()
+            .map(|r| {
+                self.keys.route(r).map(|(attr, value)| shard_of(&(r.category, attr, value), n))
+            })
+            .collect();
+        let mut counts = vec![0usize; n];
+        for &shard in routes.iter().flatten() {
+            counts[shard] += 1;
+        }
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        if nonempty <= 1 {
+            // Single-shard fast path (small batches at high shard counts
+            // land here constantly): apply under the one writer lock
+            // directly — no slot wrapping, no parallel dispatch.
+            let Some(i) = counts.iter().position(|&c| c > 0) else {
+                return self.collect_write(Vec::new());
+            };
+            let batch: Vec<ReconciledOffer> = reconciled
+                .into_iter()
+                .zip(&routes)
+                .filter_map(|(r, route)| route.map(|_| r))
+                .collect();
+            let mut writer = self.shards[i].write().expect("shard lock");
+            let delta = writer.store.ingest_reconciled_delta(catalog, batch);
+            let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (i, s));
+            drop(writer);
+            return self.collect_write(vec![(delta.stats, update)]);
+        }
+        let mut parts: Vec<Vec<ReconciledOffer>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (r, route) in reconciled.into_iter().zip(&routes) {
+            if let Some(i) = route {
+                parts[*i].push(r);
+            }
         }
         let work: Vec<(usize, Mutex<Option<Vec<ReconciledOffer>>>)> = parts
             .into_iter()
@@ -283,7 +333,7 @@ impl ShardedStore {
             let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (*i, s));
             (delta.stats, update)
         });
-        self.finish_write(results)
+        self.collect_write(results)
     }
 
     /// Remove offers by id, re-fusing affected clusters. Each shard owns
@@ -300,6 +350,18 @@ impl ShardedStore {
     /// [`ShardedStore::retract`] with the changed-shard indices attached
     /// (`stats.offers_in` is left at 0; the wrapper sets it).
     pub fn retract_write(&self, catalog: &Catalog, ids: &[OfferId]) -> ShardedWrite {
+        let (write, updates) = self.retract_unpublished(catalog, ids);
+        self.publish_updates(updates);
+        write
+    }
+
+    /// [`ShardedStore::retract_write`] minus the publish step (see
+    /// [`ShardedStore::ingest_reconciled_unpublished`]).
+    pub(crate) fn retract_unpublished(
+        &self,
+        catalog: &Catalog,
+        ids: &[OfferId],
+    ) -> (ShardedWrite, Vec<ShardUpdate>) {
         let idx: Vec<usize> = (0..self.shards.len()).collect();
         let results: Vec<ShardWrite> = pse_par::par_map(&idx, |&i| {
             if !self.shards[i].read().expect("shard lock").store.owns_any(ids) {
@@ -310,12 +372,12 @@ impl ShardedStore {
             let update = self.rebuild_snapshot(&mut writer, &delta.dirty).map(|s| (i, s));
             (delta.stats, update)
         });
-        self.finish_write(results)
+        self.collect_write(results)
     }
 
-    /// Merge per-shard results, publish the changed snapshots, and
-    /// report which shards changed.
-    fn finish_write(&self, results: Vec<ShardWrite>) -> ShardedWrite {
+    /// Merge per-shard results and report which shards changed, leaving
+    /// the successor snapshots unpublished for the caller to batch.
+    fn collect_write(&self, results: Vec<ShardWrite>) -> (ShardedWrite, Vec<ShardUpdate>) {
         let mut updates = Vec::new();
         let mut total = IngestStats::default();
         for (stats, update) in results {
@@ -323,8 +385,14 @@ impl ShardedStore {
             updates.extend(update);
         }
         let dirty_shards: Vec<usize> = updates.iter().map(|(i, _)| *i).collect();
+        (ShardedWrite { stats: total, dirty_shards }, updates)
+    }
+
+    /// Publish a batch of successor snapshots with one pointer swap.
+    /// Stale updates (a concurrent writer already published past them)
+    /// are skipped inside [`ShardedStore::publish`].
+    pub(crate) fn publish_updates(&self, updates: Vec<ShardUpdate>) {
         self.publish(updates);
-        ShardedWrite { stats: total, dirty_shards }
     }
 
     /// Build the successor snapshot for one shard under its held writer
@@ -371,7 +439,9 @@ impl ShardedStore {
         }
         let mut responses = current.responses.clone();
         for &category in &dirty_categories {
-            responses.insert(category, category_response(&shards, category));
+            // A fresh slot: the next reader of the category assembles
+            // the body; untouched categories keep their built slots.
+            responses.insert(category, Arc::new(ResponseSlot::default()));
         }
         pse_obs::add("serve.cache.invalidated", dirty_categories.len() as u64);
         self.published.swap(Arc::new(StoreSnapshot { shards, responses }));
@@ -382,11 +452,8 @@ impl ShardedStore {
     /// one published snapshot; no locks are held while merging.
     pub fn products(&self) -> Vec<SynthesizedProduct> {
         let snap = self.published.load();
-        let mut keyed: Vec<(&ClusterKey, &SynthesizedProduct)> = snap
-            .shards
-            .iter()
-            .flat_map(|s| s.clusters.iter().map(|(k, e)| (k, &e.product)))
-            .collect();
+        let mut keyed: Vec<(&ClusterKey, &SynthesizedProduct)> =
+            snap.shards.iter().flat_map(|s| s.entries().map(|(k, e)| (k, &e.product))).collect();
         keyed.sort_by(|a, b| a.0.cmp(b.0));
         keyed.into_iter().map(|(_, p)| p.clone()).collect()
     }
@@ -404,16 +471,24 @@ impl ShardedStore {
         keyed.into_iter().map(|(_, p)| p.clone()).collect()
     }
 
-    /// The pre-serialized `GET /products/{category}` body: an atomic
-    /// snapshot load plus a map lookup — no lock, no serializer.
-    /// Byte-identical to `serde_json::to_string(&products_in_category)`.
+    /// The `GET /products/{category}` body: an atomic snapshot load
+    /// plus a map lookup when the body is already assembled; the first
+    /// read after a publish touched the category assembles it (counted
+    /// as a miss). Byte-identical to
+    /// `serde_json::to_string(&products_in_category)`.
     pub fn products_response(&self, category: CategoryId) -> Arc<[u8]> {
         let snap = self.published.load();
         match snap.responses.get(&category) {
-            Some(body) => {
-                pse_obs::incr("serve.cache.hit");
-                Arc::clone(body)
-            }
+            Some(slot) => match slot.built() {
+                Some(body) => {
+                    pse_obs::incr("serve.cache.hit");
+                    Arc::clone(body)
+                }
+                None => {
+                    pse_obs::incr("serve.cache.miss");
+                    slot.get_or_build(&snap.shards, category)
+                }
+            },
             None => {
                 pse_obs::incr("serve.cache.miss");
                 empty_response()
@@ -425,7 +500,7 @@ impl ShardedStore {
     pub fn product_for(&self, key: &ClusterKey) -> Option<SynthesizedProduct> {
         let snap = self.published.load();
         let shard = &snap.shards[shard_of(key, snap.shards.len())];
-        shard.clusters.get(key).map(|e| e.product.clone())
+        shard.entry(key).map(|e| e.product.clone())
     }
 
     /// The pre-serialized `GET /product?...` body for one cluster key:
@@ -434,7 +509,7 @@ impl ShardedStore {
     pub fn product_response(&self, key: &ClusterKey) -> Option<Arc<str>> {
         let snap = self.published.load();
         let shard = &snap.shards[shard_of(key, snap.shards.len())];
-        shard.clusters.get(key).map(|e| Arc::clone(&e.json))
+        shard.entry(key).map(|e| Arc::clone(&e.json))
     }
 
     /// Merge the shards into one store and snapshot it — byte-identical

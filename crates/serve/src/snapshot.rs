@@ -46,43 +46,65 @@ impl ProductEntry {
     }
 }
 
+/// One category's visible clusters within a shard, in key order. The
+/// full [`ClusterKey`] stays the map key (the category component is
+/// redundant with the outer level) so point lookups and iterators hand
+/// out the same types as a flat map would.
+pub type CategoryClusters = BTreeMap<ClusterKey, Arc<ProductEntry>>;
+
 /// One shard's visible products, frozen at a version.
+///
+/// Two-level layout: category → `Arc` of that category's cluster map.
+/// A successor snapshot clones the outer map (a handful of refcounts)
+/// and deep-clones only the categories its delta touches, so per-commit
+/// publish cost is bounded by category size, not store size — with one
+/// flat map, every commit re-cloned every key in the shard, which at
+/// paper scale cost more than the fsync it rode behind.
 #[derive(Debug, Default)]
 pub struct ShardSnapshot {
     /// Strictly increasing across successive snapshots of one shard;
     /// the publisher never replaces a snapshot with an older version.
     pub version: u64,
-    /// Visible products (fused, at or above `min_cluster_size`) in
-    /// cluster-key order.
-    pub clusters: BTreeMap<ClusterKey, Arc<ProductEntry>>,
+    /// Visible products (fused, at or above `min_cluster_size`),
+    /// grouped by category, each category in cluster-key order.
+    /// Categories with no visible product are absent.
+    pub categories: BTreeMap<CategoryId, Arc<CategoryClusters>>,
 }
 
 impl ShardSnapshot {
     /// Snapshot every visible product of `store` (initial build).
     pub fn from_store(version: u64, store: &ProductStore) -> Self {
-        let clusters = store
-            .products_keyed()
-            .map(|(k, p)| (k.clone(), ProductEntry::new(p.clone())))
-            .collect();
-        Self { version, clusters }
+        let mut categories: BTreeMap<CategoryId, Arc<CategoryClusters>> = BTreeMap::new();
+        for (k, p) in store.products_keyed() {
+            Arc::make_mut(categories.entry(k.0).or_default())
+                .insert(k.clone(), ProductEntry::new(p.clone()));
+        }
+        Self { version, categories }
     }
 
-    /// Build the successor snapshot: carry every entry forward by `Arc`
-    /// clone and re-resolve only the `dirty` keys against the store —
-    /// re-serializing a changed product, dropping a vanished one.
+    /// Build the successor snapshot: carry categories forward by `Arc`
+    /// clone, deep-clone only the ones named by `dirty`, and re-resolve
+    /// the dirty keys against the store — re-serializing a changed
+    /// product, dropping a vanished one.
     pub fn rebuilt(&self, version: u64, store: &ProductStore, dirty: &[ClusterKey]) -> Self {
-        let mut clusters = self.clusters.clone();
+        let mut categories = self.categories.clone();
         for key in dirty {
             match store.product_for(key) {
                 Some(p) => {
-                    clusters.insert(key.clone(), ProductEntry::new(p.clone()));
+                    Arc::make_mut(categories.entry(key.0).or_default())
+                        .insert(key.clone(), ProductEntry::new(p.clone()));
                 }
                 None => {
-                    clusters.remove(key);
+                    if let Some(cat) = categories.get_mut(&key.0) {
+                        Arc::make_mut(cat).remove(key);
+                        if cat.is_empty() {
+                            categories.remove(&key.0);
+                        }
+                    }
                 }
             }
         }
-        Self { version, clusters }
+        Self { version, categories }
     }
 
     /// This shard's entries for one category, in cluster-key order.
@@ -90,23 +112,55 @@ impl ShardSnapshot {
         &self,
         category: CategoryId,
     ) -> impl Iterator<Item = (&ClusterKey, &Arc<ProductEntry>)> {
-        self.clusters
-            .range((category, String::new(), String::new())..)
-            .take_while(move |(k, _)| k.0 == category)
+        self.categories.get(&category).into_iter().flat_map(|m| m.iter())
+    }
+
+    /// Every entry in the shard, in cluster-key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&ClusterKey, &Arc<ProductEntry>)> {
+        self.categories.values().flat_map(|m| m.iter())
+    }
+
+    /// The entry for `key`, if visible.
+    pub fn entry(&self, key: &ClusterKey) -> Option<&Arc<ProductEntry>> {
+        self.categories.get(&key.0)?.get(key)
+    }
+}
+
+/// One category's `GET /products/{category}` response body, assembled
+/// lazily: a publish that touches the category installs an empty slot,
+/// and the first reader pays the assembly (subsequent readers share the
+/// built body). Keeps response assembly — O(category size) of JSON
+/// joining — off the commit path entirely, where it taxed every ingest
+/// whether or not anything ever read the category.
+#[derive(Debug, Default)]
+pub struct ResponseSlot {
+    cell: OnceLock<Arc<[u8]>>,
+}
+
+impl ResponseSlot {
+    /// The built body, if a reader already assembled it.
+    pub fn built(&self) -> Option<&Arc<[u8]>> {
+        self.cell.get()
+    }
+
+    /// The body, assembling (and caching) it on first call.
+    pub fn get_or_build(&self, shards: &[Arc<ShardSnapshot>], category: CategoryId) -> Arc<[u8]> {
+        Arc::clone(self.cell.get_or_init(|| category_response(shards, category)))
     }
 }
 
 /// The whole store frozen at one instant: per-shard snapshots plus the
-/// pre-assembled `GET /products/{category}` response bodies.
+/// `GET /products/{category}` response-body cache.
 #[derive(Debug, Default)]
 pub struct StoreSnapshot {
     /// One snapshot per shard, index-aligned with the shard vector.
     pub shards: Vec<Arc<ShardSnapshot>>,
-    /// Category → full response body (the compact JSON array of the
-    /// category's products in cluster-key order). Categories that never
-    /// had a visible product are absent; readers serve
-    /// [`empty_response`] for them.
-    pub responses: BTreeMap<CategoryId, Arc<[u8]>>,
+    /// Category → response-body slot (the body is the compact JSON
+    /// array of the category's products in cluster-key order).
+    /// Categories that never had a visible product are absent; readers
+    /// serve [`empty_response`] for them. Slots for categories
+    /// untouched by a publish carry forward already built.
+    pub responses: BTreeMap<CategoryId, Arc<ResponseSlot>>,
 }
 
 /// The shared `[]` body served for categories with no cached response.
@@ -139,41 +193,41 @@ pub fn category_response(shards: &[Arc<ShardSnapshot>], category: CategoryId) ->
 
 /// Collect into `out` every category whose entries differ between two
 /// snapshots of the same shard. Carry-forward preserves `Arc` identity
-/// for untouched entries, so a pointer walk finds exactly the changed,
-/// added, and removed clusters regardless of which writer published
-/// first.
+/// for untouched categories, so one pointer comparison per category
+/// finds exactly the changed, added, and removed ones regardless of
+/// which writer published first — no per-cluster walk.
 pub fn changed_categories(
     old: &ShardSnapshot,
     new: &ShardSnapshot,
     out: &mut BTreeSet<CategoryId>,
 ) {
-    let mut a = old.clusters.iter().peekable();
-    let mut b = new.clusters.iter().peekable();
+    let mut a = old.categories.iter().peekable();
+    let mut b = new.categories.iter().peekable();
     loop {
         match (a.peek(), b.peek()) {
             (Some((ka, ea)), Some((kb, eb))) => match ka.cmp(kb) {
                 std::cmp::Ordering::Less => {
-                    out.insert(ka.0);
+                    out.insert(**ka);
                     a.next();
                 }
                 std::cmp::Ordering::Greater => {
-                    out.insert(kb.0);
+                    out.insert(**kb);
                     b.next();
                 }
                 std::cmp::Ordering::Equal => {
                     if !Arc::ptr_eq(ea, eb) {
-                        out.insert(ka.0);
+                        out.insert(**ka);
                     }
                     a.next();
                     b.next();
                 }
             },
             (Some((ka, _)), None) => {
-                out.insert(ka.0);
+                out.insert(**ka);
                 a.next();
             }
             (None, Some((kb, _))) => {
-                out.insert(kb.0);
+                out.insert(**kb);
                 b.next();
             }
             (None, None) => break,
@@ -229,7 +283,11 @@ mod tests {
     }
 
     fn snap(version: u64, entries: Vec<(ClusterKey, Arc<ProductEntry>)>) -> ShardSnapshot {
-        ShardSnapshot { version, clusters: entries.into_iter().collect() }
+        let mut categories: BTreeMap<CategoryId, Arc<CategoryClusters>> = BTreeMap::new();
+        for (k, e) in entries {
+            Arc::make_mut(categories.entry(k.0).or_default()).insert(k, e);
+        }
+        ShardSnapshot { version, categories }
     }
 
     #[test]
@@ -250,11 +308,14 @@ mod tests {
         let (k1, e1) = entry(1, "aaa", "{}");
         let (k2, e2) = entry(2, "bbb", "{}");
         let (k3, e3) = entry(3, "ccc", "{}");
-        let old = snap(1, vec![(k1.clone(), Arc::clone(&e1)), (k2.clone(), e2)]);
-        // Category 1 carried forward (same Arc), category 2 replaced,
-        // category 3 added.
+        let old = snap(1, vec![(k1, e1), (k2.clone(), e2)]);
+        // Successor built the way `rebuilt` does: category 1 carried
+        // forward (same Arc), category 2 replaced, category 3 added.
         let (_, e2b) = entry(2, "bbb", "{}");
-        let new = snap(2, vec![(k1, e1), (k2, e2b), (k3, e3)]);
+        let mut categories = old.categories.clone();
+        categories.insert(CategoryId(2), Arc::new(CategoryClusters::from([(k2, e2b)])));
+        Arc::make_mut(categories.entry(CategoryId(3)).or_default()).insert(k3, e3);
+        let new = ShardSnapshot { version: 2, categories };
         let mut out = BTreeSet::new();
         changed_categories(&old, &new, &mut out);
         assert_eq!(out, BTreeSet::from([CategoryId(2), CategoryId(3)]));

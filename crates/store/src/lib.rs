@@ -34,7 +34,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use pse_core::{Catalog, CategoryId, CorrespondenceSet, Offer, OfferId};
-use pse_synthesis::runtime::{fuse_cluster, reconcile_batch, Cluster, KeyAttributes};
+use pse_synthesis::runtime::{
+    advance_cluster_fusion, fuse_cluster_cached, reconcile_batch, Cluster, ClusterFusionCache,
+    KeyAttributes,
+};
 use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +150,11 @@ pub struct ProductStore {
     clusters: BTreeMap<ClusterKey, ClusterState>,
     /// Reverse index for `retract`: which cluster holds each offer.
     offer_index: BTreeMap<OfferId, ClusterKey>,
+    /// Per-cluster incremental fusion state. Purely an accelerator: never
+    /// serialized (snapshots stay byte-identical and restored stores
+    /// rebuild entries lazily on first re-fusion), dropped for a cluster
+    /// whenever its member list mutates non-monotonically (retraction).
+    fusion: BTreeMap<ClusterKey, ClusterFusionCache>,
 }
 
 impl ProductStore {
@@ -164,6 +172,7 @@ impl ProductStore {
             keys,
             clusters: BTreeMap::new(),
             offer_index: BTreeMap::new(),
+            fusion: BTreeMap::new(),
         }
     }
 
@@ -295,6 +304,10 @@ impl ProductStore {
             let Some(state) = self.clusters.get_mut(&key) else { continue };
             state.members.retain(|m| m.offer != *id);
             removed += 1;
+            // Retraction is a non-append mutation: the incremental fusion
+            // state no longer describes the member list. Drop it; the next
+            // re-fusion rebuilds from the retained members.
+            self.fusion.remove(&key);
             if state.members.is_empty() {
                 self.clusters.remove(&key);
                 vanished.insert(key);
@@ -326,7 +339,7 @@ impl ProductStore {
     /// Re-fuse the given dirty clusters (in parallel, order-preserving);
     /// clusters below `min_cluster_size` just drop their cached product.
     fn refuse(&mut self, catalog: &Catalog, dirty: &BTreeSet<ClusterKey>) -> usize {
-        let mut work: Vec<(ClusterKey, Cluster)> = Vec::new();
+        let mut work: Vec<(ClusterKey, Cluster, ClusterFusionCache)> = Vec::new();
         for key in dirty {
             let Some(state) = self.clusters.get_mut(key) else { continue };
             if state.members.len() < self.config.min_cluster_size {
@@ -334,8 +347,14 @@ impl ProductStore {
                 state.dirty = false;
                 continue;
             }
-            // Move the members out so fusion borrows no `&mut self` state;
-            // they are put back below.
+            // Fold the members appended since the last re-fusion into the
+            // cluster's incremental fusion state (building it from scratch
+            // after a restore or a retraction), then move both members and
+            // cache out so fusion borrows no `&mut self` state; they are
+            // put back below.
+            let cache = self.fusion.entry(key.clone()).or_default();
+            advance_cluster_fusion(catalog, key.0, &state.members, &self.config, cache);
+            let cache = std::mem::take(cache);
             let members = std::mem::take(&mut state.members);
             let cluster = Cluster {
                 category: key.0,
@@ -343,12 +362,12 @@ impl ProductStore {
                 key_value: key.2.clone(),
                 members,
             };
-            work.push((key.clone(), cluster));
+            work.push((key.clone(), cluster, cache));
         }
         let refuse_span = pse_obs::span("store.refuse");
         let fused: Vec<Option<SynthesizedProduct>> =
-            pse_par::par_map_chunked(&work, 4, |(_, cluster)| {
-                fuse_cluster(catalog, cluster, &self.config)
+            pse_par::par_map_chunked(&work, 4, |(_, cluster, cache)| {
+                fuse_cluster_cached(cluster, &self.config, cache)
             });
         drop(refuse_span);
         let refused = work.len();
@@ -357,11 +376,12 @@ impl ProductStore {
             "runtime.values_fused",
             fused.iter().flatten().map(|p| p.spec.len() as u64).sum::<u64>(),
         );
-        for ((key, cluster), product) in work.into_iter().zip(fused) {
+        for ((key, cluster, cache), product) in work.into_iter().zip(fused) {
             let state = self.clusters.get_mut(&key).expect("cluster vanished during refuse");
             state.members = cluster.members;
             state.fused = product;
             state.dirty = false;
+            self.fusion.insert(key, cache);
         }
         refused
     }
@@ -405,10 +425,16 @@ impl ProductStore {
         let mut pieces: Vec<ProductStore> = (0..n)
             .map(|_| ProductStore::with_config(self.correspondences.clone(), self.config.clone()))
             .collect();
+        let mut caches = self.fusion;
         for (key, state) in self.clusters {
             let piece = &mut pieces[route(&key) % n];
             for m in &state.members {
                 piece.offer_index.insert(m.offer, key.clone());
+            }
+            // Fusion state travels with its cluster: it describes the
+            // member list, which moves untouched.
+            if let Some(cache) = caches.remove(&key) {
+                piece.fusion.insert(key.clone(), cache);
             }
             piece.clusters.insert(key, state);
         }
@@ -420,6 +446,7 @@ impl ProductStore {
     /// present in both stores panics, because merging overlapping member
     /// lists cannot preserve stream order.
     pub fn absorb(&mut self, other: ProductStore) {
+        self.fusion.extend(other.fusion);
         for (key, state) in other.clusters {
             for m in &state.members {
                 self.offer_index.insert(m.offer, key.clone());
@@ -467,6 +494,7 @@ impl ProductStore {
             keys,
             clusters: snapshot.clusters,
             offer_index,
+            fusion: BTreeMap::new(),
         })
     }
 
@@ -530,7 +558,7 @@ impl ProductStore {
         }
         let keys = KeyAttributes::new(&config.key_attributes);
         let offer_index = Self::index_clusters(&clusters)?;
-        Ok(Self { correspondences, config, keys, clusters, offer_index })
+        Ok(Self { correspondences, config, keys, clusters, offer_index, fusion: BTreeMap::new() })
     }
 }
 

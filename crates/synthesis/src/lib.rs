@@ -32,7 +32,8 @@ pub use offline::{OfflineConfig, OfflineLearner, OfflineOutcome, OfflineStats, S
 pub use pipeline::{Pipeline, PipelineBuildError, PipelineBuilder};
 pub use provider::{ExtractingProvider, FnProvider, SpecProvider};
 pub use runtime::{
-    fuse_cluster, reconcile_batch, Cluster, FusedValue, FusionStrategy, KeyAttributes,
+    advance_cluster_fusion, fuse_cluster, fuse_cluster_cached, reconcile_batch, Cluster,
+    ClusterFusionCache, FusedValue, FusionAccumulator, FusionStrategy, KeyAttributes,
     ReconciledOffer, RuntimeConfig, RuntimePipeline, SynthesisResult, SynthesizedProduct,
 };
 

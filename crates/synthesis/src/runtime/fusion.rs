@@ -164,6 +164,183 @@ pub fn fuse_values<S: AsRef<str>>(values: &[S]) -> Option<FusedValue> {
     })
 }
 
+/// Streaming form of [`fuse_values_with`]: push values one at a time (in
+/// member order), read the fused result off at any point with
+/// [`FusionAccumulator::finish`].
+///
+/// `finish` returns **bit-identical** output — value, support, and the
+/// f64 `distance` — to a batch `fuse_values_with` call over the full
+/// pushed sequence (pinned by the `incremental_matches_batch` proptest).
+/// The accumulator keeps per-term containment counts, the distinct
+/// surfaces with their multiplicities, and the occurrence sequence as
+/// distinct-indices; `finish` recomputes each distinct value's distance
+/// once (`O(distinct × terms)`) and replays the batch path's exact
+/// occurrence-order selection loop (`O(values)` float compares, no
+/// tokenization). A `pse-store` re-fusion after an ingest batch therefore
+/// costs the new members' tokens, not the whole cluster's.
+#[derive(Debug, Clone, Default)]
+pub struct FusionAccumulator {
+    /// First-seen term ids over the pushed sequence — the same assignment
+    /// order the batch loop produces over the concatenation.
+    term_index: HashMap<String, usize>,
+    /// Number of pushed values containing term `d` (duplicates of a
+    /// surface each count, exactly like the batch centroid sum).
+    counts: Vec<usize>,
+    /// Distinct surfaces in first-seen order, with multiplicity and the
+    /// deduplicated term dims any one occurrence vectorizes to.
+    distinct: Vec<DistinctValue>,
+    /// Surface → index into `distinct`.
+    by_value: HashMap<String, usize>,
+    /// The occurrence sequence, as indices into `distinct`. Kept so the
+    /// selection loop in `finish` visits candidates in the batch path's
+    /// occurrence order — the 1e-12 distance epsilon makes "better than
+    /// the running best" order-sensitive in principle, and bit-identity
+    /// is the whole contract.
+    seq: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct DistinctValue {
+    value: String,
+    count: usize,
+    dims: Vec<usize>,
+}
+
+impl FusionAccumulator {
+    /// Fold one value occurrence in. Order matters: push in member order.
+    pub fn push(&mut self, v: &str) {
+        if let Some(&i) = self.by_value.get(v) {
+            let d = &mut self.distinct[i];
+            d.count += 1;
+            // A repeated surface tokenizes to the same dims (term ids are
+            // stable once assigned), so skip the tokenizer and bump the
+            // containment counts directly.
+            for &t in &d.dims {
+                self.counts[t] += 1;
+            }
+            self.seq.push(i as u32);
+            return;
+        }
+        let mut dims = Vec::new();
+        let term_index = &mut self.term_index;
+        for_each_token(v, |t| {
+            let idx = match term_index.get(t) {
+                Some(&idx) => idx,
+                None => {
+                    let next = term_index.len();
+                    term_index.insert(t.to_string(), next);
+                    next
+                }
+            };
+            if !dims.contains(&idx) {
+                dims.push(idx);
+            }
+        });
+        self.counts.resize(self.term_index.len(), 0);
+        for &t in &dims {
+            self.counts[t] += 1;
+        }
+        let i = self.distinct.len();
+        self.by_value.insert(v.to_string(), i);
+        self.distinct.push(DistinctValue { value: v.to_string(), count: 1, dims });
+        self.seq.push(i as u32);
+    }
+
+    /// Number of values pushed so far (= the `support` `finish` reports).
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether no value has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// What `fuse_values_with(&pushed_values, strategy)` would return.
+    pub fn finish(&self, strategy: FusionStrategy) -> Option<FusedValue> {
+        let support = self.seq.len();
+        if support == 0 {
+            return None;
+        }
+        match strategy {
+            FusionStrategy::CentroidVote => self.finish_centroid(),
+            // The three ablation baselines order candidates totally
+            // (count/length, then reverse-lexicographic), so the unique
+            // maximum over distinct surfaces equals the batch maximum
+            // over occurrences.
+            FusionStrategy::MajorityExact => self
+                .distinct
+                .iter()
+                .max_by(|a, b| a.count.cmp(&b.count).then(b.value.cmp(&a.value)))
+                .map(|d| FusedValue { value: d.value.clone(), support, distance: 0.0 }),
+            FusionStrategy::LongestValue => self
+                .distinct
+                .iter()
+                .map(|d| d.value.as_str())
+                .max_by(|a, b| a.len().cmp(&b.len()).then(b.cmp(a)))
+                .map(|v| FusedValue { value: v.to_string(), support, distance: 0.0 }),
+            FusionStrategy::FirstSeen => self.distinct.first().map(|d| FusedValue {
+                value: d.value.clone(),
+                support,
+                distance: 0.0,
+            }),
+        }
+    }
+
+    fn finish_centroid(&self) -> Option<FusedValue> {
+        let dim = self.counts.len();
+        let n = self.seq.len() as f64;
+        // `counts[d]` values are exact in f64 (integers well below 2^53),
+        // so `counts[d] / n` is bit-identical to the batch path's
+        // sum-of-1.0s divided by n.
+        let centroid: Vec<f64> = self.counts.iter().map(|&c| c as f64 / n).collect();
+        // One distance per distinct surface, with the batch loop's exact
+        // summation order over `d`; duplicate occurrences recompute the
+        // same bits in the batch path, so sharing is lossless.
+        let mut member = vec![false; dim];
+        let dists: Vec<f64> = self
+            .distinct
+            .iter()
+            .map(|dv| {
+                for &d in &dv.dims {
+                    member[d] = true;
+                }
+                let mut dist2 = 0.0;
+                for (d, c) in centroid.iter().enumerate() {
+                    let x = if member[d] { 1.0 } else { 0.0 };
+                    dist2 += (x - c) * (x - c);
+                }
+                for &d in &dv.dims {
+                    member[d] = false;
+                }
+                dist2.sqrt()
+            })
+            .collect();
+        // Replay the batch selection in occurrence order.
+        let mut best: Option<(f64, usize, &str)> = None;
+        for &i in &self.seq {
+            let dv = &self.distinct[i as usize];
+            let (dist, count, v) = (dists[i as usize], dv.count, dv.value.as_str());
+            let better = match &best {
+                None => true,
+                Some((bd, bc, bv)) => {
+                    dist < bd - 1e-12
+                        || ((dist - bd).abs() <= 1e-12
+                            && (count > *bc || (count == *bc && v < *bv)))
+                }
+            };
+            if better {
+                best = Some((dist, count, v));
+            }
+        }
+        best.map(|(distance, _, value)| FusedValue {
+            value: value.to_string(),
+            support: self.seq.len(),
+            distance,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::provider::SpecProvider;
 pub use cluster::{cluster_by_key, normalize_key, Cluster, KeyAttributes};
-pub use fusion::{fuse_values, fuse_values_with, FusedValue, FusionStrategy};
+pub use fusion::{fuse_values, fuse_values_with, FusedValue, FusionAccumulator, FusionStrategy};
 pub use reconcile::{reconcile, ReconciledOffer};
 
 /// Configuration of the run-time pipeline.
@@ -147,6 +147,125 @@ pub fn fuse_cluster(
             cluster.members.iter().filter_map(|m| m.value_of_normalized(&target)).collect();
         if let Some(fused) = fuse_values_with(&values, config.fusion) {
             spec.push(attr.name.clone(), fused.value);
+        }
+    }
+    Some(SynthesizedProduct {
+        category: cluster.category,
+        key_attribute: cluster.key_attribute.clone(),
+        key_value: cluster.key_value.clone(),
+        spec,
+        offers: cluster.members.iter().map(|m| m.offer).collect(),
+    })
+}
+
+/// Incrementally maintained fusion state for one cluster: a
+/// [`FusionAccumulator`] per fused schema attribute, fed members in
+/// stream order.
+///
+/// `pse-store` keeps one per cluster so re-fusing after an ingest batch
+/// costs the *new* members' tokens instead of re-tokenizing the whole
+/// cluster — the difference between O(batch) and O(corpus) steady-state
+/// ingest. The cache is valid only while the member list grows by
+/// appending; any other mutation (retraction) must [`ClusterFusionCache::reset`]
+/// it, after which the next [`advance_cluster_fusion`] rebuilds from the
+/// full member list. Never persisted: snapshots carry members only, and a
+/// restored store rebuilds caches lazily on first re-fusion.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterFusionCache {
+    /// How many members have been folded in.
+    consumed: usize,
+    /// One accumulator per schema attribute that fusion emits, in schema
+    /// order; `None` until the first advance resolves the schema (and
+    /// forever for categories the catalog does not know).
+    attrs: Option<Vec<AttrAccumulator>>,
+}
+
+#[derive(Debug, Clone)]
+struct AttrAccumulator {
+    /// Schema surface name — the fused spec's key.
+    name: String,
+    /// Normalized name members are probed with.
+    target: String,
+    accum: FusionAccumulator,
+}
+
+impl ClusterFusionCache {
+    /// Forget everything; the next [`advance_cluster_fusion`] rebuilds
+    /// from scratch. Call after any non-append member mutation.
+    pub fn reset(&mut self) {
+        self.consumed = 0;
+        self.attrs = None;
+    }
+
+    /// Members folded in so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+}
+
+/// Fold `members[cache.consumed()..]` into the cache, building the
+/// per-attribute accumulators from the category schema on first use.
+/// Returns `false` — leaving the cache unusable — when the catalog does
+/// not know the category, counting the drop exactly like [`fuse_cluster`].
+pub fn advance_cluster_fusion(
+    catalog: &Catalog,
+    category: CategoryId,
+    members: &[ReconciledOffer],
+    config: &RuntimeConfig,
+    cache: &mut ClusterFusionCache,
+) -> bool {
+    if cache.attrs.is_none() {
+        let Some(schema) = catalog.taxonomy().try_schema(category) else {
+            pse_obs::incr("runtime.drop.unknown_category");
+            return false;
+        };
+        let mut attrs = Vec::new();
+        for attr in schema.iter() {
+            if !config.include_keys_in_spec && attr.is_key {
+                continue;
+            }
+            attrs.push(AttrAccumulator {
+                name: attr.name.clone(),
+                target: normalize_attribute_name(&attr.name),
+                accum: FusionAccumulator::default(),
+            });
+        }
+        cache.attrs = Some(attrs);
+        cache.consumed = 0;
+    }
+    let attrs = cache.attrs.as_mut().expect("attrs built above");
+    for m in &members[cache.consumed..] {
+        for aa in attrs.iter_mut() {
+            if let Some(v) = m.value_of_normalized(&aa.target) {
+                aa.accum.push(v);
+            }
+        }
+    }
+    cache.consumed = members.len();
+    true
+}
+
+/// [`fuse_cluster`] from a fully advanced cache — `O(Σ distinct × terms)`
+/// plus the offer-id list, independent of how many members the cluster
+/// has accumulated. The cache must have been advanced over exactly
+/// `cluster.members` (debug-asserted); returns `None` for unknown
+/// categories, where [`advance_cluster_fusion`] could never build the
+/// accumulators.
+pub fn fuse_cluster_cached(
+    cluster: &Cluster,
+    config: &RuntimeConfig,
+    cache: &ClusterFusionCache,
+) -> Option<SynthesizedProduct> {
+    let attrs = cache.attrs.as_ref()?;
+    debug_assert_eq!(
+        cache.consumed,
+        cluster.members.len(),
+        "fusion cache not advanced to the cluster's member list"
+    );
+    let mut spec = Spec::new();
+    for aa in attrs {
+        if let Some(fused) = aa.accum.finish(config.fusion) {
+            spec.push(aa.name.clone(), fused.value);
         }
     }
     Some(SynthesizedProduct {

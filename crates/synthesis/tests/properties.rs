@@ -133,3 +133,113 @@ proptest! {
         }
     }
 }
+
+/// Build a multi-token value from a 7-bit mask over a fixed vocabulary —
+/// overlapping term sets and frequent exact duplicates, the regime where
+/// centroid voting's tie-breaking actually fires.
+fn masked_value(mask: u8) -> String {
+    const TOKENS: [&str; 7] = ["microsoft", "windows", "vista", "home", "premium", "7200", "rpm"];
+    let picked: Vec<&str> =
+        TOKENS.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, t)| *t).collect();
+    if picked.is_empty() {
+        "empty".to_string()
+    } else {
+        picked.join(" ")
+    }
+}
+
+proptest! {
+    // The incremental accumulator is bit-identical to the batch fuser:
+    // same value, same support, same f64 distance — for every strategy,
+    // over value multisets dense in duplicates and shared terms. This is
+    // the contract that lets `pse-store` re-fuse a cluster from cached
+    // per-attribute state instead of re-tokenizing every member.
+    #[test]
+    fn incremental_fusion_matches_batch(masks in prop::collection::vec(0u8..128, 0..24)) {
+        let values: Vec<String> = masks.iter().map(|&m| masked_value(m)).collect();
+        for strategy in [
+            pse_synthesis::FusionStrategy::CentroidVote,
+            pse_synthesis::FusionStrategy::MajorityExact,
+            pse_synthesis::FusionStrategy::LongestValue,
+            pse_synthesis::FusionStrategy::FirstSeen,
+        ] {
+            let batch = pse_synthesis::runtime::fuse_values_with(&values, strategy);
+            let mut accum = pse_synthesis::FusionAccumulator::default();
+            for v in &values {
+                accum.push(v);
+            }
+            prop_assert_eq!(accum.len(), values.len());
+            let incremental = accum.finish(strategy);
+            prop_assert_eq!(incremental, batch, "strategy {:?}", strategy);
+        }
+    }
+
+    // Advancing a cluster's fusion cache in arbitrary chunk sizes and
+    // fusing from the cache reproduces `fuse_cluster` over the full
+    // member list exactly (spec, offer list, category, keys).
+    #[test]
+    fn chunked_cluster_fusion_matches_batch(
+        member_masks in prop::collection::vec((0u8..128, 0u8..128), 1..16),
+        chunk in 1usize..6,
+    ) {
+        use pse_core::{AttributeDef, AttributeKind, Catalog, CategorySchema, Taxonomy};
+        use pse_synthesis::runtime::{
+            advance_cluster_fusion, fuse_cluster, fuse_cluster_cached, Cluster,
+            ClusterFusionCache, ReconciledOffer,
+        };
+
+        let mut tax = Taxonomy::new();
+        let top = tax.add_top_level("Computing");
+        let cat = tax.add_leaf(
+            top,
+            "Operating Systems",
+            CategorySchema::from_attributes([
+                AttributeDef::key("MPN", AttributeKind::Identifier),
+                AttributeDef::new("Edition", AttributeKind::Text),
+                AttributeDef::new("Media", AttributeKind::Text),
+            ]),
+        );
+        let catalog = Catalog::new(tax);
+        let config = pse_synthesis::RuntimeConfig::default();
+
+        let members: Vec<ReconciledOffer> = member_masks
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                // Not every member carries every attribute.
+                let mut pairs = vec![("mpn".to_string(), "X-1".to_string())];
+                if a != 0 {
+                    pairs.push(("edition".to_string(), masked_value(a)));
+                }
+                if b % 3 != 0 {
+                    pairs.push(("media".to_string(), masked_value(b)));
+                }
+                ReconciledOffer::new(OfferId(i as u64), MerchantId(0), cat, pairs)
+            })
+            .collect();
+        let cluster = Cluster {
+            category: cat,
+            key_attribute: "MPN".to_string(),
+            key_value: "x1".to_string(),
+            members,
+        };
+
+        let batch = fuse_cluster(&catalog, &cluster, &config);
+
+        let mut cache = ClusterFusionCache::default();
+        let mut upto = 0;
+        while upto < cluster.members.len() {
+            upto = (upto + chunk).min(cluster.members.len());
+            prop_assert!(advance_cluster_fusion(
+                &catalog,
+                cat,
+                &cluster.members[..upto],
+                &config,
+                &mut cache,
+            ));
+        }
+        prop_assert_eq!(cache.consumed(), cluster.members.len());
+        let incremental = fuse_cluster_cached(&cluster, &config, &cache);
+        prop_assert_eq!(format!("{incremental:?}"), format!("{batch:?}"));
+    }
+}

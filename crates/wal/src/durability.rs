@@ -43,6 +43,7 @@
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use pse_core::Catalog;
 use pse_core::CorrespondenceSet;
@@ -50,6 +51,7 @@ use pse_store::ProductStore;
 use pse_synthesis::RuntimeConfig;
 use serde::{Deserialize, Serialize, Value};
 
+use crate::group::{GroupCommitConfig, GroupCommitter};
 use crate::segments::{self, Manifest, SegmentEntry, SnapshotMeta};
 use crate::wal::{self, Wal, WalRecord, WAL_HEADER_LEN};
 use crate::{codec, WalError, FORMAT_VERSION};
@@ -64,6 +66,9 @@ pub struct DurabilityConfig {
     /// When the WAL grows past this many record bytes, the serving layer
     /// should fold it into fresh segments ([`Durability::wants_compaction`]).
     pub compaction_threshold_bytes: u64,
+    /// Group-commit knobs for the stage/wait write path
+    /// ([`Durability::stage`] + [`GroupCommitter::wait_durable`]).
+    pub group: GroupCommitConfig,
 }
 
 /// What recovery found and replayed.
@@ -95,6 +100,11 @@ pub struct SnapshotStats {
 fn seed_obs_counters() {
     for c in ["wal.append", "wal.bytes", "snapshot.segments_written", "snapshot.segments_skipped"] {
         pse_obs::seed(c);
+    }
+    // Group-commit distributions: seeded so reports show them whenever a
+    // WAL is open, even before (or without) any grouped sync.
+    for h in ["wal.group_size", "wal.group_wait_us"] {
+        pse_obs::seed_histogram(h);
     }
 }
 
@@ -180,6 +190,9 @@ fn apply(store: &mut ProductStore, catalog: &Catalog, record: WalRecord) {
 pub struct Durability {
     config: DurabilityConfig,
     wal: Wal,
+    /// Group-commit coordinator syncing staged frames; shared with
+    /// waiters via [`Self::committer`], re-armed on every WAL rotation.
+    committer: Arc<GroupCommitter>,
     manifest: Option<Manifest>,
     /// Shards whose segment must be rewritten at the next snapshot.
     dirty_shards: BTreeSet<usize>,
@@ -233,9 +246,12 @@ impl Durability {
             None => (None, RecoveryStats::default()),
         };
         let unfolded = !wal.is_empty();
+        let committer = Arc::new(GroupCommitter::new(config.group.clone()));
+        committer.reset(wal.sync_handle()?, wal.len());
         let durability = Durability {
             config,
             wal,
+            committer,
             manifest,
             dirty_shards: BTreeSet::new(),
             rewrite_all: unfolded || store.is_none(),
@@ -251,13 +267,44 @@ impl Durability {
         self.manifest.is_none()
     }
 
-    /// Append one record and fsync it. The record is durable when this
-    /// returns; apply it to the in-memory store *after* (log-then-apply),
-    /// under the same exclusion that ordered the append.
+    /// Append one record and make it durable before returning. The
+    /// record is durable when this returns; apply it to the in-memory
+    /// store *after* (log-then-apply), under the same exclusion that
+    /// ordered the append.
+    ///
+    /// Implemented as stage + group wait: with no other active writers
+    /// the caller immediately elects itself sync leader, so a lone
+    /// writer behaves exactly like the old one-fsync-per-record path.
     pub fn log(&mut self, record: &WalRecord) -> Result<(), WalError> {
-        self.wal.append(record)?;
+        let lsn = self.stage(record)?;
+        self.committer.wait_durable(lsn)
+    }
+
+    /// Stage one record into the log **without** waiting for durability.
+    /// Returns the record's commit LSN; pass it to
+    /// [`GroupCommitter::wait_durable`] (from [`Self::committer`]) —
+    /// outside whatever lock serialized this call — before applying the
+    /// record, so fsync-before-apply still holds.
+    pub fn stage(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        self.stage_payload(&record.payload())
+    }
+
+    /// [`Self::stage`] over a pre-encoded [`WalRecord::payload`], so
+    /// concurrent writers encode outside the lock that serializes
+    /// staging and the critical section shrinks to the frame write.
+    pub fn stage_payload(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        let lsn = self.wal.stage_payload(payload)?;
         self.unfolded_records = true;
-        Ok(())
+        self.committer.staged(lsn);
+        Ok(lsn)
+    }
+
+    /// The group-commit coordinator for this WAL. Clone the `Arc` and
+    /// call [`GroupCommitter::wait_durable`] without holding the lock
+    /// that serializes [`Self::stage`] — blocking inside that lock would
+    /// keep any group from forming.
+    pub fn committer(&self) -> Arc<GroupCommitter> {
+        Arc::clone(&self.committer)
     }
 
     /// Record which shards a just-applied write touched, so the next
@@ -360,6 +407,10 @@ impl Durability {
         };
         segments::write_manifest(&dir, &manifest)?;
         self.wal = Wal::promote_staged(&self.config.wal_path, next_gen)?;
+        // Re-arm the committer on the rotated log. Safe because callers
+        // exclude in-flight commits around snapshots (the serving
+        // layer's snapshot gate), so nothing is staged-but-unsynced.
+        self.committer.reset(self.wal.sync_handle()?, self.wal.len());
         segments::gc(&dir, &manifest)?;
         pse_obs::add("snapshot.segments_written", written as u64);
         pse_obs::add("snapshot.segments_skipped", skipped as u64);

@@ -8,7 +8,10 @@
 //! * **[`Wal`]** — a binary write-ahead log. Every `ingest`/`retract`
 //!   batch is appended as one length-prefixed, FNV-1a-checksummed record
 //!   and fsynced *before* it is applied to the in-memory store, so a
-//!   batch the client saw acknowledged is on disk.
+//!   batch the client saw acknowledged is on disk. Concurrent writers
+//!   amortize that fsync via group commit ([`GroupCommitter`]): frames
+//!   are staged unsynced, one leader `sync_data`s the whole group, and
+//!   each waiter blocks until its commit LSN is durable.
 //! * **Segmented snapshots** ([`segments`]) — one binary segment per
 //!   shard plus a small meta blob (config + correspondences), each
 //!   written temp-file → fsync → rename, bound together by a JSON
@@ -45,10 +48,12 @@ use pse_store::StoreError;
 
 pub mod codec;
 pub mod durability;
+pub mod group;
 pub mod segments;
 pub mod wal;
 
 pub use durability::{recover, Durability, DurabilityConfig, RecoveryStats, SnapshotStats};
+pub use group::{GroupCommitConfig, GroupCommitter, WriterGuard};
 pub use segments::{Manifest, SegmentEntry, FORMAT_VERSION};
 pub use wal::{read_wal, Wal, WalRecord, WalTail, WAL_HEADER_LEN, WAL_MAGIC};
 

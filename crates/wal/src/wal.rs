@@ -216,19 +216,45 @@ impl Wal {
     /// record is durable iff this returns `Ok`.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
         let _span = pse_obs::span("wal.append");
-        let payload = record.payload();
-        let mut frame = Vec::with_capacity(12 + payload.len());
-        frame.extend_from_slice(&u32::try_from(payload.len()).expect("record size").to_le_bytes());
-        frame.extend_from_slice(&codec::fnv1a(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        let len = self.stage_record(record)?;
         let started = Instant::now();
         self.file.sync_data()?;
         pse_obs::observe("wal.fsync_us", started.elapsed().as_micros() as u64);
+        Ok(len)
+    }
+
+    /// Write one record's frame **without** syncing. Returns the record's
+    /// commit LSN (the file offset one past its frame); the record is
+    /// durable only once a later `sync_data` covers that offset — the
+    /// group-commit protocol ([`crate::GroupCommitter`]) owns that sync.
+    pub fn stage_record(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        self.stage_payload(&record.payload())
+    }
+
+    /// [`Wal::stage_record`] over a pre-encoded payload
+    /// ([`WalRecord::payload`]). Encoding a record is the expensive part
+    /// of staging; callers that serialize staging behind a lock can
+    /// encode outside it and keep only the frame write in the critical
+    /// section.
+    pub fn stage_payload(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        let _span = pse_obs::span("wal.stage");
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&u32::try_from(payload.len()).expect("record size").to_le_bytes());
+        frame.extend_from_slice(&codec::fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
         pse_obs::incr("wal.append");
         pse_obs::add("wal.bytes", frame.len() as u64);
         self.len += frame.len() as u64;
         Ok(self.len)
+    }
+
+    /// A duplicate handle to the log file for syncing staged frames
+    /// without borrowing the `Wal`. Both handles share one open file
+    /// description, so a `sync_data` on the clone covers every write
+    /// made through `self`.
+    pub fn sync_handle(&self) -> Result<File, WalError> {
+        Ok(self.file.try_clone()?)
     }
 
     /// Current file length in bytes (header + durable records).

@@ -75,6 +75,7 @@ fn dcfg(dir: &Path) -> DurabilityConfig {
         wal_path: dir.join("wal.log"),
         snapshot_dir: dir.join("segments"),
         compaction_threshold_bytes: 1 << 20,
+        group: Default::default(),
     }
 }
 

@@ -167,4 +167,23 @@ grep -q '"segmented_restore_faster": true' BENCH_par.json || {
     exit 1
 }
 
+# Ingest-scale smoke: stream 1e5 offers (mixed scenario: flash-sale
+# bursts, merchant churn, retraction waves) from the constant-memory
+# OfferStream through the durable group-commit write path, against a
+# per-batch-fsync serial baseline, ending in a crash-drill restart that
+# must recover byte-identically. Results merge into BENCH_par.json under
+# "ingest_scale"; grouped commits must beat the serial baseline.
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    ingest-bench --smoke --quiet --obs --offers 100000 --baseline-offers 50000 \
+    --batch-size 1 --scenario mixed --shards 4 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+grep -q '"recovery_equal": true' BENCH_par.json || {
+    echo "ingest bench: recovery diverged from the live store" >&2
+    exit 1
+}
+grep -q '"group_commit_faster": true' BENCH_par.json || {
+    echo "ingest bench: group commit did not beat per-batch fsync" >&2
+    exit 1
+}
+
 echo "tier-1 gate: all green"

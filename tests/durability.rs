@@ -12,12 +12,17 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use std::time::{Duration, Instant};
+
 use product_synthesis::core::{CorrespondenceSet, Offer, OfferId, Spec};
 use product_synthesis::datagen::{World, WorldConfig};
+use product_synthesis::serve::{durable_ingest, durable_retract, open_durable, ShardedStore};
 use product_synthesis::store::ProductStore;
 use product_synthesis::synthesis::runtime::reconcile_batch;
 use product_synthesis::synthesis::{ExtractingProvider, FnProvider, OfflineLearner, SpecProvider};
-use product_synthesis::wal::{recover, Durability, DurabilityConfig, WalRecord, WAL_HEADER_LEN};
+use product_synthesis::wal::{
+    read_wal, recover, Durability, DurabilityConfig, GroupCommitConfig, WalRecord, WAL_HEADER_LEN,
+};
 use proptest::prelude::*;
 
 struct Fixture {
@@ -65,10 +70,15 @@ fn case_dir(tag: &str) -> PathBuf {
 }
 
 fn dcfg(dir: &std::path::Path) -> DurabilityConfig {
+    dcfg_group(dir, GroupCommitConfig::default())
+}
+
+fn dcfg_group(dir: &std::path::Path, group: GroupCommitConfig) -> DurabilityConfig {
     DurabilityConfig {
         wal_path: dir.join("wal.log"),
         snapshot_dir: dir.join("segments"),
         compaction_threshold_bytes: 1 << 20,
+        group,
     }
 }
 
@@ -245,5 +255,141 @@ fn fold_then_torn_tail_recovers_fold_plus_first_tail_record() {
     assert_eq!(stats.torn_bytes, 1);
     let committed: Vec<AppliedOp> = folded.into_iter().chain([tail[0].0.clone()]).collect();
     assert_eq!(recovered.snapshot_json(), replay(f, committed).snapshot_json());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The concurrent oracle: replay WAL records exactly as `read_wal`
+/// decoded them. With overlapping group commits the log itself is the
+/// only authority on commit order, so the expected state is a plain
+/// sequential store fed the decoded records — not any writer's idea of
+/// what it submitted.
+fn replay_records(f: &Fixture, records: impl IntoIterator<Item = WalRecord>) -> ProductStore {
+    let mut store = ProductStore::new(f.correspondences.clone());
+    for record in records {
+        match record {
+            WalRecord::Ingest(reconciled) => {
+                store.ingest_reconciled(&f.world.catalog, reconciled);
+            }
+            WalRecord::Retract(ids) => {
+                store.retract(&f.world.catalog, &ids);
+            }
+        }
+    }
+    store
+}
+
+proptest! {
+    /// PR 9's write path under crash-point fire: N writer threads push
+    /// interleaved ingests and retracts through the pipelined
+    /// group-commit protocol (`durable_ingest` / `durable_retract`),
+    /// the WAL is torn at an arbitrary byte, and recovery must equal a
+    /// sequential replay of exactly the records whose frames survived
+    /// the cut — whatever group boundaries and thread interleavings the
+    /// scheduler produced.
+    #[test]
+    fn concurrent_group_commits_recover_to_the_committed_log_prefix(
+        writers in 2usize..5,
+        batch in 1usize..4,
+        group_size in 1usize..9,
+        raw_cut in 0u64..100_000_000,
+    ) {
+        let f = fixture();
+        let dir = case_dir("group");
+        let dcfg = dcfg_group(
+            &dir,
+            GroupCommitConfig { group_size, group_wait: Duration::from_micros(300) },
+        );
+        let seed = ShardedStore::from_store(ProductStore::new(f.correspondences.clone()), 1);
+        let (store, ctx, _) = open_durable(dcfg.clone(), &f.world.catalog, seed).unwrap();
+        let p = provider(f);
+
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let (store, ctx, p) = (&store, &ctx, &p);
+                s.spawn(move || {
+                    // Writer `w` owns the strided slice corpus[w],
+                    // corpus[w + writers], …: disjoint across writers, so
+                    // each retraction targets an offer its own earlier
+                    // commit ingested (program order ⇒ log order per
+                    // thread; cross-thread order is the scheduler's).
+                    let mine: Vec<Offer> =
+                        f.corpus.iter().skip(w).step_by(writers).cloned().collect();
+                    let mut prev_first: Option<OfferId> = None;
+                    for chunk in mine.chunks(batch).take(3) {
+                        durable_ingest(store, ctx, &f.world.catalog, chunk, p).unwrap();
+                        if let Some(id) = prev_first.take() {
+                            durable_retract(store, ctx, &f.world.catalog, &[id]).unwrap();
+                        }
+                        prev_first = Some(chunk[0].id);
+                    }
+                });
+            }
+        });
+        drop((store, ctx)); // crash: the WAL tail is never folded
+
+        let full = read_wal(&dcfg.wal_path, 0).unwrap().expect("wal exists");
+        prop_assert_eq!(full.torn_bytes, 0, "acknowledged commits must be intact on disk");
+        let wal_len = full.durable_len;
+        let cut = WAL_HEADER_LEN + raw_cut % (wal_len - WAL_HEADER_LEN + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&dcfg.wal_path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let committed: Vec<WalRecord> = full
+            .records
+            .iter()
+            .filter(|(_, end)| *end <= cut)
+            .map(|(record, _)| record.clone())
+            .collect();
+        let expected_replayed = committed.len();
+
+        let (recovered, stats) = recover(&dcfg, &f.world.catalog, || {
+            ProductStore::new(f.correspondences.clone())
+        })
+        .unwrap()
+        .expect("an opened durable dir always recovers");
+        prop_assert_eq!(
+            stats.wal_records_replayed, expected_replayed,
+            "cut {} of {} ({} records logged)", cut, wal_len, full.records.len()
+        );
+        prop_assert_eq!(
+            recovered.snapshot_json(),
+            replay_records(f, committed).snapshot_json(),
+            "cut {} of {} ({} writers, batch {}, group {})",
+            cut, wal_len, writers, batch, group_size
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Integration-level lone-writer regression (the unit version lives in
+/// `pse-wal`): with a huge group and a huge bounded wait, a single
+/// thread's `durable_ingest` must commit through the self-clocking path
+/// — every active writer has staged, so the group cannot grow — rather
+/// than waiting out `group_wait` once per commit.
+#[test]
+fn lone_durable_ingest_does_not_wait_for_a_full_group() {
+    let f = fixture();
+    let dir = case_dir("lone");
+    let dcfg =
+        dcfg_group(&dir, GroupCommitConfig { group_size: 64, group_wait: Duration::from_secs(30) });
+    let seed = ShardedStore::from_store(ProductStore::new(f.correspondences.clone()), 1);
+    let (store, ctx, _) = open_durable(dcfg.clone(), &f.world.catalog, seed).unwrap();
+    let p = provider(f);
+
+    let started = Instant::now();
+    for chunk in f.corpus.chunks(4).take(3) {
+        durable_ingest(&store, &ctx, &f.world.catalog, chunk, &p).unwrap();
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "lone writer stalled {elapsed:?} — a 30s group_wait leaked into the commit path"
+    );
+
+    // Acknowledged means on disk, not merely staged.
+    let tail = read_wal(&dcfg.wal_path, 0).unwrap().expect("wal exists");
+    assert_eq!(tail.records.len(), 3);
+    assert_eq!(tail.torn_bytes, 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
