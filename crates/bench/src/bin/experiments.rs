@@ -60,6 +60,13 @@
 //!                the first --shards count, and the comparison is merged
 //!                under "serve_obs_overhead" with a documented ≤10% p50
 //!                budget
+//!   search-bench  search quality + latency: replay ground-truth
+//!                 free-text queries against GET /search at 1/2/4/8
+//!                 shards (--shards a,b,c; --workers, --requests as
+//!                 serve-bench), byte-compare every body across shard
+//!                 counts, score precision@1 / recall@10 against the
+//!                 oracle (floors 0.80 / 0.70 — the run FAILS below
+//!                 them), and merge into BENCH_par.json under "search"
 //!   fig6      classifier vs single-feature baselines (Figure 6)
 //!   fig7      with vs without historical matches (Figure 7)
 //!   fig8      vs DUMAS / Naive Bayes / COMA++ (Figure 8)
@@ -89,9 +96,10 @@ use pse_bench::{
     ablation_extraction, ablation_features, ablation_fusion, ablation_history_noise, ablation_keys,
     ablation_measures, build_world, curves_csv, embedded_spec_provider, extension_name_features,
     fig6, fig7, fig8, fig9, query_paths, render_curves, render_incremental, render_obs_overhead,
-    render_serve_bench, render_snapshot_bench, run_end_to_end, run_incremental, run_serve_bench,
-    run_serve_bench_obs_overhead, run_serve_bench_read_heavy, run_snapshot_bench, serve_corpus,
-    table2, table3, table4, verify_blocking, EndToEnd, Scale,
+    render_search_bench, render_serve_bench, render_snapshot_bench, run_end_to_end,
+    run_incremental, run_search_bench, run_serve_bench, run_serve_bench_obs_overhead,
+    run_serve_bench_read_heavy, run_snapshot_bench, serve_corpus, table2, table3, table4,
+    verify_blocking, EndToEnd, Scale,
 };
 use pse_datagen::World;
 use pse_eval::correspondence::LabeledCurve;
@@ -99,7 +107,7 @@ use pse_eval::correspondence::LabeledCurve;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|wal-replay|snapshot-bench|ingest-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
+        eprintln!("usage: experiments <table2|table3|table4|fig6|fig7|fig8|fig9|incremental|serve|serve-bench|search-bench|wal-replay|snapshot-bench|ingest-bench|ablation|ablation-features|ablation-fusion|ablation-keys|ablation-history|all|all-ablations> [flags]");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -333,6 +341,27 @@ fn dispatch(
                 );
             }
             run.equal
+        }
+        "search-bench" => {
+            let workers = flag_value(args, "--workers").unwrap_or(4);
+            let requests = flag_value(args, "--requests").unwrap_or(2000);
+            let shard_counts = shard_list(args).unwrap_or_else(|| vec![1, 2, 4, 8]);
+            let run = run_search_bench(world, workers, requests, &shard_counts);
+            println!("{}", render_search_bench(&run));
+            merge_into_bench_json("search", &run, quiet);
+            if !run.shard_counts_agree {
+                eprintln!("error: /search bodies diverged across shard counts");
+            }
+            if !run.thresholds_met {
+                eprintln!(
+                    "error: search quality below floor: precision@1 {:.3} (floor {:.2}), recall@10 {:.3} (floor {:.2})",
+                    run.precision_at_1,
+                    run.precision_at_1_min,
+                    run.recall_at_10,
+                    run.recall_at_10_min
+                );
+            }
+            run.shard_counts_agree && run.thresholds_met
         }
         "serve-bench" => {
             let workers = flag_value(args, "--workers").unwrap_or(4);

@@ -93,6 +93,18 @@ const SERVE_COUNTERS: [&str; 15] = [
 /// accept-queue depth sampled at every accepted connection.
 const SERVE_HISTOGRAMS: [&str; 2] = ["serve.request_us", "serve.queue_depth"];
 
+/// Counters a run that exercised the structured query engine (any
+/// `query.*` span present — a search or an index build) must
+/// additionally emit — `pse_query::seed_metrics` seeds the full set at
+/// server start, so even a run whose searches all resolved exactly
+/// reports the fuzzy and no-category counters at zero.
+const QUERY_COUNTERS: [&str; 4] =
+    ["query.requests", "query.resolved_exact", "query.resolved_fuzzy", "query.no_category"];
+
+/// Histogram a query run must emit: candidate documents examined per
+/// search, seeded alongside [`QUERY_COUNTERS`].
+const QUERY_HISTOGRAM: &str = "query.candidates";
+
 /// Counters a run that exercised the durability layer (any `wal.*` span
 /// present — open, recover, append, or snapshot) must additionally emit;
 /// both `recover` and `open` seed the full set.
@@ -186,6 +198,7 @@ fn check(v: &Value) -> Vec<String> {
     let match_ran = span_paths.iter().any(|p| p.contains("match.bootstrap"));
     let dumas_ran = span_paths.iter().any(|p| p.contains("baselines.dumas"));
     let serve_ran = span_paths.iter().any(|p| p.contains("serve."));
+    let query_ran = span_paths.iter().any(|p| p.contains("query."));
     let wal_ran = span_paths.iter().any(|p| p.contains("wal."));
     let wal_opened = span_paths.iter().any(|p| p.contains("wal.open"));
     check_counters(
@@ -194,6 +207,7 @@ fn check(v: &Value) -> Vec<String> {
         match_ran,
         dumas_ran,
         serve_ran,
+        query_ran,
         wal_ran,
         runtime_waived,
         offline_waived,
@@ -201,6 +215,7 @@ fn check(v: &Value) -> Vec<String> {
     );
     check_histograms(v, &mut errs);
     check_serve_endpoints(v, serve_ran, &mut errs);
+    check_query_histogram(v, query_ran, &mut errs);
     check_wal_histograms(v, wal_ran, wal_opened, &mut errs);
     check_timelines(v, &mut errs);
     errs
@@ -210,6 +225,20 @@ fn check(v: &Value) -> Vec<String> {
 /// ran at all ([`WAL_GROUP_HISTOGRAMS`]); the fsync-latency histogram
 /// additionally whenever the WAL was opened for appending
 /// ([`WAL_FSYNC_HISTOGRAM`]).
+/// The candidates histogram must exist whenever the query engine ran
+/// ([`QUERY_HISTOGRAM`]) — seeded at start, so even a search-free run
+/// that merely built an index reports it at zero.
+fn check_query_histogram(v: &Value, query_ran: bool, errs: &mut Vec<String>) {
+    if !query_ran {
+        return;
+    }
+    let mut shape_errs = Vec::new();
+    let histograms = array(v, "histograms", &mut shape_errs);
+    if !histograms.iter().any(|h| str_field(h, "name") == QUERY_HISTOGRAM) {
+        errs.push(format!("query spans present but histogram {QUERY_HISTOGRAM} missing"));
+    }
+}
+
 fn check_wal_histograms(v: &Value, wal_ran: bool, wal_opened: bool, errs: &mut Vec<String>) {
     if !wal_ran {
         return;
@@ -288,6 +317,7 @@ fn check_counters(
     match_ran: bool,
     dumas_ran: bool,
     serve_ran: bool,
+    query_ran: bool,
     wal_ran: bool,
     runtime_waived: bool,
     offline_waived: bool,
@@ -316,6 +346,7 @@ fn check_counters(
         (match_ran, "match.bootstrap", &MATCH_COUNTERS[..]),
         (dumas_ran, "baselines.dumas", &SOFTTFIDF_COUNTERS[..]),
         (serve_ran, "serve", &SERVE_COUNTERS[..]),
+        (query_ran, "query", &QUERY_COUNTERS[..]),
         (wal_ran, "wal", &WAL_COUNTERS[..]),
     ];
     for (ran, what, required_set) in conditional {
@@ -714,6 +745,69 @@ mod tests {
             max: 0,
             buckets: Vec::new(),
         }));
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(check(&v), Vec::<String>::new());
+    }
+
+    #[test]
+    fn query_counters_and_candidates_histogram_gated_on_query_spans() {
+        // The baseline report (no query spans) demands neither.
+        assert_eq!(check(&good_report()), Vec::<String>::new());
+        // A query span without the seeded counter set or the candidates
+        // histogram is an error — seed_metrics makes them all exist even
+        // when every search resolved exactly.
+        let mut r = pse_obs::ObsReport {
+            schema_version: pse_obs::SCHEMA_VERSION,
+            enabled: true,
+            git_commit: "deadbeef".into(),
+            threads: 2,
+            ..Default::default()
+        };
+        r.spans = STAGE_PREFIXES
+            .iter()
+            .map(|p| format!("{p}stage"))
+            .chain(["experiments.search_bench.query.search".to_string()])
+            .map(|path| pse_obs::SpanSummary {
+                path,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            })
+            .collect();
+        r.counters = REQUIRED_COUNTERS
+            .iter()
+            .map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 7 })
+            .collect();
+        r.timelines = vec![pse_obs::TimelineGroup {
+            label: "runtime.reconcile".into(),
+            calls: 1,
+            chunks: vec![pse_obs::ChunkSummary {
+                worker: 0,
+                chunk: 0,
+                items: 5,
+                start_ns: 0,
+                dur_ns: 3,
+            }],
+        }];
+        let v: Value = serde_json::from_str(&r.to_json()).unwrap();
+        let errs = check(&v);
+        assert!(errs.iter().any(|e| e.contains("counter query.requests missing")));
+        assert!(errs.iter().any(|e| e.contains("counter query.resolved_exact missing")));
+        assert!(errs.iter().any(|e| e.contains("counter query.resolved_fuzzy missing")));
+        assert!(errs.iter().any(|e| e.contains("counter query.no_category missing")));
+        assert!(errs.iter().any(|e| e.contains("histogram query.candidates missing")));
+        r.counters.extend(
+            QUERY_COUNTERS.iter().map(|n| pse_obs::CounterEntry { name: n.to_string(), value: 0 }),
+        );
+        r.histograms.push(pse_obs::HistogramSummary {
+            name: QUERY_HISTOGRAM.into(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        });
         let v: Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(check(&v), Vec::<String>::new());
     }

@@ -1,0 +1,371 @@
+//! Search-quality and search-latency driver (ISSUE 10): replay
+//! ground-truth free-text queries against `GET /search`, score
+//! precision@1 / recall@10 against the oracle's answer sets, byte-compare
+//! every response across shard counts, and measure the closed-loop
+//! latency of the query path. The run is merged into `BENCH_par.json`
+//! under `"search"`.
+//!
+//! Scoring bridges the catalog and the synthesized store through the
+//! cluster key space: a ground-truth catalog product is "the same
+//! product" as a served hit when one of its identifier values
+//! normalizes ([`normalize_key`]) to the hit's `key_value` — the exact
+//! equivalence the clustering stage itself uses. Queries whose answer
+//! set has no served representative are unanswerable by construction
+//! (their offers never arrived or never carried a usable key) and are
+//! excluded from the quality denominators, counted in
+//! [`SearchBenchRun::unanswerable_queries`].
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use pse_core::AttributeKind;
+use pse_datagen::{truth_queries, TruthQuery, World};
+use pse_eval::report::TextTable;
+use pse_serve::{http_request, ServerConfig, ShardedStore};
+use pse_synthesis::runtime::normalize_key;
+use serde::{Deserialize, Serialize};
+
+use crate::serve_bench::{embedded_spec_provider, serve_corpus};
+
+/// Documented floor for precision@1 on the smoke corpus.
+pub const SEARCH_PRECISION_AT_1_MIN: f64 = 0.8;
+/// Documented floor for recall@10 on the smoke corpus.
+pub const SEARCH_RECALL_AT_10_MIN: f64 = 0.7;
+/// Hits requested per query — the `@10` in the quality metrics.
+pub const SEARCH_TOP_K: usize = 10;
+/// Ground-truth queries generated per run (the catalog stride in
+/// [`truth_queries`] spreads them over the whole catalog).
+pub const SEARCH_QUERY_COUNT: usize = 128;
+
+/// One shard count's closed-loop latency measurement over the query mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchBenchRow {
+    /// Shard count the store ran with.
+    pub shards: usize,
+    /// Search requests that completed with HTTP 200.
+    pub requests: usize,
+    /// Requests that failed or returned a non-200 status.
+    pub errors: usize,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// Result of the search run: quality on the first shard count,
+/// byte-agreement across all of them, latency per shard count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchBenchRun {
+    /// Concurrent client threads (and server worker threads).
+    pub workers: usize,
+    /// Requests issued per shard count in the latency loop.
+    pub requests_per_shard_count: usize,
+    /// Distinct products served behind the queries.
+    pub products: usize,
+    /// Ground-truth queries generated.
+    pub queries: usize,
+    /// Queries whose answer set had at least one served product and
+    /// therefore entered the quality denominators.
+    pub scored_queries: usize,
+    /// Queries excluded because no answer product is served.
+    pub unanswerable_queries: usize,
+    /// Fraction of scored queries whose top hit is a ground-truth answer.
+    pub precision_at_1: f64,
+    /// Mean over scored queries of answers found in the top
+    /// [`SEARCH_TOP_K`] over answers findable there.
+    pub recall_at_10: f64,
+    /// The floor `precision_at_1` is held to.
+    pub precision_at_1_min: f64,
+    /// The floor `recall_at_10` is held to.
+    pub recall_at_10_min: f64,
+    /// Whether both quality floors held.
+    pub thresholds_met: bool,
+    /// Whether every query's `(status, body)` was byte-identical across
+    /// all shard counts.
+    pub shard_counts_agree: bool,
+    /// One latency row per shard count.
+    pub rows: Vec<SearchBenchRow>,
+}
+
+/// `GET /search` paths for the query mix, `k` pinned to
+/// [`SEARCH_TOP_K`] so every body is comparable across runs.
+pub fn search_query_paths(queries: &[TruthQuery]) -> Vec<String> {
+    queries
+        .iter()
+        .map(|q| format!("/search?q={}&k={SEARCH_TOP_K}", encode_query_value(&q.text)))
+        .collect()
+}
+
+/// Percent-encode one query value (everything but unreserved characters).
+fn encode_query_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+                out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+            }
+        }
+    }
+    out
+}
+
+/// Every normalized identifier value a ground-truth answer product could
+/// have clustered under — the keys a served hit would carry if its
+/// offers were synthesized. Answers span categories (see
+/// [`TruthQuery::products`]), so identifier attributes come from each
+/// answer product's own category templates.
+fn answer_keys(world: &World, query: &TruthQuery) -> BTreeSet<String> {
+    let by_id: HashMap<_, _> = world.catalog.products().map(|p| (p.id, p)).collect();
+    let mut keys = BTreeSet::new();
+    for pid in &query.products {
+        let Some(product) = by_id.get(pid) else { continue };
+        let Some(info) = world.category_info(product.category) else { continue };
+        for t in &info.templates {
+            if t.kind != AttributeKind::Identifier {
+                continue;
+            }
+            if let Some(value) = product.spec.get(&t.name) {
+                let key = normalize_key(value);
+                if !key.is_empty() {
+                    keys.insert(key);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// The `key_value` of each hit in a `/search` response body, in rank
+/// order. Returns empty on non-JSON bodies (the caller counts those as
+/// misses, not panics — the byte-agreement check reports the real
+/// divergence).
+fn hit_keys(body: &str) -> Vec<String> {
+    let Ok(v) = serde_json::from_str::<serde::Value>(body) else {
+        return Vec::new();
+    };
+    let Some(serde::Value::Array(hits)) = v.get("hits") else {
+        return Vec::new();
+    };
+    hits.iter()
+        .filter_map(|h| match h.get("product").and_then(|p| p.get("key_value")) {
+            Some(serde::Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replay ground-truth queries against `GET /search` at every shard
+/// count: fetch each query once for byte-agreement and quality scoring,
+/// then run the closed-loop latency mix with `workers` client threads
+/// until `requests` requests have been issued.
+pub fn run_search_bench(
+    world: &World,
+    workers: usize,
+    requests: usize,
+    shard_counts: &[usize],
+) -> SearchBenchRun {
+    let workers = workers.max(1);
+    let sc = serve_corpus(world);
+    let queries = truth_queries(world, SEARCH_QUERY_COUNT);
+    assert!(!queries.is_empty(), "search-bench world must yield ground-truth queries");
+    let paths = search_query_paths(&queries);
+
+    let mut rows = Vec::new();
+    let mut products = 0;
+    let mut served_keys: BTreeSet<String> = BTreeSet::new();
+    let mut reference: Option<Vec<(u16, String)>> = None;
+    let mut shard_counts_agree = true;
+    for &shards in shard_counts {
+        let store = ShardedStore::new(sc.correspondences.clone(), shards);
+        store.ingest(&world.catalog, &sc.corpus, &embedded_spec_provider());
+        let config = ServerConfig { workers, ..ServerConfig::default() };
+        let handle = pse_serve::start(store, world.catalog.clone(), config)
+            .expect("search-bench server starts");
+        let served = handle.store().products();
+        assert!(!served.is_empty(), "search-bench world must synthesize at least one product");
+        products = served.len();
+        let addr = handle.addr().to_string();
+
+        // One pass over every query: these bodies are the quality input
+        // (first shard count) and the byte-agreement evidence (the rest).
+        let answers: Vec<(u16, String)> = paths
+            .iter()
+            .map(|p| http_request(&addr, "GET", p, None).expect("search request completes"))
+            .collect();
+        match &reference {
+            None => {
+                served_keys = served.iter().map(|p| p.key_value.clone()).collect();
+                reference = Some(answers);
+            }
+            Some(want) => shard_counts_agree &= *want == answers,
+        }
+
+        // Closed-loop latency over the same mix.
+        let next = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut lat = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests {
+                                break;
+                            }
+                            let path = &paths[i % paths.len()];
+                            let t = Instant::now();
+                            match http_request(&addr, "GET", path, None) {
+                                Ok((200, _)) => lat.push(t.elapsed().as_micros() as u64),
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            joins.into_iter().flat_map(|j| j.join().expect("load worker joins")).collect()
+        });
+        let wall = t0.elapsed();
+        handle.shutdown().expect("search-bench server stops");
+        latencies.sort_unstable();
+        rows.push(SearchBenchRow {
+            shards,
+            requests: latencies.len(),
+            errors: errors.into_inner(),
+            p50_us: percentile(&latencies, 50),
+            p99_us: percentile(&latencies, 99),
+            throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+
+    // Quality, scored on the first shard count's bodies.
+    let reference = reference.expect("at least one shard count runs");
+    let mut scored = 0usize;
+    let mut unanswerable = 0usize;
+    let mut top1_hits = 0usize;
+    let mut recall_sum = 0.0f64;
+    for (query, (status, body)) in queries.iter().zip(&reference) {
+        let expected: BTreeSet<String> =
+            answer_keys(world, query).into_iter().filter(|k| served_keys.contains(k)).collect();
+        if expected.is_empty() {
+            unanswerable += 1;
+            continue;
+        }
+        scored += 1;
+        let hits = if *status == 200 { hit_keys(body) } else { Vec::new() };
+        if hits.first().is_some_and(|k| expected.contains(k)) {
+            top1_hits += 1;
+        }
+        let found = hits.iter().filter(|k| expected.contains(*k)).count();
+        // Denominator capped at k: with more than k answers, a perfect
+        // top-k page still scores 1.0.
+        recall_sum += found as f64 / expected.len().min(SEARCH_TOP_K) as f64;
+    }
+    let precision_at_1 = if scored == 0 { 0.0 } else { top1_hits as f64 / scored as f64 };
+    let recall_at_10 = if scored == 0 { 0.0 } else { recall_sum / scored as f64 };
+
+    SearchBenchRun {
+        workers,
+        requests_per_shard_count: requests,
+        products,
+        queries: queries.len(),
+        scored_queries: scored,
+        unanswerable_queries: unanswerable,
+        precision_at_1,
+        recall_at_10,
+        precision_at_1_min: SEARCH_PRECISION_AT_1_MIN,
+        recall_at_10_min: SEARCH_RECALL_AT_10_MIN,
+        thresholds_met: precision_at_1 >= SEARCH_PRECISION_AT_1_MIN
+            && recall_at_10 >= SEARCH_RECALL_AT_10_MIN,
+        shard_counts_agree,
+        rows,
+    }
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        n => sorted[(n - 1) * pct / 100],
+    }
+}
+
+/// Render the search run as a text table plus the quality line.
+pub fn render_search_bench(run: &SearchBenchRun) -> String {
+    let mut t = TextTable::new([
+        "Shards",
+        "Requests",
+        "Errors",
+        "p50 (us)",
+        "p99 (us)",
+        "Throughput (rps)",
+    ]);
+    for r in &run.rows {
+        t.row([
+            r.shards.to_string(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            format!("{:.0}", r.throughput_rps),
+        ]);
+    }
+    format!(
+        "Search: {} ground-truth queries over {} products ({} scored, {} unanswerable)\n{}\nprecision@1 {:.3} (floor {:.2}), recall@10 {:.3} (floor {:.2}), shard counts agree: {}",
+        run.queries,
+        run.products,
+        run.scored_queries,
+        run.unanswerable_queries,
+        t.render(),
+        run.precision_at_1,
+        run.precision_at_1_min,
+        run.recall_at_10,
+        run.recall_at_10_min,
+        run.shard_counts_agree
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_datagen::WorldConfig;
+
+    #[test]
+    fn search_bench_meets_quality_floors_on_the_tiny_world() {
+        let world = World::generate(WorldConfig::tiny());
+        let run = run_search_bench(&world, 2, 64, &[1, 2]);
+        assert!(run.queries > 0 && run.scored_queries > 0, "{run:?}");
+        assert!(run.shard_counts_agree, "shard counts must agree: {run:?}");
+        assert!(
+            run.thresholds_met,
+            "precision@1 {:.3} (floor {}), recall@10 {:.3} (floor {})",
+            run.precision_at_1, run.precision_at_1_min, run.recall_at_10, run.recall_at_10_min
+        );
+        assert_eq!(run.rows.len(), 2);
+        for row in &run.rows {
+            assert_eq!(row.errors, 0, "query mix must serve cleanly: {row:?}");
+            assert!(row.requests > 0);
+        }
+    }
+
+    #[test]
+    fn hit_keys_reads_ranked_key_values() {
+        let body = r#"{"category":3,"constraints":[],"hits":[
+            {"matched":1,"score":0.5,"product":{"key_value":"abc123","spec":[]}},
+            {"matched":0,"score":0.1,"product":{"key_value":"zzz9","spec":[]}}]}"#;
+        assert_eq!(hit_keys(body), vec!["abc123".to_string(), "zzz9".to_string()]);
+        assert!(hit_keys("not json").is_empty());
+        assert!(hit_keys(r#"{"hits":[]}"#).is_empty());
+    }
+}

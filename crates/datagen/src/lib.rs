@@ -33,6 +33,7 @@
 pub mod config;
 pub mod merchant_vocab;
 pub mod page;
+pub mod queries;
 pub mod stream;
 pub mod templates;
 pub mod truth;
@@ -41,6 +42,7 @@ pub mod world;
 
 pub use config::{ConfigError, WorldConfig};
 pub use page::render_landing_page;
+pub use queries::{truth_queries, TruthQuery};
 pub use stream::{
     FlashSale, MerchantChurn, OfferStream, RetractionWave, Scenario, StreamBatch, StreamedOffer,
 };

@@ -1,0 +1,226 @@
+//! Ground-truth search queries (ISSUE 10): free-text query strings with
+//! the oracle's answer attached, for scoring the structured query
+//! engine's precision and recall.
+//!
+//! Each [`TruthQuery`] is built from one catalog product: up to three of
+//! its non-identifier attribute values become the query text, and the
+//! answer is every catalog product — in *any* category — whose spec
+//! satisfies all of those `(attribute, value)` constraints under the
+//! pipeline's own value-equivalence. Sibling categories share attribute
+//! templates, so a free-text query like `"Dell"` is genuinely
+//! cross-category: an engine answering it with a Dell product from a
+//! sibling of the seed's category is right, and the oracle must say so.
+//! Selection and phrasing are pure functions of the catalog — no RNG —
+//! so the same world always yields the same queries:
+//!
+//! * every third query prefixes a value with its attribute name,
+//!   exercising the engine's attribute-phrase hints;
+//! * every fifth query renders its first value the way a merchant
+//!   carrying the product writes it ([`MerchantVocab::format_value`]),
+//!   exercising vocabulary/fuzzy resolution instead of exact lookup.
+
+use pse_core::{AttributeKind, CategoryId, Product, ProductId};
+use pse_text::normalize::values_equivalent;
+use pse_text::tokens;
+use serde::{Deserialize, Serialize};
+
+use crate::merchant_vocab::MerchantVocab;
+use crate::world::World;
+
+/// Longest value phrase the query engine resolves exactly; queries keep
+/// their constraint values at or under it so "unanswerable by
+/// construction" queries cannot drag precision down.
+const MAX_QUERY_VALUE_TOKENS: usize = 3;
+
+/// One free-text query with its ground-truth answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthQuery {
+    /// The query text a user would type.
+    pub text: String,
+    /// The category of the seed product the constraints came from.
+    pub category: CategoryId,
+    /// The canonical `(catalog attribute, value)` constraints the text
+    /// encodes (values canonical even when the text is merchant-phrased).
+    pub constraints: Vec<(String, String)>,
+    /// Every catalog product — any category — satisfying all
+    /// constraints (always contains the seed product).
+    pub products: Vec<ProductId>,
+}
+
+/// Build up to `count` ground-truth queries by striding deterministically
+/// over the catalog.
+pub fn truth_queries(world: &World, count: usize) -> Vec<TruthQuery> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let products: Vec<&Product> = world.catalog.products().collect();
+    let stride = (products.len() / count).max(1);
+    let mut queries = Vec::new();
+    for (i, product) in products.iter().step_by(stride).enumerate() {
+        if queries.len() == count {
+            break;
+        }
+        if let Some(q) = query_for(world, product, i) {
+            queries.push(q);
+        }
+    }
+    queries
+}
+
+/// The i-th query's shape, from one seed product; `None` when the
+/// product has no queryable attribute.
+fn query_for(world: &World, product: &Product, i: usize) -> Option<TruthQuery> {
+    let info = world.category_info(product.category)?;
+    let kind_of = |attr: &str| info.templates.iter().find(|t| t.name == attr).map(|t| t.kind);
+    // Queryable: non-identifier, non-empty, and short enough to resolve
+    // as one exact value phrase. Text attributes (brand, color, material
+    // …) lead and numeric measurements only refine: a user opens with
+    // the distinctive words and narrows with dimensions, and a bare
+    // "10 inches" answers to every category with a width.
+    let queryable_of = |want_text: bool| -> Vec<(&str, &str)> {
+        product
+            .spec
+            .iter()
+            .filter(|av| {
+                !av.value.is_empty()
+                    && (1..=MAX_QUERY_VALUE_TOKENS).contains(&tokens(&av.value).len())
+                    && kind_of(&av.name).is_some_and(|k| {
+                        k != AttributeKind::Identifier && (k == AttributeKind::Text) == want_text
+                    })
+            })
+            .map(|av| (av.name.as_str(), av.value.as_str()))
+            .collect()
+    };
+    let text = queryable_of(true);
+    let numeric = queryable_of(false);
+    if text.is_empty() && numeric.is_empty() {
+        return None;
+    }
+    let wanted = 1 + i % 3;
+    let mut chosen: Vec<(&str, &str)> = Vec::new();
+    if !text.is_empty() {
+        let start = i % text.len();
+        chosen.extend((0..text.len().min(wanted)).map(|j| text[(start + j) % text.len()]));
+    }
+    if chosen.len() < wanted && !numeric.is_empty() {
+        let start = i % numeric.len();
+        let more = wanted - chosen.len();
+        chosen.extend((0..numeric.len().min(more)).map(|j| numeric[(start + j) % numeric.len()]));
+    }
+
+    let mut parts = Vec::new();
+    for (j, &(attr, value)) in chosen.iter().enumerate() {
+        let surface = if j == 0 && i % 5 == 4 {
+            merchant_phrasing(world, product, attr).unwrap_or_else(|| value.to_string())
+        } else {
+            value.to_string()
+        };
+        // Numeric values are always attribute-prefixed — a bare "30 cm"
+        // is ambiguous across every dimension attribute, and real users
+        // disambiguate measurements ("depth 30 cm"). Text values are
+        // distinctive enough to stand alone, with a rotating third
+        // prefixed anyway to exercise the hint path.
+        if kind_of(attr) == Some(AttributeKind::Numeric) || (i + j) % 3 == 1 {
+            parts.push(format!("{attr} {surface}"));
+        } else {
+            parts.push(surface);
+        }
+    }
+    let constraints: Vec<(String, String)> =
+        chosen.iter().map(|&(a, v)| (a.to_string(), v.to_string())).collect();
+    let answer: Vec<ProductId> = world
+        .catalog
+        .products()
+        .filter(|p| {
+            constraints
+                .iter()
+                .all(|(attr, value)| p.spec.get(attr).is_some_and(|v| values_equivalent(v, value)))
+        })
+        .map(|p| p.id)
+        .collect();
+    debug_assert!(answer.contains(&product.id), "the seed product answers its own query");
+    Some(TruthQuery {
+        text: parts.join(" "),
+        category: product.category,
+        constraints,
+        products: answer,
+    })
+}
+
+/// How the first merchant that exposes `attr` in this category would
+/// write the product's value — the deterministic stand-in for "a user
+/// typing what a storefront showed them".
+fn merchant_phrasing(world: &World, product: &Product, attr: &str) -> Option<String> {
+    let value = product.spec.get(attr)?;
+    let info = world.category_info(product.category)?;
+    let gen = &info.templates.iter().find(|t| t.name == attr)?.gen;
+    let vocab: &MerchantVocab = world
+        .merchants
+        .iter()
+        .find_map(|m| world.vocab(m.id, product.category).filter(|v| v.exposes(attr)))?;
+    Some(vocab.format_value(attr, value, gen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_answerable() {
+        let w = world();
+        let a = truth_queries(&w, 24);
+        let b = truth_queries(&w, 24);
+        assert_eq!(a, b, "same world, same queries");
+        assert!(!a.is_empty(), "a tiny world still yields queries");
+        for q in &a {
+            assert!(!q.text.is_empty());
+            assert!(!q.constraints.is_empty() && q.constraints.len() <= 3);
+            assert!(!q.products.is_empty(), "every query has at least its seed answer");
+            for (attr, value) in &q.constraints {
+                assert!(!attr.is_empty() && !value.is_empty());
+                assert!(tokens(value).len() <= MAX_QUERY_VALUE_TOKENS);
+            }
+        }
+    }
+
+    #[test]
+    fn answers_are_exactly_the_satisfying_products() {
+        let w = world();
+        for q in truth_queries(&w, 12) {
+            let expected: Vec<ProductId> = w
+                .catalog
+                .products()
+                .filter(|p| {
+                    q.constraints.iter().all(|(attr, value)| {
+                        p.spec.get(attr).is_some_and(|v| values_equivalent(v, value))
+                    })
+                })
+                .map(|p| p.id)
+                .collect();
+            assert_eq!(q.products, expected, "answer for {:?}", q.text);
+        }
+    }
+
+    #[test]
+    fn phrasing_mix_covers_attribute_hints_and_merchant_surfaces() {
+        let w = world();
+        let queries = truth_queries(&w, 30);
+        // Constraint values are always canonical; at least one query's
+        // text must diverge from pure canonical values (merchant
+        // phrasing or attribute-name prefixes).
+        let decorated = queries
+            .iter()
+            .filter(|q| {
+                let plain: String =
+                    q.constraints.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(" ");
+                q.text != plain
+            })
+            .count();
+        assert!(decorated > 0, "the mix must decorate some queries");
+    }
+}

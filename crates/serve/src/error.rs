@@ -26,6 +26,31 @@ pub enum ServeError {
     Durability(WalError),
 }
 
+impl ServeError {
+    /// The stable machine-readable code the JSON error envelope carries
+    /// for this error. Codes are part of the wire contract (pinned by
+    /// the socket tests): renaming one is an API break.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::Io(_) => "io_error",
+            Self::BadRequest(_) => "bad_request",
+            Self::RequestTooLarge { .. } => "request_too_large",
+            Self::Store(e) => store_error_code(e),
+            Self::BadResponse(_) => "bad_response",
+            Self::Durability(_) => "durability_failed",
+        }
+    }
+}
+
+/// The stable envelope code for a store-layer failure.
+pub fn store_error_code(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Json(_) => "store_bad_json",
+        StoreError::UnsupportedVersion { .. } => "store_unsupported_version",
+        StoreError::CorruptSnapshot(_) => "store_corrupt_snapshot",
+    }
+}
+
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -52,6 +52,7 @@ pub mod client;
 pub mod durable;
 pub mod error;
 pub mod http;
+pub mod router;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -61,7 +62,8 @@ pub use durable::{
     durable_ingest, durable_ingest_serial, durable_retract, durable_snapshot, open_durable,
     DurableCtx,
 };
-pub use error::ServeError;
+pub use error::{store_error_code, ServeError};
 pub use http::Body;
+pub use router::{Method, Params, Query, Route, RouteOutcome, Router, Seg};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use shard::{shard_of, ShardedStore, ShardedWrite};
+pub use shard::{shard_of, SearchOutcome, ShardedStore, ShardedWrite};

@@ -31,6 +31,7 @@ use pse_wal::DurabilityConfig;
 use crate::durable::{durable_ingest, durable_retract, durable_snapshot, open_durable, DurableCtx};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, Body, Request};
+use crate::router::{EndpointMetrics, Method, Params, Query, Route, RouteOutcome, Router, Seg};
 use crate::shard::ShardedStore;
 
 /// Server knobs. `addr` of `"127.0.0.1:0"` binds an ephemeral port —
@@ -144,10 +145,18 @@ pub fn start(
     ] {
         pse_obs::seed(c);
     }
-    for (_, m) in &ENDPOINTS {
+    // RED counters come straight off the route table (plus the
+    // non-routable outcomes), so a new route is seeded by construction.
+    for route in ROUTER.routes() {
+        pse_obs::seed(route.metrics.requests);
+        pse_obs::seed(route.metrics.errors);
+    }
+    for m in &EXTRA_ENDPOINTS {
         pse_obs::seed(m.requests);
         pse_obs::seed(m.errors);
     }
+    // The query engine's metric family, served through `GET /search`.
+    pse_query::seed_metrics();
     let (store, durability) = match (&config.wal_path, &config.snapshot_dir) {
         (Some(wal_path), Some(snapshot_dir)) => {
             let dcfg = DurabilityConfig {
@@ -321,7 +330,9 @@ fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>
                 pse_obs::incr("serve.backpressure_503");
                 count_status(503);
                 let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-                let _ = write_response(&mut stream, 503, "text/plain", b"accept queue full\n");
+                // No request was read, so no trace exists: empty trace_id.
+                let body = error_body("overloaded", "accept queue full", "");
+                let _ = write_response(&mut stream, 503, "application/json", &body);
                 drain_unread(&mut stream);
             }
             Err(TrySendError::Disconnected(_)) => break,
@@ -352,63 +363,77 @@ fn count_status(status: u16) {
     });
 }
 
-/// The RED-metric names for one routed endpoint, precomputed so the
-/// request path never formats a metric name.
-struct EndpointMetrics {
-    requests: &'static str,
-    errors: &'static str,
-    us: &'static str,
-}
-
-macro_rules! endpoint {
-    ($label:literal) => {
-        (
-            $label,
-            EndpointMetrics {
-                requests: concat!("serve.endpoint.", $label, ".requests"),
-                errors: concat!("serve.endpoint.", $label, ".errors"),
-                us: concat!("serve.endpoint.", $label, ".us"),
-            },
-        )
+/// Expand one row of the route table: the span/metric label is written
+/// once and the RED metric names derive from it at compile time, so a
+/// route cannot be added without its metrics — the old failure mode of
+/// updating the dispatch `match` but not the label `match` is
+/// unrepresentable.
+macro_rules! route {
+    ($method:ident, [$($seg:expr),* $(,)?], $label:literal, $handler:expr) => {
+        Route {
+            method: Method::$method,
+            pattern: &[$($seg),*],
+            label: $label,
+            metrics: endpoint_metrics_for!($label),
+            handler: $handler,
+        }
     };
 }
 
-/// Every label [`route_label`] can produce, plus the non-routable
-/// outcomes: `invalid` (unparseable or oversized request head) and `io`
-/// (client vanished before a request could be read).
-const ENDPOINTS: [(&str, EndpointMetrics); 12] = [
-    endpoint!("healthz"),
-    endpoint!("metrics"),
-    endpoint!("products"),
-    endpoint!("product"),
-    endpoint!("ingest"),
-    endpoint!("retract"),
-    endpoint!("shutdown"),
-    endpoint!("debug_requests"),
-    endpoint!("debug_trace"),
-    endpoint!("other"),
-    endpoint!("invalid"),
-    endpoint!("io"),
-];
-
-fn endpoint_metrics(label: &str) -> &'static EndpointMetrics {
-    ENDPOINTS.iter().find(|(l, _)| *l == label).map(|(_, m)| m).unwrap_or(&ENDPOINTS[9].1)
-    // "other"
+macro_rules! endpoint_metrics_for {
+    ($label:literal) => {
+        EndpointMetrics {
+            requests: concat!("serve.endpoint.", $label, ".requests"),
+            errors: concat!("serve.endpoint.", $label, ".errors"),
+            us: concat!("serve.endpoint.", $label, ".us"),
+        }
+    };
 }
 
-/// The metrics/span label a request routes to (every arm of [`dispatch`]).
-fn route_label(request: &Request) -> &'static str {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => "healthz",
-        ("GET", "/metrics") => "metrics",
-        ("GET", "/product") => "product",
-        ("GET", path) if path.starts_with("/products/") => "products",
-        ("GET", "/debug/requests") => "debug_requests",
-        ("GET", path) if path.starts_with("/debug/trace/") => "debug_trace",
-        ("POST", "/ingest") => "ingest",
-        ("POST", "/retract") => "retract",
-        ("POST", "/shutdown") => "shutdown",
-        _ => "other",
+/// A handler returns its success response or a typed API error the
+/// connection loop renders into the JSON error envelope (it carries the
+/// request's trace id, which handlers never see).
+type HandlerResult = Result<Response, ApiError>;
+type Handler = fn(&Inner, &Request, &Params) -> HandlerResult;
+
+/// Every routed endpoint: dispatch, span/metric label, and RED metric
+/// names in one table.
+static ROUTES: &[Route<Handler>] = &[
+    route!(Get, [Seg::Lit("healthz")], "healthz", h_healthz),
+    route!(Get, [Seg::Lit("metrics")], "metrics", h_metrics),
+    route!(Get, [Seg::Lit("product")], "product", h_product),
+    route!(Get, [Seg::Lit("products"), Seg::Param("category")], "products", h_products),
+    route!(Get, [Seg::Lit("search")], "search", h_search),
+    route!(Get, [Seg::Lit("debug"), Seg::Lit("requests")], "debug_requests", h_debug_requests),
+    route!(
+        Get,
+        [Seg::Lit("debug"), Seg::Lit("trace"), Seg::Param("id")],
+        "debug_trace",
+        h_debug_trace
+    ),
+    route!(Post, [Seg::Lit("ingest")], "ingest", h_ingest),
+    route!(Post, [Seg::Lit("retract")], "retract", h_retract),
+    route!(Post, [Seg::Lit("shutdown")], "shutdown", h_shutdown),
+];
+
+static ROUTER: Router<Handler> = Router::new(ROUTES);
+
+/// The non-routable outcomes: `other` (no route matched), `invalid`
+/// (unparseable or oversized request head), and `io` (client vanished
+/// before a request could be read).
+static EXTRA_ENDPOINTS: [EndpointMetrics; 3] =
+    [endpoint_metrics_for!("other"), endpoint_metrics_for!("invalid"), endpoint_metrics_for!("io")];
+
+fn endpoint_metrics(label: &str) -> &'static EndpointMetrics {
+    match label {
+        "other" => &EXTRA_ENDPOINTS[0],
+        "invalid" => &EXTRA_ENDPOINTS[1],
+        "io" => &EXTRA_ENDPOINTS[2],
+        _ => ROUTES
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| &r.metrics)
+            .unwrap_or(&EXTRA_ENDPOINTS[0]),
     }
 }
 
@@ -447,25 +472,37 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
             if let Some(id) = request.header("x-pse-trace-id").and_then(TraceId::from_hex) {
                 trace.set_id(id);
             }
-            let endpoint = route_label(&request);
-            // A panicking handler must cost us a 500, not a worker.
-            let response =
-                match catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request, endpoint))) {
-                    Ok(response) => response,
-                    Err(_) => (500, "text/plain", b"internal error\n".to_vec().into()),
-                };
-            (endpoint, response)
-        }
-        Err(ServeError::RequestTooLarge { got, cap }) => {
-            request_incomplete = true;
-            (
-                "invalid",
-                (
-                    413,
-                    "text/plain",
-                    format!("request of {got} bytes exceeds cap of {cap}\n").into_bytes().into(),
+            let trace_id = trace_id_hex(&trace);
+            match ROUTER.find(&request.method, &request.path) {
+                RouteOutcome::Matched(route, params) => {
+                    // A panicking handler must cost us a 500, not a worker.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let _route_span = pse_obs::span(route.label);
+                        (route.handler)(inner, &request, &params)
+                    }));
+                    let response = match outcome {
+                        Ok(Ok(response)) => response,
+                        Ok(Err(api)) => api.into_response(&trace_id),
+                        Err(_) => ApiError::new(500, "internal", "internal error")
+                            .into_response(&trace_id),
+                    };
+                    (route.label, response)
+                }
+                RouteOutcome::NotFound => (
+                    "other",
+                    ApiError::new(404, "not_found", "no such endpoint").into_response(&trace_id),
                 ),
-            )
+                RouteOutcome::MethodNotAllowed => (
+                    "other",
+                    ApiError::new(405, "method_not_allowed", "method not allowed")
+                        .into_response(&trace_id),
+                ),
+            }
+        }
+        Err(e @ ServeError::RequestTooLarge { .. }) => {
+            request_incomplete = true;
+            let trace_id = trace_id_hex(&trace);
+            ("invalid", ApiError::from_serve(413, &e).into_response(&trace_id))
         }
         Err(ServeError::Io(_)) => {
             // Client vanished or timed out; nothing to write to.
@@ -476,7 +513,10 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
             }
             return;
         }
-        Err(e) => ("invalid", (400, "text/plain", format!("{e}\n").into_bytes().into())),
+        Err(e) => {
+            let trace_id = trace_id_hex(&trace);
+            ("invalid", ApiError::from_serve(400, &e).into_response(&trace_id))
+        }
     };
     count_status(status);
     {
@@ -516,84 +556,212 @@ fn drain_unread(stream: &mut TcpStream) {
 
 type Response = (u16, &'static str, Body);
 
-fn dispatch(inner: &Inner, request: &Request, endpoint: &'static str) -> Response {
-    // The route stage of the request span tree: `serve.request.<endpoint>`.
-    let _route = pse_obs::span(endpoint);
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "text/plain", b"ok\n".to_vec().into()),
-        ("GET", "/metrics") => {
-            (200, "application/json", pse_obs::report().to_json().into_bytes().into())
-        }
-        ("GET", "/product") => get_product(inner, request),
-        ("GET", path) if path.starts_with("/products/") => {
-            get_products(inner, &path["/products/".len()..])
-        }
-        ("GET", "/debug/requests") => {
-            (200, "application/json", inner.recorder.requests_json().into_bytes().into())
-        }
-        ("GET", path) if path.starts_with("/debug/trace/") => {
-            get_debug_trace(inner, &path["/debug/trace/".len()..])
-        }
-        ("POST", "/ingest") => post_ingest(inner, request),
-        ("POST", "/retract") => post_retract(inner, request),
-        ("POST", "/shutdown") => {
-            inner.stop.store(true, Ordering::SeqCst);
-            // Wake the acceptor so it notices; error means it already did.
-            let _ = TcpStream::connect(inner.addr);
-            (200, "text/plain", b"shutting down\n".to_vec().into())
-        }
-        ("GET" | "POST", _) => (404, "text/plain", b"no such endpoint\n".to_vec().into()),
-        _ => (405, "text/plain", b"method not allowed\n".to_vec().into()),
+/// A typed handler failure: status, stable code, human message. The
+/// connection loop renders it into the unified envelope
+/// `{"error": {"code", "message", "trace_id"}}` — handlers never format
+/// error bodies themselves, so every endpoint fails the same way.
+struct ApiError {
+    status: u16,
+    code: &'static str,
+    message: String,
+}
+
+#[derive(serde::Serialize)]
+struct ErrorDetail {
+    code: String,
+    message: String,
+    trace_id: String,
+}
+
+#[derive(serde::Serialize)]
+struct ErrorEnvelope {
+    error: ErrorDetail,
+}
+
+/// The envelope bytes for one error, shared by handlers (via
+/// [`ApiError::into_response`]) and the accept loop's direct 503.
+fn error_body(code: &str, message: &str, trace_id: &str) -> Vec<u8> {
+    let envelope = ErrorEnvelope {
+        error: ErrorDetail {
+            code: code.to_string(),
+            message: message.to_string(),
+            trace_id: trace_id.to_string(),
+        },
+    };
+    serde_json::to_string(&envelope)
+        .expect("error envelope serialization is infallible")
+        .into_bytes()
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self { status, code, message: message.into() }
+    }
+
+    /// Wrap a serve-layer error, reusing its stable code and display.
+    fn from_serve(status: u16, e: &ServeError) -> Self {
+        Self { status, code: e.code(), message: e.to_string() }
+    }
+
+    fn into_response(self, trace_id: &str) -> Response {
+        (self.status, "application/json", error_body(self.code, &self.message, trace_id).into())
     }
 }
 
-fn get_products(inner: &Inner, raw_category: &str) -> Response {
-    let Ok(category) = raw_category.parse::<u32>() else {
-        return bad_request(format!("category must be an integer, got {raw_category:?}"));
+/// The request's trace id as the envelope carries it: hex when tracing
+/// is on, empty when off (the envelope shape never changes).
+fn trace_id_hex(trace: &pse_obs::RequestTraceGuard) -> String {
+    trace.id().map(TraceId::to_hex).unwrap_or_default()
+}
+
+fn h_healthz(_inner: &Inner, _request: &Request, _params: &Params) -> HandlerResult {
+    Ok((200, "text/plain", b"ok\n".to_vec().into()))
+}
+
+fn h_metrics(_inner: &Inner, _request: &Request, _params: &Params) -> HandlerResult {
+    Ok((200, "application/json", pse_obs::report().to_json().into_bytes().into()))
+}
+
+fn h_products(inner: &Inner, _request: &Request, params: &Params) -> HandlerResult {
+    let raw = params.get("category").unwrap_or_default();
+    let Ok(category) = raw.parse::<u32>() else {
+        return Err(ApiError::new(
+            400,
+            "bad_request",
+            format!("category must be an integer, got {raw:?}"),
+        ));
     };
     // The hot path: one snapshot load, one map lookup, shared bytes —
     // no shard lock, no per-request serialization. Byte-identical to
     // `json_200(&inner.store.products_in_category(..))`.
     let _probe = pse_obs::span("cache_probe");
-    (200, "application/json", inner.store.products_response(CategoryId(category)).into())
+    Ok((200, "application/json", inner.store.products_response(CategoryId(category)).into()))
 }
 
-fn get_product(inner: &Inner, request: &Request) -> Response {
+fn h_product(inner: &Inner, request: &Request, _params: &Params) -> HandlerResult {
+    let query = Query::of(request);
     let (Some(category), Some(attr), Some(key)) =
-        (request.query_param("category"), request.query_param("attr"), request.query_param("key"))
+        (query.get("category"), query.get("attr"), query.get("key"))
     else {
-        return bad_request("need category=<id>&attr=<name>&key=<value>".to_string());
+        return Err(ApiError::new(
+            400,
+            "bad_request",
+            "need category=<id>&attr=<name>&key=<value>",
+        ));
     };
     let Ok(category) = category.parse::<u32>() else {
-        return bad_request(format!("category must be an integer, got {category:?}"));
+        return Err(ApiError::new(
+            400,
+            "bad_request",
+            format!("category must be an integer, got {category:?}"),
+        ));
     };
     let cluster_key = (CategoryId(category), attr.to_string(), normalize_key(key));
-    // Like `get_products`, served from the snapshot's cached per-product
+    // Like `h_products`, served from the snapshot's cached per-product
     // JSON — byte-identical to `json_200(&inner.store.product_for(..))`.
     let _lookup = pse_obs::span("lookup");
     match inner.store.product_response(&cluster_key) {
-        Some(json) => (200, "application/json", json.into()),
-        None => (404, "text/plain", b"no such product\n".to_vec().into()),
+        Some(json) => Ok((200, "application/json", json.into())),
+        None => Err(ApiError::new(404, "not_found", "no such product")),
     }
 }
 
-fn get_debug_trace(inner: &Inner, raw_id: &str) -> Response {
-    let Some(id) = TraceId::from_hex(raw_id) else {
-        return bad_request(format!("trace id must be 1-16 hex digits, got {raw_id:?}"));
+/// Echoed constraint of a `GET /search` response.
+#[derive(serde::Serialize)]
+struct ConstraintOut {
+    phrase: String,
+    attribute: String,
+    value: String,
+    score: f64,
+    exact: bool,
+}
+
+/// Hit cap: `k` defaults to 10 and callers cannot demand unbounded
+/// result assembly.
+const SEARCH_K_DEFAULT: usize = 10;
+const SEARCH_K_MAX: usize = 100;
+
+fn h_search(inner: &Inner, request: &Request, _params: &Params) -> HandlerResult {
+    let query = Query::of(request);
+    let Some(q) = query.get("q") else {
+        return Err(ApiError::new(400, "bad_request", "need q=<free-text query>"));
+    };
+    let k = match query.get("k") {
+        None => SEARCH_K_DEFAULT,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if (1..=SEARCH_K_MAX).contains(&k) => k,
+            _ => {
+                return Err(ApiError::new(
+                    400,
+                    "bad_request",
+                    format!("k must be an integer in 1..={SEARCH_K_MAX}, got {raw:?}"),
+                ));
+            }
+        },
+    };
+    let outcome = inner.store.search(q, k);
+    let constraints: Vec<ConstraintOut> = outcome
+        .result
+        .constraints
+        .iter()
+        .map(|c| ConstraintOut {
+            phrase: c.phrase.clone(),
+            attribute: c.attribute.clone(),
+            value: c.value.clone(),
+            score: c.score,
+            exact: c.exact,
+        })
+        .collect();
+    // Assemble around the snapshot's cached product JSON: the engine
+    // parts serialize through serde, the per-hit product bytes splice
+    // in verbatim — no product is re-serialized on the search path.
+    let mut body = String::from("{\"category\":");
+    match outcome.result.category {
+        Some(c) => body.push_str(&c.0.to_string()),
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"constraints\":");
+    body.push_str(&json_field(&constraints)?);
+    body.push_str(",\"hits\":[");
+    for (i, (hit, json)) in outcome.result.hits.iter().zip(&outcome.hit_json).enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"matched\":");
+        body.push_str(&hit.matched.to_string());
+        body.push_str(",\"score\":");
+        body.push_str(&json_field(&hit.score)?);
+        body.push_str(",\"product\":");
+        body.push_str(json);
+        body.push('}');
+    }
+    body.push_str("]}");
+    Ok((200, "application/json", body.into_bytes().into()))
+}
+
+fn h_debug_requests(inner: &Inner, _request: &Request, _params: &Params) -> HandlerResult {
+    Ok((200, "application/json", inner.recorder.requests_json().into_bytes().into()))
+}
+
+fn h_debug_trace(inner: &Inner, _request: &Request, params: &Params) -> HandlerResult {
+    let raw = params.get("id").unwrap_or_default();
+    let Some(id) = TraceId::from_hex(raw) else {
+        return Err(ApiError::new(
+            400,
+            "bad_request",
+            format!("trace id must be 1-16 hex digits, got {raw:?}"),
+        ));
     };
     match inner.recorder.trace_json(id) {
-        Some(json) => (200, "application/json", json.into_bytes().into()),
-        None => (404, "text/plain", b"no such trace\n".to_vec().into()),
+        Some(json) => Ok((200, "application/json", json.into_bytes().into())),
+        None => Err(ApiError::new(404, "not_found", "no such trace")),
     }
 }
 
-fn post_ingest(inner: &Inner, request: &Request) -> Response {
+fn h_ingest(inner: &Inner, request: &Request, _params: &Params) -> HandlerResult {
     let offers: Vec<Offer> = {
         let _parse = pse_obs::span("parse_body");
-        match parse_json_body(&request.body) {
-            Ok(offers) => offers,
-            Err(resp) => return resp,
-        }
+        parse_json_body(&request.body)?
     };
     pse_obs::add("serve.ingest_offers", offers.len() as u64);
     let provider = FnProvider(|o: &Offer| o.spec.clone());
@@ -604,7 +772,7 @@ fn post_ingest(inner: &Inner, request: &Request) -> Response {
                     maybe_compact(inner);
                     stats
                 }
-                Err(e) => return durability_failed(e),
+                Err(e) => return Err(durability_failed(e)),
             }
         }
         None => inner.store.ingest(&inner.catalog, &offers, &provider),
@@ -612,13 +780,10 @@ fn post_ingest(inner: &Inner, request: &Request) -> Response {
     json_200(&stats)
 }
 
-fn post_retract(inner: &Inner, request: &Request) -> Response {
+fn h_retract(inner: &Inner, request: &Request, _params: &Params) -> HandlerResult {
     let ids: Vec<u64> = {
         let _parse = pse_obs::span("parse_body");
-        match parse_json_body(&request.body) {
-            Ok(ids) => ids,
-            Err(resp) => return resp,
-        }
+        parse_json_body(&request.body)?
     };
     let ids: Vec<OfferId> = ids.into_iter().map(OfferId).collect();
     let stats = match &inner.durability {
@@ -627,36 +792,42 @@ fn post_retract(inner: &Inner, request: &Request) -> Response {
                 maybe_compact(inner);
                 stats
             }
-            Err(e) => return durability_failed(e),
+            Err(e) => return Err(durability_failed(e)),
         },
         None => inner.store.retract(&inner.catalog, &ids),
     };
     json_200(&stats)
 }
 
+fn h_shutdown(inner: &Inner, _request: &Request, _params: &Params) -> HandlerResult {
+    inner.stop.store(true, Ordering::SeqCst);
+    // Wake the acceptor so it notices; error means it already did.
+    let _ = TcpStream::connect(inner.addr);
+    Ok((200, "text/plain", b"shutting down\n".to_vec().into()))
+}
+
 /// A write we could not make durable is a server-side failure: the
 /// record never hit the log, so the store was not mutated either.
-fn durability_failed(e: ServeError) -> Response {
-    (500, "text/plain", format!("{e}\n").into_bytes().into())
+fn durability_failed(e: ServeError) -> ApiError {
+    ApiError { status: 500, code: e.code(), message: e.to_string() }
 }
 
-fn parse_json_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
-    let text =
-        std::str::from_utf8(body).map_err(|_| bad_request("body is not UTF-8".to_string()))?;
-    serde_json::from_str(text).map_err(|e| bad_request(format!("body is not valid JSON: {}", e.0)))
+fn parse_json_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "bad_request", "body is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ApiError::new(400, "bad_request", format!("body is not valid JSON: {}", e.0)))
 }
 
-fn json_200<T: serde::Serialize>(value: &T) -> Response {
-    match serde_json::to_string(value) {
-        Ok(json) => (200, "application/json", json.into_bytes().into()),
-        Err(e) => {
-            (500, "text/plain", format!("serialization failed: {}\n", e.0).into_bytes().into())
-        }
-    }
+fn json_200<T: serde::Serialize>(value: &T) -> HandlerResult {
+    Ok((200, "application/json", json_field(value)?.into_bytes().into()))
 }
 
-fn bad_request(message: String) -> Response {
-    (400, "text/plain", format!("{message}\n").into_bytes().into())
+/// Serialize one JSON fragment, mapping the (unreachable) failure into
+/// the envelope instead of a panic.
+fn json_field<T: serde::Serialize>(value: &T) -> Result<String, ApiError> {
+    serde_json::to_string(value)
+        .map_err(|e| ApiError::new(500, "internal", format!("serialization failed: {}", e.0)))
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@
 //! The property is pinned by proptests in `tests/sharded_equivalence.rs`
 //! over arbitrary ingest/retract interleavings at 1/2/4/8 shards.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -58,7 +58,8 @@ use pse_synthesis::runtime::{reconcile_batch, KeyAttributes};
 use pse_synthesis::{ReconciledOffer, RuntimeConfig, SpecProvider, SynthesizedProduct};
 
 use crate::snapshot::{
-    changed_categories, empty_response, ResponseSlot, ShardSnapshot, SnapshotCell, StoreSnapshot,
+    changed_categories, empty_response, ResponseSlot, SearchSlot, ShardSnapshot, SnapshotCell,
+    StoreSnapshot,
 };
 
 /// 64-bit FNV-1a over a byte stream.
@@ -88,6 +89,16 @@ pub struct ShardedWrite {
     pub stats: IngestStats,
     /// Shards whose cluster state changed (sorted, deduplicated).
     pub dirty_shards: Vec<usize>,
+}
+
+/// One answered search: the ranked result plus, index-aligned with
+/// `result.hits`, each hit's pre-serialized product JSON from the same
+/// snapshot the index was built on.
+pub struct SearchOutcome {
+    /// The engine's ranked result (constraints echoed, hits ordered).
+    pub result: pse_query::SearchResult,
+    /// `hits[i]`'s cached product JSON.
+    pub hit_json: Vec<Arc<str>>,
 }
 pub fn shard_of(key: &ClusterKey, n_shards: usize) -> usize {
     let mut h = fnv1a(FNV_OFFSET, &key.0 .0.to_le_bytes());
@@ -168,15 +179,19 @@ impl ShardedStore {
             .collect();
         let categories: BTreeSet<CategoryId> =
             snapshots.iter().flat_map(|s| s.categories.keys().copied()).collect();
-        let responses =
-            categories.into_iter().map(|c| (c, Arc::new(ResponseSlot::default()))).collect();
+        let responses = categories
+            .iter()
+            .map(|&c| (c, Arc::new(ResponseSlot::default())))
+            .collect::<BTreeMap<_, _>>();
+        let search = categories.into_iter().map(|c| (c, Arc::new(SearchSlot::default()))).collect();
         let versions = AtomicU64::new(snapshots.len() as u64);
         let shards = stores
             .into_iter()
             .zip(&snapshots)
             .map(|(store, snap)| RwLock::new(ShardWriter { store, latest: Arc::clone(snap) }))
             .collect();
-        let published = SnapshotCell::new(Arc::new(StoreSnapshot { shards: snapshots, responses }));
+        let published =
+            SnapshotCell::new(Arc::new(StoreSnapshot { shards: snapshots, responses, search }));
         Self {
             correspondences,
             config,
@@ -438,13 +453,16 @@ impl ShardedStore {
             return;
         }
         let mut responses = current.responses.clone();
+        let mut search = current.search.clone();
         for &category in &dirty_categories {
             // A fresh slot: the next reader of the category assembles
             // the body; untouched categories keep their built slots.
+            // The search index invalidates in lockstep.
             responses.insert(category, Arc::new(ResponseSlot::default()));
+            search.insert(category, Arc::new(SearchSlot::default()));
         }
         pse_obs::add("serve.cache.invalidated", dirty_categories.len() as u64);
-        self.published.swap(Arc::new(StoreSnapshot { shards, responses }));
+        self.published.swap(Arc::new(StoreSnapshot { shards, responses, search }));
     }
 
     /// Current products in cluster-key order — the exact sequence the
@@ -510,6 +528,35 @@ impl ShardedStore {
         let snap = self.published.load();
         let shard = &snap.shards[shard_of(key, snap.shards.len())];
         shard.entry(key).map(|e| Arc::clone(&e.json))
+    }
+
+    /// Answer a free-text query from one published snapshot: resolve it
+    /// into constraints with `pse-query`, retrieve and rank through the
+    /// snapshot's per-category indexes (built lazily, cached until the
+    /// category's next publish), and attach each hit's cached product
+    /// JSON. No shard lock, no serializer — and because every index is
+    /// built from the merged entries in cluster-key order, the outcome
+    /// is byte-identical at any shard count.
+    pub fn search(&self, query: &str, k: usize) -> SearchOutcome {
+        let snap = self.published.load();
+        let index: pse_query::SearchIndex = snap
+            .search
+            .iter()
+            .map(|(&c, slot)| (c, slot.get_or_build(&snap.shards, c, &self.correspondences)))
+            .collect();
+        let result = pse_query::search(&index, query, k);
+        let hit_json = result
+            .hits
+            .iter()
+            .map(|h| {
+                let key = (h.category, h.key_attribute.clone(), h.key_value.clone());
+                let shard = &snap.shards[shard_of(&key, snap.shards.len())];
+                // Hits come from the same snapshot, so the entry exists;
+                // "null" keeps the response well-formed regardless.
+                shard.entry(&key).map(|e| Arc::clone(&e.json)).unwrap_or_else(|| Arc::from("null"))
+            })
+            .collect();
+        SearchOutcome { result, hit_json }
     }
 
     /// Merge the shards into one store and snapshot it — byte-identical

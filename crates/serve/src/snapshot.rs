@@ -25,7 +25,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock, RwLock};
 
-use pse_core::CategoryId;
+use pse_core::{CategoryId, CorrespondenceSet};
+use pse_query::CategoryIndex;
 use pse_store::{ClusterKey, ProductStore};
 use pse_synthesis::SynthesizedProduct;
 
@@ -149,6 +150,38 @@ impl ResponseSlot {
     }
 }
 
+/// One category's `GET /search` index, assembled lazily exactly like
+/// [`ResponseSlot`]: publish installs an empty slot for each dirty
+/// category (untouched categories carry their built index forward by
+/// `Arc`), and the first search after that pays the build. The index is
+/// built from the merged shard entries in cluster-key order, so it is
+/// identical at any shard count, and it swaps atomically with the store
+/// snapshot it lives in — a search never sees an index newer or older
+/// than the products it ranks.
+#[derive(Debug, Default)]
+pub struct SearchSlot {
+    cell: OnceLock<Arc<CategoryIndex>>,
+}
+
+impl SearchSlot {
+    /// The index, building (and caching) it on first call.
+    pub fn get_or_build(
+        &self,
+        shards: &[Arc<ShardSnapshot>],
+        category: CategoryId,
+        correspondences: &CorrespondenceSet,
+    ) -> Arc<CategoryIndex> {
+        Arc::clone(self.cell.get_or_init(|| {
+            let mut entries: Vec<(&ClusterKey, &Arc<ProductEntry>)> =
+                shards.iter().flat_map(|s| s.category_entries(category)).collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            let products: Vec<&SynthesizedProduct> =
+                entries.iter().map(|(_, e)| &e.product).collect();
+            Arc::new(CategoryIndex::build(category, &products, correspondences))
+        }))
+    }
+}
+
 /// The whole store frozen at one instant: per-shard snapshots plus the
 /// `GET /products/{category}` response-body cache.
 #[derive(Debug, Default)]
@@ -161,6 +194,9 @@ pub struct StoreSnapshot {
     /// serve [`empty_response`] for them. Slots for categories
     /// untouched by a publish carry forward already built.
     pub responses: BTreeMap<CategoryId, Arc<ResponseSlot>>,
+    /// Category → search-index slot, invalidated in lockstep with
+    /// `responses` (same dirty-category diff, same lazy build).
+    pub search: BTreeMap<CategoryId, Arc<SearchSlot>>,
 }
 
 /// The shared `[]` body served for categories with no cached response.

@@ -1,0 +1,250 @@
+//! Property tests for the typed router and the shared query parser
+//! (ISSUE 10 satellite): over the server's endpoint set and arbitrary
+//! methods × paths, `Router::find` agrees with a transliteration of the
+//! legacy `match (method, path)` dispatch — with its two `starts_with`
+//! fallthrough bugs fixed — and percent-encoded query strings round-trip
+//! through `parse_query` byte-for-byte.
+
+use proptest::prelude::*;
+
+use pse_serve::http::parse_query;
+use pse_serve::router::EndpointMetrics;
+use pse_serve::{Method, Route, RouteOutcome, Router, Seg};
+
+const M: EndpointMetrics = EndpointMetrics { requests: "r", errors: "e", us: "u" };
+
+/// The server's route table with handlers replaced by row indexes —
+/// same shape as `server.rs`'s `ROUTES`, which is private by design
+/// (the socket tests in `error_envelope.rs` pin the real table's
+/// behavior; this table pins the matching engine on the same patterns).
+static TABLE: &[Route<usize>] = &[
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("healthz")],
+        label: "healthz",
+        metrics: M,
+        handler: 0,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("metrics")],
+        label: "metrics",
+        metrics: M,
+        handler: 1,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("product")],
+        label: "product",
+        metrics: M,
+        handler: 2,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("products"), Seg::Param("category")],
+        label: "products",
+        metrics: M,
+        handler: 3,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("search")],
+        label: "search",
+        metrics: M,
+        handler: 4,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("debug"), Seg::Lit("requests")],
+        label: "debug_requests",
+        metrics: M,
+        handler: 5,
+    },
+    Route {
+        method: Method::Get,
+        pattern: &[Seg::Lit("debug"), Seg::Lit("trace"), Seg::Param("id")],
+        label: "debug_trace",
+        metrics: M,
+        handler: 6,
+    },
+    Route {
+        method: Method::Post,
+        pattern: &[Seg::Lit("ingest")],
+        label: "ingest",
+        metrics: M,
+        handler: 7,
+    },
+    Route {
+        method: Method::Post,
+        pattern: &[Seg::Lit("retract")],
+        label: "retract",
+        metrics: M,
+        handler: 8,
+    },
+    Route {
+        method: Method::Post,
+        pattern: &[Seg::Lit("shutdown")],
+        label: "shutdown",
+        metrics: M,
+        handler: 9,
+    },
+];
+
+static ROUTER: Router<usize> = Router::new(TABLE);
+
+/// What the router decided, flattened for comparison: the matched label
+/// and captured params, or the error status.
+#[derive(Debug, PartialEq)]
+enum Decision {
+    Handler(&'static str, Vec<(String, String)>),
+    Status(u16),
+}
+
+fn router_decision(method: &str, path: &str) -> Decision {
+    match ROUTER.find(method, path) {
+        RouteOutcome::Matched(route, params) => {
+            let captured = ["category", "id"]
+                .iter()
+                .filter_map(|n| params.get(n).map(|v| (n.to_string(), v.to_string())))
+                .collect();
+            Decision::Handler(route.label, captured)
+        }
+        RouteOutcome::NotFound => Decision::Status(404),
+        RouteOutcome::MethodNotAllowed => Decision::Status(405),
+    }
+}
+
+/// The legacy dispatch `match`, transliterated — except the two
+/// `starts_with` arms now require exactly one non-empty trailing
+/// segment, which is the documented fix (a trailing slash or an extra
+/// `/seg` used to fall through into the handler).
+fn legacy_decision(method: &str, path: &str) -> Decision {
+    fn single_nonempty_segment(rest: &str) -> Option<&str> {
+        (!rest.is_empty() && !rest.contains('/')).then_some(rest)
+    }
+    let capture = |name: &str, value: &str| vec![(name.to_string(), value.to_string())];
+    match (method, path) {
+        ("GET", "/healthz") => Decision::Handler("healthz", vec![]),
+        ("GET", "/metrics") => Decision::Handler("metrics", vec![]),
+        ("GET", "/product") => Decision::Handler("product", vec![]),
+        ("GET", p) if p.starts_with("/products/") => {
+            match single_nonempty_segment(&p["/products/".len()..]) {
+                Some(seg) => Decision::Handler("products", capture("category", seg)),
+                None => Decision::Status(404),
+            }
+        }
+        ("GET", "/search") => Decision::Handler("search", vec![]),
+        ("GET", "/debug/requests") => Decision::Handler("debug_requests", vec![]),
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            match single_nonempty_segment(&p["/debug/trace/".len()..]) {
+                Some(seg) => Decision::Handler("debug_trace", capture("id", seg)),
+                None => Decision::Status(404),
+            }
+        }
+        ("POST", "/ingest") => Decision::Handler("ingest", vec![]),
+        ("POST", "/retract") => Decision::Handler("retract", vec![]),
+        ("POST", "/shutdown") => Decision::Handler("shutdown", vec![]),
+        ("GET" | "POST", _) => Decision::Status(404),
+        _ => Decision::Status(405),
+    }
+}
+
+const METHODS: &[&str] =
+    &["GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "get", "post", "", "G ET"];
+
+/// Segment pool biased toward the table's literals so generated paths
+/// collide with real routes often, plus near-misses and junk.
+const SEGMENTS: &[&str] = &[
+    "healthz", "metrics", "product", "products", "search", "debug", "requests", "trace", "ingest",
+    "retract", "shutdown", "7", "banana", "", "Products", "..", "a b",
+];
+
+fn method_strategy() -> impl Strategy<Value = String> {
+    (0..METHODS.len()).prop_map(|i| METHODS[i].to_string())
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(0..SEGMENTS.len(), 0..4), any::<bool>()).prop_map(
+        |(indexes, leading_slash)| {
+            let joined = indexes.iter().map(|&i| SEGMENTS[i]).collect::<Vec<_>>().join("/");
+            if leading_slash {
+                format!("/{joined}")
+            } else {
+                joined
+            }
+        },
+    )
+}
+
+proptest! {
+    /// The router and the (fixed) legacy match agree on every
+    /// method × path, including captures.
+    #[test]
+    fn router_agrees_with_legacy_dispatch(
+        method in method_strategy(),
+        path in path_strategy(),
+    ) {
+        let got = router_decision(&method, &path);
+        let want = legacy_decision(&method, &path);
+        prop_assert_eq!(got, want, "method={:?} path={:?}", &method, &path);
+    }
+}
+
+/// Percent-encode every byte that is not unreserved, which is always a
+/// valid (if conservative) encoding of the pair.
+fn encode(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary bytes laundered through from_utf8_lossy: covers ASCII,
+    // multi-byte UTF-8 (replacement chars), and the reserved characters
+    // `& = % +` that the encoder must protect.
+    proptest::collection::vec(any::<u8>(), 0..12)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    /// Arbitrary pairs survive encode → wire → parse_query unchanged,
+    /// in order, duplicates and empty values included.
+    #[test]
+    fn query_pairs_round_trip(
+        pairs in proptest::collection::vec((text_strategy(), text_strategy()), 0..6),
+    ) {
+        let wire = pairs
+            .iter()
+            .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+            .collect::<Vec<_>>()
+            .join("&");
+        // Every encoded pair is "k=v" (never an empty part — even an
+        // empty pair encodes to "="), so parse_query keeps them all.
+        let decoded = parse_query(&wire);
+        prop_assert_eq!(decoded, pairs, "wire={:?}", &wire);
+    }
+}
+
+/// The hand-written corner cases the fuzz loop cannot pin byte-exactly:
+/// `+` means space, stray `%` stays verbatim, bare keys get empty
+/// values, and empty parts vanish.
+#[test]
+fn query_parser_corner_cases() {
+    assert_eq!(parse_query("a=1+2"), vec![("a".into(), "1 2".into())]);
+    assert_eq!(parse_query("a%20b=c%26d"), vec![("a b".into(), "c&d".into())]);
+    assert_eq!(parse_query("a=%ZZ"), vec![("a".into(), "%ZZ".into())]);
+    assert_eq!(parse_query("flag"), vec![("flag".into(), String::new())]);
+    assert_eq!(parse_query("&&a=1&&"), vec![("a".into(), "1".into())]);
+    assert_eq!(parse_query(""), Vec::<(String, String)>::new());
+    assert_eq!(
+        parse_query("q=canon&q=nikon"),
+        vec![("q".into(), "canon".into()), ("q".into(), "nikon".into())]
+    );
+}

@@ -188,6 +188,19 @@ fn trace_header_id_is_adopted() {
     assert_eq!(full.id, TraceId(0xdead_beef_0000_0001));
     assert_eq!((full.endpoint.as_str(), full.status), ("healthz", 200));
 
+    // And an error under an adopted id carries that id in its envelope,
+    // so the trace behind any failure is one `/debug/trace/{id}` away.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"GET /nope HTTP/1.1\r\nX-Pse-Trace-Id: deadbeef00000002\r\n\r\n").unwrap();
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 404"), "unknown path is 404: {text}");
+    assert!(
+        text.contains("\"trace_id\":\"deadbeef00000002\""),
+        "error envelope carries the adopted trace id: {text}"
+    );
+
     handle.shutdown().unwrap();
     end_session();
 }
@@ -195,6 +208,20 @@ fn trace_header_id_is_adopted() {
 /// The tracing half of the determinism contract, pinned over real
 /// sockets: turning observability (tracing + endpoint histograms + the
 /// flight recorder) on changes no response byte on product endpoints.
+/// The one sanctioned exception is the error envelope's `trace_id`
+/// field, which exists precisely to surface the trace — it is
+/// normalized out before comparing.
+fn blank_trace_id(body: &str) -> String {
+    match body.find("\"trace_id\":\"") {
+        None => body.to_string(),
+        Some(start) => {
+            let value_start = start + "\"trace_id\":\"".len();
+            let value_end = value_start + body[value_start..].find('"').unwrap();
+            format!("{}{}", &body[..value_start], &body[value_end..])
+        }
+    }
+}
+
 #[test]
 fn tracing_does_not_change_product_bytes() {
     let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
@@ -213,7 +240,10 @@ fn tracing_does_not_change_product_bytes() {
         "/nope".to_string(),               // 404
     ];
 
-    let fetch = |path: &String| http_request(&addr, "GET", path, None).unwrap();
+    let fetch = |path: &String| {
+        let (status, body) = http_request(&addr, "GET", path, None).unwrap();
+        (status, blank_trace_id(&body))
+    };
     let off: Vec<(u16, String)> = paths.iter().map(fetch).collect();
     pse_obs::set_enabled(true);
     let on: Vec<(u16, String)> = paths.iter().map(fetch).collect();

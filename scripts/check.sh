@@ -58,6 +58,12 @@ head -3 target/check-results/serve_queries.txt | while read -r q; do
     http_get GET "http://$ADDR$q" >/dev/null
 done
 http_get GET "http://$ADDR/metrics" >/dev/null
+# Structured search over a real socket: any query must come back as the
+# typed envelope (interpretation + ranked hits), even when nothing matches.
+http_get GET "http://$ADDR/search?q=usb&k=3" | grep -q '"hits":' || {
+    echo "serve smoke: /search returned no typed envelope" >&2
+    exit 1
+}
 # Flight recorder over real sockets: the requests above must be visible
 # in /debug/requests, and one of their ids must resolve via /debug/trace.
 DEBUG_JSON="$(http_get GET "http://$ADDR/debug/requests")"
@@ -86,6 +92,25 @@ PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
     serve-bench --read-heavy --smoke --quiet --obs \
     --workers 4 --requests 400 --shards 4 --out target/check-results
 cargo run --release -q -p pse-bench --bin obs_check
+
+# Search smoke: replay ground-truth free-text queries against GET /search
+# at 1 and 2 shards. The subcommand exits non-zero if response bodies
+# diverge across shard counts or quality drops below the floors
+# (precision@1 >= 0.80, recall@10 >= 0.70); the obs_check run validates
+# the gated query.* counters and the query.candidates histogram, and the
+# grep re-asserts the floors from the merged BENCH_par.json record.
+PSE_OBS=1 cargo run --release -q -p pse-bench --bin experiments -- \
+    search-bench --smoke --quiet --obs \
+    --workers 4 --requests 400 --shards 1,2 --out target/check-results
+cargo run --release -q -p pse-bench --bin obs_check
+grep -q '"thresholds_met": true' BENCH_par.json || {
+    echo "search bench: precision/recall floors not met" >&2
+    exit 1
+}
+grep -q '"shard_counts_agree": true' BENCH_par.json || {
+    echo "search bench: /search bodies diverged across shard counts" >&2
+    exit 1
+}
 
 # Observability-overhead smoke: the point-lookup mix twice, obs off then
 # on (request tracing + endpoint histograms + flight recorder live); the

@@ -47,6 +47,7 @@ pub use pse_eval as eval;
 pub use pse_extract as extract;
 pub use pse_html as html;
 pub use pse_ml as ml;
+pub use pse_query as query;
 pub use pse_serve as serve;
 pub use pse_store as store;
 pub use pse_synthesis as synthesis;

@@ -88,7 +88,20 @@ fn observability_does_not_change_outputs() {
         format!("/product?category={}&attr={}&key={}", p.category.0, p.key_attribute, p.key_value),
         "/nope".to_string(),
     ];
-    let fetch = |path: &String| pse_serve::http_request(&addr, "GET", path, None).unwrap();
+    // The error envelope's `trace_id` is the one sanctioned difference
+    // between obs on and off — blank it before comparing.
+    let blank_trace_id = |body: String| match body.find("\"trace_id\":\"") {
+        None => body,
+        Some(start) => {
+            let value_start = start + "\"trace_id\":\"".len();
+            let value_end = value_start + body[value_start..].find('"').unwrap();
+            format!("{}{}", &body[..value_start], &body[value_end..])
+        }
+    };
+    let fetch = |path: &String| {
+        let (status, body) = pse_serve::http_request(&addr, "GET", path, None).unwrap();
+        (status, blank_trace_id(body))
+    };
     let responses_off: Vec<(u16, String)> = paths.iter().map(fetch).collect();
     pse_obs::set_enabled(true);
     let responses_on: Vec<(u16, String)> = paths.iter().map(fetch).collect();
